@@ -1,0 +1,74 @@
+//! Channel-simulator benches: cost of slot-level transfers for the
+//! Table 1 pooling payloads, under both retransmission policies.
+//! Doubles as the performance ablation for the segmented-transfer
+//! extension (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_channel::{
+    success_probability, LinkConfig, PayloadSpec, RetransmissionPolicy, TransferSimulator,
+};
+
+fn calibrated() -> LinkConfig {
+    LinkConfig::paper_uplink().with_mean_snr_db(14.94)
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let spec = PayloadSpec::paper(64);
+    let mut group = c.benchmark_group("transfer_whole_payload");
+    for (label, wh) in [("4x4", 4usize), ("10x10", 10), ("40x40_1pixel", 40)] {
+        let bits = spec.uplink_bits(wh, wh);
+        group.bench_function(label, |bch| {
+            let mut sim = TransferSimulator::new(
+                calibrated(),
+                RetransmissionPolicy::WholePayload { max_slots: 100_000 },
+            );
+            let mut rng = StdRng::seed_from_u64(1);
+            bch.iter(|| black_box(sim.transfer(bits, &mut rng)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("transfer_segmented");
+    for (label, wh) in [("1x1", 1usize), ("4x4", 4)] {
+        let bits = spec.uplink_bits(wh, wh);
+        group.bench_function(label, |bch| {
+            let mut sim = TransferSimulator::new(
+                calibrated(),
+                RetransmissionPolicy::Segmented {
+                    segment_bits: 15_000,
+                    max_slots: 10_000_000,
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(2);
+            bch.iter(|| black_box(sim.transfer(bits, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let spec = PayloadSpec::paper(64);
+    let link = calibrated();
+    c.bench_function("success_probability_analytic_x4", |bch| {
+        bch.iter(|| {
+            for wh in [1usize, 4, 10, 40] {
+                black_box(success_probability(
+                    black_box(&link),
+                    spec.uplink_bits(wh, wh) as f64,
+                ));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = channel;
+    config = Criterion::default().sample_size(30);
+    targets = bench_transfers, bench_analytics
+}
+criterion_main!(channel);

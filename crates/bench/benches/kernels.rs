@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the tensor/NN kernels at the shapes the paper's
+//! split network actually uses (40×40 images, 3×3 convolutions, L = 4
+//! LSTM sequences).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_nn::{Layer, Lstm};
+use sl_tensor::{avg_pool2d, conv2d, matmul, randn, Padding, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = randn([64, 64], 0.0, 1.0, &mut rng);
+    let b = randn([64, 64], 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // The UE CNN's first layer on one sequence of the minibatch:
+    // [L, 1, 40, 40] ⊛ [8, 1, 3, 3].
+    let x = randn([4, 1, 40, 40], 0.0, 1.0, &mut rng);
+    let w = randn([8, 1, 3, 3], 0.0, 0.3, &mut rng);
+    let b = Tensor::zeros([8]);
+    c.bench_function("conv2d_40x40_1to8", |bch| {
+        bch.iter(|| black_box(conv2d(black_box(&x), &w, &b, Padding::Same)))
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = randn([16, 1, 40, 40], 0.0, 1.0, &mut rng);
+    c.bench_function("avg_pool2d_40x40_to_1pixel", |bch| {
+        bch.iter(|| black_box(avg_pool2d(black_box(&x), 40, 40)))
+    });
+    c.bench_function("avg_pool2d_40x40_w4", |bch| {
+        bch.iter(|| black_box(avg_pool2d(black_box(&x), 4, 4)))
+    });
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    // The BS half on a one-pixel Img+RF batch: [64, 4, 2] → hidden 32.
+    let mut lstm = Lstm::new(2, 32, &mut rng);
+    let x = randn([64, 4, 2], 0.0, 1.0, &mut rng);
+    c.bench_function("lstm_fwd_b64_l4_h32", |bch| {
+        bch.iter(|| black_box(lstm.forward(black_box(&x))))
+    });
+    c.bench_function("lstm_fwd_bwd_b64_l4_h32", |bch| {
+        bch.iter(|| {
+            let h = lstm.forward(black_box(&x));
+            let g = lstm.backward(&Tensor::ones(h.dims()));
+            lstm.zero_grads();
+            black_box(g)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv, bench_pool, bench_lstm
+}
+criterion_main!(kernels);

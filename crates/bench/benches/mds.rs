@@ -1,0 +1,50 @@
+//! Privacy-metric benches: distance matrices, classical MDS and the full
+//! leakage pipeline at Table 1's working set size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_privacy::{distance_matrix, mds, privacy_leakage};
+use sl_tensor::{uniform, Tensor};
+
+fn sample_images(n: usize, px: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| uniform([px, px], 0.0, 1.0, &mut rng)).collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let imgs = sample_images(60, 40, 1);
+    let refs: Vec<&Tensor> = imgs.iter().collect();
+    c.bench_function("distance_matrix_60x40x40", |bch| {
+        bch.iter(|| black_box(distance_matrix(black_box(&refs))))
+    });
+}
+
+fn bench_mds(c: &mut Criterion) {
+    let imgs = sample_images(60, 40, 2);
+    let refs: Vec<&Tensor> = imgs.iter().collect();
+    let d = distance_matrix(&refs);
+    c.bench_function("mds_60_points_dim2", |bch| {
+        bch.iter(|| black_box(mds(black_box(&d), 2)))
+    });
+}
+
+fn bench_leakage(c: &mut Criterion) {
+    let raw = sample_images(60, 40, 3);
+    let feat = sample_images(60, 10, 4);
+    let raw_refs: Vec<&Tensor> = raw.iter().collect();
+    let feat_refs: Vec<&Tensor> = feat.iter().collect();
+    c.bench_function("privacy_leakage_60_frames", |bch| {
+        bch.iter(|| black_box(privacy_leakage(black_box(&raw_refs), black_box(&feat_refs))))
+    });
+}
+
+criterion_group! {
+    name = mds_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_distance, bench_mds, bench_leakage
+}
+criterion_main!(mds_benches);

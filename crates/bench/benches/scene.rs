@@ -1,0 +1,42 @@
+//! Scene-substrate benches: depth-frame rendering and full trace
+//! generation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_scene::{DepthCamera, Scene, SceneConfig};
+
+fn bench_render(c: &mut Criterion) {
+    let cfg = SceneConfig::paper();
+    let scene = Scene::generate(cfg.clone(), &mut StdRng::seed_from_u64(1));
+    let camera = DepthCamera::new(cfg.camera.clone(), cfg.distance_m);
+    // A time in the middle of the trace (pedestrians likely present).
+    let t = cfg.duration_s() / 2.0;
+    c.bench_function("render_depth_frame_40x40", |bch| {
+        bch.iter(|| black_box(camera.render(scene.pedestrians(), black_box(t))))
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let cfg = SceneConfig {
+        num_frames: 200,
+        ..SceneConfig::paper()
+    };
+    c.bench_function("simulate_trace_200_frames", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let scene = Scene::generate(cfg.clone(), &mut rng);
+            black_box(scene.simulate(&mut rng))
+        })
+    });
+}
+
+criterion_group! {
+    name = scene;
+    config = Criterion::default().sample_size(10);
+    targets = bench_render, bench_trace
+}
+criterion_main!(scene);

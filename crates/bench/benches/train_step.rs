@@ -1,0 +1,51 @@
+//! Macro-bench: the cost of one full split-learning SGD step (forward,
+//! channel transfers, backward, Adam) per scheme × pooling. This is the
+//! host-side counterpart of the simulated per-step time that drives
+//! Fig. 3a.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_core::{ExperimentConfig, PoolingDim, Scheme, SplitTrainer};
+use sl_scene::{Scene, SceneConfig, SequenceDataset};
+
+fn tiny_dataset() -> SequenceDataset {
+    let cfg = SceneConfig {
+        num_frames: 800,
+        ..SceneConfig::tiny()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let scene = Scene::generate(cfg, &mut rng);
+    SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let dataset = tiny_dataset();
+    let mut group = c.benchmark_group("train_epoch_16x16_b8");
+    for (scheme, pooling, label) in [
+        (Scheme::RfOnly, PoolingDim::new(16, 16), "rf_only"),
+        (Scheme::ImgOnly, PoolingDim::new(16, 16), "img_1pixel"),
+        (Scheme::ImgRf, PoolingDim::new(16, 16), "img_rf_1pixel"),
+        (Scheme::ImgRf, PoolingDim::new(4, 4), "img_rf_4x4"),
+    ] {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                let mut cfg = ExperimentConfig::quick(scheme, pooling);
+                cfg.max_epochs = 1;
+                let mut trainer = SplitTrainer::new(cfg, &dataset);
+                black_box(trainer.train(&dataset))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = train_step;
+    config = Criterion::default().sample_size(10);
+    targets = bench_steps
+}
+criterion_main!(train_step);

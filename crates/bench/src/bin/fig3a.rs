@@ -1,0 +1,152 @@
+//! **Fig. 3a** — learning curves: validation RMSE (dB) versus elapsed
+//! simulated training time (s) for the paper's five configurations:
+//!
+//! * `RF` — received-power history only (no split, no communication),
+//! * `Img` with 1-pixel (40×40) pooling,
+//! * `Img` with 4×4 pooling,
+//! * `Img+RF` with 4×4 pooling,
+//! * `Img+RF` with 1-pixel pooling (the proposal).
+//!
+//! The elapsed axis is the `sl-core` simulated clock: modelled compute
+//! plus slot-accurate airtime of every cut-layer transfer over the
+//! calibrated uplink (DESIGN.md §5). Reproduction targets: RF converges
+//! first but plateaus highest; among image schemes the 1-pixel Img+RF
+//! both converges fastest (cheapest payload ⇒ most SGD steps per second)
+//! and reaches the lowest RMSE.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin fig3a            # quick profile
+//! SLM_PROFILE=full cargo run --release -p sl-bench --bin fig3a
+//! ```
+
+use sl_bench::{build_dataset, experiment_config, sparkline, write_csv, Profile};
+use sl_core::{PoolingDim, Scheme, SplitTrainer, TrainOutcome};
+
+fn run(
+    profile: Profile,
+    scheme: Scheme,
+    pooling: PoolingDim,
+    dataset: &sl_scene::SequenceDataset,
+) -> TrainOutcome {
+    let cfg = experiment_config(profile, scheme, pooling);
+    let mut trainer = SplitTrainer::new(cfg, dataset);
+    trainer.train(dataset)
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let dataset = build_dataset(profile);
+    println!(
+        "Fig. 3a — learning curves ({:?} profile: {} train / {} val sequences)\n",
+        profile,
+        dataset.train_indices().len(),
+        dataset.val_indices().len()
+    );
+
+    // Context row: a closed-form linear autoregression on the RF history
+    // (zero training time). Any learned scheme must beat this floor.
+    let ols = sl_core::LinearRfBaseline::fit(&dataset);
+    println!(
+        "{:<28} best {:>5.2} dB  (closed-form OLS on the RF history; no training)",
+        "linear-AR baseline",
+        ols.val_rmse(&dataset)
+    );
+
+    let configs: [(Scheme, PoolingDim); 5] = [
+        (Scheme::RfOnly, PoolingDim::ONE_PIXEL),
+        (Scheme::ImgOnly, PoolingDim::ONE_PIXEL),
+        (Scheme::ImgOnly, PoolingDim::MEDIUM),
+        (Scheme::ImgRf, PoolingDim::MEDIUM),
+        (Scheme::ImgRf, PoolingDim::ONE_PIXEL),
+    ];
+
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for (scheme, pooling) in configs {
+        let wall = std::time::Instant::now();
+        let out = run(profile, scheme, pooling, &dataset);
+        let label = if scheme == Scheme::RfOnly {
+            scheme.to_string()
+        } else {
+            format!("{scheme}, {pooling}")
+        };
+        println!(
+            "{label:<28} best {:>5.2} dB  final {:>5.2} dB  sim {:>7.2} s (air {:>6.2} s)  epochs {:>3}  stop {:?}  [wall {:.0} s]",
+            out.best_rmse_db(),
+            out.final_rmse_db,
+            out.elapsed_s(),
+            out.airtime_s,
+            out.epochs,
+            out.stop,
+            wall.elapsed().as_secs_f64(),
+        );
+        let curve_vals: Vec<f32> = out.curve.iter().map(|p| p.val_rmse_db).collect();
+        println!("{:<28} {}", "", sparkline(&curve_vals));
+        for p in &out.curve {
+            rows.push(format!(
+                "{label},{},{:.4},{:.4}",
+                p.epoch, p.elapsed_s, p.val_rmse_db
+            ));
+        }
+        outcomes.push((label, out));
+    }
+
+    let path = write_csv("fig3a.csv", "config,epoch,elapsed_s,val_rmse_db", &rows);
+    println!("\nwrote {}", path.display());
+
+    // ---- paper-shape checks -------------------------------------------------
+    println!("\npaper-shape check:");
+    let find = |label: &str| {
+        &outcomes
+            .iter()
+            .find(|(l, _)| l == label)
+            .expect("configuration ran")
+            .1
+    };
+    let rf = find("RF");
+    let img_rf_pixel = find("Img+RF, 40x40 (1-pixel)");
+    let img_rf_medium = find("Img+RF, 4x4");
+    let img_pixel = find("Img, 40x40 (1-pixel)");
+
+    // (1) RF converges earliest in elapsed time (lowest airtime) but
+    //     plateaus above the image-assisted schemes.
+    let rf_first_epoch_time = rf.curve.get(1).map(|p| p.elapsed_s).unwrap_or(f64::MAX);
+    let pix_first_epoch_time = img_rf_pixel.curve.get(1).map(|p| p.elapsed_s).unwrap_or(0.0);
+    println!(
+        "  RF cheapest per epoch ({:.3} s vs {:.3} s for 1-pixel Img+RF): {}",
+        rf_first_epoch_time,
+        pix_first_epoch_time,
+        yes(rf_first_epoch_time < pix_first_epoch_time)
+    );
+    println!(
+        "  RF plateaus above 1-pixel Img+RF ({:.2} dB vs {:.2} dB): {}",
+        rf.best_rmse_db(),
+        img_rf_pixel.best_rmse_db(),
+        yes(rf.best_rmse_db() > img_rf_pixel.best_rmse_db())
+    );
+    // (2) 1-pixel Img+RF trains faster per wall-second than 4×4 Img+RF
+    //     (smaller payload ⇒ less airtime per step).
+    let pix_rate = img_rf_pixel.steps_applied as f64 / img_rf_pixel.elapsed_s().max(1e-9);
+    let med_rate = img_rf_medium.steps_applied as f64 / img_rf_medium.elapsed_s().max(1e-9);
+    println!(
+        "  1-pixel Img+RF does more steps/simulated-second than 4x4 ({:.1} vs {:.1}): {}",
+        pix_rate,
+        med_rate,
+        yes(pix_rate > med_rate)
+    );
+    // (3) Img+RF beats Img-only at the same pooling (multimodality helps).
+    println!(
+        "  Img+RF (1-pixel) beats Img-only (1-pixel) ({:.2} dB vs {:.2} dB): {}",
+        img_rf_pixel.best_rmse_db(),
+        img_pixel.best_rmse_db(),
+        yes(img_rf_pixel.best_rmse_db() < img_pixel.best_rmse_db())
+    );
+}
+
+fn yes(b: bool) -> &'static str {
+    if b {
+        "YES"
+    } else {
+        "NO"
+    }
+}

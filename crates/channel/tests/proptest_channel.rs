@@ -1,0 +1,117 @@
+//! Property-based tests of the channel model: probability bounds,
+//! monotonicity in every physical parameter, and simulator/analytic
+//! agreement.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_channel::{
+    decode_threshold, success_probability, LinkConfig, PayloadSpec, RetransmissionPolicy,
+    TransferSimulator,
+};
+
+fn any_link() -> impl Strategy<Value = LinkConfig> {
+    (
+        -20.0f64..45.0,   // tx power dBm
+        1e6f64..200e6,    // bandwidth
+        1.0f64..20.0,     // distance
+        2.0f64..6.0,      // path-loss exponent
+    )
+        .prop_map(|(p, w, r, a)| LinkConfig {
+            tx_power_dbm: p,
+            bandwidth_hz: w,
+            noise_psd_dbm_hz: -174.0,
+            distance_m: r,
+            path_loss_exp: a,
+            slot_s: 1e-3,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn success_probability_is_a_probability(link in any_link(), bits in 0u64..10_000_000) {
+        let p = success_probability(&link, bits as f64);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn success_monotone_decreasing_in_payload(link in any_link(), b1 in 0u64..1_000_000, b2 in 0u64..1_000_000) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(
+            success_probability(&link, lo as f64) >= success_probability(&link, hi as f64)
+        );
+    }
+
+    #[test]
+    fn success_monotone_increasing_in_power(link in any_link(), bits in 1_000u64..1_000_000, boost in 0.0f64..30.0) {
+        let stronger = link.with_tx_power_dbm(link.tx_power_dbm + boost);
+        prop_assert!(
+            success_probability(&stronger, bits as f64) + 1e-15
+                >= success_probability(&link, bits as f64)
+        );
+    }
+
+    #[test]
+    fn threshold_monotone_in_payload(w in 1e6f64..100e6, b1 in 0.0f64..1e7, b2 in 0.0f64..1e7) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(decode_threshold(lo, w, 1e-3) <= decode_threshold(hi, w, 1e-3));
+    }
+
+    #[test]
+    fn snr_calibration_is_exact(link in any_link(), target in -20.0f64..80.0) {
+        let cal = link.with_mean_snr_db(target);
+        prop_assert!((cal.mean_snr_db() - target).abs() < 1e-6);
+    }
+
+    #[test]
+    fn payload_formula_divides_exactly(batch in 1usize..256, r in 1usize..16, l in 1usize..8) {
+        let spec = PayloadSpec {
+            image_height: 40,
+            image_width: 40,
+            batch_size: batch,
+            bit_depth: r,
+            sequence_len: l,
+        };
+        // Compression by the window area is exact for tiling windows.
+        let full = spec.uplink_bits(1, 1);
+        for w in [2usize, 4, 5, 8, 10, 20, 40] {
+            prop_assert_eq!(spec.uplink_bits(w, w) * (w * w) as u64, full);
+        }
+    }
+
+    #[test]
+    fn delivered_transfers_use_at_least_one_slot(seed in 0u64..1000, bits in 1u64..100_000) {
+        let mut sim = TransferSimulator::new(
+            LinkConfig::paper_uplink(),
+            RetransmissionPolicy::WholePayload { max_slots: 10_000 },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = sim.transfer(bits, &mut rng);
+        prop_assert!(out.slots() >= 1);
+        if out.delivered() {
+            prop_assert!(out.slots() <= 10_000);
+        } else {
+            prop_assert_eq!(out.slots(), 10_000);
+        }
+    }
+
+    #[test]
+    fn segmented_never_slower_than_impossible(seed in 0u64..100) {
+        // For a payload the whole-payload policy cannot deliver, the
+        // segmented policy must deliver (given budget) in finite slots.
+        let spec = PayloadSpec::paper(64);
+        let bits = spec.uplink_bits(1, 1);
+        let mut sim = TransferSimulator::new(
+            LinkConfig::paper_uplink(),
+            RetransmissionPolicy::Segmented { segment_bits: 15_000, max_slots: 1_000_000 },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = sim.transfer(bits, &mut rng);
+        prop_assert!(out.delivered());
+        prop_assert!(out.slots() >= bits.div_ceil(15_000));
+    }
+}

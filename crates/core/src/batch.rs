@@ -1,0 +1,143 @@
+//! Minibatch assembly from the sequence dataset.
+
+use sl_scene::{PowerNormalizer, SequenceDataset};
+use sl_tensor::Tensor;
+
+/// One assembled minibatch, ready for [`crate::SplitModel`].
+///
+/// Layouts:
+/// * `images`: `[B·L, 1, H, W]` with sequence step `t` of batch element
+///   `b` at row `b·L + t` (so a row-major reshape to `[B, L, …]` is free).
+/// * `powers_norm`: `[B, L]` normalized RF received powers.
+/// * `targets_norm`: `[B, 1]` normalized prediction targets.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Stacked image sequences (present iff the scheme uses images).
+    pub images: Option<Tensor>,
+    /// Normalized power history.
+    pub powers_norm: Tensor,
+    /// Normalized targets.
+    pub targets_norm: Tensor,
+    /// The dataset indices this batch was drawn from.
+    pub indices: Vec<usize>,
+    /// Sequence length `L`.
+    pub seq_len: usize,
+}
+
+impl Batch {
+    /// Assembles a batch for the samples at `indices`.
+    ///
+    /// `with_images` controls whether the (expensive) image tensor is
+    /// built; RF-only training skips it.
+    pub fn assemble(
+        dataset: &SequenceDataset,
+        normalizer: PowerNormalizer,
+        indices: &[usize],
+        with_images: bool,
+    ) -> Batch {
+        assert!(!indices.is_empty(), "Batch: empty index list");
+        let b = indices.len();
+        let l = dataset.seq_len();
+        let first = dataset.sample(indices[0]);
+        let (h, w) = (first.images[0].dims()[0], first.images[0].dims()[1]);
+
+        let mut powers = Vec::with_capacity(b * l);
+        let mut targets = Vec::with_capacity(b);
+        let mut image_data = if with_images {
+            Vec::with_capacity(b * l * h * w)
+        } else {
+            Vec::new()
+        };
+
+        for &k in indices {
+            let s = dataset.sample(k);
+            for &p in &s.powers_dbm {
+                powers.push(normalizer.normalize(p));
+            }
+            targets.push(normalizer.normalize(s.target_dbm));
+            if with_images {
+                for img in &s.images {
+                    image_data.extend_from_slice(img.data());
+                }
+            }
+        }
+
+        Batch {
+            images: with_images.then(|| {
+                Tensor::from_vec([b * l, 1, h, w], image_data)
+                    .expect("Batch: image buffer sized by construction")
+            }),
+            powers_norm: Tensor::from_vec([b, l], powers)
+                .expect("Batch: power buffer sized by construction"),
+            targets_norm: Tensor::from_vec([b, 1], targets)
+                .expect("Batch: target buffer sized by construction"),
+            indices: indices.to_vec(),
+            seq_len: l,
+        }
+    }
+
+    /// Batch size `B`.
+    pub fn batch_size(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sl_scene::{Scene, SceneConfig};
+
+    fn dataset() -> SequenceDataset {
+        let mut rng = StdRng::seed_from_u64(50);
+        let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+        SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+    }
+
+    #[test]
+    fn layout_matches_dataset_samples() {
+        let ds = dataset();
+        let n = ds.normalizer();
+        let idx = [ds.train_indices()[5], ds.train_indices()[40]];
+        let batch = Batch::assemble(&ds, n, &idx, true);
+
+        assert_eq!(batch.batch_size(), 2);
+        let images = batch.images.as_ref().unwrap();
+        assert_eq!(images.dims(), &[8, 1, 16, 16]);
+        assert_eq!(batch.powers_norm.dims(), &[2, 4]);
+        assert_eq!(batch.targets_norm.dims(), &[2, 1]);
+
+        // Row b·L + t must be frame t of sample b.
+        let s1 = ds.sample(idx[1]);
+        for t in 0..4 {
+            let row = 1 * 4 + t;
+            for px in 0..16 {
+                assert_eq!(
+                    images.at(&[row, 0, 0, px]),
+                    s1.images[t].at(&[0, px]),
+                    "mismatch at step {t} pixel {px}"
+                );
+            }
+            assert!(
+                (batch.powers_norm.at(&[1, t]) - n.normalize(s1.powers_dbm[t])).abs() < 1e-6
+            );
+        }
+        assert!((batch.targets_norm.at(&[1, 0]) - n.normalize(s1.target_dbm)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rf_only_batches_skip_images() {
+        let ds = dataset();
+        let batch = Batch::assemble(&ds, ds.normalizer(), &[ds.train_indices()[0]], false);
+        assert!(batch.images.is_none());
+        assert_eq!(batch.powers_norm.dims(), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty index list")]
+    fn empty_batch_rejected() {
+        let ds = dataset();
+        Batch::assemble(&ds, ds.normalizer(), &[], true);
+    }
+}

@@ -1,0 +1,174 @@
+//! Experiment configuration.
+
+use sl_channel::{LinkConfig, RetransmissionPolicy};
+
+use crate::clock::ComputeModel;
+use crate::pooling::PoolingDim;
+use crate::scheme::Scheme;
+
+/// The mean uplink SNR (dB) that reproduces the paper's Table 1
+/// mid-points under the whole-payload retransmission model.
+///
+/// The paper's published link budget gives a 76.6 dB mean uplink SNR, at
+/// which every pooling dimension except 1×1 decodes with probability
+/// ≈ 1 — inconsistent with the table's 0.027 at 4×4 pooling. Solving
+/// `exp(−(2^{B/(τW)} − 1)/SNR̄) = 0.027` for the 4×4 payload yields
+/// `SNR̄ ≈ 31.2` (14.9 dB); see DESIGN.md §5. The Fig. 3a harness uses
+/// this calibrated link so the communication-time spread between pooling
+/// dimensions (the paper's central mechanism) is reproduced.
+pub const PAPER_CALIBRATED_UPLINK_SNR_DB: f64 = 14.94;
+
+/// Everything needed to run one training experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Input scheme (`Img+RF`, `Img`, `RF`).
+    pub scheme: Scheme,
+    /// Cut-layer pooling dimension.
+    pub pooling: PoolingDim,
+    /// Minibatch size `B` (paper: 64).
+    pub batch_size: usize,
+    /// Cut-layer quantization bit depth `R` (paper: 8).
+    pub bit_depth: usize,
+    /// UE CNN hidden channels.
+    pub conv_channels: usize,
+    /// BS LSTM hidden units.
+    pub hidden_dim: usize,
+    /// BS recurrent cell type (paper: unspecified "RNN layers"; LSTM by
+    /// default, GRU for the cell ablation).
+    pub rnn_cell: crate::RnnCell,
+    /// Adam learning rate (paper: 1e-3).
+    pub learning_rate: f32,
+    /// Global gradient-norm clip (guards the LSTM).
+    pub grad_clip: f32,
+    /// Maximum training epochs (paper: 100).
+    pub max_epochs: usize,
+    /// Early-stop when validation RMSE (dB) reaches this (paper: 2.7).
+    pub target_rmse_db: f32,
+    /// Cap on validation samples per evaluation (`None` = all). Large
+    /// traces validate on a deterministic stride-subsample to keep the
+    /// harness fast; accuracy differences are < 0.1 dB.
+    pub val_subsample: Option<usize>,
+    /// Modelled device throughputs for the simulated clock.
+    pub compute: ComputeModel,
+    /// Uplink (activations) channel.
+    pub uplink: LinkConfig,
+    /// Downlink (gradients) channel.
+    pub downlink: LinkConfig,
+    /// Retransmission policy for both directions.
+    pub retransmission: RetransmissionPolicy,
+    /// Give up after this many consecutive payload timeouts.
+    pub stall_limit: usize,
+    /// RNG seed for initialization, batching and the channel.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's configuration for the given scheme and pooling:
+    /// `B = 64`, `R = 8`, Adam(1e-3), ≤ 100 epochs, 2.7 dB target, and
+    /// the **calibrated** uplink SNR (see
+    /// [`PAPER_CALIBRATED_UPLINK_SNR_DB`]).
+    pub fn paper(scheme: Scheme, pooling: PoolingDim) -> Self {
+        ExperimentConfig {
+            scheme,
+            pooling,
+            batch_size: 64,
+            bit_depth: 8,
+            conv_channels: 8,
+            hidden_dim: 32,
+            rnn_cell: crate::RnnCell::Lstm,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            max_epochs: 100,
+            target_rmse_db: 2.7,
+            val_subsample: Some(512),
+            compute: ComputeModel::paper(),
+            uplink: LinkConfig::paper_uplink().with_mean_snr_db(PAPER_CALIBRATED_UPLINK_SNR_DB),
+            downlink: LinkConfig::paper_downlink(),
+            retransmission: RetransmissionPolicy::WholePayload { max_slots: 20_000 },
+            stall_limit: 8,
+            seed: 7,
+        }
+    }
+
+    /// The paper configuration with the *literal* published link budget
+    /// (76.6 dB uplink SNR) — used by Table 1's literal row and by
+    /// ablations.
+    pub fn paper_literal_link(scheme: Scheme, pooling: PoolingDim) -> Self {
+        ExperimentConfig {
+            uplink: LinkConfig::paper_uplink(),
+            ..ExperimentConfig::paper(scheme, pooling)
+        }
+    }
+
+    /// A down-scaled configuration for tests: small network, few epochs,
+    /// small batches. Pooling dimensions must tile the caller's image
+    /// size (tests use 16×16 scenes).
+    pub fn quick(scheme: Scheme, pooling: PoolingDim) -> Self {
+        ExperimentConfig {
+            batch_size: 8,
+            conv_channels: 2,
+            hidden_dim: 8,
+            learning_rate: 5e-3,
+            max_epochs: 3,
+            target_rmse_db: 0.0, // never early-stop in tests
+            val_subsample: Some(64),
+            ..ExperimentConfig::paper(scheme, pooling)
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(self.batch_size > 0, "ExperimentConfig: empty batch");
+        assert!(self.max_epochs > 0, "ExperimentConfig: zero epochs");
+        assert!(self.learning_rate > 0.0);
+        assert!(self.grad_clip > 0.0);
+        assert!(self.stall_limit > 0);
+        if let Some(n) = self.val_subsample {
+            assert!(n > 0, "ExperimentConfig: empty validation subsample");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_paper_constants() {
+        let c = ExperimentConfig::paper(Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+        c.validate();
+        assert_eq!(c.batch_size, 64);
+        assert_eq!(c.bit_depth, 8);
+        assert!((c.learning_rate - 1e-3).abs() < 1e-9);
+        assert_eq!(c.max_epochs, 100);
+        assert!((c.target_rmse_db - 2.7).abs() < 1e-6);
+        assert!((c.uplink.mean_snr_db() - PAPER_CALIBRATED_UPLINK_SNR_DB).abs() < 1e-9);
+        assert!((c.downlink.tx_power_dbm - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn literal_link_uses_published_budget() {
+        let c = ExperimentConfig::paper_literal_link(Scheme::ImgRf, PoolingDim::MEDIUM);
+        assert!((c.uplink.mean_snr_db() - 76.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn calibrated_snr_reproduces_table1_midpoint() {
+        use sl_channel::{success_probability, PayloadSpec};
+        let c = ExperimentConfig::paper(Scheme::ImgRf, PoolingDim::MEDIUM);
+        let spec = PayloadSpec::paper(64);
+        let p = success_probability(&c.uplink, spec.uplink_bits(4, 4) as f64);
+        assert!((p - 0.027).abs() < 0.005, "p(4x4) = {p}");
+        let p_pixel = success_probability(&c.uplink, spec.uplink_bits(40, 40) as f64);
+        assert!(p_pixel > 0.99, "p(1-pixel) = {p_pixel}");
+        let p_raw = success_probability(&c.uplink, spec.uplink_bits(1, 1) as f64);
+        assert!(p_raw < 1e-9, "p(1x1) = {p_raw}");
+    }
+
+    #[test]
+    fn quick_config_is_small() {
+        let c = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+        c.validate();
+        assert!(c.batch_size <= 8 && c.max_epochs <= 3);
+    }
+}

@@ -1,0 +1,440 @@
+//! Deployment: streaming split inference and proactive link control.
+//!
+//! The paper's motivation (§1) is *proactive* 5G operation: predict the
+//! received power `T = 120 ms` ahead so the system can act **before** a
+//! pedestrian blocks the beam. This module closes that loop:
+//!
+//! * [`StreamingDeployment`] replays a trained [`SplitModel`] over a
+//!   trace frame by frame, shipping each frame's quantized cut-layer
+//!   features over the simulated uplink (per-frame payload
+//!   `pooled_pixels · R` bits). A feature that has not fully arrived by
+//!   the next frame boundary is a **deadline miss**: the BS falls back
+//!   to the most recent delivered feature (stale data), exactly as a
+//!   real pipeline would.
+//! * [`LinkPolicy`] compares a *proactive* controller (leave the mmWave
+//!   link when the `T`-ahead prediction falls below a threshold) with
+//!   the *reactive* baseline (leave only after the measured power has
+//!   already collapsed). The outage metric is the fraction of frames
+//!   spent on a blocked mmWave link.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_channel::TransferSimulator;
+use sl_scene::SequenceDataset;
+use sl_tensor::Tensor;
+
+use crate::config::ExperimentConfig;
+use crate::model::SplitModel;
+
+/// One streamed prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamPoint {
+    /// Trace index of the frame the prediction was made *at*.
+    pub at_index: usize,
+    /// Trace index of the predicted (future) sample.
+    pub target_index: usize,
+    /// Predicted received power, dBm.
+    pub predicted_dbm: f32,
+    /// Ground truth at the target index, dBm.
+    pub actual_dbm: f32,
+    /// Whether the newest feature arrived after the frame deadline.
+    pub stale_feature: bool,
+}
+
+/// Summary of a streaming run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Per-frame predictions, in time order.
+    pub points: Vec<StreamPoint>,
+    /// Frames whose feature missed the frame deadline.
+    pub deadline_misses: usize,
+    /// Total uplink payload shipped, bits.
+    pub payload_bits: u64,
+    /// Total simulated airtime, seconds.
+    pub airtime_s: f64,
+}
+
+impl StreamReport {
+    /// RMSE (dB) of the streamed predictions.
+    pub fn rmse_db(&self) -> f32 {
+        assert!(!self.points.is_empty(), "StreamReport: no points");
+        let mse: f32 = self
+            .points
+            .iter()
+            .map(|p| (p.predicted_dbm - p.actual_dbm).powi(2))
+            .sum::<f32>()
+            / self.points.len() as f32;
+        mse.sqrt()
+    }
+
+    /// Fraction of frames with stale features.
+    pub fn miss_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.points.len() as f64
+        }
+    }
+}
+
+/// Streams a trained model over the validation region of a dataset.
+pub struct StreamingDeployment {
+    uplink: TransferSimulator,
+    /// Slots available per frame interval before a feature goes stale.
+    slots_per_frame: u64,
+    rng: StdRng,
+}
+
+impl StreamingDeployment {
+    /// Builds a deployment using the experiment's uplink and
+    /// retransmission policy. `frame_interval_s` bounds each feature's
+    /// delivery deadline.
+    pub fn new(config: &ExperimentConfig, frame_interval_s: f64, seed: u64) -> Self {
+        let slots_per_frame = (frame_interval_s / config.uplink.slot_s).floor().max(1.0) as u64;
+        StreamingDeployment {
+            uplink: TransferSimulator::new(config.uplink.clone(), config.retransmission),
+            slots_per_frame,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Slots available per frame.
+    pub fn slots_per_frame(&self) -> u64 {
+        self.slots_per_frame
+    }
+
+    /// Streams `count` validation frames starting at validation offset
+    /// `offset` through `model`.
+    pub fn run(
+        &mut self,
+        model: &mut SplitModel,
+        dataset: &SequenceDataset,
+        offset: usize,
+        count: usize,
+    ) -> StreamReport {
+        let val = dataset.val_indices();
+        assert!(
+            offset + count <= val.len(),
+            "StreamingDeployment: window [{offset}, {}) exceeds validation set of {}",
+            offset + count,
+            val.len()
+        );
+        let normalizer = dataset.normalizer();
+        let l = dataset.seq_len();
+        let horizon = dataset.horizon();
+        let uses_images = model.scheme().uses_images();
+        let payload = model.frame_payload_bits();
+
+        let mut feature_window: Vec<Tensor> = Vec::with_capacity(l);
+        let mut last_delivered: Option<Tensor> = None;
+        let mut points = Vec::with_capacity(count);
+        let mut misses = 0usize;
+        let mut total_bits = 0u64;
+        let mut airtime = 0.0f64;
+
+        for &k in &val[offset..offset + count] {
+            // Power history is local to the BS.
+            let start = k + 1 - l;
+            let powers: Vec<f32> = dataset.trace().powers_dbm[start..=k]
+                .iter()
+                .map(|&p| normalizer.normalize(p))
+                .collect();
+
+            let mut stale = false;
+            if uses_images {
+                // The UE encodes the newest frame and ships it; older
+                // features were shipped on previous frames.
+                let fresh = model.encode_frame(&dataset.trace().frames[k]);
+                let outcome = self.uplink.transfer(payload, &mut self.rng);
+                total_bits += payload;
+                airtime += self.uplink.slots_to_seconds(outcome.slots());
+                let on_time = outcome.delivered() && outcome.slots() <= self.slots_per_frame;
+                let arrived = if on_time {
+                    last_delivered = Some(fresh.clone());
+                    fresh
+                } else {
+                    stale = true;
+                    misses += 1;
+                    last_delivered.clone().unwrap_or_else(|| fresh.map(|_| 0.0))
+                };
+                if feature_window.len() == l {
+                    feature_window.remove(0);
+                }
+                feature_window.push(arrived);
+                // Cold start: replicate the first feature backwards.
+                while feature_window.len() < l {
+                    let first = feature_window[0].clone();
+                    feature_window.insert(0, first);
+                }
+            }
+
+            let pred = model.predict_window(&feature_window, &powers);
+            let target_index = k + horizon;
+            points.push(StreamPoint {
+                at_index: k,
+                target_index,
+                predicted_dbm: normalizer.denormalize(pred),
+                actual_dbm: dataset.trace().powers_dbm[target_index],
+                stale_feature: stale,
+            });
+        }
+
+        StreamReport {
+            points,
+            deadline_misses: misses,
+            payload_bits: total_bits,
+            airtime_s: airtime,
+        }
+    }
+}
+
+/// When the controller leaves / rejoins the mmWave link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkPolicy {
+    /// Act on the `T`-ahead *prediction*: leave when the predicted power
+    /// drops below `threshold_dbm`, return when it recovers above
+    /// `threshold_dbm + hysteresis_db`.
+    Proactive {
+        /// Leave threshold, dBm.
+        threshold_dbm: f32,
+        /// Re-entry hysteresis, dB.
+        hysteresis_db: f32,
+    },
+    /// Act on the *measured* power only (the non-predictive baseline):
+    /// same thresholds, but decisions lag the fade by one reaction
+    /// frame.
+    Reactive {
+        /// Leave threshold, dBm.
+        threshold_dbm: f32,
+        /// Re-entry hysteresis, dB.
+        hysteresis_db: f32,
+    },
+}
+
+/// Outcome of running a [`LinkPolicy`] over a streamed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutageReport {
+    /// Frames spent on the mmWave link while its power was below the
+    /// threshold — the outage the controller failed to avoid.
+    pub blocked_on_link: usize,
+    /// Frames spent off the mmWave link while it was actually fine —
+    /// capacity sacrificed to caution.
+    pub needless_fallback: usize,
+    /// Number of link switches (leave or rejoin).
+    pub switches: usize,
+    /// Total frames evaluated.
+    pub frames: usize,
+}
+
+impl OutageReport {
+    /// Outage fraction (frames blocked while on the link / total).
+    pub fn outage_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.blocked_on_link as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Simulates a link controller over a streamed window.
+///
+/// At the frame where a [`StreamPoint`] was produced, the proactive
+/// policy consults that point's `T`-ahead prediction, so by the time the
+/// fade arrives the switch is already done; the reactive policy consults
+/// the measured power of the *current* frame and therefore always reacts
+/// after the fact. The outage is evaluated on the points' target frames.
+pub fn simulate_link_policy(points: &[StreamPoint], policy: LinkPolicy, trace_powers: &[f32]) -> OutageReport {
+    let (threshold, hysteresis, proactive) = match policy {
+        LinkPolicy::Proactive {
+            threshold_dbm,
+            hysteresis_db,
+        } => (threshold_dbm, hysteresis_db, true),
+        LinkPolicy::Reactive {
+            threshold_dbm,
+            hysteresis_db,
+        } => (threshold_dbm, hysteresis_db, false),
+    };
+    let mut on_link = true;
+    let mut blocked_on_link = 0usize;
+    let mut needless_fallback = 0usize;
+    let mut switches = 0usize;
+
+    for p in points {
+        // Decision input: prediction (proactive) vs current measurement
+        // (reactive).
+        let signal = if proactive {
+            p.predicted_dbm
+        } else {
+            trace_powers[p.at_index]
+        };
+        let want_link = if on_link {
+            signal >= threshold
+        } else {
+            signal >= threshold + hysteresis
+        };
+        if want_link != on_link {
+            switches += 1;
+            on_link = want_link;
+        }
+        // Evaluate at the target frame (what the decision was *for*).
+        let actual = p.actual_dbm;
+        if on_link && actual < threshold {
+            blocked_on_link += 1;
+        }
+        if !on_link && actual >= threshold {
+            needless_fallback += 1;
+        }
+    }
+    OutageReport {
+        blocked_on_link,
+        needless_fallback,
+        switches,
+        frames: points.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooling::PoolingDim;
+    use crate::scheme::Scheme;
+    use crate::trainer::SplitTrainer;
+    use sl_scene::{Scene, SceneConfig};
+
+    fn dataset(seed: u64) -> SequenceDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+        SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+    }
+
+    fn trained(scheme: Scheme, ds: &SequenceDataset) -> (ExperimentConfig, SplitTrainer) {
+        let cfg = ExperimentConfig::quick(scheme, PoolingDim::new(16, 16));
+        let mut t = SplitTrainer::new(cfg.clone(), ds);
+        t.train(ds);
+        (cfg, t)
+    }
+
+    #[test]
+    fn streaming_produces_aligned_predictions() {
+        let ds = dataset(300);
+        let (cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 1);
+        let report = deploy.run(trainer.model_mut(), &ds, 2, 40);
+        assert_eq!(report.points.len(), 40);
+        for p in &report.points {
+            assert_eq!(p.target_index, p.at_index + 4);
+            assert_eq!(p.actual_dbm, ds.trace().powers_dbm[p.target_index]);
+            assert!(p.predicted_dbm.is_finite());
+        }
+        // One feature per frame shipped.
+        assert_eq!(
+            report.payload_bits,
+            40 * trainer.model_mut().frame_payload_bits()
+        );
+        assert!(report.rmse_db() > 0.0 && report.rmse_db() < 30.0);
+    }
+
+    #[test]
+    fn tiny_features_meet_their_deadlines() {
+        let ds = dataset(301);
+        let (cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        // 33 ms deadline = 33 slots; a one-pixel 8-bit feature decodes in
+        // one slot on the calibrated link.
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 2);
+        assert_eq!(deploy.slots_per_frame(), 33);
+        let report = deploy.run(trainer.model_mut(), &ds, 0, 30);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn starved_link_causes_misses_not_crashes() {
+        let ds = dataset(302);
+        let (mut cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        // A link so bad that nothing ever decodes (even the 8-bit
+        // per-frame feature): every frame goes stale and the predictor
+        // keeps running on zeros.
+        cfg.uplink = sl_channel::LinkConfig::paper_uplink().with_mean_snr_db(-90.0);
+        cfg.retransmission = sl_channel::RetransmissionPolicy::WholePayload { max_slots: 5 };
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 3);
+        let report = deploy.run(trainer.model_mut(), &ds, 0, 20);
+        assert_eq!(report.deadline_misses, 20);
+        assert!(report.points.iter().all(|p| p.stale_feature));
+        assert!(report.points.iter().all(|p| p.predicted_dbm.is_finite()));
+    }
+
+    #[test]
+    fn rf_only_streams_without_uplink() {
+        let ds = dataset(303);
+        let (cfg, mut trainer) = trained(Scheme::RfOnly, &ds);
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 4);
+        let report = deploy.run(trainer.model_mut(), &ds, 0, 25);
+        assert_eq!(report.payload_bits, 0);
+        assert_eq!(report.airtime_s, 0.0);
+        assert_eq!(report.points.len(), 25);
+    }
+
+    #[test]
+    fn perfect_oracle_controller_avoids_all_outage() {
+        // Synthetic points with perfect predictions: proactive control
+        // must produce zero blocked-on-link frames.
+        let trace: Vec<f32> = (0..60)
+            .map(|k| if (20..30).contains(&k) { -45.0 } else { -18.0 })
+            .collect();
+        let points: Vec<StreamPoint> = (0..56)
+            .map(|k| StreamPoint {
+                at_index: k,
+                target_index: k + 4,
+                predicted_dbm: trace[k + 4],
+                actual_dbm: trace[k + 4],
+                stale_feature: false,
+            })
+            .collect();
+        let proactive = simulate_link_policy(
+            &points,
+            LinkPolicy::Proactive {
+                threshold_dbm: -30.0,
+                hysteresis_db: 3.0,
+            },
+            &trace,
+        );
+        assert_eq!(proactive.blocked_on_link, 0);
+        assert!(proactive.switches >= 2);
+
+        let reactive = simulate_link_policy(
+            &points,
+            LinkPolicy::Reactive {
+                threshold_dbm: -30.0,
+                hysteresis_db: 3.0,
+            },
+            &trace,
+        );
+        // The reactive controller is still on the link when the fade
+        // arrives (its signal is 4 frames behind the evaluation frame).
+        assert!(
+            reactive.blocked_on_link > 0,
+            "reactive control must suffer outage at fade onset"
+        );
+        assert!(proactive.outage_rate() < reactive.outage_rate());
+    }
+
+    #[test]
+    fn outage_report_rates() {
+        let r = OutageReport {
+            blocked_on_link: 5,
+            needless_fallback: 2,
+            switches: 4,
+            frames: 50,
+        };
+        assert!((r.outage_rate() - 0.1).abs() < 1e-12);
+        let empty = OutageReport {
+            blocked_on_link: 0,
+            needless_fallback: 0,
+            switches: 0,
+            frames: 0,
+        };
+        assert_eq!(empty.outage_rate(), 0.0);
+    }
+}

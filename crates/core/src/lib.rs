@@ -1,0 +1,59 @@
+//! # `sl-core` — multimodal split learning for mmWave power prediction
+//!
+//! The paper's primary contribution, assembled from the workspace
+//! substrates: a neural network **split across the wireless link** —
+//! CNN layers on the mmWave UE processing depth-camera images, an
+//! average-pooling *cut layer* compressing the CNN output to as little as
+//! **one pixel**, and LSTM + dense layers at the BS fusing the received
+//! image features with the RF received-power history to predict the
+//! received power `T = 120 ms` ahead.
+//!
+//! * [`PoolingDim`] — the cut-layer compression knob (`1×1 … 40×40`).
+//! * [`Scheme`] — `Img+RF` (the proposal) and the paper's two baselines,
+//!   `Img`-only and `RF`-only.
+//! * [`UeNetwork`] / [`BsNetwork`] / [`SplitModel`] — the two network
+//!   halves and their composition, including `R`-bit cut-layer
+//!   quantization ([`Quantizer`]).
+//! * [`SplitTrainer`] — communication-aware training: every SGD step
+//!   ships the forward activations uplink and the cut-layer gradients
+//!   downlink through `sl-channel`'s slot-level simulator, and a
+//!   [`SimClock`] accrues modelled compute time plus simulated airtime —
+//!   producing the paper's "elapsed time in training" axis (Fig. 3a).
+//! * [`TrainOutcome`] / [`CurvePoint`] — learning curves, stop-reason
+//!   bookkeeping, and prediction traces for Fig. 3b.
+//! * [`StreamingDeployment`] / [`LinkPolicy`] — deployment: per-frame
+//!   streaming inference over the simulated uplink and the proactive
+//!   link controller the paper's predictions exist to enable.
+//!
+//! See `DESIGN.md` for the experiment map and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+mod baseline;
+mod batch;
+mod bs;
+mod clock;
+mod config;
+mod deploy;
+mod model;
+mod persist;
+mod pooling;
+mod quantize;
+mod scheme;
+mod trainer;
+mod ue;
+
+pub use baseline::LinearRfBaseline;
+pub use batch::Batch;
+pub use bs::{BsNetwork, RnnCell};
+pub use clock::{ComputeModel, SimClock};
+pub use config::{ExperimentConfig, PAPER_CALIBRATED_UPLINK_SNR_DB};
+pub use deploy::{
+    simulate_link_policy, LinkPolicy, OutageReport, StreamPoint, StreamReport,
+    StreamingDeployment,
+};
+pub use model::SplitModel;
+pub use persist::WeightIoError;
+pub use pooling::PoolingDim;
+pub use quantize::Quantizer;
+pub use scheme::Scheme;
+pub use trainer::{CurvePoint, PredictionPoint, SplitTrainer, StopReason, TrainOutcome};

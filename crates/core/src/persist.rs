@@ -1,0 +1,283 @@
+//! Trained-model persistence.
+//!
+//! Saves and restores the parameters of a [`SplitModel`] so a model
+//! trained once (minutes) can be deployed many times (milliseconds).
+//! The format (`.slw`) mirrors the trace format of `sl-scene`: a magic
+//! header followed by each parameter tensor (rank, dims, little-endian
+//! `f32` data) in the model's canonical parameter order. Loading
+//! validates every shape against the *current* architecture, so weights
+//! can only be restored into a model built with the same configuration.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::model::SplitModel;
+
+const MAGIC: &[u8; 8] = b"SLWGHT1\0";
+
+/// Errors from weight I/O.
+#[derive(Debug)]
+pub enum WeightIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a weight file.
+    BadMagic,
+    /// The file's tensors do not match the model's architecture.
+    ArchitectureMismatch(String),
+    /// Structurally invalid file.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WeightIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightIoError::Io(e) => write!(f, "weight I/O error: {e}"),
+            WeightIoError::BadMagic => write!(f, "not a SLWGHT1 weight file"),
+            WeightIoError::ArchitectureMismatch(what) => {
+                write!(f, "weight file does not match model architecture: {what}")
+            }
+            WeightIoError::Corrupt(what) => write!(f, "corrupt weight file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WeightIoError {}
+
+impl From<io::Error> for WeightIoError {
+    fn from(e: io::Error) -> Self {
+        WeightIoError::Io(e)
+    }
+}
+
+impl SplitModel {
+    /// Writes all parameters (UE half first, then BS half) to `path`.
+    pub fn save_weights(&mut self, path: impl AsRef<Path>) -> Result<(), WeightIoError> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        // Snapshot the parameters (UE half first, then BS half) — the
+        // canonical order `load_weights` restores in.
+        let mut tensors = Vec::new();
+        for (p, _) in self.ue_params_and_grads() {
+            tensors.push(p.clone());
+        }
+        for (p, _) in self.bs_params_and_grads() {
+            tensors.push(p.clone());
+        }
+        buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+        for t in &tensors {
+            buf.extend_from_slice(&(t.shape().rank() as u32).to_le_bytes());
+            for &d in t.dims() {
+                buf.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in t.data() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Restores parameters previously written by
+    /// [`SplitModel::save_weights`] into this model.
+    ///
+    /// The model must have been constructed with the same scheme,
+    /// pooling, sizes and cell type; any shape mismatch is rejected.
+    pub fn load_weights(&mut self, path: impl AsRef<Path>) -> Result<(), WeightIoError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < 12 || &bytes[..8] != MAGIC {
+            return Err(WeightIoError::BadMagic);
+        }
+        let mut off = 8usize;
+        let read_u32 = |bytes: &[u8], off: &mut usize| -> Result<u32, WeightIoError> {
+            if *off + 4 > bytes.len() {
+                return Err(WeightIoError::Corrupt("truncated header"));
+            }
+            let v = u32::from_le_bytes(bytes[*off..*off + 4].try_into().unwrap());
+            *off += 4;
+            Ok(v)
+        };
+        let count = read_u32(&bytes, &mut off)? as usize;
+
+        // Parse all tensors first, then commit — a half-applied load
+        // would leave the model in a broken state.
+        let mut parsed: Vec<(Vec<usize>, Vec<f32>)> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let rank = read_u32(&bytes, &mut off)? as usize;
+            if rank > 8 {
+                return Err(WeightIoError::Corrupt("implausible tensor rank"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u32(&bytes, &mut off)? as usize);
+            }
+            let numel: usize = dims.iter().product();
+            if off + numel * 4 > bytes.len() {
+                return Err(WeightIoError::Corrupt("truncated tensor data"));
+            }
+            let data: Vec<f32> = (0..numel)
+                .map(|i| f32::from_le_bytes(bytes[off + i * 4..off + i * 4 + 4].try_into().unwrap()))
+                .collect();
+            off += numel * 4;
+            parsed.push((dims, data));
+        }
+        if off != bytes.len() {
+            return Err(WeightIoError::Corrupt("trailing bytes"));
+        }
+
+        let mut expected = 0usize;
+        {
+            let ue = self.ue_params_and_grads().len();
+            let bs = self.bs_params_and_grads().len();
+            expected += ue + bs;
+        }
+        if parsed.len() != expected {
+            return Err(WeightIoError::ArchitectureMismatch(format!(
+                "file has {} tensors, model has {expected}",
+                parsed.len()
+            )));
+        }
+
+        // Validate shapes.
+        {
+            let mut idx = 0usize;
+            let mut check =
+                |params: Vec<(&mut sl_tensor::Tensor, &mut sl_tensor::Tensor)>| -> Result<(), WeightIoError> {
+                    for (p, _) in params {
+                        let (dims, _) = &parsed[idx];
+                        if p.dims() != &dims[..] {
+                            return Err(WeightIoError::ArchitectureMismatch(format!(
+                                "tensor {idx}: file {:?} vs model {:?}",
+                                dims,
+                                p.dims()
+                            )));
+                        }
+                        idx += 1;
+                    }
+                    Ok(())
+                };
+            check(self.ue_params_and_grads())?;
+            check(self.bs_params_and_grads())?;
+        }
+
+        // Commit.
+        let mut idx = 0usize;
+        for (p, _) in self.ue_params_and_grads() {
+            p.data_mut().copy_from_slice(&parsed[idx].1);
+            idx += 1;
+        }
+        for (p, _) in self.bs_params_and_grads() {
+            p.data_mut().copy_from_slice(&parsed[idx].1);
+            idx += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooling::PoolingDim;
+    use crate::scheme::Scheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sl_tensor::Tensor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("slw_test_{name}_{}.slw", std::process::id()))
+    }
+
+    fn model(seed: u64) -> SplitModel {
+        SplitModel::new(
+            Scheme::ImgRf,
+            PoolingDim::new(4, 4),
+            8,
+            8,
+            3,
+            2,
+            4,
+            8,
+            &mut StdRng::seed_from_u64(seed),
+        )
+    }
+
+    fn predict(m: &mut SplitModel) -> f32 {
+        let frame = Tensor::from_fn([8, 8], |i| (i as f32 / 63.0).sin().abs());
+        let feats: Vec<Tensor> = (0..3).map(|_| m.encode_frame(&frame)).collect();
+        m.predict_window(&feats, &[0.1, -0.2, 0.3])
+    }
+
+    #[test]
+    fn round_trip_restores_predictions() {
+        let mut a = model(1);
+        let mut b = model(2); // different init
+        let before_a = predict(&mut a);
+        let before_b = predict(&mut b);
+        assert!((before_a - before_b).abs() > 1e-6, "models must differ initially");
+
+        let path = tmp("round_trip");
+        a.save_weights(&path).unwrap();
+        b.load_weights(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let after_b = predict(&mut b);
+        assert!(
+            (after_b - before_a).abs() < 1e-6,
+            "loaded model must predict like the saved one: {after_b} vs {before_a}"
+        );
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let mut a = model(3);
+        let path = tmp("mismatch");
+        a.save_weights(&path).unwrap();
+        // Different pooling -> different BS input width.
+        let mut other = SplitModel::new(
+            Scheme::ImgRf,
+            PoolingDim::new(8, 8),
+            8,
+            8,
+            3,
+            2,
+            4,
+            8,
+            &mut StdRng::seed_from_u64(4),
+        );
+        let before = predict(&mut other);
+        assert!(matches!(
+            other.load_weights(&path),
+            Err(WeightIoError::ArchitectureMismatch(_))
+        ));
+        // Failed load must not corrupt the model.
+        assert_eq!(predict(&mut other), before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(matches!(
+            model(5).load_weights(&path),
+            Err(WeightIoError::BadMagic)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut a = model(6);
+        let path = tmp("trunc");
+        a.save_weights(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            model(7).load_weights(&path),
+            Err(WeightIoError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

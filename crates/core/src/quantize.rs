@@ -1,0 +1,111 @@
+//! Cut-layer quantization.
+//!
+//! The paper's payload formula charges `R` bits per transmitted pixel
+//! (`R = 8`). We actually apply that quantization to the forward
+//! activations — the UE's sigmoid output lies in `[0, 1]`, so a uniform
+//! `2^R`-level grid is exact — and use the straight-through estimator
+//! (identity) for its gradient, the standard treatment of quantized
+//! activations in split/federated learning.
+
+use sl_tensor::Tensor;
+
+/// Uniform `[0, 1]` quantizer with `2^R` levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantizer {
+    /// Bit depth `R`.
+    bit_depth: usize,
+}
+
+impl Quantizer {
+    /// Creates an `R`-bit quantizer (`1 ≤ R ≤ 24`).
+    pub fn new(bit_depth: usize) -> Self {
+        assert!(
+            (1..=24).contains(&bit_depth),
+            "Quantizer: bit depth must be in 1..=24, got {bit_depth}"
+        );
+        Quantizer { bit_depth }
+    }
+
+    /// The bit depth `R`.
+    pub fn bit_depth(&self) -> usize {
+        self.bit_depth
+    }
+
+    /// Number of levels, `2^R`.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bit_depth
+    }
+
+    /// Quantizes a `[0, 1]` tensor to the nearest of `2^R` uniform levels
+    /// (values are clamped into range first — exactly what a fixed-width
+    /// wire format does).
+    pub fn quantize(&self, x: &Tensor) -> Tensor {
+        let max = (self.levels() - 1) as f32;
+        x.map(|v| (v.clamp(0.0, 1.0) * max).round() / max)
+    }
+
+    /// Worst-case quantization error, `1 / (2·(2^R − 1))`.
+    pub fn max_error(&self) -> f32 {
+        0.5 / ((self.levels() - 1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_grid() {
+        let q = Quantizer::new(8);
+        assert_eq!(q.levels(), 256);
+        let x = Tensor::from_slice(&[0.0, 1.0, 0.5, 0.12345]);
+        let y = q.quantize(&x);
+        // Endpoints exact.
+        assert_eq!(y.data()[0], 0.0);
+        assert_eq!(y.data()[1], 1.0);
+        // All values on the 255-step grid.
+        for &v in y.data() {
+            let steps = v * 255.0;
+            assert!((steps - steps.round()).abs() < 1e-5);
+        }
+        // Error bounded.
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() <= q.max_error() + 1e-7);
+        }
+    }
+
+    #[test]
+    fn one_bit_is_binarization() {
+        let q = Quantizer::new(1);
+        let y = q.quantize(&Tensor::from_slice(&[0.2, 0.8, 0.5001]));
+        assert_eq!(y.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let q = Quantizer::new(4);
+        let y = q.quantize(&Tensor::from_slice(&[-3.0, 7.0]));
+        assert_eq!(y.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let q = Quantizer::new(6);
+        let x = Tensor::from_fn([64], |i| i as f32 / 63.0);
+        let once = q.quantize(&x);
+        let twice = q.quantize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn error_shrinks_with_depth() {
+        assert!(Quantizer::new(4).max_error() > Quantizer::new(8).max_error());
+        assert!((Quantizer::new(8).max_error() - 0.5 / 255.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit depth")]
+    fn zero_bits_rejected() {
+        Quantizer::new(0);
+    }
+}

@@ -1,0 +1,81 @@
+//! The three input schemes compared in the paper.
+
+use std::fmt;
+
+/// Which modalities feed the predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The paper's proposal: depth-image features from the UE's CNN,
+    /// shipped over the split link, concatenated with the RF received
+    /// powers measured at the BS.
+    ImgRf,
+    /// Baseline 1: image features only (still split across the link).
+    ImgOnly,
+    /// Baseline 2: RF received powers only — no CNN, no split, no
+    /// communication (the BS already holds the powers).
+    RfOnly,
+}
+
+impl Scheme {
+    /// All three schemes, proposal first.
+    pub const ALL: [Scheme; 3] = [Scheme::ImgRf, Scheme::ImgOnly, Scheme::RfOnly];
+
+    /// `true` when the scheme consumes depth images (and therefore incurs
+    /// split-layer communication).
+    pub fn uses_images(&self) -> bool {
+        matches!(self, Scheme::ImgRf | Scheme::ImgOnly)
+    }
+
+    /// `true` when the scheme consumes the RF power history.
+    pub fn uses_rf(&self) -> bool {
+        matches!(self, Scheme::ImgRf | Scheme::RfOnly)
+    }
+
+    /// Per-time-step BS input feature count, given the pooled image
+    /// feature count.
+    pub fn feature_dim(&self, pooled_pixels: usize) -> usize {
+        match self {
+            Scheme::ImgRf => pooled_pixels + 1,
+            Scheme::ImgOnly => pooled_pixels,
+            Scheme::RfOnly => 1,
+        }
+    }
+}
+
+/// The paper's labels: `Img+RF`, `Img`, `RF`.
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::ImgRf => write!(f, "Img+RF"),
+            Scheme::ImgOnly => write!(f, "Img"),
+            Scheme::RfOnly => write!(f, "RF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modality_flags() {
+        assert!(Scheme::ImgRf.uses_images() && Scheme::ImgRf.uses_rf());
+        assert!(Scheme::ImgOnly.uses_images() && !Scheme::ImgOnly.uses_rf());
+        assert!(!Scheme::RfOnly.uses_images() && Scheme::RfOnly.uses_rf());
+    }
+
+    #[test]
+    fn feature_dims() {
+        assert_eq!(Scheme::ImgRf.feature_dim(1), 2);
+        assert_eq!(Scheme::ImgRf.feature_dim(100), 101);
+        assert_eq!(Scheme::ImgOnly.feature_dim(16), 16);
+        assert_eq!(Scheme::RfOnly.feature_dim(1600), 1);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::ImgRf.to_string(), "Img+RF");
+        assert_eq!(Scheme::ImgOnly.to_string(), "Img");
+        assert_eq!(Scheme::RfOnly.to_string(), "RF");
+    }
+}

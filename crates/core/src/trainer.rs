@@ -1,0 +1,523 @@
+//! Communication-aware split training.
+//!
+//! Each SGD step walks the paper's Fig. 1 loop:
+//!
+//! 1. the UE runs its CNN over the minibatch image sequences (modelled
+//!    compute time),
+//! 2. the quantized cut-layer activations cross the **uplink** (simulated
+//!    slot-by-slot, with retransmissions),
+//! 3. the BS fuses them with the RF power history, runs the LSTM + head,
+//!    computes the MSE loss and backpropagates (modelled compute time),
+//! 4. the cut-layer gradient crosses the **downlink**,
+//! 5. both halves apply their Adam updates.
+//!
+//! The [`SimClock`] sums the modelled compute and the simulated airtime —
+//! that sum is Fig. 3a's "elapsed time in training" axis. A payload that
+//! exhausts its slot budget (possible only for bulky poolings) voids the
+//! step; enough consecutive timeouts abort training with
+//! [`StopReason::LinkStalled`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_nn::{clip_global_norm, mse_loss, rmse, Adam, Optimizer};
+use sl_channel::TransferSimulator;
+use sl_scene::SequenceDataset;
+use sl_tensor::Tensor;
+
+use crate::batch::Batch;
+use crate::clock::SimClock;
+use crate::config::ExperimentConfig;
+use crate::model::SplitModel;
+
+/// One learning-curve sample (taken after each validation pass).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Simulated elapsed training time, seconds.
+    pub elapsed_s: f64,
+    /// Epochs completed (0 = before any training).
+    pub epoch: usize,
+    /// Validation RMSE in dB.
+    pub val_rmse_db: f32,
+}
+
+/// Why training ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Validation RMSE reached the target (paper: 2.7 dB).
+    TargetReached,
+    /// The epoch budget ran out (paper: 100 epochs).
+    EpochLimit,
+    /// Too many consecutive cut-layer payloads timed out — the pooling
+    /// is too bulky for the link (the fate of 1×1 pooling under the
+    /// paper's whole-payload policy).
+    LinkStalled,
+}
+
+/// One point of a Fig. 3b prediction trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionPoint {
+    /// Trace index of the *target* sample.
+    pub index: usize,
+    /// Trace time of the target sample, seconds.
+    pub time_s: f64,
+    /// Predicted received power, dBm.
+    pub predicted_dbm: f32,
+    /// Ground-truth received power, dBm.
+    pub actual_dbm: f32,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Learning curve, starting with the untrained epoch-0 point.
+    pub curve: Vec<CurvePoint>,
+    /// Why training stopped.
+    pub stop: StopReason,
+    /// Final validation RMSE in dB.
+    pub final_rmse_db: f32,
+    /// Epochs completed.
+    pub epochs: usize,
+    /// SGD steps applied.
+    pub steps_applied: u64,
+    /// Steps voided by payload timeouts.
+    pub steps_voided: u64,
+    /// Simulated seconds spent computing.
+    pub compute_s: f64,
+    /// Simulated seconds spent on the air.
+    pub airtime_s: f64,
+}
+
+impl TrainOutcome {
+    /// Total simulated elapsed seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.compute_s + self.airtime_s
+    }
+
+    /// Best (minimum) validation RMSE seen, dB.
+    pub fn best_rmse_db(&self) -> f32 {
+        self.curve
+            .iter()
+            .map(|p| p.val_rmse_db)
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Elapsed seconds at which the curve first dips below `rmse_db`,
+    /// or `None` if it never does.
+    pub fn time_to_rmse(&self, rmse_db: f32) -> Option<f64> {
+        self.curve
+            .iter()
+            .find(|p| p.val_rmse_db <= rmse_db)
+            .map(|p| p.elapsed_s)
+    }
+}
+
+/// Trains one [`SplitModel`] under one [`ExperimentConfig`].
+pub struct SplitTrainer {
+    config: ExperimentConfig,
+    model: SplitModel,
+    opt_ue: Adam,
+    opt_bs: Adam,
+    uplink: TransferSimulator,
+    downlink: TransferSimulator,
+    clock: SimClock,
+    rng: StdRng,
+}
+
+impl SplitTrainer {
+    /// Builds a trainer for `dataset` (image size and `L` are read from
+    /// it).
+    pub fn new(config: ExperimentConfig, dataset: &SequenceDataset) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let frame = &dataset.trace().frames[0];
+        let (h, w) = (frame.dims()[0], frame.dims()[1]);
+        let model = SplitModel::with_cell(
+            config.scheme,
+            config.pooling,
+            h,
+            w,
+            dataset.seq_len(),
+            config.conv_channels,
+            config.hidden_dim,
+            config.bit_depth,
+            config.rnn_cell,
+            &mut rng,
+        );
+        let lr = config.learning_rate;
+        SplitTrainer {
+            opt_ue: Adam::new(lr, 0.9, 0.999, 1e-8),
+            opt_bs: Adam::new(lr, 0.9, 0.999, 1e-8),
+            uplink: TransferSimulator::new(config.uplink.clone(), config.retransmission),
+            downlink: TransferSimulator::new(config.downlink.clone(), config.retransmission),
+            clock: SimClock::new(),
+            model,
+            config,
+            rng,
+        }
+    }
+
+    /// The model (e.g. for Fig. 2 visualizations after training).
+    pub fn model_mut(&mut self) -> &mut SplitModel {
+        &mut self.model
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// Runs the full training loop (validating after every epoch, like
+    /// the paper) and returns the outcome.
+    pub fn train(&mut self, dataset: &SequenceDataset) -> TrainOutcome {
+        let b = self.config.batch_size;
+        let steps_per_epoch = dataset.steps_per_epoch(b);
+        let mut curve = Vec::new();
+        let mut steps_applied = 0u64;
+        let mut steps_voided = 0u64;
+        let mut consecutive_voids = 0usize;
+
+        // Epoch-0 point: the untrained model.
+        let mut val = self.validate(dataset);
+        curve.push(CurvePoint {
+            elapsed_s: self.clock.elapsed_s(),
+            epoch: 0,
+            val_rmse_db: val,
+        });
+
+        let mut stop = StopReason::EpochLimit;
+        let mut epochs = 0usize;
+        'outer: for epoch in 1..=self.config.max_epochs {
+            for _ in 0..steps_per_epoch {
+                match self.step(dataset, b) {
+                    StepResult::Applied => {
+                        steps_applied += 1;
+                        consecutive_voids = 0;
+                    }
+                    StepResult::Voided => {
+                        steps_voided += 1;
+                        consecutive_voids += 1;
+                        if consecutive_voids >= self.config.stall_limit {
+                            stop = StopReason::LinkStalled;
+                            epochs = epoch;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            epochs = epoch;
+            val = self.validate(dataset);
+            curve.push(CurvePoint {
+                elapsed_s: self.clock.elapsed_s(),
+                epoch,
+                val_rmse_db: val,
+            });
+            if val <= self.config.target_rmse_db {
+                stop = StopReason::TargetReached;
+                break;
+            }
+        }
+
+        TrainOutcome {
+            curve,
+            stop,
+            final_rmse_db: val,
+            epochs,
+            steps_applied,
+            steps_voided,
+            compute_s: self.clock.compute_s(),
+            airtime_s: self.clock.airtime_s(),
+        }
+    }
+
+    /// One SGD step: transfers, compute, updates, clock.
+    fn step(&mut self, dataset: &SequenceDataset, b: usize) -> StepResult {
+        let cfg = &self.config;
+        let uses_images = cfg.scheme.uses_images();
+
+        // UE forward compute happens regardless of link fate.
+        self.clock
+            .add_compute(cfg.compute.ue_seconds(self.model.ue_step_flops(b)));
+
+        if uses_images {
+            // Uplink: quantized activations.
+            let ul_bits = self.model.uplink_payload_bits(b);
+            let out = self.uplink.transfer(ul_bits, &mut self.rng);
+            self.clock
+                .add_airtime(self.uplink.slots_to_seconds(out.slots()));
+            if !out.delivered() {
+                return StepResult::Voided;
+            }
+        }
+
+        // BS compute: forward + loss + backward.
+        self.clock
+            .add_compute(cfg.compute.bs_seconds(self.model.bs_step_flops(b)));
+
+        if uses_images {
+            // Downlink: cut-layer gradients.
+            let dl_bits = self.model.downlink_payload_bits(b);
+            let out = self.downlink.transfer(dl_bits, &mut self.rng);
+            self.clock
+                .add_airtime(self.downlink.slots_to_seconds(out.slots()));
+            if !out.delivered() {
+                return StepResult::Voided;
+            }
+        }
+
+        // The actual numerics (instantaneous with respect to the
+        // simulated clock — their cost is what the FLOP model charged).
+        let idx = dataset.sample_train_batch(b, &mut self.rng);
+        let batch = Batch::assemble(dataset, dataset.normalizer(), &idx, uses_images);
+        let pred = self.model.forward(&batch);
+        let loss = mse_loss(&pred, &batch.targets_norm);
+        self.model.backward(&loss.grad);
+
+        let clip = self.config.grad_clip;
+        {
+            let mut pairs = self.model.ue_params_and_grads();
+            let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
+            clip_global_norm(&mut grads, clip);
+        }
+        {
+            let mut pairs = self.model.bs_params_and_grads();
+            let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
+            clip_global_norm(&mut grads, clip);
+        }
+        self.opt_ue.step(&mut self.model.ue_params_and_grads());
+        self.opt_bs.step(&mut self.model.bs_params_and_grads());
+        self.model.zero_grads();
+        StepResult::Applied
+    }
+
+    /// Validation RMSE in dB over the (possibly subsampled) validation
+    /// set. Does not advance the simulated clock (the paper's elapsed
+    /// axis measures training, and validation can run concurrently at the
+    /// BS).
+    pub fn validate(&mut self, dataset: &SequenceDataset) -> f32 {
+        let indices = subsample(dataset.val_indices(), self.config.val_subsample);
+        self.rmse_over(dataset, &indices)
+    }
+
+    /// RMSE (dB) over arbitrary dataset indices.
+    pub fn rmse_over(&mut self, dataset: &SequenceDataset, indices: &[usize]) -> f32 {
+        assert!(!indices.is_empty(), "rmse_over: no indices");
+        let normalizer = dataset.normalizer();
+        let uses_images = self.config.scheme.uses_images();
+        let mut preds = Vec::with_capacity(indices.len());
+        let mut targets = Vec::with_capacity(indices.len());
+        for chunk in indices.chunks(128) {
+            let batch = Batch::assemble(dataset, normalizer, chunk, uses_images);
+            let p = self.model.forward(&batch);
+            preds.extend_from_slice(p.data());
+            targets.extend_from_slice(batch.targets_norm.data());
+        }
+        let r = rmse(
+            &Tensor::from_slice(&preds),
+            &Tensor::from_slice(&targets),
+        );
+        normalizer.rmse_to_db(r)
+    }
+
+    /// Predicts over `count` consecutive validation samples starting at
+    /// validation offset `offset` — the Fig. 3b trace.
+    pub fn predict_trace(
+        &mut self,
+        dataset: &SequenceDataset,
+        offset: usize,
+        count: usize,
+    ) -> Vec<PredictionPoint> {
+        let val = dataset.val_indices();
+        assert!(
+            offset + count <= val.len(),
+            "predict_trace: window [{offset}, {}) exceeds validation set of {}",
+            offset + count,
+            val.len()
+        );
+        let indices: Vec<usize> = val[offset..offset + count].to_vec();
+        let normalizer = dataset.normalizer();
+        let uses_images = self.config.scheme.uses_images();
+        let horizon = dataset.horizon();
+        let dt = dataset.trace().frame_interval_s;
+        let mut out = Vec::with_capacity(count);
+        for chunk in indices.chunks(128) {
+            let batch = Batch::assemble(dataset, normalizer, chunk, uses_images);
+            let p = self.model.forward(&batch);
+            for (row, &k) in chunk.iter().enumerate() {
+                let target_index = k + horizon;
+                out.push(PredictionPoint {
+                    index: target_index,
+                    time_s: target_index as f64 * dt,
+                    predicted_dbm: normalizer.denormalize(p.at(&[row, 0])),
+                    actual_dbm: dataset.trace().powers_dbm[target_index],
+                });
+            }
+        }
+        out
+    }
+}
+
+enum StepResult {
+    Applied,
+    Voided,
+}
+
+/// Deterministic stride subsample of `indices` down to at most `cap`.
+fn subsample(indices: &[usize], cap: Option<usize>) -> Vec<usize> {
+    match cap {
+        Some(cap) if indices.len() > cap => {
+            let stride = indices.len() as f64 / cap as f64;
+            (0..cap)
+                .map(|i| indices[(i as f64 * stride) as usize])
+                .collect()
+        }
+        _ => indices.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooling::PoolingDim;
+    use crate::scheme::Scheme;
+    use sl_scene::{Scene, SceneConfig};
+
+    fn dataset(seed: u64) -> SequenceDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+        SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+    }
+
+    #[test]
+    fn rf_only_trains_without_airtime() {
+        let ds = dataset(70);
+        let cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train(&ds);
+        assert_eq!(out.airtime_s, 0.0, "RF-only must not touch the channel");
+        assert!(out.compute_s > 0.0);
+        assert_eq!(out.steps_voided, 0);
+        assert!(out.steps_applied > 0);
+        assert_eq!(out.stop, StopReason::EpochLimit);
+        assert_eq!(out.epochs, 3);
+        // Curve: epoch 0 + one point per epoch.
+        assert_eq!(out.curve.len(), 4);
+        assert!(out.curve.windows(2).all(|w| w[0].elapsed_s <= w[1].elapsed_s));
+    }
+
+    #[test]
+    fn training_improves_over_untrained_baseline() {
+        let ds = dataset(71);
+        let mut cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+        cfg.max_epochs = 8;
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train(&ds);
+        let first = out.curve[0].val_rmse_db;
+        let best = out.best_rmse_db();
+        assert!(
+            best < first,
+            "training never improved: start {first} dB, best {best} dB"
+        );
+    }
+
+    #[test]
+    fn img_rf_accrues_airtime() {
+        let ds = dataset(72);
+        let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train(&ds);
+        assert!(out.airtime_s > 0.0, "split schemes must pay airtime");
+        assert!(out.steps_applied > 0);
+    }
+
+    #[test]
+    fn oversized_payload_stalls_the_link() {
+        let ds = dataset(73);
+        // 1×1 pooling on a deeply-faded link: per-slot success ≈ 0 ->
+        // every step times out -> LinkStalled almost immediately. (The
+        // tiny 16×16 test scene's raw payload is small enough to decode
+        // on the real link, so drive the SNR down instead.)
+        let mut cfg = ExperimentConfig::quick(Scheme::ImgOnly, PoolingDim::RAW);
+        cfg.uplink = sl_channel::LinkConfig::paper_uplink().with_mean_snr_db(-30.0);
+        cfg.retransmission = sl_channel::RetransmissionPolicy::WholePayload { max_slots: 20 };
+        cfg.stall_limit = 3;
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train(&ds);
+        assert_eq!(out.stop, StopReason::LinkStalled);
+        assert_eq!(out.steps_applied, 0);
+        assert_eq!(out.steps_voided, 3);
+    }
+
+    #[test]
+    fn target_rmse_stops_early() {
+        let ds = dataset(74);
+        let mut cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+        // An unreachable-low bar never stops; a huge bar stops at epoch 1.
+        cfg.target_rmse_db = 1e6;
+        cfg.max_epochs = 5;
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train(&ds);
+        assert_eq!(out.stop, StopReason::TargetReached);
+        assert_eq!(out.epochs, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(75);
+        let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        let out1 = SplitTrainer::new(cfg.clone(), &ds).train(&ds);
+        let out2 = SplitTrainer::new(cfg, &ds).train(&ds);
+        assert_eq!(out1.curve, out2.curve);
+        assert_eq!(out1.steps_applied, out2.steps_applied);
+    }
+
+    #[test]
+    fn predict_trace_is_aligned_with_ground_truth() {
+        let ds = dataset(76);
+        let cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let _ = t.train(&ds);
+        let trace = t.predict_trace(&ds, 5, 20);
+        assert_eq!(trace.len(), 20);
+        for p in &trace {
+            assert_eq!(p.actual_dbm, ds.trace().powers_dbm[p.index]);
+            assert!(p.predicted_dbm.is_finite());
+            assert!((p.time_s - p.index as f64 * 0.033).abs() < 1e-9);
+        }
+        // Points advance in time.
+        assert!(trace.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn time_to_rmse_reads_curve() {
+        let out = TrainOutcome {
+            curve: vec![
+                CurvePoint { elapsed_s: 0.0, epoch: 0, val_rmse_db: 9.0 },
+                CurvePoint { elapsed_s: 1.0, epoch: 1, val_rmse_db: 5.0 },
+                CurvePoint { elapsed_s: 2.0, epoch: 2, val_rmse_db: 2.0 },
+            ],
+            stop: StopReason::EpochLimit,
+            final_rmse_db: 2.0,
+            epochs: 2,
+            steps_applied: 10,
+            steps_voided: 0,
+            compute_s: 1.5,
+            airtime_s: 0.5,
+        };
+        assert_eq!(out.time_to_rmse(5.0), Some(1.0));
+        assert_eq!(out.time_to_rmse(1.0), None);
+        assert_eq!(out.best_rmse_db(), 2.0);
+        assert!((out.elapsed_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_bounded() {
+        let idx: Vec<usize> = (0..1000).collect();
+        let s = subsample(&idx, Some(100));
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0], 0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(subsample(&idx, None).len(), 1000);
+        assert_eq!(subsample(&idx[..5], Some(100)).len(), 5);
+    }
+}

@@ -1,0 +1,207 @@
+//! The UE-side network: CNN + average-pooling cut layer.
+
+use rand::Rng;
+
+use sl_nn::{Activation, AvgPool2d, Conv2d, Layer, Sequential};
+use sl_tensor::{Padding, Tensor};
+
+use crate::pooling::PoolingDim;
+
+/// The network half that stays on the mmWave UE (paper Fig. 1, left):
+///
+/// `Conv2d(1→C, 3×3, same) → ReLU → Conv2d(C→1, 3×3, same) → Sigmoid →
+/// AvgPool2d(w_H × w_W)`
+///
+/// 'Same' padding keeps the CNN output at the raw image's `N_H × N_W`, so
+/// the pooling window alone decides the transmitted feature-map size; the
+/// sigmoid bounds the output in `[0, 1]` for `R`-bit quantization.
+pub struct UeNetwork {
+    /// Convolutional stack (everything before the cut layer).
+    cnn: Sequential,
+    /// The cut-layer compressor.
+    pool: AvgPool2d,
+    image_h: usize,
+    image_w: usize,
+    channels: usize,
+    pooling: PoolingDim,
+}
+
+impl UeNetwork {
+    /// Builds the UE network for `image_h × image_w` inputs with `channels`
+    /// hidden channels and the given cut-layer pooling.
+    pub fn new(
+        image_h: usize,
+        image_w: usize,
+        channels: usize,
+        pooling: PoolingDim,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(channels > 0, "UeNetwork: channels must be positive");
+        // Validate tiling up front.
+        let _ = pooling.output_size(image_h, image_w);
+        let cnn = Sequential::new()
+            .push(Conv2d::new(1, channels, 3, Padding::Same, rng))
+            .push(Activation::relu())
+            .push(Conv2d::new(channels, 1, 3, Padding::Same, rng))
+            .push(Activation::sigmoid());
+        UeNetwork {
+            cnn,
+            pool: AvgPool2d::new(pooling.h, pooling.w),
+            image_h,
+            image_w,
+            channels,
+            pooling,
+        }
+    }
+
+    /// The cut-layer pooling dimension.
+    pub fn pooling(&self) -> PoolingDim {
+        self.pooling
+    }
+
+    /// Pooled feature pixels per image.
+    pub fn pooled_pixels(&self) -> usize {
+        self.pooling.output_pixels(self.image_h, self.image_w)
+    }
+
+    /// Forward pass: `[N, 1, H, W]` images → `[N, 1, H/w_H, W/w_W]`
+    /// pooled maps (caching for [`UeNetwork::backward`]).
+    pub fn forward(&mut self, images: &Tensor) -> Tensor {
+        assert_eq!(
+            images.dims()[2..],
+            [self.image_h, self.image_w],
+            "UeNetwork: image size {} does not match configured {}x{}",
+            images.shape(),
+            self.image_h,
+            self.image_w
+        );
+        let maps = self.cnn.forward(images);
+        self.pool.forward(&maps)
+    }
+
+    /// Backward pass from the cut-layer gradient (as received over the
+    /// downlink), accumulating CNN parameter gradients.
+    pub fn backward(&mut self, grad_pooled: &Tensor) {
+        let g = self.pool.backward(grad_pooled);
+        let _ = self.cnn.backward(&g);
+    }
+
+    /// The pre-pooling CNN output for one `[H, W]` image — the Fig. 2
+    /// "CNN output image" visualization (inference only, no caching).
+    pub fn infer_cnn_map(&mut self, image: &Tensor) -> Tensor {
+        let x = image.reshape([1, 1, self.image_h, self.image_w]);
+        let y = self.cnn.forward(&x);
+        self.cnn.zero_grads();
+        y.reshape([self.image_h, self.image_w])
+    }
+
+    /// The pooled cut-layer output for one `[H, W]` image (inference).
+    pub fn infer_pooled_map(&mut self, image: &Tensor) -> Tensor {
+        let x = image.reshape([1, 1, self.image_h, self.image_w]);
+        let maps = self.cnn.forward(&x);
+        let pooled = self.pool.forward(&maps);
+        let (ph, pw) = self.pooling.output_size(self.image_h, self.image_w);
+        pooled.reshape([ph, pw])
+    }
+
+    /// Parameter/gradient pairs for the UE-side optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.cnn.params_and_grads()
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.cnn.zero_grads();
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&mut self) -> usize {
+        self.cnn.parameter_count()
+    }
+
+    /// Modelled forward FLOPs per image: two 'same' 3×3 convolutions.
+    pub fn flops_forward_per_image(&self) -> f64 {
+        let px = (self.image_h * self.image_w) as f64;
+        let c = self.channels as f64;
+        // 2 FLOPs per MAC; conv1: 9·1·C taps, conv2: 9·C·1 taps.
+        2.0 * 9.0 * c * px * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(pooling: PoolingDim) -> UeNetwork {
+        UeNetwork::new(16, 16, 4, pooling, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn forward_shapes_track_pooling() {
+        let mut one_pixel = net(PoolingDim::new(16, 16));
+        let out = one_pixel.forward(&Tensor::zeros([6, 1, 16, 16]));
+        assert_eq!(out.dims(), &[6, 1, 1, 1]);
+
+        let mut raw = net(PoolingDim::RAW);
+        let out = raw.forward(&Tensor::zeros([2, 1, 16, 16]));
+        assert_eq!(out.dims(), &[2, 1, 16, 16]);
+    }
+
+    #[test]
+    fn output_in_unit_interval() {
+        let mut n = net(PoolingDim::new(4, 4));
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = sl_tensor::uniform([3, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let y = n.forward(&x);
+        assert!(y.min() >= 0.0 && y.max() <= 1.0, "sigmoid+avgpool must stay in [0,1]");
+    }
+
+    #[test]
+    fn backward_accumulates_conv_grads() {
+        let mut n = net(PoolingDim::new(4, 4));
+        let x = Tensor::ones([2, 1, 16, 16]);
+        let y = n.forward(&x);
+        n.backward(&Tensor::ones(y.dims()));
+        let grads_nonzero = n
+            .params_and_grads()
+            .iter()
+            .any(|(_, g)| g.sum_sq() > 0.0);
+        assert!(grads_nonzero, "backward must reach the conv weights");
+        n.zero_grads();
+        assert!(n.params_and_grads().iter().all(|(_, g)| g.sum_sq() == 0.0));
+    }
+
+    #[test]
+    fn infer_maps_are_consistent() {
+        let mut n = net(PoolingDim::new(4, 4));
+        let mut rng = StdRng::seed_from_u64(3);
+        let img = sl_tensor::uniform([16, 16], 0.0, 1.0, &mut rng);
+        let full = n.infer_cnn_map(&img);
+        let pooled = n.infer_pooled_map(&img);
+        assert_eq!(full.dims(), &[16, 16]);
+        assert_eq!(pooled.dims(), &[4, 4]);
+        // Pooling the full map by hand must give the pooled map.
+        let by_hand = sl_tensor::avg_pool2d(&full.reshape([1, 1, 16, 16]), 4, 4);
+        for (a, b) in by_hand.data().iter().zip(pooled.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // Global mean is invariant under average pooling.
+        assert!((full.mean() - pooled.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn parameter_count_formula() {
+        let mut n = net(PoolingDim::RAW);
+        // conv1: 4·1·9+4, conv2: 1·4·9+1.
+        assert_eq!(n.parameter_count(), 40 + 37);
+    }
+
+    #[test]
+    fn flops_scale_with_channels() {
+        let narrow = net(PoolingDim::RAW);
+        let wide = UeNetwork::new(16, 16, 8, PoolingDim::RAW, &mut StdRng::seed_from_u64(4));
+        assert!((wide.flops_forward_per_image() / narrow.flops_forward_per_image() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the split-learning core: payload formula,
+//! quantizer bounds, scheme/pooling algebra, and model shape contracts.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_core::{PoolingDim, Quantizer, Scheme, SplitModel};
+use sl_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn quantizer_error_within_bound(
+        values in proptest::collection::vec(0.0f32..1.0, 1..64),
+        bits in 1usize..12,
+    ) {
+        let q = Quantizer::new(bits);
+        let x = Tensor::from_slice(&values);
+        let y = q.quantize(&x);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            prop_assert!((a - b).abs() <= q.max_error() + 1e-6);
+            prop_assert!((0.0..=1.0).contains(b));
+        }
+        // Idempotent.
+        prop_assert_eq!(q.quantize(&y), y);
+    }
+
+    #[test]
+    fn feature_dim_consistent(pixels in 1usize..2000) {
+        prop_assert_eq!(Scheme::ImgRf.feature_dim(pixels), pixels + 1);
+        prop_assert_eq!(Scheme::ImgOnly.feature_dim(pixels), pixels);
+        prop_assert_eq!(Scheme::RfOnly.feature_dim(pixels), 1);
+    }
+
+    #[test]
+    fn pooling_output_times_compression_is_area(h in 1usize..6, w in 1usize..6) {
+        // For a 24x24 map every divisor window tiles exactly.
+        let divisors = [1usize, 2, 3, 4, 6, 8, 12, 24];
+        let wh = divisors[h % divisors.len()];
+        let ww = divisors[w % divisors.len()];
+        let p = PoolingDim::new(wh, ww);
+        prop_assert_eq!(p.output_pixels(24, 24) * p.compression_factor(), 24 * 24);
+    }
+
+    #[test]
+    fn payload_formula_matches_paper(batch in 1usize..128) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SplitModel::new(
+            Scheme::ImgRf, PoolingDim::new(4, 4), 16, 16, 4, 2, 8, 8, &mut rng,
+        );
+        // B_UL = N_H·N_W·B·R·L/(w_H·w_W) = 256·B·8·4/16.
+        prop_assert_eq!(model.uplink_payload_bits(batch), (256 * batch * 8 * 4 / 16) as u64);
+    }
+
+    #[test]
+    fn model_prediction_shape_and_finiteness(
+        batch in 1usize..5,
+        seed in 0u64..100,
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = Scheme::ALL[scheme_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = SplitModel::new(
+            scheme, PoolingDim::new(8, 8), 8, 8, 3, 2, 4, 8, &mut rng,
+        );
+        let images = scheme.uses_images().then(|| {
+            sl_tensor::uniform([batch * 3, 1, 8, 8], 0.0, 1.0, &mut rng)
+        });
+        let powers = sl_tensor::randn([batch, 3], 0.0, 1.0, &mut rng);
+        let batch_data = sl_core::Batch {
+            images,
+            powers_norm: powers,
+            targets_norm: Tensor::zeros([batch, 1]),
+            indices: vec![0; batch],
+            seq_len: 3,
+        };
+        let pred = model.forward(&batch_data);
+        prop_assert_eq!(pred.dims(), &[batch, 1]);
+        prop_assert!(pred.all_finite());
+    }
+}

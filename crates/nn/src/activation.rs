@@ -1,0 +1,196 @@
+//! Elementwise activation functions as stateless layers.
+
+use sl_tensor::Tensor;
+
+use crate::Layer;
+
+/// The activation nonlinearity to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// `max(0, x)` — used by the UE CNN's hidden convolution.
+    Relu,
+    /// `1 / (1 + e^-x)` — squashes the CNN output into `[0, 1]` so it can
+    /// be quantized to `R`-bit pixels for the uplink payload.
+    Sigmoid,
+    /// `tanh(x)`.
+    Tanh,
+    /// The identity (useful for disabling a nonlinearity in ablations).
+    Identity,
+}
+
+impl ActivationKind {
+    /// Applies the function to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Sigmoid => sigmoid(x),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)`.
+    ///
+    /// All four supported activations admit this form, which lets the
+    /// backward pass cache only the forward output.
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Sigmoid => y * (1.0 - y),
+            ActivationKind::Tanh => 1.0 - y * y,
+            ActivationKind::Identity => 1.0,
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// A stateless activation layer (any shape; applied elementwise).
+pub struct Activation {
+    kind: ActivationKind,
+    /// Forward output, cached for the output-space derivative.
+    cache: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation { kind, cache: None }
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Relu)`.
+    pub fn relu() -> Self {
+        Activation::new(ActivationKind::Relu)
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Sigmoid)`.
+    pub fn sigmoid() -> Self {
+        Activation::new(ActivationKind::Sigmoid)
+    }
+
+    /// Shorthand for `Activation::new(ActivationKind::Tanh)`.
+    pub fn tanh() -> Self {
+        Activation::new(ActivationKind::Tanh)
+    }
+
+    /// The configured nonlinearity.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(|x| self.kind.apply(x));
+        self.cache = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self
+            .cache
+            .take()
+            .expect("Activation::backward called without a preceding forward");
+        assert_eq!(
+            grad_out.shape(),
+            out.shape(),
+            "Activation::backward: grad shape {} does not match output {}",
+            grad_out.shape(),
+            out.shape()
+        );
+        grad_out.zip(&out, |g, y| g * self.kind.derivative_from_output(y))
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Identity => "identity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut layer = Activation::relu();
+        let out = layer.forward(&Tensor::from_slice(&[-2.0, -0.5, 0.0, 0.5, 2.0]));
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(5.0) + sigmoid(-5.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+        // Stable in the extreme tails (no NaN from exp overflow).
+        assert!(sigmoid(-1e4).is_finite() && sigmoid(1e4).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for kind in [
+            ActivationKind::Relu,
+            ActivationKind::Sigmoid,
+            ActivationKind::Tanh,
+            ActivationKind::Identity,
+        ] {
+            for &x in &[-1.7f32, -0.3, 0.4, 1.9] {
+                let fd = (kind.apply(x + eps) - kind.apply(x - eps)) / (2.0 * eps);
+                let an = kind.derivative_from_output(kind.apply(x));
+                assert!(
+                    (fd - an).abs() < 1e-2,
+                    "{kind:?} derivative mismatch at {x}: fd={fd} an={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scales_upstream_gradient() {
+        let mut layer = Activation::tanh();
+        let x = Tensor::from_slice(&[0.3, -0.8]);
+        let y = layer.forward(&x);
+        let g = layer.backward(&Tensor::ones([2]));
+        for i in 0..2 {
+            let expect = 1.0 - y.data()[i] * y.data()[i];
+            assert!((g.data()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding forward")]
+    fn backward_requires_forward() {
+        Activation::relu().backward(&Tensor::ones([1]));
+    }
+
+    #[test]
+    fn stateless_layer_has_no_params() {
+        let mut layer = Activation::sigmoid();
+        assert!(layer.params_and_grads().is_empty());
+        assert_eq!(layer.parameter_count(), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Convolutional layer wrapping the `sl-tensor` conv kernels.
+
+use rand::Rng;
+
+use sl_tensor::{conv2d, conv2d_backward, he_normal, Padding, Tensor};
+
+use crate::Layer;
+
+/// Stride-1 2-D convolution layer (`NCHW`), He-initialized.
+///
+/// The UE-side network of the paper stacks two of these ('same' padding,
+/// 3×3 kernels) so that the CNN output keeps the raw image's spatial size
+/// before the average-pooling cut layer compresses it.
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    padding: Padding,
+    input_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with `in_channels → out_channels` and a
+    /// square `kernel × kernel` filter.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: Padding,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && kernel > 0,
+            "Conv2d: dimensions must be positive"
+        );
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: he_normal([out_channels, in_channels, kernel, kernel], fan_in, rng),
+            bias: Tensor::zeros([out_channels]),
+            grad_weight: Tensor::zeros([out_channels, in_channels, kernel, kernel]),
+            grad_bias: Tensor::zeros([out_channels]),
+            padding,
+            input_cache: None,
+        }
+    }
+
+    /// The padding policy.
+    pub fn padding(&self) -> Padding {
+        self.padding
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.weight.dims()[2]
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        conv2d(input, &self.weight, &self.bias, self.padding)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = conv2d(input, &self.weight, &self.bias, self.padding);
+        self.input_cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .take()
+            .expect("Conv2d::backward called without a preceding forward");
+        let grads = conv2d_backward(&input, &self.weight, grad_out, self.padding);
+        self.grad_weight.add_inplace(&grads.grad_weight);
+        self.grad_bias.add_inplace(&grads.grad_bias);
+        grads.grad_input
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn same_padding_preserves_spatial_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Conv2d::new(1, 4, 3, Padding::Same, &mut rng);
+        let out = layer.forward(&Tensor::zeros([2, 1, 8, 8]));
+        assert_eq!(out.dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn parameter_count_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Conv2d::new(3, 8, 3, Padding::Same, &mut rng);
+        assert_eq!(layer.parameter_count(), 8 * 3 * 3 * 3 + 8);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Conv2d::new(2, 3, 3, Padding::Same, &mut rng);
+        let input = sl_tensor::randn([1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let report = check_gradients(layer, &input, 1e-2, 6);
+        assert!(report.max_abs_err < 8e-2, "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn infer_equals_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Conv2d::new(1, 2, 3, Padding::Valid, &mut rng);
+        let x = sl_tensor::randn([1, 1, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(layer.infer(&x), layer.forward(&x));
+    }
+}

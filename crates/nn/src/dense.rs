@@ -1,0 +1,192 @@
+//! Fully-connected (affine) layer.
+
+use rand::Rng;
+
+use sl_tensor::{matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor};
+
+use crate::Layer;
+
+/// `y = x · Wᵀ + b` over a batch: input `[N, in]`, output `[N, out]`.
+///
+/// Weights are stored `[out, in]` (one row per output unit) and
+/// initialized with Xavier-uniform; biases start at zero. The BS-side
+/// prediction head (`Dense(hidden → 1)`) is an instance of this layer.
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    input_cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with `input_dim` inputs and `output_dim`
+    /// outputs, Xavier-initialized from `rng`.
+    pub fn new(input_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "Dense: dimensions must be positive");
+        Dense {
+            weight: xavier_uniform([output_dim, input_dim], input_dim, output_dim, rng),
+            bias: Tensor::zeros([output_dim]),
+            grad_weight: Tensor::zeros([output_dim, input_dim]),
+            grad_bias: Tensor::zeros([output_dim]),
+            input_cache: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Immutable view of the weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Immutable view of the bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        self.affine(input)
+    }
+
+    fn affine(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape().rank(),
+            2,
+            "Dense: input {} is not rank-2 [batch, features]",
+            input.shape()
+        );
+        assert_eq!(
+            input.dims()[1],
+            self.input_dim(),
+            "Dense: input features {} do not match layer input_dim {}",
+            input.dims()[1],
+            self.input_dim()
+        );
+        matmul_a_bt(input, &self.weight).add(&self.bias)
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = self.affine(input);
+        self.input_cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .take()
+            .expect("Dense::backward called without a preceding forward");
+        assert_eq!(
+            grad_out.dims(),
+            &[input.dims()[0], self.output_dim()],
+            "Dense::backward: grad shape {} does not match [batch, out]",
+            grad_out.shape()
+        );
+        // dL/dW = gᵀ · x  ([out, N]·[N, in]); dL/db = column sums of g.
+        self.grad_weight.add_inplace(&matmul_at_b(grad_out, &input));
+        self.grad_bias.add_inplace(&grad_out.sum_axis0());
+        // dL/dx = g · W ([N, out]·[out, in]).
+        matmul(grad_out, &self.weight)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        // Zero the weights: output must equal the bias.
+        layer.weight.fill(0.0);
+        layer.bias = Tensor::from_slice(&[0.5, -1.0]);
+        let out = layer.forward(&Tensor::ones([4, 3]));
+        assert_eq!(out.dims(), &[4, 2]);
+        for r in 0..4 {
+            assert_eq!(out.at(&[r, 0]), 0.5);
+            assert_eq!(out.at(&[r, 1]), -1.0);
+        }
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.weight = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        layer.bias = Tensor::from_slice(&[10.0, 20.0]);
+        let out = layer.forward(&Tensor::from_vec([1, 2], vec![1.0, 1.0]).unwrap());
+        assert_eq!(out.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(5, 7, &mut rng);
+        assert_eq!(layer.parameter_count(), 5 * 7 + 7);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Dense::new(4, 3, &mut rng);
+        let input = sl_tensor::randn([5, 4], 0.0, 1.0, &mut rng);
+        let report = check_gradients(layer, &input, 1e-2, 8);
+        assert!(report.max_abs_err < 5e-2, "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn backward_accumulates_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(2, 1, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let g = Tensor::ones([1, 1]);
+        layer.forward(&x);
+        layer.backward(&g);
+        let first = layer.grad_weight.clone();
+        layer.forward(&x);
+        layer.backward(&g);
+        assert_eq!(layer.grad_weight, first.scale(2.0));
+        layer.zero_grads();
+        assert_eq!(layer.grad_weight.sum(), 0.0);
+    }
+
+    #[test]
+    fn infer_does_not_cache() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let layer = Dense::new(2, 2, &mut rng);
+        let _ = layer.infer(&Tensor::ones([1, 2]));
+        // No cache -> backward on the (moved-to-mut) layer must panic.
+        let mut layer = layer;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            layer.backward(&Tensor::ones([1, 2]))
+        }));
+        assert!(result.is_err());
+    }
+}

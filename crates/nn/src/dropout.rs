@@ -1,0 +1,157 @@
+//! Inverted dropout.
+//!
+//! A regularization option for the robustness ablations: the paper's
+//! network is small enough not to need it on the full trace, but shorter
+//! traces (fewer blockage events) overfit, and dropout on the BS-side
+//! features measurably helps there.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sl_tensor::Tensor;
+
+use crate::Layer;
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so inference
+/// (see [`Dropout::eval_mode`]) is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    training: bool,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)` and a
+    /// dedicated RNG seed (layers own their noise so training stays
+    /// deterministic regardless of call order elsewhere).
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1), got {p}");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+            mask: None,
+        }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Switches to training mode (masking active).
+    pub fn train_mode(&mut self) {
+        self.training = true;
+    }
+
+    /// Switches to evaluation mode (identity).
+    pub fn eval_mode(&mut self) {
+        self.training = false;
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask = Some(Tensor::ones(input.dims()));
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.dims(), |_| {
+            if self.rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.mul(&mask);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .take()
+            .expect("Dropout::backward called without a preceding forward");
+        grad_out.mul(&mask)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut layer = Dropout::new(0.5, 1);
+        layer.eval_mode();
+        let x = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(layer.forward(&x), x);
+        let g = layer.backward(&Tensor::ones([3]));
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut layer = Dropout::new(0.0, 2);
+        let x = Tensor::from_slice(&[4.0, 5.0]);
+        assert_eq!(layer.forward(&x), x);
+    }
+
+    #[test]
+    fn expected_value_preserved() {
+        let mut layer = Dropout::new(0.3, 3);
+        let x = Tensor::ones([50_000]);
+        let y = layer.forward(&x);
+        // Inverted dropout keeps E[y] = E[x].
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+        // Survivors are scaled by 1/keep.
+        let survivors: Vec<f32> = y.data().iter().copied().filter(|&v| v != 0.0).collect();
+        for v in &survivors {
+            assert!((v - 1.0 / 0.7).abs() < 1e-5);
+        }
+        // Drop rate is near p.
+        let dropped = 1.0 - survivors.len() as f32 / 50_000.0;
+        assert!((dropped - 0.3).abs() < 0.02, "dropped {dropped}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut layer = Dropout::new(0.5, 4);
+        let x = Tensor::ones([1000]);
+        let y = layer.forward(&x);
+        let g = layer.backward(&Tensor::ones([1000]));
+        // Gradient flows exactly where the forward survived.
+        for (gy, yy) in g.data().iter().zip(y.data()) {
+            assert_eq!(gy == &0.0, yy == &0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut l = Dropout::new(0.5, seed);
+            l.forward(&Tensor::ones([64]))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn rejects_certain_drop() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the test suite to validate every hand-derived backward
+//! pass: the scalar probe loss is the plain sum of the layer outputs, so
+//! the upstream gradient is a tensor of ones and the analytic gradients
+//! can be compared coordinate-by-coordinate against central differences.
+
+use sl_tensor::Tensor;
+
+use crate::Layer;
+
+/// Outcome of [`check_gradients`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute error over all checked coordinates.
+    pub max_abs_err: f32,
+    /// Number of coordinates compared (across input and all parameters).
+    pub checked: usize,
+}
+
+/// Central-difference derivative of `f` at coordinate `flat` of `x`.
+pub fn numerical_gradient(
+    x: &Tensor,
+    flat: usize,
+    eps: f32,
+    mut f: impl FnMut(&Tensor) -> f32,
+) -> f32 {
+    let mut p = x.clone();
+    p.data_mut()[flat] += eps;
+    let up = f(&p);
+    p.data_mut()[flat] -= 2.0 * eps;
+    let down = f(&p);
+    (up - down) / (2.0 * eps)
+}
+
+/// Checks a layer's analytic gradients (input **and** parameters) against
+/// central finite differences on the probe loss `L = Σ forward(x)`.
+///
+/// For each tensor (input and every parameter) up to `samples_per_tensor`
+/// evenly-spaced coordinates are probed. Returns the worst absolute error
+/// observed; callers assert against a tolerance appropriate for `f32`
+/// arithmetic and the chosen `eps`.
+pub fn check_gradients(
+    mut layer: impl Layer,
+    input: &Tensor,
+    eps: f32,
+    samples_per_tensor: usize,
+) -> GradCheckReport {
+    // Analytic pass.
+    let out = layer.forward(input);
+    let grad_input = layer.backward(&Tensor::ones(out.dims()));
+    let param_grads: Vec<Tensor> = layer
+        .params_and_grads()
+        .iter()
+        .map(|(_, g)| (**g).clone())
+        .collect();
+
+    let mut max_err = 0.0f32;
+    let mut checked = 0usize;
+
+    // Input coordinates.
+    for flat in sample_indices(input.numel(), samples_per_tensor) {
+        let fd = numerical_gradient(input, flat, eps, |x| layer.forward(x).sum());
+        let err = (fd - grad_input.data()[flat]).abs();
+        max_err = max_err.max(err);
+        checked += 1;
+    }
+
+    // Parameter coordinates: perturb in place, rerun forward, restore.
+    let n_params = param_grads.len();
+    for pi in 0..n_params {
+        let numel = layer.params_and_grads()[pi].0.numel();
+        for flat in sample_indices(numel, samples_per_tensor) {
+            let original = layer.params_and_grads()[pi].0.data()[flat];
+            layer.params_and_grads()[pi].0.data_mut()[flat] = original + eps;
+            let up = layer.forward(input).sum();
+            layer.params_and_grads()[pi].0.data_mut()[flat] = original - eps;
+            let down = layer.forward(input).sum();
+            layer.params_and_grads()[pi].0.data_mut()[flat] = original;
+            let fd = (up - down) / (2.0 * eps);
+            let err = (fd - param_grads[pi].data()[flat]).abs();
+            max_err = max_err.max(err);
+            checked += 1;
+        }
+    }
+
+    GradCheckReport {
+        max_abs_err: max_err,
+        checked,
+    }
+}
+
+/// Up to `count` evenly-spaced flat indices into a tensor of `numel`
+/// elements (always includes 0 and the last element when possible).
+fn sample_indices(numel: usize, count: usize) -> Vec<usize> {
+    if numel == 0 || count == 0 {
+        return Vec::new();
+    }
+    if numel <= count {
+        return (0..numel).collect();
+    }
+    let mut idx: Vec<usize> = (0..count)
+        .map(|i| i * (numel - 1) / (count - 1).max(1))
+        .collect();
+    idx.dedup();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerical_gradient_of_square() {
+        let x = Tensor::from_slice(&[3.0]);
+        let g = numerical_gradient(&x, 0, 1e-3, |t| t.data()[0] * t.data()[0]);
+        assert!((g - 6.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sample_indices_cover_ends() {
+        assert_eq!(sample_indices(3, 10), vec![0, 1, 2]);
+        let s = sample_indices(100, 5);
+        assert_eq!(s.first(), Some(&0));
+        assert_eq!(s.last(), Some(&99));
+        assert!(s.len() <= 5);
+        assert_eq!(sample_indices(0, 5), Vec::<usize>::new());
+        assert_eq!(sample_indices(5, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn detects_correct_and_broken_gradients() {
+        use crate::activation::Activation;
+        let x = Tensor::from_slice(&[0.5, -0.25, 1.5]);
+        let good = check_gradients(Activation::tanh(), &x, 1e-3, 8);
+        assert!(good.max_abs_err < 1e-2);
+        assert_eq!(good.checked, 3);
+
+        /// A deliberately wrong layer: forward is x², backward claims the
+        /// gradient is a constant 1.
+        struct Broken {
+            cache: Option<Tensor>,
+        }
+        impl Layer for Broken {
+            fn forward(&mut self, input: &Tensor) -> Tensor {
+                self.cache = Some(input.clone());
+                input.map(|v| v * v)
+            }
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                Tensor::ones(grad_out.dims())
+            }
+            fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+                Vec::new()
+            }
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+        }
+        let bad = check_gradients(Broken { cache: None }, &x, 1e-3, 8);
+        assert!(bad.max_abs_err > 0.5, "broken layer not detected: {bad:?}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Gated recurrent unit with full backpropagation through time.
+//!
+//! The paper specifies only "recurrent NN layers" at the BS; the default
+//! implementation is [`crate::Lstm`], and this GRU exists for the
+//! cell-type ablation (`sl-bench --bin ablation`). Gate layout along the
+//! `3H` axis is `[reset, update, candidate]`.
+
+use rand::Rng;
+
+use sl_tensor::{matmul, matmul_a_bt, matmul_at_b, xavier_uniform, Tensor};
+
+use crate::activation::sigmoid;
+use crate::Layer;
+
+/// Cached values for one time step of BPTT.
+struct StepCache {
+    x: Tensor,      // [N, X]
+    h_prev: Tensor, // [N, H]
+    r: Tensor,      // [N, H] reset gate
+    z: Tensor,      // [N, H] update gate
+    n: Tensor,      // [N, H] candidate (post-tanh)
+    hh_n: Tensor,   // [N, H] the recurrent pre-activation term W_hn·h + b_hn
+}
+
+/// A GRU over `[N, L, X]` sequences returning the final hidden state
+/// `[N, H]`.
+///
+/// Uses the standard (PyTorch-convention) formulation:
+/// `r = σ(W_ir x + W_hr h + b_r)`, `z = σ(W_iz x + W_hz h + b_z)`,
+/// `n = tanh(W_in x + b_in + r ⊙ (W_hn h + b_hn))`,
+/// `h' = (1 − z) ⊙ n + z ⊙ h`.
+pub struct Gru {
+    input_dim: usize,
+    hidden_dim: usize,
+    /// Input-to-gates weights `[3H, X]` (`[r, z, n]` blocks).
+    w_x: Tensor,
+    /// Hidden-to-gates weights `[3H, H]`.
+    w_h: Tensor,
+    /// Input-side biases `[3H]`.
+    bias_x: Tensor,
+    /// Hidden-side biases `[3H]` (kept separate so the candidate's
+    /// recurrent term can be gated by `r` exactly as in the standard
+    /// formulation).
+    bias_h: Tensor,
+    grad_w_x: Tensor,
+    grad_w_h: Tensor,
+    grad_bias_x: Tensor,
+    grad_bias_h: Tensor,
+    cache: Vec<StepCache>,
+}
+
+impl Gru {
+    /// Creates a GRU with `input_dim` features per step and `hidden_dim`
+    /// units, Xavier-initialized from `rng`.
+    pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0, "Gru: dimensions must be positive");
+        let h3 = 3 * hidden_dim;
+        Gru {
+            input_dim,
+            hidden_dim,
+            w_x: xavier_uniform([h3, input_dim], input_dim, hidden_dim, rng),
+            w_h: xavier_uniform([h3, hidden_dim], hidden_dim, hidden_dim, rng),
+            bias_x: Tensor::zeros([h3]),
+            bias_h: Tensor::zeros([h3]),
+            grad_w_x: Tensor::zeros([h3, input_dim]),
+            grad_w_h: Tensor::zeros([h3, hidden_dim]),
+            grad_bias_x: Tensor::zeros([h3]),
+            grad_bias_h: Tensor::zeros([h3]),
+            cache: Vec::new(),
+        }
+    }
+
+    /// Features per time step.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden units.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    fn check_input(&self, input: &Tensor) -> (usize, usize) {
+        assert_eq!(
+            input.shape().rank(),
+            3,
+            "Gru: input {} is not rank-3 [batch, steps, features]",
+            input.shape()
+        );
+        assert_eq!(
+            input.dims()[2],
+            self.input_dim,
+            "Gru: input features {} do not match input_dim {}",
+            input.dims()[2],
+            self.input_dim
+        );
+        (input.dims()[0], input.dims()[1])
+    }
+
+    fn step_input(input: &Tensor, t: usize) -> Tensor {
+        let (n, l, x) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let mut out = Vec::with_capacity(n * x);
+        for b in 0..n {
+            let base = (b * l + t) * x;
+            out.extend_from_slice(&input.data()[base..base + x]);
+        }
+        Tensor::from_vec([n, x], out).expect("step_input buffer sized by construction")
+    }
+
+    /// Slices gate block `g` (0 = r, 1 = z, 2 = n) out of a `[N, 3H]`
+    /// pre-activation.
+    fn block(&self, zpre: &Tensor, g: usize) -> Tensor {
+        let n = zpre.dims()[0];
+        let h = self.hidden_dim;
+        Tensor::from_fn([n, h], |i| {
+            let (b, j) = (i / h, i % h);
+            zpre.at(&[b, g * h + j])
+        })
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, l) = self.check_input(input);
+        assert!(l > 0, "Gru: empty sequence");
+        self.cache.clear();
+        let mut h = Tensor::zeros([n, self.hidden_dim]);
+        for t in 0..l {
+            let x = Self::step_input(input, t);
+            // Pre-activations from both sides, kept separate.
+            let xz = matmul_a_bt(&x, &self.w_x).add(&self.bias_x); // [N, 3H]
+            let hz = matmul_a_bt(&h, &self.w_h).add(&self.bias_h); // [N, 3H]
+            let r = self.block(&xz, 0).add(&self.block(&hz, 0)).map(sigmoid);
+            let z = self.block(&xz, 1).add(&self.block(&hz, 1)).map(sigmoid);
+            let hh_n = self.block(&hz, 2);
+            let cand = self.block(&xz, 2).add(&r.mul(&hh_n)).map(f32::tanh);
+            let h_new = z
+                .mul(&h)
+                .add(&z.map(|v| 1.0 - v).mul(&cand));
+            self.cache.push(StepCache {
+                x,
+                h_prev: h,
+                r,
+                z,
+                n: cand,
+                hh_n,
+            });
+            h = h_new;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.cache.is_empty(), "Gru::backward called without a preceding forward");
+        let l = self.cache.len();
+        let n = self.cache[0].x.dims()[0];
+        let h_dim = self.hidden_dim;
+        assert_eq!(
+            grad_out.dims(),
+            &[n, h_dim],
+            "Gru::backward: grad shape {} does not match final hidden",
+            grad_out.shape()
+        );
+
+        let mut dh = grad_out.clone();
+        let mut grad_input = Tensor::zeros([n, l, self.input_dim]);
+
+        for t in (0..l).rev() {
+            let step = self.cache.pop().expect("cache length matches loop bound");
+            // h' = z ⊙ h_prev + (1 − z) ⊙ n
+            let dz = dh.mul(&step.h_prev.sub(&step.n));
+            let dn = dh.mul(&step.z.map(|v| 1.0 - v));
+            let mut dh_prev = dh.mul(&step.z);
+            // n = tanh(xn + r ⊙ hh_n)
+            let dn_pre = dn.mul(&step.n.map(|v| 1.0 - v * v));
+            let dr = dn_pre.mul(&step.hh_n);
+            let d_hh_n = dn_pre.mul(&step.r);
+            // Gate sigmoids.
+            let dr_pre = dr.mul(&step.r.map(|v| v * (1.0 - v)));
+            let dz_pre = dz.mul(&step.z.map(|v| v * (1.0 - v)));
+            // Pack [N, 3H] gradients for the x-side and h-side
+            // pre-activations. x-side: [dr_pre, dz_pre, dn_pre];
+            // h-side: [dr_pre, dz_pre, d_hh_n].
+            let mut gx_pre = Tensor::zeros([n, 3 * h_dim]);
+            let mut gh_pre = Tensor::zeros([n, 3 * h_dim]);
+            for b in 0..n {
+                let dst_x = &mut gx_pre.data_mut()[b * 3 * h_dim..(b + 1) * 3 * h_dim];
+                dst_x[..h_dim].copy_from_slice(&dr_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_x[h_dim..2 * h_dim]
+                    .copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_x[2 * h_dim..].copy_from_slice(&dn_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                let dst_h = &mut gh_pre.data_mut()[b * 3 * h_dim..(b + 1) * 3 * h_dim];
+                dst_h[..h_dim].copy_from_slice(&dr_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_h[h_dim..2 * h_dim]
+                    .copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_h[2 * h_dim..].copy_from_slice(&d_hh_n.data()[b * h_dim..(b + 1) * h_dim]);
+            }
+            // Parameter gradients.
+            self.grad_w_x.add_inplace(&matmul_at_b(&gx_pre, &step.x));
+            self.grad_w_h.add_inplace(&matmul_at_b(&gh_pre, &step.h_prev));
+            self.grad_bias_x.add_inplace(&gx_pre.sum_axis0());
+            self.grad_bias_h.add_inplace(&gh_pre.sum_axis0());
+            // Flow to x_t and h_{t-1}.
+            let dx = matmul(&gx_pre, &self.w_x);
+            for b in 0..n {
+                let base = (b * l + t) * self.input_dim;
+                grad_input.data_mut()[base..base + self.input_dim]
+                    .copy_from_slice(&dx.data()[b * self.input_dim..(b + 1) * self.input_dim]);
+            }
+            dh_prev.add_inplace(&matmul(&gh_pre, &self.w_h));
+            dh = dh_prev;
+        }
+        grad_input
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.w_x, &mut self.grad_w_x),
+            (&mut self.w_h, &mut self.grad_w_h),
+            (&mut self.bias_x, &mut self.grad_bias_x),
+            (&mut self.bias_h, &mut self.grad_bias_h),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "gru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_final_hidden() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let out = gru.forward(&Tensor::zeros([2, 4, 3]));
+        assert_eq!(out.dims(), &[2, 5]);
+        assert_eq!(gru.input_dim(), 3);
+        assert_eq!(gru.hidden_dim(), 5);
+    }
+
+    #[test]
+    fn hidden_state_bounded() {
+        // h is a convex combination of tanh values ⇒ |h| ≤ 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gru = Gru::new(4, 6, &mut rng);
+        let x = sl_tensor::randn([3, 10, 4], 0.0, 5.0, &mut rng);
+        let out = gru.forward(&x);
+        assert!(out.max() <= 1.0 && out.min() >= -1.0);
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn zero_input_zero_state_stays_zero_biasless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        // With zero input and zero initial state, n = tanh(0) = 0 and
+        // h' = z·0 + (1−z)·0 = 0 regardless of weights (biases are 0).
+        let out = gru.forward(&Tensor::zeros([1, 6, 2]));
+        assert!(out.data().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let gru = Gru::new(3, 4, &mut rng);
+        let input = sl_tensor::randn([2, 3, 3], 0.0, 1.0, &mut rng);
+        let report = check_gradients(gru, &input, 1e-2, 6);
+        assert!(report.max_abs_err < 5e-2, "grad check failed: {report:?}");
+    }
+
+    #[test]
+    fn memory_distinguishes_histories() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gru = Gru::new(1, 4, &mut rng);
+        let a = Tensor::from_vec([1, 3, 1], vec![1.0, 1.0, 0.0]).unwrap();
+        let b = Tensor::from_vec([1, 3, 1], vec![-1.0, -1.0, 0.0]).unwrap();
+        let ha = gru.forward(&a);
+        let hb = gru.forward(&b);
+        assert!(ha.sub(&hb).norm() > 1e-4);
+    }
+
+    #[test]
+    fn can_learn_last_element() {
+        use crate::{mse_loss, Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut gru = Gru::new(1, 8, &mut rng);
+        let mut head = crate::Dense::new(8, 1, &mut rng);
+        let mut opt = Adam::new(0.02, 0.9, 0.999, 1e-8);
+        let x = sl_tensor::randn([32, 4, 1], 0.0, 1.0, &mut rng);
+        let y = Tensor::from_fn([32, 1], |b| x.at(&[b, 3, 0]));
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let h = gru.forward(&x);
+            let pred = head.forward(&h);
+            let l = mse_loss(&pred, &y);
+            let gh = head.backward(&l.grad);
+            gru.backward(&gh);
+            let mut params = gru.params_and_grads();
+            params.extend(head.params_and_grads());
+            opt.step(&mut params);
+            gru.zero_grads();
+            head.zero_grads();
+            first.get_or_insert(l.loss);
+            last = l.loss;
+        }
+        assert!(last < first.unwrap() * 0.1, "{first:?} -> {last}");
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gru = Gru::new(2, 4, &mut rng);
+        // 3H·X + 3H·H + 3H + 3H = 24 + 48 + 12 + 12.
+        assert_eq!(gru.parameter_count(), 96);
+    }
+}

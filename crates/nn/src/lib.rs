@@ -1,0 +1,113 @@
+//! # `sl-nn` — neural-network layers with hand-derived backprop
+//!
+//! The building blocks of the paper's split network, implemented directly
+//! on top of [`sl_tensor`] without an autograd graph: every layer carries
+//! its own forward cache and implements an explicit backward pass. This
+//! keeps the dataflow obvious — important here, because the *split* in
+//! split learning happens between two specific layers, and the trainer in
+//! `sl-core` must intercept the cut-layer activations and gradients to
+//! ship them over the simulated wireless link.
+//!
+//! Provided layers: [`Dense`], [`Conv2d`], [`AvgPool2d`], [`MaxPool2d`],
+//! [`Flatten`], [`Activation`] (ReLU/sigmoid/tanh), [`Dropout`], and two
+//! recurrent cells — [`Lstm`] (the default) and [`Gru`] — plus a
+//! [`Sequential`] container. Optimizers: [`Sgd`] and [`Adam`] (the paper
+//! trains with Adam, lr 1e-3, β₁ 0.9, β₂ 0.999). Losses: [`mse_loss`],
+//! [`mae_loss`], [`huber_loss`].
+//!
+//! Every layer is deterministic given its initialization RNG, and every
+//! backward pass in this crate is validated against central finite
+//! differences in the test suite (see [`check_gradients`]).
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use sl_nn::{mse_loss, Adam, Dense, Layer, Optimizer};
+//! use sl_tensor::Tensor;
+//!
+//! // Fit y = 2x with a single dense unit.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Dense::new(1, 1, &mut rng);
+//! let mut opt = Adam::new(0.1, 0.9, 0.999, 1e-8);
+//! let x = Tensor::from_vec([4, 1], vec![-1.0, 0.0, 1.0, 2.0]).unwrap();
+//! let y = x.scale(2.0);
+//! for _ in 0..200 {
+//!     let pred = layer.forward(&x);
+//!     let loss = mse_loss(&pred, &y);
+//!     layer.backward(&loss.grad);
+//!     opt.step(&mut layer.params_and_grads());
+//!     layer.zero_grads();
+//! }
+//! let final_loss = mse_loss(&layer.forward(&x), &y).loss;
+//! assert!(final_loss < 1e-3);
+//! ```
+
+mod activation;
+mod conv_layer;
+mod dense;
+mod dropout;
+mod grad_check;
+mod gru;
+mod loss;
+mod lstm;
+mod optim;
+mod pool_layer;
+mod sequential;
+
+pub use activation::{Activation, ActivationKind};
+pub use conv_layer::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use grad_check::{check_gradients, numerical_gradient, GradCheckReport};
+pub use gru::Gru;
+pub use loss::{huber_loss, mae_loss, mse_loss, rmse, LossValue};
+pub use lstm::Lstm;
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use pool_layer::{AvgPool2d, Flatten, MaxPool2d};
+pub use sequential::Sequential;
+
+use sl_tensor::Tensor;
+
+/// A trainable (or stateless) network layer.
+///
+/// Layers own their parameters, parameter gradients and forward cache.
+/// The contract is the classic three-phase SGD step:
+///
+/// 1. [`Layer::forward`] runs the layer and caches whatever the backward
+///    pass needs (inputs, pre-activations, gate values, …).
+/// 2. [`Layer::backward`] consumes the most recent cache, **accumulates**
+///    parameter gradients in place and returns the gradient with respect
+///    to the layer input.
+/// 3. The optimizer visits [`Layer::params_and_grads`] and the caller
+///    clears accumulated gradients with [`Layer::zero_grads`].
+///
+/// `backward` must be called at most once per `forward` (caches are
+/// consumed); calling it without a preceding `forward` panics.
+pub trait Layer {
+    /// Runs the layer on `input`, caching intermediates for `backward`.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Backpropagates `grad_out` (same shape as the last `forward`
+    /// output), accumulating parameter gradients and returning the
+    /// gradient with respect to the last input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable `(parameter, gradient)` pairs, in a stable order. Stateless
+    /// layers return an empty vector.
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        for (_, g) in self.params_and_grads() {
+            g.fill(0.0);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    fn parameter_count(&mut self) -> usize {
+        self.params_and_grads().iter().map(|(p, _)| p.numel()).sum()
+    }
+
+    /// A short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,227 @@
+//! Pooling and flattening layers.
+
+use sl_tensor::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, Tensor};
+
+use crate::Layer;
+
+/// Non-overlapping average pooling (`NCHW`) — the paper's cut-layer
+/// compressor. `AvgPool2d::new(40, 40)` applied to the 40×40 CNN output
+/// produces the one-pixel image of the paper's title.
+pub struct AvgPool2d {
+    wh: usize,
+    ww: usize,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with window `wh × ww`.
+    pub fn new(wh: usize, ww: usize) -> Self {
+        assert!(wh > 0 && ww > 0, "AvgPool2d: window must be non-empty");
+        AvgPool2d {
+            wh,
+            ww,
+            input_dims: None,
+        }
+    }
+
+    /// The pooling window `(wh, ww)`.
+    pub fn window(&self) -> (usize, usize) {
+        (self.wh, self.ww)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = avg_pool2d(input, self.wh, self.ww);
+        self.input_dims = Some(input.dims().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .take()
+            .expect("AvgPool2d::backward called without a preceding forward");
+        avg_pool2d_backward(&dims, grad_out, self.wh, self.ww)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "avg_pool2d"
+    }
+}
+
+/// Non-overlapping max pooling (`NCHW`) — the cut-layer alternative that
+/// transmits each window's *strongest* activation instead of its mean.
+/// Used by the cut-pooling ablation; the paper (and the default
+/// [`crate::AvgPool2d`]) uses averaging.
+pub struct MaxPool2d {
+    wh: usize,
+    ww: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with window `wh × ww`.
+    pub fn new(wh: usize, ww: usize) -> Self {
+        assert!(wh > 0 && ww > 0, "MaxPool2d: window must be non-empty");
+        MaxPool2d {
+            wh,
+            ww,
+            cache: None,
+        }
+    }
+
+    /// The pooling window `(wh, ww)`.
+    pub fn window(&self) -> (usize, usize) {
+        (self.wh, self.ww)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (out, argmax) = max_pool2d(input, self.wh, self.ww);
+        self.cache = Some((input.dims().to_vec(), argmax));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (dims, argmax) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward called without a preceding forward");
+        max_pool2d_backward(&dims, grad_out, &argmax)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "max_pool2d"
+    }
+}
+
+/// Flattens `[N, C, H, W]` to `[N, C·H·W]` (and restores the shape on the
+/// way back). Bridges the convolutional stack to dense/recurrent layers.
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flattening layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Flatten::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert!(
+            input.shape().rank() >= 2,
+            "Flatten: input {} must have a leading batch axis",
+            input.shape()
+        );
+        let n = input.dims()[0];
+        let rest = input.numel() / n;
+        self.input_dims = Some(input.dims().to_vec());
+        input.reshape([n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .take()
+            .expect("Flatten::backward called without a preceding forward");
+        grad_out.reshape(dims)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_layer_one_pixel() {
+        let mut layer = AvgPool2d::new(4, 4);
+        let out = layer.forward(&Tensor::from_fn([1, 1, 4, 4], |i| i as f32));
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.item(), 7.5);
+    }
+
+    #[test]
+    fn pool_backward_round_trip_shape() {
+        let mut layer = AvgPool2d::new(2, 2);
+        let x = Tensor::ones([2, 3, 4, 4]);
+        let y = layer.forward(&x);
+        let gx = layer.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+        // Average pooling conserves gradient mass.
+        assert!((gx.sum() - y.numel() as f32).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut layer = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = layer.forward(&x);
+        assert_eq!(y.dims(), &[2, 12]);
+        let gx = layer.backward(&y);
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(gx.data(), x.data());
+    }
+
+    #[test]
+    fn pool_gradcheck() {
+        let report = crate::check_gradients(
+            AvgPool2d::new(2, 2),
+            &Tensor::from_fn([1, 2, 4, 4], |i| (i as f32).cos()),
+            1e-2,
+            8,
+        );
+        assert!(report.max_abs_err < 1e-2, "{report:?}");
+    }
+
+    #[test]
+    fn max_pool_layer_forward_backward() {
+        let mut layer = MaxPool2d::new(2, 2);
+        assert_eq!(layer.window(), (2, 2));
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let y = layer.forward(&x);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let gx = layer.backward(&Tensor::ones([1, 1, 2, 2]));
+        // Gradient mass lands only on the winners.
+        assert_eq!(gx.sum(), 4.0);
+        assert_eq!(gx.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(gx.at(&[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn max_pool_gradcheck_distinct_values() {
+        let report = crate::check_gradients(
+            MaxPool2d::new(2, 2),
+            &Tensor::from_fn([1, 1, 4, 4], |i| ((i * 7) % 13) as f32 * 0.37),
+            1e-3,
+            8,
+        );
+        assert!(report.max_abs_err < 1e-2, "{report:?}");
+    }
+}

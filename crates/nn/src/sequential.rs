@@ -1,0 +1,154 @@
+//! A sequential container chaining layers.
+
+use sl_tensor::Tensor;
+
+use crate::Layer;
+
+/// Runs layers in order on `forward`, in reverse on `backward`.
+///
+/// The UE-side network (`conv → relu → conv → sigmoid → avg-pool`) and the
+/// BS-side head are each a `Sequential`; the split-learning trainer in
+/// `sl-core` owns one per side and moves the cut-layer tensors between
+/// them through the simulated channel.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layer names, in forward order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, AvgPool2d, Conv2d, Dense, Flatten};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sl_tensor::Padding;
+
+    fn tiny_cnn(rng: &mut StdRng) -> Sequential {
+        Sequential::new()
+            .push(Conv2d::new(1, 2, 3, Padding::Same, rng))
+            .push(Activation::relu())
+            .push(Conv2d::new(2, 1, 3, Padding::Same, rng))
+            .push(Activation::sigmoid())
+            .push(AvgPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Dense::new(4, 1, rng))
+    }
+
+    #[test]
+    fn forward_chains_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = tiny_cnn(&mut rng);
+        let out = net.forward(&Tensor::zeros([3, 1, 4, 4]));
+        assert_eq!(out.dims(), &[3, 1]);
+        assert_eq!(net.len(), 7);
+        assert_eq!(
+            net.layer_names(),
+            vec!["conv2d", "relu", "conv2d", "sigmoid", "avg_pool2d", "flatten", "dense"]
+        );
+    }
+
+    #[test]
+    fn params_collects_all_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = tiny_cnn(&mut rng);
+        // conv(1→2): 18+2, conv(2→1): 18+1, dense(4→1): 4+1
+        assert_eq!(net.parameter_count(), 20 + 19 + 5);
+        assert_eq!(net.params_and_grads().len(), 6);
+    }
+
+    #[test]
+    fn whole_network_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = tiny_cnn(&mut rng);
+        let input = sl_tensor::randn([2, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let report = crate::check_gradients(net, &input, 1e-2, 4);
+        assert!(report.max_abs_err < 5e-2, "{report:?}");
+    }
+
+    #[test]
+    fn training_reduces_loss_end_to_end() {
+        use crate::{mse_loss, Adam, Optimizer};
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new()
+            .push(Dense::new(2, 8, &mut rng))
+            .push(Activation::tanh())
+            .push(Dense::new(8, 1, &mut rng));
+        // Learn y = x0 - x1 on a fixed batch.
+        let x = sl_tensor::randn([16, 2], 0.0, 1.0, &mut rng);
+        let y = Tensor::from_fn([16, 1], |i| x.at(&[i, 0]) - x.at(&[i, 1]));
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..600 {
+            let pred = net.forward(&x);
+            let l = mse_loss(&pred, &y);
+            net.backward(&l.grad);
+            opt.step(&mut net.params_and_grads());
+            net.zero_grads();
+            first.get_or_insert(l.loss);
+            last = l.loss;
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.05,
+            "training did not converge: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the NN layers: gradient correctness on random
+//! shapes/values, loss identities, optimizer invariants.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_nn::{
+    check_gradients, clip_global_norm, huber_loss, mae_loss, mse_loss, rmse, Activation,
+    ActivationKind, Dense, Layer, Lstm, Sgd, Optimizer,
+};
+use sl_tensor::Tensor;
+
+fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-3.0f32..3.0, n)
+        .prop_map(move |data| Tensor::from_vec(shape.clone(), data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // ---- gradients hold for arbitrary inputs --------------------------------
+
+    #[test]
+    fn dense_gradients_on_random_data(x in tensor(vec![3, 4]), seed in 0u64..1000) {
+        let layer = Dense::new(4, 2, &mut StdRng::seed_from_u64(seed));
+        let report = check_gradients(layer, &x, 1e-2, 4);
+        prop_assert!(report.max_abs_err < 0.1, "err {}", report.max_abs_err);
+    }
+
+    #[test]
+    fn lstm_gradients_on_random_data(x in tensor(vec![2, 3, 2]), seed in 0u64..1000) {
+        let layer = Lstm::new(2, 3, &mut StdRng::seed_from_u64(seed));
+        let report = check_gradients(layer, &x, 1e-2, 4);
+        prop_assert!(report.max_abs_err < 0.1, "err {}", report.max_abs_err);
+    }
+
+    #[test]
+    fn activation_gradients_on_random_data(x in tensor(vec![12])) {
+        for kind in [ActivationKind::Sigmoid, ActivationKind::Tanh, ActivationKind::Identity] {
+            let report = check_gradients(Activation::new(kind), &x, 1e-3, 6);
+            prop_assert!(report.max_abs_err < 0.05, "{kind:?}: err {}", report.max_abs_err);
+        }
+    }
+
+    // ---- loss identities ------------------------------------------------------
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_match(p in tensor(vec![6]), t in tensor(vec![6])) {
+        prop_assert!(mse_loss(&p, &t).loss >= 0.0);
+        prop_assert!(mae_loss(&p, &t).loss >= 0.0);
+        prop_assert!(huber_loss(&p, &t, 1.0).loss >= 0.0);
+        prop_assert!(mse_loss(&p, &p).loss.abs() < 1e-9);
+        prop_assert!(rmse(&t, &t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huber_between_scaled_mae_and_half_mse(p in tensor(vec![8]), t in tensor(vec![8])) {
+        // Pointwise: huber(d) ≤ d²/2 and huber(d) ≤ δ·|d|.
+        let h = huber_loss(&p, &t, 1.0).loss;
+        let m = mse_loss(&p, &t).loss;
+        let a = mae_loss(&p, &t).loss;
+        prop_assert!(h <= 0.5 * m + 1e-5);
+        prop_assert!(h <= a + 1e-5);
+    }
+
+    #[test]
+    fn rmse_scales_linearly(p in tensor(vec![8]), t in tensor(vec![8]), s in 0.1f32..5.0) {
+        let base = rmse(&p, &t);
+        let scaled = rmse(&p.scale(s), &t.scale(s));
+        prop_assert!((scaled - s * base).abs() < 1e-3 * (1.0 + base * s));
+    }
+
+    #[test]
+    fn mse_gradient_descends(p in tensor(vec![8]), t in tensor(vec![8])) {
+        // Stepping against the gradient must not increase the loss.
+        let l = mse_loss(&p, &t);
+        let stepped = p.sub(&l.grad.scale(0.1));
+        prop_assert!(mse_loss(&stepped, &t).loss <= l.loss + 1e-6);
+    }
+
+    // ---- optimizer invariants -------------------------------------------------
+
+    #[test]
+    fn sgd_moves_against_gradient(x0 in -5.0f32..5.0) {
+        let mut opt = Sgd::new(0.1);
+        let mut x = Tensor::from_slice(&[x0]);
+        let mut g = Tensor::from_slice(&[2.0 * x0]); // d/dx x²
+        let before = x0 * x0;
+        let mut pairs = [(&mut x, &mut g)];
+        opt.step(&mut pairs);
+        let after = x.data()[0] * x.data()[0];
+        prop_assert!(after <= before + 1e-6);
+    }
+
+    #[test]
+    fn clip_never_increases_norm(v in proptest::collection::vec(-100.0f32..100.0, 1..20), limit in 0.1f32..10.0) {
+        let mut t = Tensor::from_slice(&v);
+        let before = t.norm();
+        clip_global_norm(&mut [&mut t], limit);
+        prop_assert!(t.norm() <= before + 1e-4);
+        prop_assert!(t.norm() <= limit * 1.001 || before <= limit);
+    }
+
+    // ---- layer contracts --------------------------------------------------------
+
+    #[test]
+    fn relu_output_nonnegative_and_sparse_grad(x in tensor(vec![10])) {
+        let mut layer = Activation::relu();
+        let y = layer.forward(&x);
+        prop_assert!(y.min() >= 0.0);
+        let g = layer.backward(&Tensor::ones([10]));
+        // Gradient is 0 exactly where output is 0 (up to ties at x=0).
+        for i in 0..10 {
+            if y.data()[i] == 0.0 {
+                prop_assert_eq!(g.data()[i], 0.0);
+            } else {
+                prop_assert_eq!(g.data()[i], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_output_strictly_bounded(x in tensor(vec![2, 5, 3]), seed in 0u64..100) {
+        let mut lstm = Lstm::new(3, 4, &mut StdRng::seed_from_u64(seed));
+        let h = lstm.forward(&x);
+        prop_assert!(h.max() < 1.0 && h.min() > -1.0);
+        prop_assert!(h.all_finite());
+    }
+}

@@ -1,0 +1,196 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The MDS Gram matrices are small (one row per sampled image, ~100–400),
+//! dense and symmetric — exactly the regime where Jacobi rotations are
+//! simple, robust and accurate.
+
+/// Eigenvalues (descending) and matching eigenvectors of a symmetric
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the unit eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Decomposes the symmetric `n × n` matrix `a` (row-major).
+///
+/// Sweeps Jacobi rotations until the off-diagonal Frobenius mass falls
+/// below `1e-12` of the initial matrix norm (or 100 sweeps).
+///
+/// # Panics
+/// Panics when the buffer is not `n²` long or the matrix is visibly
+/// asymmetric.
+pub fn jacobi_eigen(n: usize, a: &[f64]) -> EigenDecomposition {
+    assert_eq!(a.len(), n * n, "jacobi_eigen: buffer/size mismatch");
+    for i in 0..n {
+        for j in 0..i {
+            assert!(
+                (a[i * n + j] - a[j * n + i]).abs() < 1e-6,
+                "jacobi_eigen: asymmetric input at ({i},{j})"
+            );
+        }
+    }
+    let mut m = a.to_vec();
+    // Eigenvector accumulator, starts as identity.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    let tol = 1e-12 * norm;
+
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[p * n + q] * m[p * n + q];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation to rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort descending by eigenvalue.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| {
+            let val = m[k * n + k];
+            let vec: Vec<f64> = (0..n).map(|r| v[r * n + k]).collect();
+            (val, vec)
+        })
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+    EigenDecomposition {
+        values: pairs.iter().map(|(val, _)| *val).collect(),
+        vectors: pairs.into_iter().map(|(_, vec)| vec).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(n: usize, a: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let e = jacobi_eigen(3, &a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let e = jacobi_eigen(2, &[2.0, 1.0, 1.0, 2.0]);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector of 3 is (1,1)/√2 up to sign.
+        let v = &e.vectors[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstructs_av_equals_lambda_v() {
+        // A pseudo-random symmetric 8x8.
+        let n = 8;
+        let mut a = vec![0.0f64; n * n];
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 2000) as f64 / 1000.0 - 1.0
+        };
+        for i in 0..n {
+            for j in 0..=i {
+                let x = next();
+                a[i * n + j] = x;
+                a[j * n + i] = x;
+            }
+        }
+        let e = jacobi_eigen(n, &a);
+        for k in 0..n {
+            let av = matvec(n, &a, &e.vectors[k]);
+            for r in 0..n {
+                assert!(
+                    (av[r] - e.values[k] * e.vectors[k][r]).abs() < 1e-8,
+                    "A·v ≠ λ·v at eigenpair {k}, row {r}"
+                );
+            }
+            // Unit norm.
+            let norm: f64 = e.vectors[k].iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-8);
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a[i * n + i]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_orthogonal() {
+        let a = vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0];
+        let e = jacobi_eigen(3, &a);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let dot: f64 = e.vectors[i]
+                    .iter()
+                    .zip(&e.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-8, "vectors {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn rejects_asymmetric_input() {
+        jacobi_eigen(2, &[1.0, 2.0, 0.0, 1.0]);
+    }
+}

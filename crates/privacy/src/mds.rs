@@ -1,0 +1,192 @@
+//! Classical (Torgerson) multidimensional scaling.
+
+use crate::distance::DistanceMatrix;
+use crate::eigen::jacobi_eigen;
+
+/// A `k`-dimensional MDS configuration of `n` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdsEmbedding {
+    n: usize,
+    dim: usize,
+    /// Row-major `n × dim` coordinates.
+    coords: Vec<f64>,
+}
+
+impl MdsEmbedding {
+    /// Number of embedded points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no points are embedded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "MdsEmbedding: index out of bounds");
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw row-major coordinate buffer.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Euclidean distance between embedded points `i` and `j`.
+    pub fn embedded_distance(&self, i: usize, j: usize) -> f64 {
+        self.point(i)
+            .iter()
+            .zip(self.point(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Classical MDS: embeds the points of `d` into `dim` dimensions so that
+/// embedded distances approximate the originals.
+///
+/// Algorithm: double-centre the squared-distance matrix into the Gram
+/// matrix `B = −½ J D² J`, eigendecompose, and scale the top-`dim`
+/// eigenvectors by `√λ`. Non-positive eigenvalues (non-Euclidean noise)
+/// contribute zero coordinates, the standard convention.
+pub fn mds(d: &DistanceMatrix, dim: usize) -> MdsEmbedding {
+    let n = d.len();
+    assert!(dim >= 1, "mds: embedding dimension must be ≥ 1");
+    if n == 0 {
+        return MdsEmbedding {
+            n: 0,
+            dim,
+            coords: Vec::new(),
+        };
+    }
+
+    // B = -1/2 · J D² J with J = I - 11ᵀ/n.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let v = d.get(i, j);
+            d2[i * n + j] = v * v;
+        }
+    }
+    let row_means: Vec<f64> = (0..n)
+        .map(|i| (0..n).map(|j| d2[i * n + j]).sum::<f64>() / n as f64)
+        .collect();
+    let grand = row_means.iter().sum::<f64>() / n as f64;
+    let mut b = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            b[i * n + j] = -0.5 * (d2[i * n + j] - row_means[i] - row_means[j] + grand);
+        }
+    }
+
+    let e = jacobi_eigen(n, &b);
+    let mut coords = vec![0.0f64; n * dim];
+    for k in 0..dim.min(n) {
+        let lambda = e.values[k];
+        if lambda <= 0.0 {
+            continue; // non-Euclidean residual: zero coordinate
+        }
+        let scale = lambda.sqrt();
+        for i in 0..n {
+            coords[i * dim + k] = e.vectors[k][i] * scale;
+        }
+    }
+    MdsEmbedding { n, dim, coords }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_matrix;
+    use sl_tensor::Tensor;
+
+    fn embed_points(pts: &[Vec<f32>], dim: usize) -> MdsEmbedding {
+        let tensors: Vec<Tensor> = pts.iter().map(|p| Tensor::from_slice(p)).collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        mds(&distance_matrix(&refs), dim)
+    }
+
+    #[test]
+    fn recovers_planar_configuration_distances() {
+        // Four corners of a rectangle in the plane; a 2-D MDS embedding
+        // must reproduce every pairwise distance exactly.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![3.0, 0.0],
+            vec![3.0, 2.0],
+            vec![0.0, 2.0],
+        ];
+        let e = embed_points(&pts, 2);
+        let expected = [
+            (0, 1, 3.0),
+            (1, 2, 2.0),
+            (2, 3, 3.0),
+            (3, 0, 2.0),
+            (0, 2, 13f64.sqrt()),
+            (1, 3, 13f64.sqrt()),
+        ];
+        for (i, j, d) in expected {
+            assert!(
+                (e.embedded_distance(i, j) - d).abs() < 1e-6,
+                "pair ({i},{j}): {} vs {d}",
+                e.embedded_distance(i, j)
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_is_centred() {
+        let pts = vec![vec![1.0, 5.0], vec![4.0, 1.0], vec![7.0, 9.0]];
+        let e = embed_points(&pts, 2);
+        for k in 0..2 {
+            let mean: f64 = (0..3).map(|i| e.point(i)[k]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9, "axis {k} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn high_dimensional_points_compress_with_loss() {
+        // Vertices of a 3-simplex (all pairwise distances equal) cannot
+        // embed exactly in 1-D; MDS must still return finite coordinates.
+        let pts = vec![
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0],
+        ];
+        let e = embed_points(&pts, 1);
+        assert_eq!(e.dim(), 1);
+        assert!(e.coords().iter().all(|c| c.is_finite()));
+        // Distances shrink on average relative to the true √2.
+        let mean: f64 = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+            .iter()
+            .map(|&(i, j)| e.embedded_distance(i, j))
+            .sum::<f64>()
+            / 6.0;
+        assert!(mean < 2f64.sqrt() + 1e-9);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn identical_points_collapse_to_origin() {
+        let pts = vec![vec![2.0, 2.0]; 3];
+        let e = embed_points(&pts, 2);
+        assert!(e.coords().iter().all(|&c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_input() {
+        let d = distance_matrix(&[]);
+        let e = mds(&d, 2);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the privacy metric: MDS distance recovery,
+//! similarity invariances, and leakage bounds.
+
+use proptest::prelude::*;
+
+use sl_privacy::{
+    congruence_coefficient, distance_matrix, jacobi_eigen, mds, privacy_leakage,
+    procrustes_similarity,
+};
+use sl_tensor::Tensor;
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, dim), n)
+}
+
+fn tensors(pts: &[Vec<f32>]) -> Vec<Tensor> {
+    pts.iter().map(|p| Tensor::from_slice(p)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distances_satisfy_triangle_inequality(pts in points(6, 4)) {
+        let ts = tensors(&pts);
+        let refs: Vec<&Tensor> = ts.iter().collect();
+        let d = distance_matrix(&refs);
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    prop_assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planar_points_embed_exactly(pts in points(8, 2)) {
+        // 2-D data embedded in 2-D must reproduce all pairwise distances.
+        let ts = tensors(&pts);
+        let refs: Vec<&Tensor> = ts.iter().collect();
+        let d = distance_matrix(&refs);
+        let e = mds(&d, 2);
+        for i in 0..8 {
+            for j in 0..8 {
+                let err = (e.embedded_distance(i, j) - d.get(i, j)).abs();
+                prop_assert!(err < 1e-3 * (1.0 + d.get(i, j)), "pair ({i},{j}) err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_in_unit_interval_and_reflexive(pts in points(8, 3)) {
+        let ts = tensors(&pts);
+        let refs: Vec<&Tensor> = ts.iter().collect();
+        let e = mds(&distance_matrix(&refs), 2);
+        let s = procrustes_similarity(&e, &e);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Degenerate (all-identical) configurations score 0 vs self by
+        // convention; otherwise self-similarity is 1.
+        if e.coords().iter().any(|&c| c.abs() > 1e-9) {
+            prop_assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric(a in points(7, 3), b in points(7, 5)) {
+        let ta = tensors(&a);
+        let tb = tensors(&b);
+        let ra: Vec<&Tensor> = ta.iter().collect();
+        let rb: Vec<&Tensor> = tb.iter().collect();
+        let ea = mds(&distance_matrix(&ra), 2);
+        let eb = mds(&distance_matrix(&rb), 2);
+        let s1 = procrustes_similarity(&ea, &eb);
+        let s2 = procrustes_similarity(&eb, &ea);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_bounded_and_maximal_for_identity(pts in points(10, 4)) {
+        let ts = tensors(&pts);
+        let refs: Vec<&Tensor> = ts.iter().collect();
+        let leak = privacy_leakage(&refs, &refs);
+        prop_assert!((0.0..=1.0).contains(&leak));
+        // Identity features leak everything (unless degenerate).
+        let d = distance_matrix(&refs);
+        if d.mean_off_diagonal() > 1e-6 {
+            prop_assert!(leak > 0.99, "identity leakage {leak}");
+        }
+    }
+
+    #[test]
+    fn congruence_bounded(a in points(6, 3), b in points(6, 3)) {
+        let ta = tensors(&a);
+        let tb = tensors(&b);
+        let ra: Vec<&Tensor> = ta.iter().collect();
+        let rb: Vec<&Tensor> = tb.iter().collect();
+        let c = congruence_coefficient(&distance_matrix(&ra), &distance_matrix(&rb));
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn eigen_trace_preserved(vals in proptest::collection::vec(-4.0f64..4.0, 10)) {
+        // Build a symmetric matrix from random entries.
+        let n = 4;
+        let mut m = vec![0.0f64; n * n];
+        let mut it = vals.iter();
+        for i in 0..n {
+            for j in 0..=i {
+                let v = *it.next().unwrap();
+                m[i * n + j] = v;
+                m[j * n + i] = v;
+            }
+        }
+        let e = jacobi_eigen(n, &m);
+        let trace: f64 = (0..n).map(|i| m[i * n + i]).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+        // Eigenvalues sorted descending.
+        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+}

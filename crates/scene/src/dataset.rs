@@ -1,0 +1,347 @@
+//! Sequence dataset: windowing, train/validation split, normalization.
+//!
+//! Mirrors §3 of the paper: at time index `k` the RNN is fed the sequence
+//! `{s_{k−L+1}, …, s_k}` with `L = 4` and predicts the received power
+//! `T = 120 ms` ahead, i.e. `P_{k+T/γ}` with `γ = 33 ms` — `⌈T/γ⌉ = 4`
+//! frames. The training set is the first 9,928 indices
+//! (`K_train = {L, …, 9928}`), validation the remainder.
+
+use rand::Rng;
+
+use sl_tensor::Tensor;
+
+use crate::trace::MeasurementTrace;
+
+/// The paper's sequence length `L`.
+pub const PAPER_SEQ_LEN: usize = 4;
+/// The paper's prediction horizon in frames, `⌈T/γ⌉ = ⌈120/33⌉`.
+pub const PAPER_HORIZON_FRAMES: usize = 4;
+/// The paper's last (1-based) training index.
+pub const PAPER_TRAIN_END: usize = 9_928;
+/// The paper's dataset size `|K|`.
+pub const PAPER_DATASET_LEN: usize = 13_228;
+
+/// Train/validation index sets over a trace.
+///
+/// Indices are 0-based positions of the *current* sample `k`; an index is
+/// usable iff it has `seq_len − 1` history frames before it and
+/// `horizon` future frames after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitIndices {
+    /// Usable training indices, ascending.
+    pub train: Vec<usize>,
+    /// Usable validation indices, ascending.
+    pub val: Vec<usize>,
+}
+
+impl SplitIndices {
+    /// Splits `len` samples the way the paper does: the first
+    /// `train_end` samples train, the rest validate. For the paper's
+    /// 13,228-sample trace use `train_end = PAPER_TRAIN_END`; for scaled
+    /// traces pass e.g. `(0.75 * len) as usize`.
+    pub fn time_ordered(len: usize, seq_len: usize, horizon: usize, train_end: usize) -> Self {
+        assert!(seq_len >= 1, "SplitIndices: sequence length must be ≥ 1");
+        assert!(train_end <= len, "SplitIndices: train_end beyond trace");
+        let first = seq_len - 1;
+        let last = len.saturating_sub(horizon + 1);
+        let mut train = Vec::new();
+        let mut val = Vec::new();
+        for k in first..=last {
+            if k < train_end {
+                train.push(k);
+            } else {
+                val.push(k);
+            }
+        }
+        SplitIndices { train, val }
+    }
+
+    /// The paper's split for a trace of the paper's length, scaled
+    /// proportionally (9928/13228 ≈ 75 %) for other lengths.
+    pub fn paper_style(len: usize, seq_len: usize, horizon: usize) -> Self {
+        let train_end = if len == PAPER_DATASET_LEN {
+            PAPER_TRAIN_END
+        } else {
+            len * PAPER_TRAIN_END / PAPER_DATASET_LEN
+        };
+        SplitIndices::time_ordered(len, seq_len, horizon, train_end)
+    }
+}
+
+/// Z-score normalizer for received powers (dBm ↔ unitless).
+///
+/// Fitted on training targets only, so validation data never leaks into
+/// the statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerNormalizer {
+    /// Mean of the fitted powers, dBm.
+    pub mean_dbm: f32,
+    /// Standard deviation of the fitted powers, dB.
+    pub std_db: f32,
+}
+
+impl PowerNormalizer {
+    /// Fits mean/std on `powers_dbm`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice or zero variance.
+    pub fn fit(powers_dbm: &[f32]) -> Self {
+        assert!(!powers_dbm.is_empty(), "PowerNormalizer: no samples");
+        let n = powers_dbm.len() as f32;
+        let mean = powers_dbm.iter().sum::<f32>() / n;
+        let var = powers_dbm.iter().map(|&p| (p - mean) * (p - mean)).sum::<f32>() / n;
+        let std = var.sqrt();
+        assert!(std > 0.0, "PowerNormalizer: zero variance");
+        PowerNormalizer {
+            mean_dbm: mean,
+            std_db: std,
+        }
+    }
+
+    /// dBm → unitless.
+    pub fn normalize(&self, dbm: f32) -> f32 {
+        (dbm - self.mean_dbm) / self.std_db
+    }
+
+    /// unitless → dBm.
+    pub fn denormalize(&self, z: f32) -> f32 {
+        z * self.std_db + self.mean_dbm
+    }
+
+    /// Converts an RMSE in normalized units back to dB.
+    pub fn rmse_to_db(&self, rmse_normalized: f32) -> f32 {
+        rmse_normalized * self.std_db
+    }
+}
+
+/// One supervised sample: `L` history frames + powers, and the
+/// `horizon`-ahead target power.
+#[derive(Debug, Clone)]
+pub struct SequenceSample<'a> {
+    /// Depth frames `x_{k−L+1} … x_k`, oldest first.
+    pub images: Vec<&'a Tensor>,
+    /// Received powers `P_{k−L+1} … P_k` in dBm, oldest first.
+    pub powers_dbm: Vec<f32>,
+    /// The prediction target `P_{k+horizon}` in dBm.
+    pub target_dbm: f32,
+    /// The current index `k` (for trace-aligned diagnostics).
+    pub index: usize,
+}
+
+/// A windowed view over a [`MeasurementTrace`] with the paper's sequence
+/// structure, split and normalizer.
+#[derive(Debug, Clone)]
+pub struct SequenceDataset {
+    trace: MeasurementTrace,
+    seq_len: usize,
+    horizon: usize,
+    splits: SplitIndices,
+    normalizer: PowerNormalizer,
+}
+
+impl SequenceDataset {
+    /// Builds a dataset with explicit windowing parameters. The
+    /// normalizer is fitted on training-set *target* powers.
+    pub fn new(trace: MeasurementTrace, seq_len: usize, horizon: usize) -> Self {
+        assert!(seq_len >= 1, "SequenceDataset: sequence length must be ≥ 1");
+        assert!(
+            trace.len() > seq_len + horizon,
+            "SequenceDataset: trace of {} samples too short for L={} and horizon={}",
+            trace.len(),
+            seq_len,
+            horizon
+        );
+        let splits = SplitIndices::paper_style(trace.len(), seq_len, horizon);
+        assert!(
+            !splits.train.is_empty() && !splits.val.is_empty(),
+            "SequenceDataset: degenerate split"
+        );
+        let train_targets: Vec<f32> = splits
+            .train
+            .iter()
+            .map(|&k| trace.powers_dbm[k + horizon])
+            .collect();
+        let normalizer = PowerNormalizer::fit(&train_targets);
+        SequenceDataset {
+            trace,
+            seq_len,
+            horizon,
+            splits,
+            normalizer,
+        }
+    }
+
+    /// Builds a dataset with the paper's `L = 4` and 4-frame horizon.
+    pub fn paper_windowing(trace: MeasurementTrace) -> Self {
+        SequenceDataset::new(trace, PAPER_SEQ_LEN, PAPER_HORIZON_FRAMES)
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &MeasurementTrace {
+        &self.trace
+    }
+
+    /// Sequence length `L`.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Prediction horizon in frames.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The fitted power normalizer.
+    pub fn normalizer(&self) -> PowerNormalizer {
+        self.normalizer
+    }
+
+    /// Training indices.
+    pub fn train_indices(&self) -> &[usize] {
+        &self.splits.train
+    }
+
+    /// Validation indices.
+    pub fn val_indices(&self) -> &[usize] {
+        &self.splits.val
+    }
+
+    /// Assembles the sample at index `k`.
+    ///
+    /// # Panics
+    /// Panics when `k` lacks history or future context.
+    pub fn sample(&self, k: usize) -> SequenceSample<'_> {
+        assert!(
+            k + 1 >= self.seq_len && k + self.horizon < self.trace.len(),
+            "SequenceDataset: index {k} out of the usable range"
+        );
+        let start = k + 1 - self.seq_len;
+        SequenceSample {
+            images: self.trace.frames[start..=k].iter().collect(),
+            powers_dbm: self.trace.powers_dbm[start..=k].to_vec(),
+            target_dbm: self.trace.powers_dbm[k + self.horizon],
+            index: k,
+        }
+    }
+
+    /// Draws a uniformly-random training minibatch of `batch_size`
+    /// indices (with replacement, as the paper's "uniformly randomly
+    /// sampled" minibatches imply).
+    pub fn sample_train_batch(&self, batch_size: usize, rng: &mut impl Rng) -> Vec<usize> {
+        assert!(batch_size > 0, "SequenceDataset: empty batch");
+        (0..batch_size)
+            .map(|_| self.splits.train[rng.random_range(0..self.splits.train.len())])
+            .collect()
+    }
+
+    /// SGD steps per epoch at `batch_size`: `⌈|K_train| / B⌉` (the paper's
+    /// 156 steps for `B = 64`).
+    pub fn steps_per_epoch(&self, batch_size: usize) -> usize {
+        self.splits.train.len().div_ceil(batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scene, SceneConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset(seed: u64) -> SequenceDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+        SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+    }
+
+    #[test]
+    fn paper_split_counts() {
+        let s = SplitIndices::time_ordered(
+            PAPER_DATASET_LEN,
+            PAPER_SEQ_LEN,
+            PAPER_HORIZON_FRAMES,
+            PAPER_TRAIN_END,
+        );
+        // K_train = {L, …, 9928} (1-based) has 9925 usable indices.
+        assert_eq!(s.train.len(), PAPER_TRAIN_END - PAPER_SEQ_LEN + 1);
+        assert_eq!(*s.train.first().unwrap(), PAPER_SEQ_LEN - 1);
+        assert_eq!(*s.train.last().unwrap(), PAPER_TRAIN_END - 1);
+        // Validation: the rest, minus the horizon tail.
+        assert_eq!(
+            s.val.len(),
+            PAPER_DATASET_LEN - PAPER_TRAIN_END - PAPER_HORIZON_FRAMES
+        );
+        // The paper's 156 steps/epoch at B = 64.
+        assert_eq!(s.train.len().div_ceil(64), 156);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_time_ordered() {
+        let s = SplitIndices::paper_style(600, 4, 4);
+        let last_train = *s.train.last().unwrap();
+        let first_val = *s.val.first().unwrap();
+        assert!(last_train < first_val, "validation must follow training in time");
+        assert!(s.train.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.val.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sample_structure() {
+        let ds = tiny_dataset(41);
+        let k = ds.train_indices()[10];
+        let s = ds.sample(k);
+        assert_eq!(s.images.len(), 4);
+        assert_eq!(s.powers_dbm.len(), 4);
+        assert_eq!(s.index, k);
+        // Target is exactly the trace value horizon frames ahead.
+        assert_eq!(s.target_dbm, ds.trace().powers_dbm[k + 4]);
+        // Newest image is the trace frame at k.
+        assert_eq!(s.images[3], &ds.trace().frames[k]);
+        assert_eq!(s.images[0], &ds.trace().frames[k - 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "usable range")]
+    fn sample_requires_history() {
+        let ds = tiny_dataset(42);
+        ds.sample(1);
+    }
+
+    #[test]
+    fn normalizer_round_trip_and_training_only_fit() {
+        let ds = tiny_dataset(43);
+        let n = ds.normalizer();
+        for &p in &[-45.0f32, -20.0, -18.0] {
+            assert!((n.denormalize(n.normalize(p)) - p).abs() < 1e-4);
+        }
+        // Normalized training targets must be ~zero-mean, unit-variance.
+        let zs: Vec<f32> = ds
+            .train_indices()
+            .iter()
+            .map(|&k| n.normalize(ds.trace().powers_dbm[k + 4]))
+            .collect();
+        let mean = zs.iter().sum::<f32>() / zs.len() as f32;
+        let var = zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f32>() / zs.len() as f32;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        assert!((n.rmse_to_db(1.0) - n.std_db).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batches_draw_from_training_set_only() {
+        let ds = tiny_dataset(44);
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = ds.sample_train_batch(256, &mut rng);
+        assert_eq!(batch.len(), 256);
+        let val_start = ds.val_indices()[0];
+        assert!(batch.iter().all(|&k| k < val_start));
+    }
+
+    #[test]
+    fn steps_per_epoch_ceil() {
+        let ds = tiny_dataset(45);
+        let n = ds.train_indices().len();
+        assert_eq!(ds.steps_per_epoch(64), n.div_ceil(64));
+        assert_eq!(ds.steps_per_epoch(n), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Trace persistence.
+//!
+//! Generated traces can be saved and reloaded so that experiments across
+//! processes (or future sessions) share the exact same dataset. The
+//! format (`.slt`, *s*plit-*l*earning *t*race) is a minimal
+//! little-endian binary layout — no external serialization dependency:
+//!
+//! ```text
+//! magic  b"SLTRACE1"                      8 bytes
+//! height u32 | width u32 | frames u32     12 bytes
+//! frame_interval_s f64                    8 bytes
+//! powers  f32 × frames
+//! pixels  f32 × frames·height·width       (row-major per frame)
+//! ```
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use sl_tensor::Tensor;
+
+use crate::trace::MeasurementTrace;
+
+const MAGIC: &[u8; 8] = b"SLTRACE1";
+
+/// Errors from loading a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an `.slt` file (bad magic).
+    BadMagic,
+    /// Structurally invalid contents.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a SLTRACE1 file"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl MeasurementTrace {
+    /// Writes the trace to `path` in the `.slt` format.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+        assert!(!self.is_empty(), "save: empty trace");
+        let (h, w) = (self.frames[0].dims()[0], self.frames[0].dims()[1]);
+        let mut buf = Vec::with_capacity(28 + self.len() * (4 + h * w * 4));
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(h as u32).to_le_bytes());
+        buf.extend_from_slice(&(w as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.frame_interval_s.to_le_bytes());
+        for &p in &self.powers_dbm {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        for frame in &self.frames {
+            assert_eq!(frame.dims(), &[h, w], "save: inconsistent frame sizes");
+            for &px in frame.data() {
+                buf.extend_from_slice(&px.to_le_bytes());
+            }
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Reads a trace previously written by [`MeasurementTrace::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<MeasurementTrace, TraceIoError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < 28 || &bytes[..8] != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap()) as usize;
+        let (h, w, n) = (u32_at(8), u32_at(12), u32_at(16));
+        let interval = f64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        if h == 0 || w == 0 || n == 0 {
+            return Err(TraceIoError::Corrupt("zero dimension"));
+        }
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(TraceIoError::Corrupt("bad frame interval"));
+        }
+        let expected = 28 + n * 4 + n * h * w * 4;
+        if bytes.len() != expected {
+            return Err(TraceIoError::Corrupt("length mismatch"));
+        }
+        let f32_at = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let powers: Vec<f32> = (0..n).map(|i| f32_at(28 + i * 4)).collect();
+        let base = 28 + n * 4;
+        let frames: Vec<Tensor> = (0..n)
+            .map(|i| {
+                let data: Vec<f32> = (0..h * w)
+                    .map(|j| f32_at(base + (i * h * w + j) * 4))
+                    .collect();
+                Tensor::from_vec([h, w], data).expect("frame buffer sized by construction")
+            })
+            .collect();
+        Ok(MeasurementTrace {
+            frames,
+            powers_dbm: powers,
+            frame_interval_s: interval,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scene, SceneConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("slt_test_{name}_{}.slt", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let cfg = SceneConfig {
+            num_frames: 30,
+            ..SceneConfig::tiny()
+        };
+        let mut rng = StdRng::seed_from_u64(400);
+        let scene = Scene::generate(cfg, &mut rng);
+        let trace = scene.simulate(&mut rng);
+        let path = tmp("round_trip");
+        trace.save(&path).unwrap();
+        let loaded = MeasurementTrace::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.len(), trace.len());
+        assert_eq!(loaded.powers_dbm, trace.powers_dbm);
+        assert_eq!(loaded.frame_interval_s, trace.frame_interval_s);
+        for (a, b) in loaded.frames.iter().zip(&trace.frames) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a trace").unwrap();
+        assert!(matches!(
+            MeasurementTrace::load(&path),
+            Err(TraceIoError::BadMagic)
+        ));
+
+        // Valid header, truncated body.
+        let cfg = SceneConfig {
+            num_frames: 5,
+            ..SceneConfig::tiny()
+        };
+        let mut rng = StdRng::seed_from_u64(401);
+        let scene = Scene::generate(cfg, &mut rng);
+        let trace = scene.simulate(&mut rng);
+        trace.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            MeasurementTrace::load(&path),
+            Err(TraceIoError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            MeasurementTrace::load("/nonexistent/path/x.slt"),
+            Err(TraceIoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Received-power model with human-body blockage.
+//!
+//! 60 GHz links lose 15–25 dB when a human body blocks the first Fresnel
+//! zone, with a sharp-but-finite ramp as the body edge sweeps through it
+//! (measured in the paper's companion work [3]). We model the attenuation
+//! of one pedestrian as a smoothstep of the body-edge distance to the LoS
+//! line over a `transition_margin_m` zone, take the maximum over
+//! pedestrians (one body already saturates the fade), and add two noise
+//! terms: slowly varying AR(1) shadowing and i.i.d. fast fading.
+
+use rand::Rng;
+
+use crate::config::SceneConfig;
+use crate::pedestrian::Pedestrian;
+
+/// The deterministic part of the blockage attenuation at time `t`, in dB.
+///
+/// `0` when no body is near the LoS line, `config.blockage_depth_db` when
+/// a body straddles it, smooth in between.
+pub fn blockage_attenuation_db(config: &SceneConfig, pedestrians: &[Pedestrian], t: f64) -> f64 {
+    let mut worst = 0.0f64;
+    for p in pedestrians {
+        let Some(edge) = p.edge_distance_to_los(t) else {
+            continue;
+        };
+        let depth = if config.transition_margin_m == 0.0 {
+            if edge == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            smoothstep(1.0 - (edge / config.transition_margin_m).min(1.0))
+        };
+        worst = worst.max(depth * config.blockage_depth_db);
+    }
+    worst
+}
+
+/// Cubic smoothstep on `[0, 1]`.
+fn smoothstep(x: f64) -> f64 {
+    let x = x.clamp(0.0, 1.0);
+    x * x * (3.0 - 2.0 * x)
+}
+
+/// Stateful stochastic power model: LoS baseline − blockage − shadowing
+/// + fading.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    config: SceneConfig,
+    /// Current AR(1) shadowing state in dB.
+    shadowing_db: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model for `config` with zero initial shadowing.
+    pub fn new(config: SceneConfig) -> Self {
+        config.validate();
+        PowerModel {
+            config,
+            shadowing_db: 0.0,
+        }
+    }
+
+    /// Advances the model one frame and returns the received power in dBm
+    /// at time `t` given the pedestrians in the scene.
+    ///
+    /// Must be called once per frame in time order: the shadowing term is
+    /// an AR(1) process whose state advances per call.
+    pub fn sample_dbm(
+        &mut self,
+        pedestrians: &[Pedestrian],
+        t: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let cfg = &self.config;
+        // AR(1): s' = ρ·s + sqrt(1-ρ²)·σ·ε keeps marginal variance σ².
+        let innovation = gaussian(rng) * cfg.shadowing_sigma_db;
+        self.shadowing_db = cfg.shadowing_rho * self.shadowing_db
+            + (1.0 - cfg.shadowing_rho * cfg.shadowing_rho).sqrt() * innovation;
+        let fast = gaussian(rng) * cfg.fading_sigma_db;
+        cfg.los_power_dbm - blockage_attenuation_db(cfg, pedestrians, t) + self.shadowing_db + fast
+    }
+
+    /// The noiseless received power (baseline minus blockage) — used by
+    /// tests and by the ground-truth diagnostics.
+    pub fn mean_dbm(&self, pedestrians: &[Pedestrian], t: f64) -> f64 {
+        self.config.los_power_dbm - blockage_attenuation_db(&self.config, pedestrians, t)
+    }
+}
+
+/// One standard normal via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn crossing_walker(cfg: &SceneConfig) -> Pedestrian {
+        Pedestrian {
+            cross_x: 2.0,
+            spawn_time_s: 0.0,
+            speed_mps: 1.0,
+            direction: 1.0,
+            width_m: 0.5,
+            height_m: 1.8,
+            start_y_m: -cfg.corridor_half_m,
+            corridor_half_m: cfg.corridor_half_m,
+        }
+    }
+
+    #[test]
+    fn no_pedestrians_no_blockage() {
+        let cfg = SceneConfig::paper();
+        assert_eq!(blockage_attenuation_db(&cfg, &[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn full_fade_while_straddling_los() {
+        let cfg = SceneConfig::paper();
+        let p = crossing_walker(&cfg);
+        let t_cross = p.crossing_time_s();
+        assert_eq!(
+            blockage_attenuation_db(&cfg, std::slice::from_ref(&p), t_cross),
+            cfg.blockage_depth_db
+        );
+        // Far away: zero.
+        assert_eq!(
+            blockage_attenuation_db(&cfg, std::slice::from_ref(&p), t_cross - 2.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ramp_is_smooth_and_monotone_on_approach() {
+        let cfg = SceneConfig::paper();
+        let p = crossing_walker(&cfg);
+        let t_cross = p.crossing_time_s();
+        // Sample the approach over the transition zone.
+        let mut last = -1.0;
+        for k in 0..20 {
+            // Edge distance shrinks linearly with time before crossing.
+            let t = t_cross - 0.37 + 0.37 * k as f64 / 20.0;
+            let a = blockage_attenuation_db(&cfg, std::slice::from_ref(&p), t);
+            assert!(a >= last - 1e-9, "attenuation not monotone: {last} -> {a}");
+            last = a;
+        }
+        assert!((last - cfg.blockage_depth_db).abs() < 0.5);
+    }
+
+    #[test]
+    fn two_pedestrians_take_max_not_sum() {
+        let cfg = SceneConfig::paper();
+        let a = crossing_walker(&cfg);
+        let mut b = crossing_walker(&cfg);
+        b.cross_x = 3.0;
+        let t = a.crossing_time_s();
+        let att = blockage_attenuation_db(&cfg, &[a, b], t);
+        assert_eq!(att, cfg.blockage_depth_db);
+    }
+
+    #[test]
+    fn los_power_statistics() {
+        let cfg = SceneConfig::paper();
+        let mut model = PowerModel::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| model.sample_dbm(&[], 0.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - cfg.los_power_dbm).abs() < 0.1, "mean {mean}");
+        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let expect = cfg.shadowing_sigma_db.powi(2) + cfg.fading_sigma_db.powi(2);
+        assert!((var - expect).abs() < 0.15, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn blocked_power_drops_by_blockage_depth() {
+        let cfg = SceneConfig::paper();
+        let model = PowerModel::new(cfg.clone());
+        let p = crossing_walker(&cfg);
+        let open = model.mean_dbm(&[], 0.0);
+        let blocked = model.mean_dbm(std::slice::from_ref(&p), p.crossing_time_s());
+        assert!((open - blocked - cfg.blockage_depth_db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_is_temporally_correlated() {
+        let cfg = SceneConfig {
+            fading_sigma_db: 0.0, // isolate the AR(1) term
+            ..SceneConfig::paper()
+        };
+        let mut model = PowerModel::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(32);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_dbm(&[], 0.0, &mut rng) - cfg.los_power_dbm)
+            .collect();
+        // Lag-1 autocorrelation should be near ρ.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        let cov: f64 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+        let rho = cov / var;
+        assert!((rho - cfg.shadowing_rho).abs() < 0.05, "rho = {rho}");
+    }
+
+    #[test]
+    fn smoothstep_endpoints() {
+        assert_eq!(smoothstep(0.0), 0.0);
+        assert_eq!(smoothstep(1.0), 1.0);
+        assert!((smoothstep(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(smoothstep(-1.0), 0.0);
+        assert_eq!(smoothstep(2.0), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the scene substrate: geometric and physical
+//! invariants that must hold for any pedestrian configuration.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_scene::{
+    DepthCamera, Pedestrian, PowerNormalizer, Scene, SceneConfig, SplitIndices,
+};
+
+fn any_pedestrian() -> impl Strategy<Value = Pedestrian> {
+    (
+        0.5f64..3.5,    // cross_x
+        0.0f64..100.0,  // spawn time
+        0.5f64..2.0,    // speed
+        prop::bool::ANY,
+        0.3f64..0.6,    // width
+        1.5f64..2.0,    // height
+    )
+        .prop_map(|(cross_x, spawn, speed, fwd, width, height)| {
+            let direction = if fwd { 1.0 } else { -1.0 };
+            Pedestrian {
+                cross_x,
+                spawn_time_s: spawn,
+                speed_mps: speed,
+                direction,
+                width_m: width,
+                height_m: height,
+                start_y_m: -direction * 3.0,
+                corridor_half_m: 3.0,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pedestrian_trajectory_is_continuous(p in any_pedestrian(), dt in 0.0f64..5.9) {
+        let t = p.spawn_time_s + dt;
+        if let Some(y) = p.y_at(t) {
+            prop_assert!(y.abs() <= 3.0 + 1e-9);
+            // Position advances linearly with speed.
+            let expected = p.start_y_m + p.direction * p.speed_mps * dt;
+            prop_assert!((y - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crossing_time_has_zero_y(p in any_pedestrian()) {
+        let tc = p.crossing_time_s();
+        let y = p.y_at(tc).expect("pedestrian active at crossing");
+        prop_assert!(y.abs() < 1e-9);
+        prop_assert_eq!(p.edge_distance_to_los(tc), Some(0.0));
+    }
+
+    #[test]
+    fn edge_distance_nonnegative(p in any_pedestrian(), t in 0.0f64..120.0) {
+        if let Some(d) = p.edge_distance_to_los(t) {
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rendered_frames_always_normalized(p in any_pedestrian(), t in 0.0f64..120.0) {
+        let cfg = SceneConfig::tiny();
+        let cam = DepthCamera::new(cfg.camera.clone(), cfg.distance_m);
+        let frame = cam.render(std::slice::from_ref(&p), t);
+        prop_assert!(frame.min() >= 0.0 && frame.max() <= 1.0);
+        prop_assert!(frame.all_finite());
+    }
+
+    #[test]
+    fn normalizer_round_trips(powers in proptest::collection::vec(-60.0f32..0.0, 2..50)) {
+        // Guard against zero variance.
+        let spread = powers.iter().cloned().fold(f32::INFINITY, f32::min)
+            != powers.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assume!(spread);
+        let n = PowerNormalizer::fit(&powers);
+        for &p in &powers {
+            prop_assert!((n.denormalize(n.normalize(p)) - p).abs() < 1e-3);
+        }
+        prop_assert!(n.std_db > 0.0);
+    }
+
+    #[test]
+    fn split_indices_partition_usable_range(len in 20usize..500, l in 1usize..6, h in 0usize..6) {
+        prop_assume!(len > l + h + 4);
+        let s = SplitIndices::paper_style(len, l, h);
+        // Every usable index appears exactly once across the two sets.
+        let mut all: Vec<usize> = s.train.iter().chain(s.val.iter()).copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (l - 1..=len - h - 1).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn traces_deterministic_per_seed(seed in 0u64..50) {
+        let cfg = SceneConfig { num_frames: 40, ..SceneConfig::tiny() };
+        let run = |s| {
+            let mut rng = StdRng::seed_from_u64(s);
+            let scene = Scene::generate(cfg.clone(), &mut rng);
+            scene.simulate(&mut rng).powers_dbm
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,420 @@
+//! 2-D convolution (stride 1) in `NCHW` layout, with the full backward
+//! pass needed for training the UE-side CNN.
+//!
+//! The split network uses 'same'-padded 3×3 convolutions so that the CNN
+//! output keeps the `N_H × N_W` spatial size of the raw depth image (the
+//! paper's average-pooling cut layer then divides each spatial dimension
+//! by the pooling size). Only stride 1 is implemented — the paper's
+//! architecture needs nothing else, and leaving stride out keeps the
+//! kernels small and auditable.
+
+use crate::tensor::Tensor;
+
+/// Spatial padding policy for [`conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding; output is `H - kh + 1` × `W - kw + 1`.
+    Valid,
+    /// Zero-padding of `(k-1)/2` on each side; output keeps the input
+    /// spatial size (requires odd kernel sizes).
+    Same,
+}
+
+impl Padding {
+    /// `(pad_h, pad_w)` for a `kh × kw` kernel.
+    ///
+    /// # Panics
+    /// Panics for [`Padding::Same`] with an even kernel size, which cannot
+    /// be padded symmetrically.
+    pub fn amounts(self, kh: usize, kw: usize) -> (usize, usize) {
+        match self {
+            Padding::Valid => (0, 0),
+            Padding::Same => {
+                assert!(
+                    kh % 2 == 1 && kw % 2 == 1,
+                    "Padding::Same requires odd kernel sizes, got {kh}x{kw}"
+                );
+                ((kh - 1) / 2, (kw - 1) / 2)
+            }
+        }
+    }
+
+    /// Output spatial size for an `h × w` input and `kh × kw` kernel.
+    pub fn output_size(self, h: usize, w: usize, kh: usize, kw: usize) -> (usize, usize) {
+        let (ph, pw) = self.amounts(kh, kw);
+        assert!(
+            h + 2 * ph >= kh && w + 2 * pw >= kw,
+            "conv2d: kernel {kh}x{kw} larger than padded input {h}x{w}"
+        );
+        (h + 2 * ph - kh + 1, w + 2 * pw - kw + 1)
+    }
+}
+
+fn conv_dims(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "conv2d: input {} is not NCHW rank-4",
+        input.shape()
+    );
+    assert_eq!(
+        weight.shape().rank(),
+        4,
+        "conv2d: weight {} is not [out_c, in_c, kh, kw] rank-4",
+        weight.shape()
+    );
+    let (n, c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (c_out, wc_in, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(
+        c_in, wc_in,
+        "conv2d: input channels {} do not match weight channels {}",
+        c_in, wc_in
+    );
+    assert_eq!(
+        bias.numel(),
+        c_out,
+        "conv2d: bias length {} does not match output channels {}",
+        bias.numel(),
+        c_out
+    );
+    (n, c_in, h, w, c_out, kh, kw)
+}
+
+/// Stride-1 2-D convolution.
+///
+/// * `input`: `[N, C_in, H, W]`
+/// * `weight`: `[C_out, C_in, kh, kw]`
+/// * `bias`: `[C_out]`
+///
+/// Returns `[N, C_out, H_out, W_out]` where the output spatial size follows
+/// from `padding` (see [`Padding::output_size`]).
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, padding: Padding) -> Tensor {
+    let (n, c_in, h, w, c_out, kh, kw) = conv_dims(input, weight, bias);
+    let (ph, pw) = padding.amounts(kh, kw);
+    let (ho, wo) = padding.output_size(h, w, kh, kw);
+
+    let x = input.data();
+    let wt = weight.data();
+    let b = bias.data();
+    let mut out = vec![0.0f32; n * c_out * ho * wo];
+
+    for img in 0..n {
+        for co in 0..c_out {
+            let out_base = (img * c_out + co) * ho * wo;
+            out[out_base..out_base + ho * wo].fill(b[co]);
+            for ci in 0..c_in {
+                let in_base = (img * c_in + ci) * h * w;
+                let w_base = (co * c_in + ci) * kh * kw;
+                for dy in 0..kh {
+                    // Valid output rows for this vertical tap: oy + dy
+                    // must land inside the (virtually padded) input.
+                    let oy_lo = ph.saturating_sub(dy);
+                    let oy_hi = (h + ph - dy).min(ho);
+                    for dx in 0..kw {
+                        let wv = wt[w_base + dy * kw + dx];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // Valid output columns for this horizontal tap —
+                        // hoisting the bounds out of the inner loop keeps
+                        // it contiguous and branch-free (vectorizable).
+                        let ox_lo = pw.saturating_sub(dx);
+                        let ox_hi = (w + pw - dx).min(wo);
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        for oy in oy_lo..oy_hi {
+                            let orow = out_base + oy * wo;
+                            let irow = in_base + (oy + dy - ph) * w + (ox_lo + dx - pw);
+                            let dst = &mut out[orow + ox_lo..orow + ox_hi];
+                            let src = &x[irow..irow + (ox_hi - ox_lo)];
+                            for (o, &v) in dst.iter_mut().zip(src) {
+                                *o += wv * v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([n, c_out, ho, wo], out).expect("conv2d output buffer sized by construction")
+}
+
+/// Gradients produced by [`conv2d_backward`].
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, `[N, C_in, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, `[C_out, C_in, kh, kw]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[C_out]`.
+    pub grad_bias: Tensor,
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// Given the upstream gradient `grad_out` (`[N, C_out, H_out, W_out]`, same
+/// shape as the forward output), produces the gradients with respect to
+/// the input, weights and bias.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    padding: Padding,
+) -> Conv2dGrads {
+    let bias_placeholder = Tensor::zeros([weight.dims()[0]]);
+    let (n, c_in, h, w, c_out, kh, kw) = conv_dims(input, weight, &bias_placeholder);
+    let (ph, pw) = padding.amounts(kh, kw);
+    let (ho, wo) = padding.output_size(h, w, kh, kw);
+    assert_eq!(
+        grad_out.dims(),
+        &[n, c_out, ho, wo],
+        "conv2d_backward: grad_out {} does not match expected [{n}x{c_out}x{ho}x{wo}]",
+        grad_out.shape()
+    );
+
+    let x = input.data();
+    let wt = weight.data();
+    let g = grad_out.data();
+
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = vec![0.0f32; wt.len()];
+    let mut gb = vec![0.0f32; c_out];
+
+    for img in 0..n {
+        for co in 0..c_out {
+            let out_base = (img * c_out + co) * ho * wo;
+            // Bias gradient: sum of upstream gradient over the spatial map.
+            gb[co] += g[out_base..out_base + ho * wo].iter().sum::<f32>();
+            for ci in 0..c_in {
+                let in_base = (img * c_in + ci) * h * w;
+                let w_base = (co * c_in + ci) * kh * kw;
+                for dy in 0..kh {
+                    let oy_lo = ph.saturating_sub(dy);
+                    let oy_hi = (h + ph - dy).min(ho);
+                    for dx in 0..kw {
+                        let wv = wt[w_base + dy * kw + dx];
+                        let ox_lo = pw.saturating_sub(dx);
+                        let ox_hi = (w + pw - dx).min(wo);
+                        if ox_lo >= ox_hi {
+                            continue;
+                        }
+                        let mut gwv = 0.0f32;
+                        for oy in oy_lo..oy_hi {
+                            let orow = out_base + oy * wo;
+                            let irow = in_base + (oy + dy - ph) * w + (ox_lo + dx - pw);
+                            let grow = &g[orow + ox_lo..orow + ox_hi];
+                            let xrow = &x[irow..irow + (ox_hi - ox_lo)];
+                            let gxrow = &mut gx[irow..irow + (ox_hi - ox_lo)];
+                            for ((gxv, &gv), &xv) in gxrow.iter_mut().zip(grow).zip(xrow) {
+                                gwv += gv * xv;
+                                *gxv += gv * wv;
+                            }
+                        }
+                        gw[w_base + dy * kw + dx] += gwv;
+                    }
+                }
+            }
+        }
+    }
+
+    Conv2dGrads {
+        grad_input: Tensor::from_vec([n, c_in, h, w], gx)
+            .expect("conv2d_backward grad_input sized by construction"),
+        grad_weight: Tensor::from_vec([c_out, c_in, kh, kw], gw)
+            .expect("conv2d_backward grad_weight sized by construction"),
+        grad_bias: Tensor::from_slice(&gb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: direct six-nested-loop convolution with
+    /// explicit bounds checks, used to validate the production kernel.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, bias: &Tensor, padding: Padding) -> Tensor {
+        let (n, c_in, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let (c_out, _, kh, kw) = (
+            weight.dims()[0],
+            weight.dims()[1],
+            weight.dims()[2],
+            weight.dims()[3],
+        );
+        let (ph, pw) = padding.amounts(kh, kw);
+        let (ho, wo) = padding.output_size(h, w, kh, kw);
+        let mut out = Tensor::zeros([n, c_out, ho, wo]);
+        for img in 0..n {
+            for co in 0..c_out {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = bias.data()[co];
+                        for ci in 0..c_in {
+                            for dy in 0..kh {
+                                for dx in 0..kw {
+                                    let iy = oy + dy;
+                                    let ix = ox + dx;
+                                    if iy < ph || ix < pw || iy >= h + ph || ix >= w + pw {
+                                        continue;
+                                    }
+                                    acc += input.at(&[img, ci, iy - ph, ix - pw])
+                                        * weight.at(&[co, ci, dy, dx]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[img, co, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn identity_kernel_same_padding() {
+        // A 3x3 kernel with 1 in the centre reproduces the input.
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let mut weight = Tensor::zeros([1, 1, 3, 3]);
+        *weight.at_mut(&[0, 0, 1, 1]) = 1.0;
+        let bias = Tensor::zeros([1]);
+        let out = conv2d(&input, &weight, &bias, Padding::Same);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn valid_padding_shrinks_output() {
+        let input = Tensor::ones([1, 1, 5, 5]);
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        let bias = Tensor::zeros([1]);
+        let out = conv2d(&input, &weight, &bias, Padding::Valid);
+        assert_eq!(out.dims(), &[1, 1, 3, 3]);
+        // Every interior window sums 9 ones.
+        assert!(out.data().iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let input = Tensor::zeros([1, 1, 3, 3]);
+        let weight = Tensor::zeros([2, 1, 3, 3]);
+        let bias = Tensor::from_slice(&[1.5, -2.0]);
+        let out = conv2d(&input, &weight, &bias, Padding::Same);
+        assert_eq!(out.at(&[0, 0, 1, 1]), 1.5);
+        assert_eq!(out.at(&[0, 1, 2, 2]), -2.0);
+    }
+
+    #[test]
+    fn matches_naive_reference_multichannel() {
+        let mut seed = 1234u64;
+        let mut next = move || {
+            // Tiny xorshift so the test needs no external RNG.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f32 / 500.0 - 1.0
+        };
+        let input = Tensor::from_fn([2, 3, 6, 5], |_| next());
+        let weight = Tensor::from_fn([4, 3, 3, 3], |_| next());
+        let bias = Tensor::from_fn([4], |_| next());
+        for padding in [Padding::Same, Padding::Valid] {
+            let fast = conv2d(&input, &weight, &bias, padding);
+            let slow = conv2d_naive(&input, &weight, &bias, padding);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-4,
+                "kernel disagrees with reference under {padding:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut seed = 99u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f32 / 500.0 - 1.0
+        };
+        let input = Tensor::from_fn([1, 2, 4, 4], |_| next());
+        let weight = Tensor::from_fn([2, 2, 3, 3], |_| next());
+        let bias = Tensor::from_fn([2], |_| next());
+        let padding = Padding::Same;
+
+        // Scalar loss: sum of outputs; upstream gradient is all-ones.
+        let out = conv2d(&input, &weight, &bias, padding);
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, padding);
+
+        let eps = 1e-2f32;
+        // Check a sample of input coordinates.
+        for &flat in &[0usize, 5, 13, 21, 31] {
+            let mut perturbed = input.clone();
+            perturbed.data_mut()[flat] += eps;
+            let up = conv2d(&perturbed, &weight, &bias, padding).sum();
+            perturbed.data_mut()[flat] -= 2.0 * eps;
+            let down = conv2d(&perturbed, &weight, &bias, padding).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = grads.grad_input.data()[flat];
+            assert!(
+                (fd - an).abs() < 1e-2,
+                "input grad mismatch at {flat}: fd={fd} analytic={an}"
+            );
+        }
+        // Check a sample of weight coordinates.
+        for &flat in &[0usize, 7, 17, 35] {
+            let mut perturbed = weight.clone();
+            perturbed.data_mut()[flat] += eps;
+            let up = conv2d(&input, &perturbed, &bias, padding).sum();
+            perturbed.data_mut()[flat] -= 2.0 * eps;
+            let down = conv2d(&input, &perturbed, &bias, padding).sum();
+            let fd = (up - down) / (2.0 * eps);
+            let an = grads.grad_weight.data()[flat];
+            assert!(
+                (fd - an).abs() < 2e-2,
+                "weight grad mismatch at {flat}: fd={fd} analytic={an}"
+            );
+        }
+        // Bias gradient is the number of output pixels per channel.
+        let px = (out.numel() / out.dims()[1]) as f32;
+        for &gb in grads.grad_bias.data() {
+            assert!((gb - px).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn channel_mismatch_panics() {
+        conv2d(
+            &Tensor::zeros([1, 2, 4, 4]),
+            &Tensor::zeros([1, 3, 3, 3]),
+            &Tensor::zeros([1]),
+            Padding::Same,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn same_padding_rejects_even_kernels() {
+        Padding::Same.amounts(2, 2);
+    }
+}

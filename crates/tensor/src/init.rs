@@ -1,0 +1,110 @@
+//! Random tensor initializers.
+//!
+//! Every initializer takes an explicit `&mut impl Rng`, so the whole
+//! training stack is reproducible from a single seed — the same policy the
+//! wireless-channel simulator follows.
+
+use rand::Rng;
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Standard-normal samples via the Box–Muller transform, scaled by
+/// `std` around `mean`.
+pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box–Muller produces two independent normals per uniform pair.
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(mean + std * (r * theta.cos()) as f32);
+        if data.len() < n {
+            data.push(mean + std * (r * theta.sin()) as f32);
+        }
+    }
+    Tensor::from_vec(shape, data).expect("randn buffer sized by construction")
+}
+
+/// Uniform samples in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform: empty range {lo}..{hi}");
+    let shape = shape.into();
+    let n = shape.numel();
+    let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("uniform buffer sized by construction")
+}
+
+/// Xavier/Glorot uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
+///
+/// Suited to the tanh/sigmoid gates of the BS-side LSTM.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -limit, limit, rng)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2/fan_in))`.
+///
+/// Suited to the ReLU convolutions of the UE-side CNN.
+pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    randn(shape, 0.0, (2.0 / fan_in as f32).sqrt(), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = randn([10_000], 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1, "mean {} off", t.mean());
+        assert!((t.variance().sqrt() - 2.0).abs() < 0.1, "std {} off", t.variance().sqrt());
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn uniform_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = uniform([10_000], -0.5, 0.5, &mut rng);
+        assert!(t.min() >= -0.5 && t.max() < 0.5);
+        assert!(t.mean().abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = randn([64], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn([64], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = randn([64], 0.0, 1.0, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_limit_shrinks_with_fanin() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let wide = xavier_uniform([1000], 10, 10, &mut rng);
+        let narrow = xavier_uniform([1000], 1000, 1000, &mut rng);
+        assert!(wide.max() > narrow.max());
+        let limit = (6.0f32 / 2000.0).sqrt();
+        assert!(narrow.max() <= limit && narrow.min() >= -limit);
+    }
+
+    #[test]
+    fn he_std_tracks_fanin() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = he_normal([20_000], 50, &mut rng);
+        let expect = (2.0f32 / 50.0).sqrt();
+        assert!((t.variance().sqrt() - expect).abs() < 0.02);
+    }
+}

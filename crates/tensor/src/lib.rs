@@ -1,0 +1,51 @@
+//! # `sl-tensor` — dense `f32` tensor kernels
+//!
+//! A small, dependency-light tensor library purpose-built for the
+//! `split-mmwave` workspace. It provides exactly the kernels the paper's
+//! split network needs — dense linear algebra, 2-D convolution, average
+//! pooling and the usual elementwise / reduction operations — implemented
+//! as straightforward, easily-audited loops (in the spirit of smoltcp's
+//! "simplicity and robustness" design goals) rather than as a general
+//! autograd framework.
+//!
+//! Conventions:
+//!
+//! * All tensors are row-major (C order) `f32` buffers with an explicit
+//!   shape; there are no views or strides — slicing copies.
+//! * Image batches use the `NCHW` layout: `[batch, channels, height, width]`.
+//! * Shape mismatches are programmer errors and **panic** with a message
+//!   naming the operation and both shapes. Fallible *data-driven*
+//!   constructors (e.g. [`Tensor::from_vec`]) return [`TensorError`]
+//!   instead.
+//!
+//! The split-learning stack built on top of this crate is deterministic:
+//! every random initializer takes an explicit `rand::Rng`, so seeding the
+//! caller's RNG reproduces training bit-for-bit.
+//!
+//! ```
+//! use sl_tensor::{avg_pool2d, matmul, Tensor};
+//!
+//! // A 2×2 identity times a 2×2 matrix.
+//! let eye = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+//! let m = Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+//! assert_eq!(matmul(&eye, &m), m);
+//!
+//! // The paper's cut-layer compressor: average-pool a map to one pixel.
+//! let map = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+//! let one_pixel = avg_pool2d(&map, 4, 4);
+//! assert_eq!(one_pixel.item(), 7.5);
+//! ```
+
+mod conv;
+mod init;
+mod linalg;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, Conv2dGrads, Padding};
+pub use init::{he_normal, randn, uniform, xavier_uniform};
+pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matvec, outer, transpose};
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use shape::{broadcastable, Shape};
+pub use tensor::{Tensor, TensorError};

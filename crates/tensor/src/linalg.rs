@@ -1,0 +1,212 @@
+//! Dense linear-algebra kernels: matrix multiplication variants and
+//! vector products.
+//!
+//! The multiplication variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) exist because the
+//! backward passes of dense and recurrent layers need transposed operands;
+//! fusing the transpose into the kernel avoids materializing transposed
+//! copies on every SGD step.
+
+use crate::tensor::Tensor;
+
+fn dims2(t: &Tensor, op: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{op}: tensor {} is not rank-2", t.shape());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+/// Panics unless both tensors are rank-2 with matching inner dimension.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a, "matmul");
+    let (kb, n) = dims2(b, "matmul");
+    assert_eq!(
+        ka, kb,
+        "matmul: inner dimensions differ ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+    for i in 0..m {
+        for k in 0..ka {
+            let aik = ad[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &b) in crow.iter_mut().zip(brow) {
+                *c += aik * b;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out).expect("matmul output buffer sized by construction")
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (yields `[m, n]`).
+///
+/// Equivalent to `matmul(&transpose(a), b)` without the copy.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = dims2(a, "matmul_at_b");
+    let (kb, n) = dims2(b, "matmul_at_b");
+    assert_eq!(
+        ka, kb,
+        "matmul_at_b: leading dimensions differ ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &b) in crow.iter_mut().zip(brow) {
+                *c += aki * b;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out).expect("matmul_at_b output buffer sized by construction")
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (yields `[m, n]`).
+///
+/// Equivalent to `matmul(a, &transpose(b))` without the copy.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2(a, "matmul_a_bt");
+    let (n, kb) = dims2(b, "matmul_a_bt");
+    assert_eq!(
+        ka, kb,
+        "matmul_a_bt: trailing dimensions differ ({} vs {})",
+        a.shape(),
+        b.shape()
+    );
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    Tensor::from_vec([m, n], out).expect("matmul_a_bt output buffer sized by construction")
+}
+
+/// Matrix-vector product `A · x` for `A: [m, n]`, `x: [n]` (yields `[m]`).
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "matvec");
+    assert_eq!(
+        x.numel(),
+        n,
+        "matvec: vector length {} does not match matrix {}",
+        x.numel(),
+        a.shape()
+    );
+    let ad = a.data();
+    let xd = x.data();
+    let out: Vec<f32> = (0..m)
+        .map(|i| ad[i * n..(i + 1) * n].iter().zip(xd).map(|(&a, &b)| a * b).sum())
+        .collect();
+    Tensor::from_slice(&out)
+}
+
+/// Outer product `x ⊗ y` for `x: [m]`, `y: [n]` (yields `[m, n]`).
+pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    let m = x.numel();
+    let n = y.numel();
+    let mut out = Vec::with_capacity(m * n);
+    for &xi in x.data() {
+        for &yj in y.data() {
+            out.push(xi * yj);
+        }
+    }
+    Tensor::from_vec([m, n], out).expect("outer output buffer sized by construction")
+}
+
+/// Transpose of a rank-2 tensor.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "transpose");
+    let ad = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec([n, m], out).expect("transpose output buffer sized by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: [usize; 2], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t([3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t([2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let i = t([2, 2], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_checks_dims() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn fused_transpose_variants_agree() {
+        let a = t([3, 2], &[1.0, -2.0, 0.5, 4.0, -1.0, 3.0]);
+        let b = t([3, 4], &(0..12).map(|i| i as f32 * 0.3 - 1.0).collect::<Vec<_>>());
+        assert_eq!(matmul_at_b(&a, &b), matmul(&transpose(&a), &b));
+
+        let a2 = t([2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b2 = t([3, 2], &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(matmul_a_bt(&a2, &b2), matmul(&a2, &transpose(&b2)));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        let y = matvec(&a, &x);
+        let y2 = matmul(&a, &x.reshape([3, 1]));
+        assert_eq!(y.data(), y2.data());
+    }
+
+    #[test]
+    fn outer_product() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = outer(&x, &y);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a).at(&[2, 1]), 6.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Shape utilities shared by the tensor kernels.
+
+use std::fmt;
+
+/// The shape of a tensor: the extent of each axis, outermost first.
+///
+/// A `Shape` is a thin wrapper over `Vec<usize>` adding the handful of
+/// derived quantities the kernels need (element count, row-major strides,
+/// flat-index computation). Rank-0 shapes are permitted and describe a
+/// scalar with one element.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents, outermost first.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The extent of axis `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (product of extents; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides: `strides()[i]` is the flat-index step for a unit
+    /// step along axis `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major index of the multi-index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.0.len(),
+            "flat_index: index rank {} does not match shape rank {} ({self})",
+            idx.len(),
+            self.0.len(),
+        );
+        let mut flat = 0;
+        for (axis, (&i, &extent)) in idx.iter().zip(&self.0).enumerate() {
+            assert!(
+                i < extent,
+                "flat_index: coordinate {i} out of bounds for axis {axis} of {self}"
+            );
+            flat = flat * extent + i;
+        }
+        flat
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Returns `true` when two shapes are compatible for the limited
+/// broadcasting the workspace uses: identical shapes, or `b` matching the
+/// trailing axes of `a` (e.g. adding a `[C]` bias to an `[N, C]` matrix).
+pub fn broadcastable(a: &Shape, b: &Shape) -> bool {
+    if a == b {
+        return true;
+    }
+    if b.rank() > a.rank() {
+        return false;
+    }
+    let offset = a.rank() - b.rank();
+    a.dims()[offset..] == *b.dims()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.flat_index(&[]), 0);
+    }
+
+    #[test]
+    fn flat_index_row_major() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.flat_index(&[0, 0]), 0);
+        assert_eq!(s.flat_index(&[0, 2]), 2);
+        assert_eq!(s.flat_index(&[1, 0]), 3);
+        assert_eq!(s.flat_index(&[1, 2]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_bounds_checked() {
+        Shape::new(&[2, 3]).flat_index(&[0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn flat_index_rank_checked() {
+        Shape::new(&[2, 3]).flat_index(&[0]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new(&[4, 1, 7]).to_string(), "[4x1x7]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn broadcast_trailing_axes() {
+        let a = Shape::new(&[8, 3]);
+        assert!(broadcastable(&a, &Shape::new(&[8, 3])));
+        assert!(broadcastable(&a, &Shape::new(&[3])));
+        assert!(!broadcastable(&a, &Shape::new(&[8])));
+        assert!(!broadcastable(&Shape::new(&[3]), &a));
+    }
+}

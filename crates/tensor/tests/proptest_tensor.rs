@@ -1,0 +1,147 @@
+//! Property-based tests of the tensor kernels: algebraic identities that
+//! must hold for *any* input, not just hand-picked cases.
+
+use proptest::prelude::*;
+
+use sl_tensor::{
+    avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_a_bt, matmul_at_b, transpose,
+    Padding, Tensor,
+};
+
+/// Strategy: a tensor of the given shape with bounded finite values.
+fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, n)
+        .prop_map(move |data| Tensor::from_vec(shape.clone(), data).unwrap())
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(&x, &y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- elementwise algebra ------------------------------------------------
+
+    #[test]
+    fn add_commutes(a in tensor(vec![3, 5]), b in tensor(vec![3, 5])) {
+        prop_assert!(close(&a.add(&b), &b.add(&a), 1e-6));
+    }
+
+    #[test]
+    fn add_sub_round_trips(a in tensor(vec![4, 4]), b in tensor(vec![4, 4])) {
+        prop_assert!(close(&a.add(&b).sub(&b), &a, 1e-5));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor(vec![8]), b in tensor(vec![8]), s in -5.0f32..5.0) {
+        let lhs = a.add(&b).scale(s);
+        let rhs = a.scale(s).add(&b.scale(s));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn sum_is_linear(a in tensor(vec![16]), s in -3.0f32..3.0) {
+        let scaled = a.scale(s).sum();
+        prop_assert!((scaled - s * a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs() * s.abs()));
+    }
+
+    // ---- matmul -------------------------------------------------------------
+
+    #[test]
+    fn matmul_distributes(a in tensor(vec![3, 4]), b in tensor(vec![4, 2]), c in tensor(vec![4, 2])) {
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor(vec![3, 4]), b in tensor(vec![4, 2])) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let lhs = transpose(&matmul(&a, &b));
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn fused_variants_match_explicit(
+        a in tensor(vec![5, 3]),
+        b in tensor(vec![5, 4]),
+        c in tensor(vec![2, 4]),
+    ) {
+        prop_assert!(close(&matmul_at_b(&a, &b), &matmul(&transpose(&a), &b), 1e-4));
+        prop_assert!(close(&matmul_a_bt(&b, &c), &matmul(&b, &transpose(&c)), 1e-4));
+    }
+
+    // ---- convolution --------------------------------------------------------
+
+    #[test]
+    fn conv_is_linear_in_input(
+        x in tensor(vec![1, 1, 6, 6]),
+        y in tensor(vec![1, 1, 6, 6]),
+        w in tensor(vec![2, 1, 3, 3]),
+    ) {
+        let bias = Tensor::zeros([2]);
+        let lhs = conv2d(&x.add(&y), &w, &bias, Padding::Same);
+        let rhs = conv2d(&x, &w, &bias, Padding::Same).add(&conv2d(&y, &w, &bias, Padding::Same));
+        prop_assert!(close(&lhs, &rhs, 1e-3));
+    }
+
+    #[test]
+    fn conv_valid_smaller_than_same(x in tensor(vec![1, 1, 8, 8]), w in tensor(vec![1, 1, 3, 3])) {
+        let bias = Tensor::zeros([1]);
+        let same = conv2d(&x, &w, &bias, Padding::Same);
+        let valid = conv2d(&x, &w, &bias, Padding::Valid);
+        prop_assert_eq!(same.dims(), &[1, 1, 8, 8]);
+        prop_assert_eq!(valid.dims(), &[1, 1, 6, 6]);
+        // The valid output equals the same-padded output's interior.
+        for oy in 0..6 {
+            for ox in 0..6 {
+                let s = same.at(&[0, 0, oy + 1, ox + 1]);
+                let v = valid.at(&[0, 0, oy, ox]);
+                prop_assert!((s - v).abs() < 1e-4);
+            }
+        }
+    }
+
+    // ---- pooling ------------------------------------------------------------
+
+    #[test]
+    fn pooling_preserves_mean(x in tensor(vec![2, 1, 8, 8])) {
+        let pooled = avg_pool2d(&x, 4, 2);
+        prop_assert!((pooled.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pooling_bounded_by_extremes(x in tensor(vec![1, 2, 4, 4])) {
+        let pooled = avg_pool2d(&x, 2, 2);
+        prop_assert!(pooled.max() <= x.max() + 1e-6);
+        prop_assert!(pooled.min() >= x.min() - 1e-6);
+    }
+
+    #[test]
+    fn pool_backward_conserves_mass(g in tensor(vec![1, 1, 2, 2])) {
+        let gx = avg_pool2d_backward(&[1, 1, 8, 8], &g, 4, 4);
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    // ---- reshape / reductions ----------------------------------------------
+
+    #[test]
+    fn reshape_preserves_sum(x in tensor(vec![3, 8])) {
+        prop_assert_eq!(x.reshape([24]).sum(), x.sum());
+        prop_assert_eq!(x.reshape([2, 3, 4]).sum(), x.sum());
+    }
+
+    #[test]
+    fn variance_nonnegative_and_zero_for_constant(x in tensor(vec![10]), c in -5.0f32..5.0) {
+        prop_assert!(x.variance() >= 0.0);
+        let constant = Tensor::full([10], c);
+        prop_assert!(constant.variance().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Visualize the synthetic mmWave blockage scene: watch a pedestrian
+//! walk through the depth camera's view while the received power fades —
+//! the cross-modal signal the split network learns from.
+//!
+//! ```sh
+//! cargo run --release --example blockage_scene
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::scene::{ascii_frame, DepthCamera, Scene, SceneConfig};
+
+fn main() {
+    let config = SceneConfig {
+        num_frames: 1_200, // ~40 s
+        ..SceneConfig::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let scene = Scene::generate(config.clone(), &mut rng);
+    let trace = scene.simulate(&mut rng);
+    let camera = DepthCamera::new(config.camera.clone(), config.distance_m);
+
+    println!(
+        "scene: {} pedestrians over {:.0} s; LoS power {} dBm, blockage depth {} dB\n",
+        scene.pedestrians().len(),
+        config.duration_s(),
+        config.los_power_dbm,
+        config.blockage_depth_db
+    );
+
+    // Find the first full blockage and show frames around it.
+    let k_fade = (0..config.num_frames)
+        .find(|&k| scene.blockage_at_frame(k) > config.blockage_depth_db * 0.9)
+        .expect("trace contains a blockage");
+    println!("first full blockage at frame {k_fade} (t = {:.2} s)\n", scene.frame_time(k_fade));
+
+    for dk in [-30i64, -15, -6, 0, 6, 15] {
+        let k = (k_fade as i64 + dk).max(0) as usize;
+        let frame = camera.render(scene.pedestrians(), scene.frame_time(k));
+        println!(
+            "frame {k} (t = {:.2} s): power {:+.1} dBm, blockage {:.1} dB",
+            scene.frame_time(k),
+            trace.powers_dbm[k],
+            scene.blockage_at_frame(k)
+        );
+        println!("{}", ascii_frame(&frame));
+    }
+
+    // Power trace around the event as a vertical ASCII chart.
+    println!("received power (dBm) around the event:");
+    let lo = k_fade.saturating_sub(45);
+    let hi = (k_fade + 45).min(trace.len() - 1);
+    let min = trace.powers_dbm[lo..=hi].iter().copied().fold(f32::INFINITY, f32::min);
+    let max = trace.powers_dbm[lo..=hi].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for k in (lo..=hi).step_by(3) {
+        let p = trace.powers_dbm[k];
+        let width = 60.0 * (p - min) / (max - min + 1e-6);
+        println!(
+            "  t={:6.2}s {:7.1} dBm |{}",
+            scene.frame_time(k),
+            p,
+            "#".repeat(width as usize)
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Audit the privacy of the cut-layer payload: how much of the raw
+//! depth-image geometry survives in the transmitted feature maps, per
+//! pooling dimension — the left half of the paper's Table 1.
+//!
+//! ```sh
+//! cargo run --release --example privacy_audit
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::core::{PoolingDim, Scheme, SplitModel};
+use split_mmwave::privacy::{congruence_coefficient, distance_matrix, privacy_leakage};
+use split_mmwave::scene::{DepthCamera, Scene, SceneConfig};
+use split_mmwave::tensor::Tensor;
+
+fn main() {
+    let cfg = SceneConfig {
+        num_frames: 3_000,
+        ..SceneConfig::paper()
+    };
+    let scene = Scene::generate(cfg.clone(), &mut StdRng::seed_from_u64(9));
+    let camera = DepthCamera::new(cfg.camera.clone(), cfg.distance_m);
+
+    // 100 frames spread over the trace.
+    let frames: Vec<Tensor> = (0..100)
+        .map(|i| {
+            let k = i * (cfg.num_frames - 1) / 99;
+            camera.render(scene.pedestrians(), k as f64 * cfg.frame_interval_s)
+        })
+        .collect();
+    let raw_refs: Vec<&Tensor> = frames.iter().collect();
+    let d_raw = distance_matrix(&raw_refs);
+
+    println!("privacy audit over {} sampled frames\n", frames.len());
+    println!(
+        "{:<22} {:>10} {:>12} {:>14}",
+        "pooling", "pixels", "MDS leakage", "congruence"
+    );
+    for pooling in PoolingDim::TABLE1 {
+        let mut model = SplitModel::new(
+            Scheme::ImgOnly,
+            pooling,
+            40,
+            40,
+            4,
+            8,
+            32,
+            8,
+            &mut StdRng::seed_from_u64(10),
+        );
+        let ue = model.ue_mut().expect("image scheme has a UE half");
+        let features: Vec<Tensor> = frames.iter().map(|f| ue.infer_pooled_map(f)).collect();
+        let feat_refs: Vec<&Tensor> = features.iter().collect();
+        let leakage = privacy_leakage(&raw_refs, &feat_refs);
+        let congruence = congruence_coefficient(&d_raw, &distance_matrix(&feat_refs));
+        println!(
+            "{:<22} {:>10} {:>12.3} {:>14.3}",
+            pooling.to_string(),
+            pooling.output_pixels(40, 40),
+            leakage,
+            congruence
+        );
+    }
+
+    println!("\ninterpretation: an eavesdropper holding the cut-layer payload can");
+    println!("reconstruct the raw images' pairwise geometry in proportion to the");
+    println!("leakage — one-pixel pooling leaves the least structure (paper Table 1).");
+}

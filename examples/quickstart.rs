@@ -1,0 +1,71 @@
+//! Quickstart: train the paper's headline configuration — one-pixel
+//! Img+RF split learning — on a reduced synthetic scene, in seconds.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::core::{ExperimentConfig, PoolingDim, Scheme, SplitTrainer};
+use split_mmwave::scene::{Scene, SceneConfig, SequenceDataset};
+
+fn main() {
+    // 1. Generate a synthetic mmWave blockage scene (stand-in for the
+    //    paper's Kinect + 60 GHz testbed; see DESIGN.md).
+    let config = SceneConfig {
+        num_frames: 2_000, // ~66 s of trace instead of the full 7.3 min
+        ..SceneConfig::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let scene = Scene::generate(config, &mut rng);
+    let trace = scene.simulate(&mut rng);
+    println!(
+        "scene: {} frames, {:.1} s, {:.1}% of samples in deep fade",
+        trace.len(),
+        trace.len() as f64 * trace.frame_interval_s,
+        100.0 * trace.deep_fade_fraction(10.0),
+    );
+
+    // 2. Window into (L=4 history, 4-frames-ahead target) samples.
+    let dataset = SequenceDataset::paper_windowing(trace);
+    println!(
+        "dataset: {} train / {} val sequences",
+        dataset.train_indices().len(),
+        dataset.val_indices().len()
+    );
+
+    // 3. Train the one-pixel Img+RF split model with the paper's
+    //    hyper-parameters (fewer epochs for a quick demo).
+    let mut cfg = ExperimentConfig::paper(Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+    cfg.max_epochs = 10;
+    let mut trainer = SplitTrainer::new(cfg, &dataset);
+    let outcome = trainer.train(&dataset);
+
+    println!("\nlearning curve (simulated elapsed time vs validation RMSE):");
+    for p in &outcome.curve {
+        println!("  t = {:6.2} s   epoch {:2}   RMSE = {:.2} dB", p.elapsed_s, p.epoch, p.val_rmse_db);
+    }
+    println!(
+        "\nstopped: {:?} after {} epochs — final RMSE {:.2} dB (best {:.2} dB)",
+        outcome.stop,
+        outcome.epochs,
+        outcome.final_rmse_db,
+        outcome.best_rmse_db()
+    );
+    println!(
+        "simulated time: {:.2} s compute + {:.2} s airtime ({} steps, {} voided)",
+        outcome.compute_s, outcome.airtime_s, outcome.steps_applied, outcome.steps_voided
+    );
+
+    // 4. Predict a short validation window (the Fig. 3b view).
+    let window = trainer.predict_trace(&dataset, 0, 30);
+    println!("\nsample predictions (dBm):");
+    for p in window.iter().step_by(6) {
+        println!(
+            "  t = {:6.2} s   predicted {:7.2}   actual {:7.2}",
+            p.time_s, p.predicted_dbm, p.actual_dbm
+        );
+    }
+}

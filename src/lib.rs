@@ -1,0 +1,37 @@
+//! # `split-mmwave` — umbrella crate
+//!
+//! One-stop re-export of the workspace crates that reproduce
+//! *"One Pixel Image and RF Signal Based Split Learning for mmWave
+//! Received Power Prediction"* (Koda et al., CoNEXT '19 Companion).
+//!
+//! The individual crates are usable on their own; this crate exists so the
+//! runnable examples and integration tests can say `use split_mmwave::...`
+//! and so downstream users get the whole stack from a single dependency.
+//!
+//! * [`tensor`] — dense `f32` tensor kernels (matmul, conv2d, pooling).
+//! * [`nn`] — layers with hand-derived backprop, LSTM, losses, optimizers.
+//! * [`channel`] — the paper's slot-level mmWave fading-channel model.
+//! * [`scene`] — synthetic depth-camera + received-power trace generator.
+//! * [`privacy`] — MDS-based privacy-leakage metric.
+//! * [`core`] — the multimodal split-learning framework itself.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use sl_channel as channel;
+pub use sl_core as core;
+pub use sl_nn as nn;
+pub use sl_privacy as privacy;
+pub use sl_scene as scene;
+pub use sl_tensor as tensor;
+
+/// Convenience prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use sl_channel::{LinkConfig, RetransmissionPolicy};
+    pub use sl_core::{
+        ExperimentConfig, LinkPolicy, PoolingDim, Scheme, SplitModel, SplitTrainer,
+        StreamingDeployment, TrainOutcome,
+    };
+    pub use sl_scene::{Scene, SceneConfig, SequenceDataset};
+    pub use sl_tensor::Tensor;
+}

@@ -1,0 +1,98 @@
+//! Integration: train → deploy → control. Exercises the full proactive
+//! pipeline the paper motivates, across every workspace crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::core::{
+    simulate_link_policy, ExperimentConfig, LinkPolicy, PoolingDim, Scheme, SplitTrainer,
+    StreamingDeployment,
+};
+use split_mmwave::scene::{Scene, SceneConfig, SequenceDataset};
+
+fn dataset(seed: u64) -> SequenceDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+    SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+}
+
+#[test]
+fn streamed_predictions_match_batch_validation_quality() {
+    let ds = dataset(500);
+    let mut cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+    cfg.max_epochs = 5;
+    let mut trainer = SplitTrainer::new(cfg.clone(), &ds);
+    let out = trainer.train(&ds);
+
+    let n = ds.val_indices().len();
+    let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 9);
+    let report = deploy.run(trainer.model_mut(), &ds, 0, n);
+    assert_eq!(report.points.len(), n);
+    // Online streaming over a clean link should be within ~1.5 dB of the
+    // batch validation number (cold-start frames and per-frame
+    // quantization add a little).
+    assert!(
+        (report.rmse_db() - out.final_rmse_db).abs() < 1.5,
+        "online {} dB vs batch {} dB",
+        report.rmse_db(),
+        out.final_rmse_db
+    );
+    assert_eq!(report.deadline_misses, 0, "clean link must meet deadlines");
+}
+
+#[test]
+fn proactive_control_beats_reactive_with_a_good_predictor() {
+    let ds = dataset(501);
+    let mut cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(4, 4));
+    cfg.max_epochs = 8;
+    let mut trainer = SplitTrainer::new(cfg.clone(), &ds);
+    trainer.train(&ds);
+
+    let n = ds.val_indices().len();
+    let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 10);
+    let report = deploy.run(trainer.model_mut(), &ds, 0, n);
+
+    let threshold = -28.0; // between LoS (-18) and blocked (-40)
+    let powers = &ds.trace().powers_dbm;
+    let pro = simulate_link_policy(
+        &report.points,
+        LinkPolicy::Proactive {
+            threshold_dbm: threshold,
+            hysteresis_db: 3.0,
+        },
+        powers,
+    );
+    let rea = simulate_link_policy(
+        &report.points,
+        LinkPolicy::Reactive {
+            threshold_dbm: threshold,
+            hysteresis_db: 3.0,
+        },
+        powers,
+    );
+    assert_eq!(pro.frames, rea.frames);
+    // The predictive controller must not be worse; when fades exist it
+    // should be strictly better (it sees them 4 frames early).
+    assert!(
+        pro.blocked_on_link <= rea.blocked_on_link,
+        "proactive {} vs reactive {}",
+        pro.blocked_on_link,
+        rea.blocked_on_link
+    );
+}
+
+#[test]
+fn deployment_streams_are_deterministic() {
+    let ds = dataset(502);
+    let cfg = ExperimentConfig::quick(Scheme::ImgOnly, PoolingDim::new(16, 16));
+    let run = || {
+        let mut trainer = SplitTrainer::new(cfg.clone(), &ds);
+        trainer.train(&ds);
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 11);
+        deploy.run(trainer.model_mut(), &ds, 0, 40)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.points, b.points);
+    assert_eq!(a.airtime_s, b.airtime_s);
+}

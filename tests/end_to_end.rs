@@ -1,0 +1,105 @@
+//! Cross-crate integration: the full pipeline from synthetic scene to
+//! trained split model, exercising every workspace crate through the
+//! umbrella's public API.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::core::{ExperimentConfig, PoolingDim, Scheme, SplitTrainer, StopReason};
+use split_mmwave::scene::{Scene, SceneConfig, SequenceDataset};
+
+fn tiny_dataset(seed: u64) -> SequenceDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+    SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+}
+
+#[test]
+fn all_three_schemes_train_end_to_end() {
+    let dataset = tiny_dataset(100);
+    for scheme in Scheme::ALL {
+        let cfg = ExperimentConfig::quick(scheme, PoolingDim::new(16, 16));
+        let mut trainer = SplitTrainer::new(cfg, &dataset);
+        let out = trainer.train(&dataset);
+        assert!(out.steps_applied > 0, "{scheme}: no steps applied");
+        assert!(out.final_rmse_db.is_finite(), "{scheme}: non-finite RMSE");
+        assert!(
+            out.final_rmse_db > 0.0 && out.final_rmse_db < 50.0,
+            "{scheme}: implausible RMSE {}",
+            out.final_rmse_db
+        );
+        assert_eq!(out.stop, StopReason::EpochLimit);
+        // The learning curve is causally ordered in simulated time.
+        assert!(out
+            .curve
+            .windows(2)
+            .all(|w| w[0].elapsed_s <= w[1].elapsed_s && w[0].epoch < w[1].epoch));
+    }
+}
+
+#[test]
+fn image_schemes_pay_for_communication_rf_does_not() {
+    let dataset = tiny_dataset(101);
+    let run = |scheme| {
+        let cfg = ExperimentConfig::quick(scheme, PoolingDim::new(4, 4));
+        SplitTrainer::new(cfg, &dataset).train(&dataset)
+    };
+    let rf = run(Scheme::RfOnly);
+    let img = run(Scheme::ImgOnly);
+    let img_rf = run(Scheme::ImgRf);
+    assert_eq!(rf.airtime_s, 0.0);
+    assert!(img.airtime_s > 0.0);
+    assert!(img_rf.airtime_s > 0.0);
+    // Identical payloads (same pooling) ⇒ comparable airtime per step.
+    let per_step_img = img.airtime_s / img.steps_applied as f64;
+    let per_step_img_rf = img_rf.airtime_s / img_rf.steps_applied as f64;
+    assert!((per_step_img / per_step_img_rf - 1.0).abs() < 0.5);
+}
+
+#[test]
+fn coarser_pooling_costs_less_airtime_per_step() {
+    let dataset = tiny_dataset(102);
+    let airtime_per_step = |pooling| {
+        let mut cfg = ExperimentConfig::quick(Scheme::ImgOnly, pooling);
+        // Use a link where both payloads need multiple slots on average,
+        // so the ordering is visible in simulated airtime.
+        cfg.uplink = split_mmwave::channel::LinkConfig::paper_uplink().with_mean_snr_db(6.0);
+        cfg.max_epochs = 2;
+        let out = SplitTrainer::new(cfg, &dataset).train(&dataset);
+        assert!(out.steps_applied > 0);
+        out.airtime_s / (out.steps_applied + out.steps_voided) as f64
+    };
+    let fine = airtime_per_step(PoolingDim::new(2, 2)); // 64 px
+    let pixel = airtime_per_step(PoolingDim::new(16, 16)); // 1 px
+    assert!(
+        pixel < fine,
+        "one-pixel pooling must be cheaper per step: {pixel} vs {fine}"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let d1 = tiny_dataset(103);
+    let d2 = tiny_dataset(103);
+    assert_eq!(d1.trace().powers_dbm, d2.trace().powers_dbm);
+    let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+    let o1 = SplitTrainer::new(cfg.clone(), &d1).train(&d1);
+    let o2 = SplitTrainer::new(cfg, &d2).train(&d2);
+    assert_eq!(o1.curve, o2.curve);
+    assert_eq!(o1.airtime_s, o2.airtime_s);
+}
+
+#[test]
+fn prediction_traces_cover_requested_window() {
+    let dataset = tiny_dataset(104);
+    let cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(16, 16));
+    let mut trainer = SplitTrainer::new(cfg, &dataset);
+    trainer.train(&dataset);
+    let trace = trainer.predict_trace(&dataset, 3, 25);
+    assert_eq!(trace.len(), 25);
+    // Aligned with the ground-truth trace and monotone in time.
+    for p in &trace {
+        assert_eq!(p.actual_dbm, dataset.trace().powers_dbm[p.index]);
+    }
+    assert!(trace.windows(2).all(|w| w[1].time_s > w[0].time_s));
+}

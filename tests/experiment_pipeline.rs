@@ -1,0 +1,109 @@
+//! Integration tests of the experiment *logic* behind each paper
+//! artifact (Table 1, Fig. 2, Fig. 3a/b mechanisms) at test scale — the
+//! same code paths the `sl-bench` harnesses run at full scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use split_mmwave::channel::{success_probability, LinkConfig, PayloadSpec};
+use split_mmwave::core::{PoolingDim, Scheme, SplitModel, PAPER_CALIBRATED_UPLINK_SNR_DB};
+use split_mmwave::privacy::privacy_leakage;
+use split_mmwave::scene::{DepthCamera, Scene, SceneConfig};
+use split_mmwave::tensor::Tensor;
+
+/// Table 1, success-probability column: monotone in pooling, with the
+/// paper's endpoints, under the calibrated link.
+#[test]
+fn table1_success_probability_shape() {
+    let spec = PayloadSpec::paper(64);
+    let link = LinkConfig::paper_uplink().with_mean_snr_db(PAPER_CALIBRATED_UPLINK_SNR_DB);
+    let ps: Vec<f64> = PoolingDim::TABLE1
+        .iter()
+        .map(|p| success_probability(&link, spec.uplink_bits(p.h, p.w) as f64))
+        .collect();
+    assert!(ps.windows(2).all(|w| w[0] <= w[1]), "not monotone: {ps:?}");
+    assert!(ps[0] < 1e-9, "1x1 endpoint: {}", ps[0]);
+    assert!(ps[3] > 0.99, "1-pixel endpoint: {}", ps[3]);
+    // The calibrated mid-point of the paper.
+    assert!((ps[1] - 0.027).abs() < 0.01, "4x4 mid-point: {}", ps[1]);
+}
+
+/// Table 1, privacy column: leakage decreases with pooling on real
+/// rendered frames through a real UE CNN. Uses the paper's 40×40 frames
+/// (the 16×16 test camera renders too little structure for the MDS
+/// similarity to resolve the ordering reliably).
+#[test]
+fn table1_privacy_leakage_shape() {
+    let cfg = SceneConfig {
+        num_frames: 400,
+        ..SceneConfig::paper()
+    };
+    let scene = Scene::generate(cfg.clone(), &mut StdRng::seed_from_u64(200));
+    let camera = DepthCamera::new(cfg.camera.clone(), cfg.distance_m);
+    let frames: Vec<Tensor> = (0..60)
+        .map(|i| camera.render(scene.pedestrians(), (i * 6) as f64 * cfg.frame_interval_s))
+        .collect();
+    let raw_refs: Vec<&Tensor> = frames.iter().collect();
+
+    let leakage_for = |pooling: PoolingDim| {
+        let mut model = SplitModel::new(
+            Scheme::ImgOnly,
+            pooling,
+            40,
+            40,
+            4,
+            8,
+            8,
+            8,
+            &mut StdRng::seed_from_u64(201),
+        );
+        let ue = model.ue_mut().unwrap();
+        let feats: Vec<Tensor> = frames.iter().map(|f| ue.infer_pooled_map(f)).collect();
+        privacy_leakage(&raw_refs, &feats.iter().collect::<Vec<_>>())
+    };
+
+    let l_raw = leakage_for(PoolingDim::RAW); // full 40x40 maps
+    let l_pixel = leakage_for(PoolingDim::ONE_PIXEL); // 1 px
+    assert!(
+        l_raw > l_pixel,
+        "leakage must fall with compression: raw {l_raw} vs 1-pixel {l_pixel}"
+    );
+    assert!((0.0..=1.0).contains(&l_raw) && (0.0..=1.0).contains(&l_pixel));
+}
+
+/// Fig. 2 mechanism: the pooled maps really are `w_H·w_W`-fold smaller
+/// and preserve the CNN output's mean (average pooling).
+#[test]
+fn fig2_compression_mechanism() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let img = split_mmwave::tensor::uniform([16, 16], 0.0, 1.0, &mut rng);
+    for pooling in [PoolingDim::RAW, PoolingDim::new(4, 4), PoolingDim::new(16, 16)] {
+        let mut model =
+            SplitModel::new(Scheme::ImgOnly, pooling, 16, 16, 4, 2, 8, 8, &mut rng);
+        let ue = model.ue_mut().unwrap();
+        let full = ue.infer_cnn_map(&img);
+        let pooled = ue.infer_pooled_map(&img);
+        assert_eq!(
+            pooled.numel() * pooling.compression_factor(),
+            full.numel(),
+            "{pooling}"
+        );
+        assert!((full.mean() - pooled.mean()).abs() < 1e-5);
+    }
+}
+
+/// Fig. 3a mechanism: on the calibrated link, the expected airtime per
+/// step is ordered 1-pixel < 10x10 < 4x4, and 1x1 is impossible.
+#[test]
+fn fig3a_airtime_ordering_mechanism() {
+    use split_mmwave::channel::{RetransmissionPolicy, TransferSimulator};
+    let spec = PayloadSpec::paper(64);
+    let link = LinkConfig::paper_uplink().with_mean_snr_db(PAPER_CALIBRATED_UPLINK_SNR_DB);
+    let sim = TransferSimulator::new(link, RetransmissionPolicy::paper());
+    let slots = |p: PoolingDim| sim.expected_slots_whole(spec.uplink_bits(p.h, p.w));
+    let s_pixel = slots(PoolingDim::ONE_PIXEL).unwrap();
+    let s_coarse = slots(PoolingDim::COARSE).unwrap();
+    let s_medium = slots(PoolingDim::MEDIUM).unwrap();
+    assert!(s_pixel < s_coarse && s_coarse < s_medium);
+    assert_eq!(slots(PoolingDim::RAW), None, "1x1 payload must be undecodable");
+}

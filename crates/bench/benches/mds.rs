@@ -12,7 +12,9 @@ use sl_tensor::{uniform, Tensor};
 
 fn sample_images(n: usize, px: usize, seed: u64) -> Vec<Tensor> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| uniform([px, px], 0.0, 1.0, &mut rng)).collect()
+    (0..n)
+        .map(|_| uniform([px, px], 0.0, 1.0, &mut rng))
+        .collect()
 }
 
 fn bench_distance(c: &mut Criterion) {

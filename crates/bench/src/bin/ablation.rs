@@ -12,19 +12,26 @@
 //! cargo run --release -p sl-bench --bin ablation
 //! ```
 
-use sl_bench::{build_dataset, experiment_config, write_csv, Profile};
+use sl_bench::{build_dataset, experiment_config, Experiment};
 use sl_channel::RetransmissionPolicy;
 use sl_core::{ExperimentConfig, PoolingDim, Scheme, SplitTrainer};
 use sl_scene::SequenceDataset;
 
-fn train(cfg: ExperimentConfig, dataset: &SequenceDataset) -> (f32, f64, u64) {
+fn train(
+    exp: &mut Experiment,
+    label: &str,
+    cfg: ExperimentConfig,
+    dataset: &SequenceDataset,
+) -> (f32, f64, u64) {
+    exp.record_run(label, &cfg);
     let mut trainer = SplitTrainer::new(cfg, dataset);
-    let out = trainer.train(dataset);
+    let out = trainer.train_with(dataset, exp.telemetry());
     (out.best_rmse_db(), out.elapsed_s(), out.steps_applied)
 }
 
 fn main() {
-    let profile = Profile::from_env();
+    let mut exp = Experiment::start("ablation");
+    let profile = exp.profile();
     let dataset = build_dataset(profile);
     // Shorter budget than fig3a: ablations compare configurations, not
     // final convergence.
@@ -32,13 +39,16 @@ fn main() {
     let mut rows = Vec::new();
 
     println!("Ablation 1 — cut-layer bit depth (Img+RF, 1-pixel pooling)");
-    println!("{:<8} {:>10} {:>12} {:>12}", "R", "UL bits", "best RMSE", "sim time");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "R", "UL bits", "best RMSE", "sim time"
+    );
     for bits in [1usize, 2, 4, 8] {
         let mut cfg = experiment_config(profile, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
         cfg.max_epochs = epochs;
         cfg.bit_depth = bits;
         let payload = (64 * bits * 4) as u64; // 1 px · B=64 · R · L=4
-        let (rmse, sim_t, _) = train(cfg, &dataset);
+        let (rmse, sim_t, _) = train(&mut exp, &format!("bit_depth={bits}"), cfg, &dataset);
         println!("{bits:<8} {payload:>10} {rmse:>11.2}dB {sim_t:>11.2}s");
         rows.push(format!("bit_depth,{bits},{payload},{rmse:.3},{sim_t:.3}"));
     }
@@ -49,24 +59,30 @@ fn main() {
         let mut cfg = experiment_config(profile, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
         cfg.max_epochs = epochs;
         cfg.hidden_dim = hidden;
-        let (rmse, sim_t, _) = train(cfg, &dataset);
+        let (rmse, sim_t, _) = train(&mut exp, &format!("hidden_dim={hidden}"), cfg, &dataset);
         println!("{hidden:<8} {rmse:>11.2}dB {sim_t:>11.2}s");
         rows.push(format!("hidden_dim,{hidden},,{rmse:.3},{sim_t:.3}"));
     }
 
     println!("\nAblation 3 — BS recurrent cell (Img+RF, 1-pixel pooling)");
     println!("{:<8} {:>12} {:>12}", "cell", "best RMSE", "sim time");
-    for (label, cell) in [("lstm", sl_core::RnnCell::Lstm), ("gru", sl_core::RnnCell::Gru)] {
+    for (label, cell) in [
+        ("lstm", sl_core::RnnCell::Lstm),
+        ("gru", sl_core::RnnCell::Gru),
+    ] {
         let mut cfg = experiment_config(profile, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
         cfg.max_epochs = epochs;
         cfg.rnn_cell = cell;
-        let (rmse, sim_t, _) = train(cfg, &dataset);
+        let (rmse, sim_t, _) = train(&mut exp, &format!("rnn_cell={label}"), cfg, &dataset);
         println!("{label:<8} {rmse:>11.2}dB {sim_t:>11.2}s");
         rows.push(format!("rnn_cell,{label},,{rmse:.3},{sim_t:.3}"));
     }
 
     println!("\nAblation 4 — retransmission policy (Img+RF, 4x4 pooling)");
-    println!("{:<12} {:>12} {:>12} {:>10}", "policy", "best RMSE", "sim time", "steps");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "policy", "best RMSE", "sim time", "steps"
+    );
     for (label, policy) in [
         (
             "whole",
@@ -83,11 +99,15 @@ fn main() {
         let mut cfg = experiment_config(profile, Scheme::ImgRf, PoolingDim::MEDIUM);
         cfg.max_epochs = epochs;
         cfg.retransmission = policy;
-        let (rmse, sim_t, steps) = train(cfg, &dataset);
+        let (rmse, sim_t, steps) = train(&mut exp, &format!("policy={label}"), cfg, &dataset);
         println!("{label:<12} {rmse:>11.2}dB {sim_t:>11.2}s {steps:>10}");
         rows.push(format!("policy,{label},,{rmse:.3},{sim_t:.3}"));
     }
 
-    let path = write_csv("ablation.csv", "ablation,value,payload_bits,best_rmse_db,sim_time_s", &rows);
-    println!("\nwrote {}", path.display());
+    exp.write_csv(
+        "ablation.csv",
+        "ablation,value,payload_bits,best_rmse_db,sim_time_s",
+        &rows,
+    );
+    exp.finish();
 }

@@ -16,19 +16,24 @@ use std::fs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sl_bench::{build_scene, results_dir, Profile};
+use sl_bench::{build_scene, Experiment};
 use sl_core::{PoolingDim, Scheme, SplitModel};
 use sl_scene::{ascii_frame, DepthCamera};
 use sl_tensor::Tensor;
 
 /// Writes a `[H, W]` tensor in `[0, 1]` as an 8-bit PGM (near = dark).
-fn write_pgm(name: &str, frame: &Tensor) {
+fn write_pgm(exp: &mut Experiment, name: &str, frame: &Tensor) {
     let (h, w) = (frame.dims()[0], frame.dims()[1]);
     let mut bytes = format!("P5\n{w} {h}\n255\n").into_bytes();
-    bytes.extend(frame.data().iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8));
-    let path = results_dir().join(name);
+    bytes.extend(
+        frame
+            .data()
+            .iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0) as u8),
+    );
+    let path = exp.dir().join(name);
     fs::write(&path, bytes).expect("PGM is writable");
-    println!("  wrote {}", path.display());
+    exp.progress(&format!("  wrote {}", path.display()));
 }
 
 /// Upscales a small map to `[40, 40]` nearest-neighbour for display.
@@ -41,7 +46,8 @@ fn upscale(map: &Tensor) -> Tensor {
 }
 
 fn main() {
-    let profile = Profile::from_env();
+    let mut exp = Experiment::start("fig2");
+    let profile = exp.profile();
     let scene = build_scene(profile);
     let camera = DepthCamera::new(scene.config().camera.clone(), scene.config().distance_m);
 
@@ -55,15 +61,20 @@ fn main() {
         .find(|&k| scene.blockage_at_frame(k) == 0.0)
         .expect("the scene contains clear frames");
 
-    println!("Fig. 2 — raw depth-images and CNN output images");
-    println!("(scene frame {k_blocked}: pedestrian crossing; frame {k_clear}: clear link)\n");
+    exp.progress("Fig. 2 — raw depth-images and CNN output images");
+    exp.progress(&format!(
+        "(scene frame {k_blocked}: pedestrian crossing; frame {k_clear}: clear link)"
+    ));
 
     let mut rng = StdRng::seed_from_u64(2);
     for (label, k) in [("blocked", k_blocked), ("clear", k_clear)] {
-        let raw = camera.render(scene.pedestrians(), k as f64 * scene.config().frame_interval_s);
+        let raw = camera.render(
+            scene.pedestrians(),
+            k as f64 * scene.config().frame_interval_s,
+        );
         println!("(a) raw image ({label}):");
         println!("{}", ascii_frame(&raw));
-        write_pgm(&format!("fig2_raw_{label}.pgm"), &raw);
+        write_pgm(&mut exp, &format!("fig2_raw_{label}.pgm"), &raw);
 
         for (tag, pooling) in [
             ("b_1x1", PoolingDim::RAW),
@@ -73,17 +84,8 @@ fn main() {
             // A fresh UE CNN per pooling (the paper's Fig. 2 visualizes
             // the architecture's compression, which is dominated by the
             // pooling window, not the learned weights).
-            let mut model = SplitModel::new(
-                Scheme::ImgOnly,
-                pooling,
-                40,
-                40,
-                4,
-                8,
-                32,
-                8,
-                &mut rng,
-            );
+            let mut model =
+                SplitModel::new(Scheme::ImgOnly, pooling, 40, 40, 4, 8, 32, 8, &mut rng);
             let ue = model.ue_mut().expect("image scheme has a UE half");
             let pooled = ue.infer_pooled_map(&raw);
             let display = upscale(&pooled);
@@ -94,7 +96,7 @@ fn main() {
                 pooled.dims()[1]
             );
             println!("{}", ascii_frame(&display));
-            write_pgm(&format!("fig2_{tag}_{label}.pgm"), &display);
+            write_pgm(&mut exp, &format!("fig2_{tag}_{label}.pgm"), &display);
         }
     }
 
@@ -103,4 +105,6 @@ fn main() {
     println!("  4x4 keeps a coarse 10x10 sketch, and 40x40 pooling reduces the");
     println!("  payload to a single average pixel — visually nothing remains,");
     println!("  matching Fig. 2(d).");
+
+    exp.finish();
 }

@@ -19,29 +19,32 @@
 //! SLM_PROFILE=full cargo run --release -p sl-bench --bin fig3a
 //! ```
 
-use sl_bench::{build_dataset, experiment_config, sparkline, write_csv, Profile};
+use sl_bench::{build_dataset, experiment_config, sparkline, Experiment};
 use sl_core::{PoolingDim, Scheme, SplitTrainer, TrainOutcome};
 
 fn run(
-    profile: Profile,
+    exp: &mut Experiment,
     scheme: Scheme,
     pooling: PoolingDim,
+    label: &str,
     dataset: &sl_scene::SequenceDataset,
 ) -> TrainOutcome {
-    let cfg = experiment_config(profile, scheme, pooling);
+    let cfg = experiment_config(exp.profile(), scheme, pooling);
+    exp.record_run(label, &cfg);
     let mut trainer = SplitTrainer::new(cfg, dataset);
-    trainer.train(dataset)
+    trainer.train_with(dataset, exp.telemetry())
 }
 
 fn main() {
-    let profile = Profile::from_env();
+    let mut exp = Experiment::start("fig3a");
+    let profile = exp.profile();
     let dataset = build_dataset(profile);
-    println!(
-        "Fig. 3a — learning curves ({:?} profile: {} train / {} val sequences)\n",
+    exp.progress(&format!(
+        "Fig. 3a — learning curves ({:?} profile: {} train / {} val sequences)",
         profile,
         dataset.train_indices().len(),
         dataset.val_indices().len()
-    );
+    ));
 
     // Context row: a closed-form linear autoregression on the RF history
     // (zero training time). Any learned scheme must beat this floor.
@@ -64,12 +67,12 @@ fn main() {
     let mut outcomes = Vec::new();
     for (scheme, pooling) in configs {
         let wall = std::time::Instant::now();
-        let out = run(profile, scheme, pooling, &dataset);
         let label = if scheme == Scheme::RfOnly {
             scheme.to_string()
         } else {
             format!("{scheme}, {pooling}")
         };
+        let out = run(&mut exp, scheme, pooling, &label, &dataset);
         println!(
             "{label:<28} best {:>5.2} dB  final {:>5.2} dB  sim {:>7.2} s (air {:>6.2} s)  epochs {:>3}  stop {:?}  [wall {:.0} s]",
             out.best_rmse_db(),
@@ -81,7 +84,7 @@ fn main() {
             wall.elapsed().as_secs_f64(),
         );
         let curve_vals: Vec<f32> = out.curve.iter().map(|p| p.val_rmse_db).collect();
-        println!("{:<28} {}", "", sparkline(&curve_vals));
+        exp.progress(&format!("{label:<28} {}", sparkline(&curve_vals)));
         for p in &out.curve {
             rows.push(format!(
                 "{label},{},{:.4},{:.4}",
@@ -91,8 +94,23 @@ fn main() {
         outcomes.push((label, out));
     }
 
-    let path = write_csv("fig3a.csv", "config,epoch,elapsed_s,val_rmse_db", &rows);
-    println!("\nwrote {}", path.display());
+    exp.write_csv("fig3a.csv", "config,epoch,elapsed_s,val_rmse_db", &rows);
+
+    // The telemetry snapshot's simulated-time totals must agree with the
+    // trainers' own SimClocks (the Fig. 3a time axis) to float precision.
+    let snap = exp.telemetry().snapshot();
+    if exp.telemetry().is_enabled() {
+        let compute: f64 = outcomes.iter().map(|(_, o)| o.compute_s).sum();
+        let airtime: f64 = outcomes.iter().map(|(_, o)| o.airtime_s).sum();
+        assert!(
+            (snap.gauge("sim.compute_s").unwrap_or(0.0) - compute).abs() < 1e-9,
+            "telemetry compute time disagrees with SimClock"
+        );
+        assert!(
+            (snap.gauge("sim.airtime_s").unwrap_or(0.0) - airtime).abs() < 1e-9,
+            "telemetry airtime disagrees with SimClock"
+        );
+    }
 
     // ---- paper-shape checks -------------------------------------------------
     println!("\npaper-shape check:");
@@ -111,7 +129,11 @@ fn main() {
     // (1) RF converges earliest in elapsed time (lowest airtime) but
     //     plateaus above the image-assisted schemes.
     let rf_first_epoch_time = rf.curve.get(1).map(|p| p.elapsed_s).unwrap_or(f64::MAX);
-    let pix_first_epoch_time = img_rf_pixel.curve.get(1).map(|p| p.elapsed_s).unwrap_or(0.0);
+    let pix_first_epoch_time = img_rf_pixel
+        .curve
+        .get(1)
+        .map(|p| p.elapsed_s)
+        .unwrap_or(0.0);
     println!(
         "  RF cheapest per epoch ({:.3} s vs {:.3} s for 1-pixel Img+RF): {}",
         rf_first_epoch_time,
@@ -141,6 +163,8 @@ fn main() {
         img_pixel.best_rmse_db(),
         yes(img_rf_pixel.best_rmse_db() < img_pixel.best_rmse_db())
     );
+
+    exp.finish();
 }
 
 fn yes(b: bool) -> &'static str {

@@ -11,7 +11,7 @@
 //! cargo run --release -p sl-bench --bin fig3b
 //! ```
 
-use sl_bench::{build_dataset, experiment_config, write_csv, Profile};
+use sl_bench::{build_dataset, experiment_config, Experiment};
 use sl_core::{PoolingDim, PredictionPoint, Scheme, SplitTrainer};
 
 /// Finds a validation-window offset whose `count` samples contain the
@@ -45,15 +45,16 @@ fn window_rmse(points: &[PredictionPoint]) -> f32 {
 }
 
 fn main() {
-    let profile = Profile::from_env();
+    let mut exp = Experiment::start("fig3b");
+    let profile = exp.profile();
     let dataset = build_dataset(profile);
     let count = 90; // ~3 s at the 33 ms frame interval
     let offset = deepest_fade_window(&dataset, count);
-    println!(
-        "Fig. 3b — received-power predictions ({:?} profile; validation window at offset {offset}, {count} samples ≈ {:.1} s)\n",
+    exp.progress(&format!(
+        "Fig. 3b — received-power predictions ({:?} profile; validation window at offset {offset}, {count} samples ≈ {:.1} s)",
         profile,
         count as f64 * dataset.trace().frame_interval_s
-    );
+    ));
 
     let schemes = [
         (Scheme::ImgRf, PoolingDim::ONE_PIXEL),
@@ -65,8 +66,9 @@ fn main() {
     let mut val_rmse = Vec::new();
     for (scheme, pooling) in schemes {
         let cfg = experiment_config(profile, scheme, pooling);
+        exp.record_run(&scheme.to_string(), &cfg);
         let mut trainer = SplitTrainer::new(cfg, &dataset);
-        let out = trainer.train(&dataset);
+        let out = trainer.train_with(&dataset, exp.telemetry());
         let trace = trainer.predict_trace(&dataset, offset, count);
         println!(
             "{:<7} trained to {:.2} dB val RMSE; fade-window RMSE {:.2} dB",
@@ -90,17 +92,24 @@ fn main() {
         }
         rows.push(row);
     }
-    let path = write_csv(
+    exp.write_csv(
         "fig3b.csv",
         "time_s,ground_truth_dbm,img_rf_dbm,img_dbm,rf_dbm",
         &rows,
     );
-    println!("\nwrote {}", path.display());
 
-    // ASCII overview of the window.
-    println!("\nwindow overview (P = ground truth, i = Img+RF prediction):");
-    let min = ground.iter().map(|p| p.actual_dbm).fold(f32::INFINITY, f32::min) - 2.0;
-    let max = ground.iter().map(|p| p.actual_dbm).fold(f32::NEG_INFINITY, f32::max) + 2.0;
+    // ASCII overview of the window (progress chatter, not a result row).
+    exp.progress("window overview (P = ground truth, i = Img+RF prediction):");
+    let min = ground
+        .iter()
+        .map(|p| p.actual_dbm)
+        .fold(f32::INFINITY, f32::min)
+        - 2.0;
+    let max = ground
+        .iter()
+        .map(|p| p.actual_dbm)
+        .fold(f32::NEG_INFINITY, f32::max)
+        + 2.0;
     let cols = 64usize;
     for i in (0..count).step_by(3) {
         let p = &traces[0].1[i];
@@ -108,7 +117,11 @@ fn main() {
         let mut line = vec![b' '; cols];
         line[pos(p.actual_dbm).min(cols - 1)] = b'P';
         line[pos(p.predicted_dbm).min(cols - 1)] = b'i';
-        println!("  {:6.2}s |{}|", p.time_s, String::from_utf8_lossy(&line));
+        exp.progress(&format!(
+            "  {:6.2}s |{}|",
+            p.time_s,
+            String::from_utf8_lossy(&line)
+        ));
     }
 
     // ---- paper-shape checks -------------------------------------------------
@@ -149,4 +162,6 @@ fn main() {
         "  image-assisted schemes anticipate the fade better than RF in the window (Img+RF {img_rf_w:.2} / Img {img_w:.2} vs RF {rf_w:.2} dB): {}",
         if img_rf_w <= rf_w && img_w <= rf_w { "YES" } else { "NO" }
     );
+
+    exp.finish();
 }

@@ -17,10 +17,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sl_bench::{build_scene, write_csv, Profile};
+use sl_bench::{build_scene, Experiment};
 use sl_channel::{
     success_probability, LinkConfig, PayloadSpec, RetransmissionPolicy, TransferSimulator,
-    TransferStats,
 };
 use sl_core::{PoolingDim, Scheme, SplitModel, PAPER_CALIBRATED_UPLINK_SNR_DB};
 use sl_privacy::privacy_leakage;
@@ -31,22 +30,30 @@ use sl_tensor::Tensor;
 const PAPER_LEAKAGE: [f64; 4] = [0.353, 0.343, 0.333, 0.296];
 const PAPER_SUCCESS: [f64; 4] = [0.00, 0.0270, 0.999, 1.00];
 
-fn empirical_success(link: &LinkConfig, bits: u64, rng: &mut StdRng) -> f64 {
+fn empirical_success(
+    link: &LinkConfig,
+    bits: u64,
+    rng: &mut StdRng,
+    tele: &mut sl_telemetry::Telemetry,
+    prefix: &str,
+) -> f64 {
     // One attempt per transfer: max_slots = 1 makes delivery rate equal
     // the per-slot success probability.
     let mut sim = TransferSimulator::new(
         link.clone(),
         RetransmissionPolicy::WholePayload { max_slots: 1 },
     );
-    let mut stats = TransferStats::default();
     for _ in 0..20_000 {
-        stats.record(sim.transfer(bits, rng));
+        sim.transfer(bits, rng);
     }
-    stats.delivery_rate()
+    let rate = sim.stats().delivery_rate();
+    sim.publish_metrics(tele, prefix);
+    rate
 }
 
 fn main() {
-    let profile = Profile::from_env();
+    let mut exp = Experiment::start("table1");
+    let profile = exp.profile();
     let scene = build_scene(profile);
     let camera = DepthCamera::new(scene.config().camera.clone(), scene.config().distance_m);
 
@@ -55,7 +62,12 @@ fn main() {
     let sample: Vec<usize> = (0..120).map(|i| i * (n_frames - 1) / 119).collect();
     let raw_frames: Vec<Tensor> = sample
         .iter()
-        .map(|&k| camera.render(scene.pedestrians(), k as f64 * scene.config().frame_interval_s))
+        .map(|&k| {
+            camera.render(
+                scene.pedestrians(),
+                k as f64 * scene.config().frame_interval_s,
+            )
+        })
         .collect();
     let raw_refs: Vec<&Tensor> = raw_frames.iter().collect();
 
@@ -64,11 +76,11 @@ fn main() {
     let calibrated = literal.with_mean_snr_db(PAPER_CALIBRATED_UPLINK_SNR_DB);
     let mut rng = StdRng::seed_from_u64(3);
 
-    println!("Table 1 — privacy leakage and success probability");
-    println!(
-        "(leakage over {} sampled frames; success for B=64, R=8, L=4 payloads)\n",
+    exp.progress("Table 1 — privacy leakage and success probability");
+    exp.progress(&format!(
+        "(leakage over {} sampled frames; success for B=64, R=8, L=4 payloads)",
         raw_frames.len()
-    );
+    ));
     println!(
         "{:<22} {:>9} {:>9} | {:>12} {:>12} {:>12} {:>10} | {:>9} {:>9}",
         "pooling w_H x w_W",
@@ -106,8 +118,18 @@ fn main() {
         let bits = spec.uplink_bits(pooling.h, pooling.w);
         let p_lit = success_probability(&literal, bits as f64);
         let p_cal = success_probability(&calibrated, bits as f64);
-        let p_emp = empirical_success(&calibrated, bits, &mut rng);
-        let exp_slots = if p_cal > 0.0 { 1.0 / p_cal } else { f64::INFINITY };
+        let p_emp = empirical_success(
+            &calibrated,
+            bits,
+            &mut rng,
+            exp.telemetry(),
+            &format!("table1.uplink.{}x{}", pooling.h, pooling.w),
+        );
+        let exp_slots = if p_cal > 0.0 {
+            1.0 / p_cal
+        } else {
+            f64::INFINITY
+        };
 
         println!(
             "{:<22} {:>9.3} {:>9.3} | {:>12.3e} {:>12.4} {:>12.4} {:>10.4} | {:>9} {:>9.1}",
@@ -136,12 +158,11 @@ fn main() {
         ));
     }
 
-    let path = write_csv(
+    exp.write_csv(
         "table1.csv",
         "pooling,leakage,paper_leakage,success_literal,success_calibrated,success_empirical,paper_success,uplink_bits,expected_slots",
         &rows,
     );
-    println!("\nwrote {}", path.display());
 
     println!("\npaper-shape check:");
     let leak_monotone = leakages.windows(2).all(|w| w[0] >= w[1] - 0.02);
@@ -153,4 +174,6 @@ fn main() {
     );
     println!("  success probability increases with pooling: YES by construction of B_UL");
     println!("  1x1 never decodes (p ≈ 0) and 1-pixel always decodes (p ≈ 1): matches the paper's endpoints");
+
+    exp.finish();
 }

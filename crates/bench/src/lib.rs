@@ -3,7 +3,9 @@
 //! Shared plumbing for the figure/table regeneration binaries
 //! (`fig2`, `fig3a`, `fig3b`, `table1`, `ablation`) and the criterion
 //! micro/macro benches. Each binary prints the paper-comparable rows to
-//! stdout and writes CSV series under `results/`.
+//! stdout and writes its artifacts — CSV series, a `manifest.json`
+//! describing every training run, and a final metrics `snapshot.json` —
+//! under `results/<experiment>/` (see README *Observability*).
 //!
 //! Two profiles, selected by the `SLM_PROFILE` environment variable:
 //!
@@ -13,15 +15,24 @@
 //!
 //! Both profiles use the paper's architecture, hyper-parameters and
 //! channel model; only the trace length and epoch budget differ.
+//!
+//! Telemetry: every binary opens one [`Experiment`], which builds its
+//! [`Telemetry`] handle from `SLM_TELEMETRY` / `SLM_TELEMETRY_PATH`.
+//! Progress chatter (headers, sparklines, "wrote ..." notes) goes
+//! through [`Experiment::progress`] so `SLM_TELEMETRY=off` leaves only
+//! the paper-comparable result rows on stdout.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sl_core::{ExperimentConfig, PoolingDim, Scheme};
 use sl_scene::{Scene, SceneConfig, SequenceDataset};
+use sl_telemetry::json::{JsonArray, JsonObject};
+use sl_telemetry::{EventBuilder, Snapshot, Telemetry};
 
 /// Experiment scale profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +44,44 @@ pub enum Profile {
 }
 
 impl Profile {
+    /// Parses an `SLM_PROFILE` value; `None` (unset) selects quick. An
+    /// unrecognized value is an `Err` carrying it so the caller can
+    /// report the misconfiguration instead of silently running quick.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("quick") => Ok(Profile::Quick),
+            Some("full") => Ok(Profile::Full),
+            Some(other) => Err(other.to_string()),
+        }
+    }
+
     /// Reads `SLM_PROFILE` (`quick` | `full`), defaulting to quick.
     pub fn from_env() -> Self {
-        match std::env::var("SLM_PROFILE").as_deref() {
-            Ok("full") => Profile::Full,
-            _ => Profile::Quick,
+        Self::from_env_logged(&mut Telemetry::disabled())
+    }
+
+    /// [`Profile::from_env`], journaling a warning through `tele` when
+    /// the variable is set to something unrecognized (the warning always
+    /// reaches stderr, even in `off` mode).
+    pub fn from_env_logged(tele: &mut Telemetry) -> Self {
+        let raw = std::env::var("SLM_PROFILE").ok();
+        match Self::parse(raw.as_deref()) {
+            Ok(p) => p,
+            Err(bad) => {
+                tele.warn(&format!(
+                    "unrecognized SLM_PROFILE value {bad:?} (expected quick|full); \
+                     using quick"
+                ));
+                Profile::Quick
+            }
+        }
+    }
+
+    /// The profile's `SLM_PROFILE` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Quick => "quick",
+            Profile::Full => "full",
         }
     }
 
@@ -113,6 +157,203 @@ pub fn experiment_config(
     cfg
 }
 
+/// FNV-1a (64-bit) — the workspace's dependency-free stable hash, used
+/// to fingerprint experiment configs in run manifests.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A 16-hex-digit fingerprint of an [`ExperimentConfig`] (FNV-1a over
+/// its `Debug` rendering — every field is `Debug`, so any config change
+/// changes the hash).
+pub fn config_hash(cfg: &ExperimentConfig) -> String {
+    format!("{:016x}", fnv1a_64(format!("{cfg:?}").as_bytes()))
+}
+
+/// One training/evaluation run inside an experiment, as recorded in the
+/// manifest.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Human label (the stdout row label).
+    pub label: String,
+    /// Scheme, `Display` form.
+    pub scheme: String,
+    /// Pooling, `Display` form.
+    pub pooling: String,
+    /// The config's RNG seed.
+    pub seed: u64,
+    /// [`config_hash`] fingerprint.
+    pub config_hash: String,
+}
+
+/// Per-binary experiment context: owns the [`Telemetry`] handle, the
+/// `results/<name>/` artifact directory and the run manifest.
+///
+/// Lifecycle: [`Experiment::start`] → `record_run` per configuration →
+/// [`Experiment::finish`], which writes `manifest.json` and (when
+/// telemetry is enabled) `snapshot.json` next to the CSVs.
+#[derive(Debug)]
+pub struct Experiment {
+    name: String,
+    profile: Profile,
+    telemetry: Telemetry,
+    dir: PathBuf,
+    runs: Vec<RunRecord>,
+    wall: Instant,
+}
+
+impl Experiment {
+    /// Opens the experiment: creates `results/<name>/`, builds telemetry
+    /// from `SLM_TELEMETRY` / `SLM_TELEMETRY_PATH` (the JSONL journal
+    /// defaults to `results/<name>/<name>.jsonl`), resolves the profile
+    /// from `SLM_PROFILE` (warning on unrecognized values) and journals
+    /// a `run_start` event.
+    pub fn start(name: &str) -> Self {
+        let dir = results_dir().join(name);
+        fs::create_dir_all(&dir).expect("experiment dir is creatable");
+        let mode = std::env::var("SLM_TELEMETRY").ok();
+        let journal_dir = std::env::var("SLM_TELEMETRY_PATH")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| dir.clone());
+        let mut telemetry = Telemetry::from_settings(mode.as_deref(), &journal_dir, name);
+        let profile = Profile::from_env_logged(&mut telemetry);
+        telemetry.emit(
+            EventBuilder::new("run_start")
+                .str("experiment", name)
+                .str("profile", profile.name()),
+        );
+        Experiment {
+            name: name.to_string(),
+            profile,
+            telemetry,
+            dir,
+            runs: Vec::new(),
+            wall: Instant::now(),
+        }
+    }
+
+    /// The resolved profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// The experiment's artifact directory, `results/<name>/`.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The telemetry handle (pass to `train_with` / `run_with`).
+    pub fn telemetry(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Routes progress chatter through the telemetry journal; with
+    /// `SLM_TELEMETRY=off` it vanishes, keeping stdout to the
+    /// paper-comparable rows.
+    pub fn progress(&mut self, msg: &str) {
+        self.telemetry.progress(msg);
+    }
+
+    /// Registers one configuration in the manifest and journals it.
+    pub fn record_run(&mut self, label: &str, cfg: &ExperimentConfig) {
+        let rec = RunRecord {
+            label: label.to_string(),
+            scheme: cfg.scheme.to_string(),
+            pooling: cfg.pooling.to_string(),
+            seed: cfg.seed,
+            config_hash: config_hash(cfg),
+        };
+        self.telemetry.emit(
+            EventBuilder::new("run_config")
+                .str("label", &rec.label)
+                .str("scheme", &rec.scheme)
+                .str("pooling", &rec.pooling)
+                .u64("seed", rec.seed)
+                .str("config_hash", &rec.config_hash),
+        );
+        self.runs.push(rec);
+    }
+
+    /// Writes CSV rows (first row = header) to `results/<name>/<file>`,
+    /// journaling the artifact path as progress.
+    pub fn write_csv(&mut self, file: &str, header: &str, rows: &[String]) -> PathBuf {
+        let path = write_csv_at(&self.dir, file, header, rows);
+        self.progress(&format!("wrote {}", path.display()));
+        path
+    }
+
+    /// The manifest JSON (exposed for tests).
+    pub fn manifest_json(&self, snapshot: &Snapshot) -> String {
+        let mut runs = JsonArray::new();
+        for r in &self.runs {
+            runs.push_raw(
+                &JsonObject::new()
+                    .str("label", &r.label)
+                    .str("scheme", &r.scheme)
+                    .str("pooling", &r.pooling)
+                    .u64("seed", r.seed)
+                    .str("config_hash", &r.config_hash)
+                    .finish(),
+            );
+        }
+        let mut obj = JsonObject::new()
+            .str("experiment", &self.name)
+            .str("profile", self.profile.name())
+            .u64("scene_seed", SCENE_SEED)
+            .str(
+                "telemetry_mode",
+                match self.telemetry.mode() {
+                    sl_telemetry::TelemetryMode::Off => "off",
+                    sl_telemetry::TelemetryMode::Summary => "summary",
+                    sl_telemetry::TelemetryMode::Jsonl => "jsonl",
+                },
+            );
+        if let Some(p) = self.telemetry.events_path() {
+            obj = obj.str("events_path", &p.display().to_string());
+        }
+        obj = obj
+            .f64("wall_s", self.wall.elapsed().as_secs_f64())
+            .f64(
+                "sim_compute_s",
+                snapshot.gauge("sim.compute_s").unwrap_or(0.0),
+            )
+            .f64(
+                "sim_airtime_s",
+                snapshot.gauge("sim.airtime_s").unwrap_or(0.0),
+            )
+            .raw("runs", &runs.finish());
+        obj.finish()
+    }
+
+    /// Closes the experiment: journals `run_end`, writes
+    /// `manifest.json`, and — when telemetry is enabled — writes the
+    /// final metrics `snapshot.json`; flushes the sink. Returns the
+    /// manifest path.
+    pub fn finish(mut self) -> PathBuf {
+        let snapshot = self.telemetry.snapshot();
+        self.telemetry.emit(
+            EventBuilder::new("run_end")
+                .str("experiment", &self.name)
+                .u64("runs", self.runs.len() as u64)
+                .f64("wall_s", self.wall.elapsed().as_secs_f64()),
+        );
+        let manifest_path = self.dir.join("manifest.json");
+        fs::write(&manifest_path, self.manifest_json(&snapshot) + "\n")
+            .expect("manifest is writable");
+        if self.telemetry.is_enabled() {
+            let snap_path = self.dir.join("snapshot.json");
+            fs::write(&snap_path, snapshot.to_json() + "\n").expect("snapshot is writable");
+        }
+        self.telemetry.flush();
+        manifest_path
+    }
+}
+
 /// The `results/` output directory (created on demand), next to the
 /// workspace root when run via `cargo run -p sl-bench`, else the CWD.
 pub fn results_dir() -> PathBuf {
@@ -134,9 +375,15 @@ fn workspace_root() -> PathBuf {
     }
 }
 
-/// Writes CSV rows (first row = header) to `results/<name>`.
+/// Writes CSV rows (first row = header) to `results/<name>`. Binaries
+/// prefer [`Experiment::write_csv`], which targets the experiment's own
+/// subdirectory.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
-    let path = results_dir().join(name);
+    write_csv_at(&results_dir(), name, header, rows)
+}
+
+fn write_csv_at(dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = dir.join(name);
     let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
     body.push_str(header);
     body.push('\n');
@@ -197,5 +444,65 @@ mod tests {
         let content = std::fs::read_to_string(&p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn profile_parse_flags_unknown_values() {
+        assert_eq!(Profile::parse(None), Ok(Profile::Quick));
+        assert_eq!(Profile::parse(Some("quick")), Ok(Profile::Quick));
+        assert_eq!(Profile::parse(Some("full")), Ok(Profile::Full));
+        assert_eq!(Profile::parse(Some("FULL")), Err("FULL".to_string()));
+        assert_eq!(Profile::parse(Some("fast")), Err("fast".to_string()));
+        assert_eq!(Profile::Quick.name(), "quick");
+        assert_eq!(Profile::Full.name(), "full");
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_config_sensitive() {
+        let a = experiment_config(Profile::Quick, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+        assert_eq!(config_hash(&a), config_hash(&a.clone()));
+        assert_eq!(config_hash(&a).len(), 16);
+        let mut b = a.clone();
+        b.seed += 1;
+        assert_ne!(config_hash(&a), config_hash(&b));
+        let c = experiment_config(Profile::Quick, Scheme::ImgRf, PoolingDim::MEDIUM);
+        assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn manifest_records_runs_and_sim_time() {
+        let mut exp = Experiment::start("_test_manifest");
+        let cfg = experiment_config(Profile::Quick, Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+        exp.record_run("Img+RF, 1-pixel", &cfg);
+        exp.telemetry().gauge_add("sim.compute_s", 1.25);
+        exp.telemetry().gauge_add("sim.airtime_s", 0.5);
+        let manifest = exp.manifest_json(&exp.telemetry.snapshot());
+        assert!(manifest.contains("\"experiment\":\"_test_manifest\""));
+        assert!(manifest.contains(&format!("\"config_hash\":\"{}\"", config_hash(&cfg))));
+        assert!(manifest.contains(&format!("\"seed\":{}", cfg.seed)));
+        if exp.telemetry.is_enabled() {
+            assert!(manifest.contains("\"sim_compute_s\":1.25"));
+        }
+
+        let telemetry_enabled = exp.telemetry.is_enabled();
+        let path = exp.finish();
+        assert!(path.ends_with("_test_manifest/manifest.json"));
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.contains("\"runs\":[{"));
+        if telemetry_enabled {
+            // finish() also wrote the final metrics snapshot.
+            let snap =
+                std::fs::read_to_string(path.parent().unwrap().join("snapshot.json")).unwrap();
+            assert!(snap.contains("\"sim.compute_s\""));
+        }
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 }

@@ -51,7 +51,11 @@ mod tests {
         let tail = samples.iter().filter(|&&h| h > 1.0).count() as f64 / n as f64;
         assert!((tail - (-1.0f64).exp()).abs() < 0.01, "tail = {tail}");
         // Exp variance equals 1.
-        let var = samples.iter().map(|&h| (h - mean) * (h - mean)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&h| (h - mean) * (h - mean))
+            .sum::<f64>()
+            / n as f64;
         assert!((var - 1.0).abs() < 0.05, "var = {var}");
         assert_eq!(ch.slots_drawn(), n as u64);
     }

@@ -102,6 +102,9 @@ mod tests {
         let p_raw = success_probability(&link, spec.uplink_bits(1, 1) as f64);
         let p_pixel = success_probability(&link, spec.uplink_bits(40, 40) as f64);
         assert!(p_raw < 1e-6, "1x1 pooling should never decode, got {p_raw}");
-        assert!(p_pixel > 0.999, "one-pixel payload should always decode, got {p_pixel}");
+        assert!(
+            p_pixel > 0.999,
+            "one-pixel payload should always decode, got {p_pixel}"
+        );
     }
 }

@@ -50,8 +50,14 @@ impl LinkConfig {
     /// Mean received SNR (linear): `P · r^-α / (σ² · W)`, i.e. the SNR at
     /// unit fading `h = 1`.
     pub fn mean_snr_linear(&self) -> f64 {
-        assert!(self.distance_m > 0.0, "LinkConfig: distance must be positive");
-        assert!(self.bandwidth_hz > 0.0, "LinkConfig: bandwidth must be positive");
+        assert!(
+            self.distance_m > 0.0,
+            "LinkConfig: distance must be positive"
+        );
+        assert!(
+            self.bandwidth_hz > 0.0,
+            "LinkConfig: bandwidth must be positive"
+        );
         let p_mw = dbm_to_mw(self.tx_power_dbm);
         let path = self.distance_m.powf(-self.path_loss_exp);
         let noise_mw = dbm_to_mw(self.noise_psd_dbm_hz) * self.bandwidth_hz;

@@ -40,9 +40,12 @@ impl PayloadSpec {
     /// # Panics
     /// Panics when the window does not tile the CNN output exactly.
     pub fn pooled_pixels(&self, wh: usize, ww: usize) -> usize {
-        assert!(wh > 0 && ww > 0, "PayloadSpec: pooling window must be non-empty");
         assert!(
-            self.image_height % wh == 0 && self.image_width % ww == 0,
+            wh > 0 && ww > 0,
+            "PayloadSpec: pooling window must be non-empty"
+        );
+        assert!(
+            self.image_height.is_multiple_of(wh) && self.image_width.is_multiple_of(ww),
             "PayloadSpec: window {wh}x{ww} does not tile {}x{}",
             self.image_height,
             self.image_width

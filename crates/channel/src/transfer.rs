@@ -2,6 +2,8 @@
 
 use rand::Rng;
 
+use sl_telemetry::{Histogram, Telemetry};
+
 use crate::fading::FadingChannel;
 use crate::link::LinkConfig;
 use crate::{decode_threshold, success_probability};
@@ -97,6 +99,17 @@ impl TransferStats {
         }
     }
 
+    /// Number of transfers that exhausted their slot budget.
+    pub fn timeouts(&self) -> u64 {
+        self.transfers - self.delivered
+    }
+
+    /// Slots spent beyond the first of each transfer — the retransmission
+    /// overhead the link's fading imposes.
+    pub fn retransmissions(&self) -> u64 {
+        self.total_slots.saturating_sub(self.transfers)
+    }
+
     /// Mean slots per transfer (0.0 when none attempted).
     pub fn mean_slots(&self) -> f64 {
         if self.transfers == 0 {
@@ -112,11 +125,19 @@ impl TransferStats {
 /// Owns the fading process for that direction; every transfer draws fresh
 /// per-slot fading, checks the Shannon threshold, and either delivers or
 /// retransmits according to the policy.
+///
+/// Every transfer is also recorded into running [`TransferStats`] and a
+/// per-transfer slot-count [`Histogram`], so harnesses can publish a
+/// link's behaviour into a metrics registry after a run (see
+/// [`TransferSimulator::publish_metrics`]) without threading a telemetry
+/// handle through the hot path.
 #[derive(Debug, Clone)]
 pub struct TransferSimulator {
     link: LinkConfig,
     fading: FadingChannel,
     policy: RetransmissionPolicy,
+    stats: TransferStats,
+    slot_hist: Histogram,
 }
 
 impl TransferSimulator {
@@ -126,6 +147,8 @@ impl TransferSimulator {
             link,
             fading: FadingChannel::new(),
             policy,
+            stats: TransferStats::default(),
+            slot_hist: Histogram::new(),
         }
     }
 
@@ -145,8 +168,49 @@ impl TransferSimulator {
         snr > decode_threshold(bits, self.link.bandwidth_hz, self.link.slot_s)
     }
 
+    /// Accumulated statistics over every transfer this simulator ran.
+    pub fn stats(&self) -> &TransferStats {
+        &self.stats
+    }
+
+    /// The per-transfer slot-count distribution.
+    pub fn slot_histogram(&self) -> &Histogram {
+        &self.slot_hist
+    }
+
+    /// Publishes the accumulated link metrics under `prefix`:
+    /// counters `{prefix}.transfers`, `{prefix}.delivered`,
+    /// `{prefix}.timeouts`, `{prefix}.retransmissions`,
+    /// `{prefix}.slots_total`; gauge `{prefix}.delivery_rate`; and the
+    /// slot-count histogram `{prefix}.slots`.
+    pub fn publish_metrics(&self, tele: &mut Telemetry, prefix: &str) {
+        if !tele.is_enabled() || self.stats.transfers == 0 {
+            return;
+        }
+        tele.add(&format!("{prefix}.transfers"), self.stats.transfers);
+        tele.add(&format!("{prefix}.delivered"), self.stats.delivered);
+        tele.add(&format!("{prefix}.timeouts"), self.stats.timeouts());
+        tele.add(
+            &format!("{prefix}.retransmissions"),
+            self.stats.retransmissions(),
+        );
+        tele.add(&format!("{prefix}.slots_total"), self.stats.total_slots);
+        tele.gauge_set(
+            &format!("{prefix}.delivery_rate"),
+            self.stats.delivery_rate(),
+        );
+        tele.merge_histogram(&format!("{prefix}.slots"), &self.slot_hist);
+    }
+
     /// Simulates delivering `payload_bits`, returning the outcome.
     pub fn transfer(&mut self, payload_bits: u64, rng: &mut impl Rng) -> TransferOutcome {
+        let outcome = self.transfer_inner(payload_bits, rng);
+        self.stats.record(outcome);
+        self.slot_hist.record(outcome.slots() as f64);
+        outcome
+    }
+
+    fn transfer_inner(&mut self, payload_bits: u64, rng: &mut impl Rng) -> TransferOutcome {
         match self.policy {
             RetransmissionPolicy::WholePayload { max_slots } => {
                 self.deliver_unit(payload_bits as f64, max_slots, 0, rng)
@@ -302,6 +366,47 @@ mod tests {
         let stats = TransferStats::default();
         assert_eq!(stats.delivery_rate(), 1.0);
         assert_eq!(stats.mean_slots(), 0.0);
+    }
+
+    #[test]
+    fn simulator_accumulates_stats_and_histogram() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = sim(RetransmissionPolicy::WholePayload { max_slots: 10 });
+        for _ in 0..50 {
+            s.transfer(2_048, &mut rng); // always delivers in 1 slot
+        }
+        let spec = PayloadSpec::paper(64);
+        s.transfer(spec.uplink_bits(1, 1), &mut rng); // always times out
+        assert_eq!(s.stats().transfers, 51);
+        assert_eq!(s.stats().delivered, 50);
+        assert_eq!(s.stats().timeouts(), 1);
+        assert_eq!(s.stats().total_slots, 60);
+        assert_eq!(s.stats().retransmissions(), 60 - 51);
+        assert_eq!(s.slot_histogram().count(), 51);
+        assert_eq!(s.slot_histogram().min(), Some(1.0));
+        assert_eq!(s.slot_histogram().max(), Some(10.0));
+    }
+
+    #[test]
+    fn publish_metrics_fills_registry() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut s = sim(RetransmissionPolicy::paper());
+        for _ in 0..20 {
+            s.transfer(2_048, &mut rng);
+        }
+        let mut tele = sl_telemetry::Telemetry::summary();
+        s.publish_metrics(&mut tele, "uplink");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("uplink.transfers"), 20);
+        assert_eq!(snap.counter("uplink.delivered"), 20);
+        assert_eq!(snap.counter("uplink.timeouts"), 0);
+        assert_eq!(snap.gauge("uplink.delivery_rate"), Some(1.0));
+        assert_eq!(snap.histograms["uplink.slots"].count(), 20);
+
+        // Disabled telemetry records nothing.
+        let mut off = sl_telemetry::Telemetry::disabled();
+        s.publish_metrics(&mut off, "uplink");
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn db_to_linear(db: f64) -> f64 {
 /// # Panics
 /// Panics for non-positive ratios.
 pub fn linear_to_db(ratio: f64) -> f64 {
-    assert!(ratio > 0.0, "linear_to_db: ratio must be positive, got {ratio}");
+    assert!(
+        ratio > 0.0,
+        "linear_to_db: ratio must be positive, got {ratio}"
+    );
     10.0 * ratio.log10()
 }
 

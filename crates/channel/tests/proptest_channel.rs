@@ -14,10 +14,10 @@ use sl_channel::{
 
 fn any_link() -> impl Strategy<Value = LinkConfig> {
     (
-        -20.0f64..45.0,   // tx power dBm
-        1e6f64..200e6,    // bandwidth
-        1.0f64..20.0,     // distance
-        2.0f64..6.0,      // path-loss exponent
+        -20.0f64..45.0, // tx power dBm
+        1e6f64..200e6,  // bandwidth
+        1.0f64..20.0,   // distance
+        2.0f64..6.0,    // path-loss exponent
     )
         .prop_map(|(p, w, r, a)| LinkConfig {
             tx_power_dbm: p,

@@ -111,7 +111,7 @@ mod tests {
         // Row b·L + t must be frame t of sample b.
         let s1 = ds.sample(idx[1]);
         for t in 0..4 {
-            let row = 1 * 4 + t;
+            let row = 4 + t; // b = 1, L = 4
             for px in 0..16 {
                 assert_eq!(
                     images.at(&[row, 0, 0, px]),
@@ -119,9 +119,7 @@ mod tests {
                     "mismatch at step {t} pixel {px}"
                 );
             }
-            assert!(
-                (batch.powers_norm.at(&[1, t]) - n.normalize(s1.powers_dbm[t])).abs() < 1e-6
-            );
+            assert!((batch.powers_norm.at(&[1, t]) - n.normalize(s1.powers_dbm[t])).abs() < 1e-6);
         }
         assert!((batch.targets_norm.at(&[1, 0]) - n.normalize(s1.target_dbm)).abs() < 1e-6);
     }

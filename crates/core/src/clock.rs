@@ -29,13 +29,19 @@ impl ComputeModel {
 
     /// Seconds the UE needs for `flops`.
     pub fn ue_seconds(&self, flops: f64) -> f64 {
-        assert!(self.ue_flops_per_s > 0.0, "ComputeModel: UE rate must be positive");
+        assert!(
+            self.ue_flops_per_s > 0.0,
+            "ComputeModel: UE rate must be positive"
+        );
         flops / self.ue_flops_per_s
     }
 
     /// Seconds the BS needs for `flops`.
     pub fn bs_seconds(&self, flops: f64) -> f64 {
-        assert!(self.bs_flops_per_s > 0.0, "ComputeModel: BS rate must be positive");
+        assert!(
+            self.bs_flops_per_s > 0.0,
+            "ComputeModel: BS rate must be positive"
+        );
         flops / self.bs_flops_per_s
     }
 }
@@ -55,13 +61,19 @@ impl SimClock {
 
     /// Adds compute time.
     pub fn add_compute(&mut self, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "SimClock: bad compute time");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "SimClock: bad compute time"
+        );
         self.compute_s += seconds;
     }
 
     /// Adds channel airtime.
     pub fn add_airtime(&mut self, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "SimClock: bad airtime");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "SimClock: bad airtime"
+        );
         self.airtime_s += seconds;
     }
 
@@ -119,7 +131,10 @@ mod tests {
         let m = ComputeModel::paper();
         assert!((m.ue_seconds(200e9) - 1.0).abs() < 1e-12);
         assert!((m.bs_seconds(1e12) - 1.0).abs() < 1e-12);
-        assert!(m.ue_seconds(1e9) > m.bs_seconds(1e9), "BS is the faster device");
+        assert!(
+            m.ue_seconds(1e9) > m.bs_seconds(1e9),
+            "BS is the faster device"
+        );
     }
 
     #[test]

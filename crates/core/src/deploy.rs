@@ -22,6 +22,7 @@ use rand::SeedableRng;
 
 use sl_channel::TransferSimulator;
 use sl_scene::SequenceDataset;
+use sl_telemetry::{EventBuilder, Telemetry};
 use sl_tensor::Tensor;
 
 use crate::config::ExperimentConfig;
@@ -113,6 +114,23 @@ impl StreamingDeployment {
         offset: usize,
         count: usize,
     ) -> StreamReport {
+        self.run_with(model, dataset, offset, count, &mut Telemetry::disabled())
+    }
+
+    /// [`run`](Self::run), additionally publishing deployment metrics:
+    /// a `deploy.deadline_miss` counter, a `deploy.feature_age_frames`
+    /// staleness histogram (0 = the frame's own feature arrived on time,
+    /// `n` = the BS predicted from a feature `n` frames old), the
+    /// `deploy.miss_rate` gauge and the uplink's transfer statistics
+    /// under `deploy.uplink.*`.
+    pub fn run_with(
+        &mut self,
+        model: &mut SplitModel,
+        dataset: &SequenceDataset,
+        offset: usize,
+        count: usize,
+        tele: &mut Telemetry,
+    ) -> StreamReport {
         let val = dataset.val_indices();
         assert!(
             offset + count <= val.len(),
@@ -132,6 +150,8 @@ impl StreamingDeployment {
         let mut misses = 0usize;
         let mut total_bits = 0u64;
         let mut airtime = 0.0f64;
+        // Age (in frames) of the newest feature the BS actually holds.
+        let mut feature_age: u64 = 0;
 
         for &k in &val[offset..offset + count] {
             // Power history is local to the BS.
@@ -151,13 +171,17 @@ impl StreamingDeployment {
                 airtime += self.uplink.slots_to_seconds(outcome.slots());
                 let on_time = outcome.delivered() && outcome.slots() <= self.slots_per_frame;
                 let arrived = if on_time {
+                    feature_age = 0;
                     last_delivered = Some(fresh.clone());
                     fresh
                 } else {
                     stale = true;
                     misses += 1;
+                    feature_age += 1;
+                    tele.inc("deploy.deadline_miss");
                     last_delivered.clone().unwrap_or_else(|| fresh.map(|_| 0.0))
                 };
+                tele.observe("deploy.feature_age_frames", feature_age as f64);
                 if feature_window.len() == l {
                     feature_window.remove(0);
                 }
@@ -180,12 +204,28 @@ impl StreamingDeployment {
             });
         }
 
-        StreamReport {
+        let report = StreamReport {
             points,
             deadline_misses: misses,
             payload_bits: total_bits,
             airtime_s: airtime,
+        };
+        if tele.is_enabled() && !report.points.is_empty() {
+            tele.add("deploy.frames", report.points.len() as u64);
+            tele.gauge_set("deploy.miss_rate", report.miss_rate());
+            tele.gauge_add("sim.airtime_s", report.airtime_s);
+            self.uplink.publish_metrics(tele, "deploy.uplink");
+            tele.emit(
+                EventBuilder::new("deploy_end")
+                    .u64("frames", report.points.len() as u64)
+                    .u64("deadline_misses", report.deadline_misses as u64)
+                    .f64("miss_rate", report.miss_rate())
+                    .u64("payload_bits", report.payload_bits)
+                    .f64("airtime_s", report.airtime_s)
+                    .f64("rmse_db", f64::from(report.rmse_db())),
+            );
         }
+        report
     }
 }
 
@@ -236,6 +276,26 @@ impl OutageReport {
             self.blocked_on_link as f64 / self.frames as f64
         }
     }
+
+    /// Publishes the report into `tele` under `prefix` (e.g.
+    /// `"deploy.proactive"`): counters for blocked / needless-fallback /
+    /// switch frames plus the `{prefix}.outage_rate` gauge.
+    pub fn publish_metrics(&self, tele: &mut Telemetry, prefix: &str) {
+        if !tele.is_enabled() {
+            return;
+        }
+        tele.add(
+            &format!("{prefix}.blocked_on_link"),
+            self.blocked_on_link as u64,
+        );
+        tele.add(
+            &format!("{prefix}.needless_fallback"),
+            self.needless_fallback as u64,
+        );
+        tele.add(&format!("{prefix}.switches"), self.switches as u64);
+        tele.add(&format!("{prefix}.frames"), self.frames as u64);
+        tele.gauge_set(&format!("{prefix}.outage_rate"), self.outage_rate());
+    }
 }
 
 /// Simulates a link controller over a streamed window.
@@ -245,7 +305,11 @@ impl OutageReport {
 /// fade arrives the switch is already done; the reactive policy consults
 /// the measured power of the *current* frame and therefore always reacts
 /// after the fact. The outage is evaluated on the points' target frames.
-pub fn simulate_link_policy(points: &[StreamPoint], policy: LinkPolicy, trace_powers: &[f32]) -> OutageReport {
+pub fn simulate_link_policy(
+    points: &[StreamPoint],
+    policy: LinkPolicy,
+    trace_powers: &[f32],
+) -> OutageReport {
     let (threshold, hysteresis, proactive) = match policy {
         LinkPolicy::Proactive {
             threshold_dbm,
@@ -418,6 +482,61 @@ mod tests {
             "reactive control must suffer outage at fade onset"
         );
         assert!(proactive.outage_rate() < reactive.outage_rate());
+    }
+
+    #[test]
+    fn deploy_telemetry_counts_misses_and_staleness() {
+        use sl_telemetry::{MemorySink, Telemetry, TelemetryMode};
+        let ds = dataset(302);
+        let (mut cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        // Starved link: every frame misses its deadline.
+        cfg.uplink = sl_channel::LinkConfig::paper_uplink().with_mean_snr_db(-90.0);
+        cfg.retransmission = sl_channel::RetransmissionPolicy::WholePayload { max_slots: 5 };
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 3);
+        let (sink, events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        let report = deploy.run_with(trainer.model_mut(), &ds, 0, 20, &mut tele);
+
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("deploy.deadline_miss"), 20);
+        assert_eq!(snap.counter("deploy.frames"), 20);
+        assert_eq!(snap.gauge("deploy.miss_rate"), Some(1.0));
+        assert!((snap.gauge("sim.airtime_s").unwrap() - report.airtime_s).abs() < 1e-9);
+        // Staleness grows monotonically when nothing ever arrives: ages
+        // 1..=20 observed, one per frame.
+        let age = &snap.histograms["deploy.feature_age_frames"];
+        assert_eq!(age.count(), 20);
+        assert_eq!(age.min(), Some(1.0));
+        assert_eq!(age.max(), Some(20.0));
+        assert_eq!(snap.counter("deploy.uplink.transfers"), 20);
+        assert_eq!(snap.counter("deploy.uplink.timeouts"), 20);
+        assert!(events.borrow().iter().any(|e| e.kind == "deploy_end"));
+    }
+
+    #[test]
+    fn deploy_disabled_telemetry_records_nothing() {
+        let ds = dataset(300);
+        let (cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 1);
+        let mut tele = sl_telemetry::Telemetry::disabled();
+        deploy.run_with(trainer.model_mut(), &ds, 2, 10, &mut tele);
+        assert!(tele.snapshot().is_empty());
+    }
+
+    #[test]
+    fn outage_report_publishes_metrics() {
+        let r = OutageReport {
+            blocked_on_link: 5,
+            needless_fallback: 2,
+            switches: 4,
+            frames: 50,
+        };
+        let mut tele = sl_telemetry::Telemetry::summary();
+        r.publish_metrics(&mut tele, "deploy.proactive");
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("deploy.proactive.blocked_on_link"), 5);
+        assert_eq!(snap.counter("deploy.proactive.switches"), 4);
+        assert_eq!(snap.gauge("deploy.proactive.outage_rate"), Some(0.1));
     }
 
     #[test]

@@ -48,8 +48,7 @@ pub use bs::{BsNetwork, RnnCell};
 pub use clock::{ComputeModel, SimClock};
 pub use config::{ExperimentConfig, PAPER_CALIBRATED_UPLINK_SNR_DB};
 pub use deploy::{
-    simulate_link_policy, LinkPolicy, OutageReport, StreamPoint, StreamReport,
-    StreamingDeployment,
+    simulate_link_policy, LinkPolicy, OutageReport, StreamPoint, StreamReport, StreamingDeployment,
 };
 pub use model::SplitModel;
 pub use persist::WeightIoError;

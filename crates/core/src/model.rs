@@ -126,7 +126,11 @@ impl SplitModel {
     pub fn forward(&mut self, batch: &Batch) -> Tensor {
         let b = batch.batch_size();
         let l = batch.seq_len;
-        assert_eq!(l, self.seq_len, "SplitModel: batch L {l} != model L {}", self.seq_len);
+        assert_eq!(
+            l, self.seq_len,
+            "SplitModel: batch L {l} != model L {}",
+            self.seq_len
+        );
         self.last_batch_shape = Some((b, l));
 
         let img_features = self.ue.as_mut().map(|ue| {
@@ -135,7 +139,7 @@ impl SplitModel {
                 .as_ref()
                 .expect("SplitModel: image scheme requires batch images");
             let pooled = ue.forward(images); // [B·L, 1, ph, pw]
-            // What actually crosses the link: R-bit-quantized activations.
+                                             // What actually crosses the link: R-bit-quantized activations.
             self.quantizer.quantize(&pooled)
         });
 
@@ -275,14 +279,26 @@ impl SplitModel {
     /// normalized power prediction.
     pub fn predict_window(&mut self, features: &[Tensor], powers_norm: &[f32]) -> f32 {
         let l = self.seq_len;
-        assert_eq!(powers_norm.len(), l, "predict_window: power history must have length L");
+        assert_eq!(
+            powers_norm.len(),
+            l,
+            "predict_window: power history must have length L"
+        );
         let p = self.pooled_pixels();
         let f = self.scheme.feature_dim(p);
         let mut input = Tensor::zeros([1, l, f]);
         if self.scheme.uses_images() {
-            assert_eq!(features.len(), l, "predict_window: feature history must have length L");
+            assert_eq!(
+                features.len(),
+                l,
+                "predict_window: feature history must have length L"
+            );
             for (t, feat) in features.iter().enumerate() {
-                assert_eq!(feat.numel(), p, "predict_window: feature {t} has wrong size");
+                assert_eq!(
+                    feat.numel(),
+                    p,
+                    "predict_window: feature {t} has wrong size"
+                );
                 input.data_mut()[t * f..t * f + p].copy_from_slice(feat.data());
             }
         }
@@ -378,8 +394,14 @@ mod tests {
         let cut = m.backward(&Tensor::ones(pred.dims())).unwrap();
         assert_eq!(cut.dims(), &[8, 1, 4, 4]);
         // Both halves accumulated gradients.
-        assert!(m.ue_params_and_grads().iter().any(|(_, g)| g.sum_sq() > 0.0));
-        assert!(m.bs_params_and_grads().iter().any(|(_, g)| g.sum_sq() > 0.0));
+        assert!(m
+            .ue_params_and_grads()
+            .iter()
+            .any(|(_, g)| g.sum_sq() > 0.0));
+        assert!(m
+            .bs_params_and_grads()
+            .iter()
+            .any(|(_, g)| g.sum_sq() > 0.0));
     }
 
     #[test]

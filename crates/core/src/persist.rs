@@ -118,7 +118,9 @@ impl SplitModel {
                 return Err(WeightIoError::Corrupt("truncated tensor data"));
             }
             let data: Vec<f32> = (0..numel)
-                .map(|i| f32::from_le_bytes(bytes[off + i * 4..off + i * 4 + 4].try_into().unwrap()))
+                .map(|i| {
+                    f32::from_le_bytes(bytes[off + i * 4..off + i * 4 + 4].try_into().unwrap())
+                })
                 .collect();
             off += numel * 4;
             parsed.push((dims, data));
@@ -215,7 +217,10 @@ mod tests {
         let mut b = model(2); // different init
         let before_a = predict(&mut a);
         let before_b = predict(&mut b);
-        assert!((before_a - before_b).abs() > 1e-6, "models must differ initially");
+        assert!(
+            (before_a - before_b).abs() > 1e-6,
+            "models must differ initially"
+        );
 
         let path = tmp("round_trip");
         a.save_weights(&path).unwrap();

@@ -42,7 +42,7 @@ impl PoolingDim {
     /// Panics when the window does not tile the CNN output.
     pub fn output_size(&self, img_h: usize, img_w: usize) -> (usize, usize) {
         assert!(
-            img_h % self.h == 0 && img_w % self.w == 0,
+            img_h.is_multiple_of(self.h) && img_w.is_multiple_of(self.w),
             "PoolingDim: window {self} does not tile {img_h}x{img_w}"
         );
         (img_h / self.h, img_w / self.w)

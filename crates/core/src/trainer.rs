@@ -20,9 +20,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sl_nn::{clip_global_norm, mse_loss, rmse, Adam, Optimizer};
 use sl_channel::TransferSimulator;
+use sl_nn::{clip_global_norm, mse_loss, rmse, Adam, Optimizer};
 use sl_scene::SequenceDataset;
+use sl_telemetry::{EventBuilder, SimSpan, Stopwatch, Telemetry};
 use sl_tensor::Tensor;
 
 use crate::batch::Batch;
@@ -168,8 +169,28 @@ impl SplitTrainer {
     }
 
     /// Runs the full training loop (validating after every epoch, like
-    /// the paper) and returns the outcome.
+    /// the paper) and returns the outcome. Telemetry-free entry point;
+    /// see [`SplitTrainer::train_with`] for the instrumented one.
     pub fn train(&mut self, dataset: &SequenceDataset) -> TrainOutcome {
+        self.train_with(dataset, &mut Telemetry::disabled())
+    }
+
+    /// Runs the full training loop, recording metrics and journal events
+    /// into `tele`:
+    ///
+    /// * per step — `train.loss`, `train.grad_norm.{ue,bs}`,
+    ///   `train.step.{host_s,compute_s,airtime_s}` histograms and the
+    ///   `train.steps.{applied,voided}` counters;
+    /// * per epoch — an `"epoch"` event plus the `train.val_rmse_db`
+    ///   gauge;
+    /// * at the end — the uplink/downlink slot metrics
+    ///   (`train.uplink.*` / `train.downlink.*`), the accumulated
+    ///   `sim.compute_s` / `sim.airtime_s` gauges (exactly the
+    ///   [`SimClock`] totals), and a `"train_end"` event.
+    ///
+    /// With disabled telemetry every instrumentation point reduces to one
+    /// branch, so the uninstrumented hot path is unchanged.
+    pub fn train_with(&mut self, dataset: &SequenceDataset, tele: &mut Telemetry) -> TrainOutcome {
         let b = self.config.batch_size;
         let steps_per_epoch = dataset.steps_per_epoch(b);
         let mut curve = Vec::new();
@@ -189,7 +210,7 @@ impl SplitTrainer {
         let mut epochs = 0usize;
         'outer: for epoch in 1..=self.config.max_epochs {
             for _ in 0..steps_per_epoch {
-                match self.step(dataset, b) {
+                match self.step(dataset, b, tele) {
                     StepResult::Applied => {
                         steps_applied += 1;
                         consecutive_voids = 0;
@@ -212,10 +233,46 @@ impl SplitTrainer {
                 epoch,
                 val_rmse_db: val,
             });
+            if tele.is_enabled() {
+                tele.gauge_set("train.val_rmse_db", val as f64);
+                tele.emit(
+                    EventBuilder::new("epoch")
+                        .u64("epoch", epoch as u64)
+                        .f64("val_rmse_db", val as f64)
+                        .f64("elapsed_s", self.clock.elapsed_s())
+                        .f64("compute_s", self.clock.compute_s())
+                        .f64("airtime_s", self.clock.airtime_s())
+                        .u64("steps_applied", steps_applied)
+                        .u64("steps_voided", steps_voided),
+                );
+            }
             if val <= self.config.target_rmse_db {
                 stop = StopReason::TargetReached;
                 break;
             }
+        }
+
+        if tele.is_enabled() {
+            tele.add("train.steps.applied", steps_applied);
+            tele.add("train.steps.voided", steps_voided);
+            // The simulated-clock split, accumulated across runs so a
+            // multi-experiment process sums to its total simulated time.
+            tele.gauge_add("sim.compute_s", self.clock.compute_s());
+            tele.gauge_add("sim.airtime_s", self.clock.airtime_s());
+            self.uplink.publish_metrics(tele, "train.uplink");
+            self.downlink.publish_metrics(tele, "train.downlink");
+            tele.emit(
+                EventBuilder::new("train_end")
+                    .str("scheme", &self.config.scheme.to_string())
+                    .str("pooling", &self.config.pooling.to_string())
+                    .str("stop", &format!("{stop:?}"))
+                    .u64("epochs", epochs as u64)
+                    .u64("steps_applied", steps_applied)
+                    .u64("steps_voided", steps_voided)
+                    .f64("final_rmse_db", val as f64)
+                    .f64("compute_s", self.clock.compute_s())
+                    .f64("airtime_s", self.clock.airtime_s()),
+            );
         }
 
         TrainOutcome {
@@ -231,7 +288,33 @@ impl SplitTrainer {
     }
 
     /// One SGD step: transfers, compute, updates, clock.
-    fn step(&mut self, dataset: &SequenceDataset, b: usize) -> StepResult {
+    fn step(&mut self, dataset: &SequenceDataset, b: usize, tele: &mut Telemetry) -> StepResult {
+        let instrument = tele.is_enabled();
+        let host = instrument.then(Stopwatch::start);
+        let span = SimSpan::begin(self.clock.compute_s(), self.clock.airtime_s());
+
+        let result = self.step_inner(dataset, b, tele);
+
+        if instrument {
+            if let Some(host) = host {
+                host.observe(tele, "train.step");
+            }
+            span.observe(
+                tele,
+                "train.step",
+                self.clock.compute_s(),
+                self.clock.airtime_s(),
+            );
+        }
+        result
+    }
+
+    fn step_inner(
+        &mut self,
+        dataset: &SequenceDataset,
+        b: usize,
+        tele: &mut Telemetry,
+    ) -> StepResult {
         let cfg = &self.config;
         let uses_images = cfg.scheme.uses_images();
 
@@ -274,15 +357,28 @@ impl SplitTrainer {
         self.model.backward(&loss.grad);
 
         let clip = self.config.grad_clip;
+        let ue_norm;
+        let bs_norm;
         {
             let mut pairs = self.model.ue_params_and_grads();
             let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
-            clip_global_norm(&mut grads, clip);
+            ue_norm = clip_global_norm(&mut grads, clip);
         }
         {
             let mut pairs = self.model.bs_params_and_grads();
             let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
-            clip_global_norm(&mut grads, clip);
+            bs_norm = clip_global_norm(&mut grads, clip);
+        }
+        if tele.is_enabled() {
+            if loss.loss.is_finite() {
+                tele.observe("train.loss", loss.loss.max(0.0) as f64);
+            }
+            if ue_norm.is_finite() {
+                tele.observe("train.grad_norm.ue", ue_norm.max(0.0) as f64);
+            }
+            if bs_norm.is_finite() {
+                tele.observe("train.grad_norm.bs", bs_norm.max(0.0) as f64);
+            }
         }
         self.opt_ue.step(&mut self.model.ue_params_and_grads());
         self.opt_bs.step(&mut self.model.bs_params_and_grads());
@@ -312,10 +408,7 @@ impl SplitTrainer {
             preds.extend_from_slice(p.data());
             targets.extend_from_slice(batch.targets_norm.data());
         }
-        let r = rmse(
-            &Tensor::from_slice(&preds),
-            &Tensor::from_slice(&targets),
-        );
+        let r = rmse(&Tensor::from_slice(&preds), &Tensor::from_slice(&targets));
         normalizer.rmse_to_db(r)
     }
 
@@ -402,7 +495,10 @@ mod tests {
         assert_eq!(out.epochs, 3);
         // Curve: epoch 0 + one point per epoch.
         assert_eq!(out.curve.len(), 4);
-        assert!(out.curve.windows(2).all(|w| w[0].elapsed_s <= w[1].elapsed_s));
+        assert!(out
+            .curve
+            .windows(2)
+            .all(|w| w[0].elapsed_s <= w[1].elapsed_s));
     }
 
     #[test]
@@ -489,12 +585,80 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_agrees_with_outcome_and_clock() {
+        use sl_telemetry::{MemorySink, Telemetry, TelemetryMode};
+        let ds = dataset(77);
+        let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        let (sink, events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        let mut t = SplitTrainer::new(cfg, &ds);
+        let out = t.train_with(&ds, &mut tele);
+        let snap = tele.snapshot();
+
+        assert_eq!(snap.counter("train.steps.applied"), out.steps_applied);
+        assert_eq!(snap.counter("train.steps.voided"), out.steps_voided);
+        // The acceptance bar: snapshot sim totals equal the SimClock.
+        assert!((snap.gauge("sim.compute_s").unwrap() - out.compute_s).abs() < 1e-9);
+        assert!((snap.gauge("sim.airtime_s").unwrap() - out.airtime_s).abs() < 1e-9);
+        // Per-step sim spans partition the clock exactly.
+        assert!((snap.histograms["train.step.compute_s"].sum() - out.compute_s).abs() < 1e-9);
+        assert!((snap.histograms["train.step.airtime_s"].sum() - out.airtime_s).abs() < 1e-9);
+        // One loss/grad-norm sample per applied step; one host-time sample
+        // per attempted step.
+        assert_eq!(snap.histograms["train.loss"].count(), out.steps_applied);
+        assert_eq!(
+            snap.histograms["train.grad_norm.bs"].count(),
+            out.steps_applied
+        );
+        assert_eq!(
+            snap.histograms["train.step.host_s"].count(),
+            out.steps_applied + out.steps_voided
+        );
+        // The split scheme used both link directions.
+        assert_eq!(
+            snap.counter("train.uplink.transfers"),
+            out.steps_applied + out.steps_voided
+        );
+        assert!(snap.counter("train.downlink.transfers") > 0);
+
+        // Journal: one epoch event per epoch, then a train_end.
+        let evs = events.borrow();
+        assert_eq!(evs.iter().filter(|e| e.kind == "epoch").count(), out.epochs);
+        assert_eq!(evs.iter().filter(|e| e.kind == "train_end").count(), 1);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_training() {
+        let ds = dataset(78);
+        let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        let plain = SplitTrainer::new(cfg.clone(), &ds).train(&ds);
+        let mut tele = sl_telemetry::Telemetry::summary();
+        let instrumented = SplitTrainer::new(cfg, &ds).train_with(&ds, &mut tele);
+        assert_eq!(plain.curve, instrumented.curve);
+        assert_eq!(plain.steps_applied, instrumented.steps_applied);
+        assert_eq!(plain.compute_s, instrumented.compute_s);
+        assert_eq!(plain.airtime_s, instrumented.airtime_s);
+    }
+
+    #[test]
     fn time_to_rmse_reads_curve() {
         let out = TrainOutcome {
             curve: vec![
-                CurvePoint { elapsed_s: 0.0, epoch: 0, val_rmse_db: 9.0 },
-                CurvePoint { elapsed_s: 1.0, epoch: 1, val_rmse_db: 5.0 },
-                CurvePoint { elapsed_s: 2.0, epoch: 2, val_rmse_db: 2.0 },
+                CurvePoint {
+                    elapsed_s: 0.0,
+                    epoch: 0,
+                    val_rmse_db: 9.0,
+                },
+                CurvePoint {
+                    elapsed_s: 1.0,
+                    epoch: 1,
+                    val_rmse_db: 5.0,
+                },
+                CurvePoint {
+                    elapsed_s: 2.0,
+                    epoch: 2,
+                    val_rmse_db: 2.0,
+                },
             ],
             stop: StopReason::EpochLimit,
             final_rmse_db: 2.0,

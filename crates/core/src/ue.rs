@@ -155,7 +155,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let x = sl_tensor::uniform([3, 1, 16, 16], 0.0, 1.0, &mut rng);
         let y = n.forward(&x);
-        assert!(y.min() >= 0.0 && y.max() <= 1.0, "sigmoid+avgpool must stay in [0,1]");
+        assert!(
+            y.min() >= 0.0 && y.max() <= 1.0,
+            "sigmoid+avgpool must stay in [0,1]"
+        );
     }
 
     #[test]
@@ -164,10 +167,7 @@ mod tests {
         let x = Tensor::ones([2, 1, 16, 16]);
         let y = n.forward(&x);
         n.backward(&Tensor::ones(y.dims()));
-        let grads_nonzero = n
-            .params_and_grads()
-            .iter()
-            .any(|(_, g)| g.sum_sq() > 0.0);
+        let grads_nonzero = n.params_and_grads().iter().any(|(_, g)| g.sum_sq() > 0.0);
         assert!(grads_nonzero, "backward must reach the conv weights");
         n.zero_grads();
         assert!(n.params_and_grads().iter().all(|(_, g)| g.sum_sq() == 0.0));
@@ -202,6 +202,8 @@ mod tests {
     fn flops_scale_with_channels() {
         let narrow = net(PoolingDim::RAW);
         let wide = UeNetwork::new(16, 16, 8, PoolingDim::RAW, &mut StdRng::seed_from_u64(4));
-        assert!((wide.flops_forward_per_image() / narrow.flops_forward_per_image() - 2.0).abs() < 1e-9);
+        assert!(
+            (wide.flops_forward_per_image() / narrow.flops_forward_per_image() - 2.0).abs() < 1e-9
+        );
     }
 }

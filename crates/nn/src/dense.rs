@@ -23,7 +23,10 @@ impl Dense {
     /// Creates a dense layer with `input_dim` inputs and `output_dim`
     /// outputs, Xavier-initialized from `rng`.
     pub fn new(input_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "Dense: dimensions must be positive");
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "Dense: dimensions must be positive"
+        );
         Dense {
             weight: xavier_uniform([output_dim, input_dim], input_dim, output_dim, rng),
             bias: Tensor::zeros([output_dim]),

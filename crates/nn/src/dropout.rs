@@ -27,7 +27,10 @@ impl Dropout {
     /// dedicated RNG seed (layers own their noise so training stays
     /// deterministic regardless of call order elsewhere).
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p must be in [0, 1), got {p}"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),

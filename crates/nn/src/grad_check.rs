@@ -67,8 +67,7 @@ pub fn check_gradients(
     }
 
     // Parameter coordinates: perturb in place, rerun forward, restore.
-    let n_params = param_grads.len();
-    for pi in 0..n_params {
+    for (pi, expected) in param_grads.iter().enumerate() {
         let numel = layer.params_and_grads()[pi].0.numel();
         for flat in sample_indices(numel, samples_per_tensor) {
             let original = layer.params_and_grads()[pi].0.data()[flat];
@@ -78,7 +77,7 @@ pub fn check_gradients(
             let down = layer.forward(input).sum();
             layer.params_and_grads()[pi].0.data_mut()[flat] = original;
             let fd = (up - down) / (2.0 * eps);
-            let err = (fd - param_grads[pi].data()[flat]).abs();
+            let err = (fd - expected.data()[flat]).abs();
             max_err = max_err.max(err);
             checked += 1;
         }

@@ -53,7 +53,10 @@ impl Gru {
     /// Creates a GRU with `input_dim` features per step and `hidden_dim`
     /// units, Xavier-initialized from `rng`.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0, "Gru: dimensions must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0,
+            "Gru: dimensions must be positive"
+        );
         let h3 = 3 * hidden_dim;
         Gru {
             input_dim,
@@ -134,9 +137,7 @@ impl Layer for Gru {
             let z = self.block(&xz, 1).add(&self.block(&hz, 1)).map(sigmoid);
             let hh_n = self.block(&hz, 2);
             let cand = self.block(&xz, 2).add(&r.mul(&hh_n)).map(f32::tanh);
-            let h_new = z
-                .mul(&h)
-                .add(&z.map(|v| 1.0 - v).mul(&cand));
+            let h_new = z.mul(&h).add(&z.map(|v| 1.0 - v).mul(&cand));
             self.cache.push(StepCache {
                 x,
                 h_prev: h,
@@ -151,7 +152,10 @@ impl Layer for Gru {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.cache.is_empty(), "Gru::backward called without a preceding forward");
+        assert!(
+            !self.cache.is_empty(),
+            "Gru::backward called without a preceding forward"
+        );
         let l = self.cache.len();
         let n = self.cache[0].x.dims()[0];
         let h_dim = self.hidden_dim;
@@ -186,18 +190,17 @@ impl Layer for Gru {
             for b in 0..n {
                 let dst_x = &mut gx_pre.data_mut()[b * 3 * h_dim..(b + 1) * 3 * h_dim];
                 dst_x[..h_dim].copy_from_slice(&dr_pre.data()[b * h_dim..(b + 1) * h_dim]);
-                dst_x[h_dim..2 * h_dim]
-                    .copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_x[h_dim..2 * h_dim].copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
                 dst_x[2 * h_dim..].copy_from_slice(&dn_pre.data()[b * h_dim..(b + 1) * h_dim]);
                 let dst_h = &mut gh_pre.data_mut()[b * 3 * h_dim..(b + 1) * 3 * h_dim];
                 dst_h[..h_dim].copy_from_slice(&dr_pre.data()[b * h_dim..(b + 1) * h_dim]);
-                dst_h[h_dim..2 * h_dim]
-                    .copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
+                dst_h[h_dim..2 * h_dim].copy_from_slice(&dz_pre.data()[b * h_dim..(b + 1) * h_dim]);
                 dst_h[2 * h_dim..].copy_from_slice(&d_hh_n.data()[b * h_dim..(b + 1) * h_dim]);
             }
             // Parameter gradients.
             self.grad_w_x.add_inplace(&matmul_at_b(&gx_pre, &step.x));
-            self.grad_w_h.add_inplace(&matmul_at_b(&gh_pre, &step.h_prev));
+            self.grad_w_h
+                .add_inplace(&matmul_at_b(&gh_pre, &step.h_prev));
             self.grad_bias_x.add_inplace(&gx_pre.sum_axis0());
             self.grad_bias_h.add_inplace(&gh_pre.sum_axis0());
             // Flow to x_t and h_{t-1}.

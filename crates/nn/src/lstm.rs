@@ -19,14 +19,14 @@ use crate::Layer;
 
 /// Cached values for one time step, needed by BPTT.
 struct StepCache {
-    x: Tensor,       // [N, X]
-    h_prev: Tensor,  // [N, H]
-    c_prev: Tensor,  // [N, H]
-    i: Tensor,       // [N, H] input gate (post-sigmoid)
-    f: Tensor,       // [N, H] forget gate
-    g: Tensor,       // [N, H] cell candidate (post-tanh)
-    o: Tensor,       // [N, H] output gate
-    tanh_c: Tensor,  // [N, H] tanh of the new cell state
+    x: Tensor,      // [N, X]
+    h_prev: Tensor, // [N, H]
+    c_prev: Tensor, // [N, H]
+    i: Tensor,      // [N, H] input gate (post-sigmoid)
+    f: Tensor,      // [N, H] forget gate
+    g: Tensor,      // [N, H] cell candidate (post-tanh)
+    o: Tensor,      // [N, H] output gate
+    tanh_c: Tensor, // [N, H] tanh of the new cell state
 }
 
 /// An LSTM over `[N, L, X]` sequences returning the final hidden state
@@ -50,7 +50,10 @@ impl Lstm {
     /// Creates an LSTM with `input_dim` features per step and
     /// `hidden_dim` units, Xavier-initialized from `rng`.
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0, "Lstm: dimensions must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0,
+            "Lstm: dimensions must be positive"
+        );
         let h4 = 4 * hidden_dim;
         let mut bias = Tensor::zeros([h4]);
         // Forget-gate bias = 1.
@@ -335,11 +338,7 @@ mod tests {
         let mut lstm = Lstm::new(2, 3, &mut rng);
         let x1 = sl_tensor::randn([1, 4, 2], 0.0, 1.0, &mut rng);
         let x2 = sl_tensor::randn([1, 4, 2], 0.0, 1.0, &mut rng);
-        let both = Tensor::from_vec(
-            [2, 4, 2],
-            [x1.data(), x2.data()].concat(),
-        )
-        .unwrap();
+        let both = Tensor::from_vec([2, 4, 2], [x1.data(), x2.data()].concat()).unwrap();
         let h1 = lstm.forward(&x1);
         let h2 = lstm.forward(&x2);
         let hb = lstm.forward(&both);

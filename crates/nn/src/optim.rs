@@ -36,7 +36,10 @@ impl Sgd {
     /// SGD with momentum coefficient `momentum ∈ [0, 1)`.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0, 1)"
+        );
         Sgd {
             lr,
             momentum,
@@ -48,7 +51,10 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
         }
         assert_eq!(
             self.velocity.len(),
@@ -115,8 +121,14 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [(&mut Tensor, &mut Tensor)]) {
         if self.first_moment.is_empty() {
-            self.first_moment = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
-            self.second_moment = params.iter().map(|(p, _)| Tensor::zeros(p.dims())).collect();
+            self.first_moment = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
+            self.second_moment = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.dims()))
+                .collect();
         }
         assert_eq!(
             self.first_moment.len(),
@@ -154,7 +166,10 @@ impl Optimizer for Adam {
 /// `max_norm`; returns the pre-clip norm. A standard guard for the LSTM's
 /// exploding-gradient failure mode.
 pub fn clip_global_norm(grads: &mut [&mut Tensor], max_norm: f32) -> f32 {
-    assert!(max_norm > 0.0, "clip_global_norm: max_norm must be positive");
+    assert!(
+        max_norm > 0.0,
+        "clip_global_norm: max_norm must be positive"
+    );
     let total: f32 = grads.iter().map(|g| g.sum_sq()).sum::<f32>().sqrt();
     if total > max_norm && total.is_finite() {
         let scale = max_norm / total;

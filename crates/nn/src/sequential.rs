@@ -100,7 +100,15 @@ mod tests {
         assert_eq!(net.len(), 7);
         assert_eq!(
             net.layer_names(),
-            vec!["conv2d", "relu", "conv2d", "sigmoid", "avg_pool2d", "flatten", "dense"]
+            vec![
+                "conv2d",
+                "relu",
+                "conv2d",
+                "sigmoid",
+                "avg_pool2d",
+                "flatten",
+                "dense"
+            ]
         );
     }
 

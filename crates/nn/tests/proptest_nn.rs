@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 use sl_nn::{
     check_gradients, clip_global_norm, huber_loss, mae_loss, mse_loss, rmse, Activation,
-    ActivationKind, Dense, Layer, Lstm, Sgd, Optimizer,
+    ActivationKind, Dense, Layer, Lstm, Optimizer, Sgd,
 };
 use sl_tensor::Tensor;
 

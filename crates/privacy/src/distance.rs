@@ -23,7 +23,10 @@ impl DistanceMatrix {
 
     /// Distance between points `i` and `j`.
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n && j < self.n, "DistanceMatrix: index out of bounds");
+        assert!(
+            i < self.n && j < self.n,
+            "DistanceMatrix: index out of bounds"
+        );
         self.data[i * self.n + j]
     }
 
@@ -44,7 +47,10 @@ impl DistanceMatrix {
                 let a = data[i * n + j];
                 let b = data[j * n + i];
                 assert!(a >= 0.0, "DistanceMatrix: negative distance");
-                assert!((a - b).abs() < 1e-9, "DistanceMatrix: asymmetric at ({i},{j})");
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "DistanceMatrix: asymmetric at ({i},{j})"
+                );
             }
         }
         DistanceMatrix { n, data }
@@ -152,9 +158,8 @@ mod tests {
     fn from_raw_validates() {
         let ok = DistanceMatrix::from_raw(2, vec![0.0, 1.0, 1.0, 0.0]);
         assert_eq!(ok.get(0, 1), 1.0);
-        let bad = std::panic::catch_unwind(|| {
-            DistanceMatrix::from_raw(2, vec![0.0, 1.0, 2.0, 0.0])
-        });
+        let bad =
+            std::panic::catch_unwind(|| DistanceMatrix::from_raw(2, vec![0.0, 1.0, 2.0, 0.0]));
         assert!(bad.is_err());
     }
 

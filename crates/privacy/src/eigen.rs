@@ -156,9 +156,9 @@ mod tests {
         let e = jacobi_eigen(n, &a);
         for k in 0..n {
             let av = matvec(n, &a, &e.vectors[k]);
-            for r in 0..n {
+            for (r, &av_r) in av.iter().enumerate() {
                 assert!(
-                    (av[r] - e.values[k] * e.vectors[k][r]).abs() < 1e-8,
+                    (av_r - e.values[k] * e.vectors[k][r]).abs() < 1e-8,
                     "A·v ≠ λ·v at eigenpair {k}, row {r}"
                 );
             }

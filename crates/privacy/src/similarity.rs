@@ -20,7 +20,11 @@ pub const LEAKAGE_MDS_DIM: usize = 2;
 /// means no linear alignment matches at all (or one configuration is
 /// degenerate).
 pub fn procrustes_similarity(a: &MdsEmbedding, b: &MdsEmbedding) -> f64 {
-    assert_eq!(a.len(), b.len(), "procrustes_similarity: point counts differ");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "procrustes_similarity: point counts differ"
+    );
     assert_eq!(a.dim(), b.dim(), "procrustes_similarity: dimensions differ");
     let n = a.len();
     let k = a.dim();
@@ -123,7 +127,12 @@ mod tests {
 
     #[test]
     fn identical_configurations_score_one() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 1.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 1.0],
+        ];
         let a = embed(&pts);
         let s = procrustes_similarity(&a, &a);
         assert!((s - 1.0).abs() < 1e-9, "s = {s}");
@@ -131,7 +140,12 @@ mod tests {
 
     #[test]
     fn rotation_and_scale_invariance() {
-        let pts = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 1.0]];
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 1.0],
+        ];
         // Rotate by 40° and scale by 3.
         let (sin, cos) = 40f32.to_radians().sin_cos();
         let moved: Vec<Vec<f32>> = pts
@@ -208,7 +222,10 @@ mod tests {
             l_copy > l_projected && l_projected > l_constant,
             "leakage not monotone: copy {l_copy}, projected {l_projected}, constant {l_constant}"
         );
-        assert!(l_copy > 0.9, "identity features must leak ≈ everything: {l_copy}");
+        assert!(
+            l_copy > 0.9,
+            "identity features must leak ≈ everything: {l_copy}"
+        );
         assert_eq!(l_constant, 0.0, "a constant payload leaks nothing");
     }
 

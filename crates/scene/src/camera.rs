@@ -31,7 +31,10 @@ pub struct DepthCamera {
 impl DepthCamera {
     /// Creates a camera for a link of `link_distance_m` metres.
     pub fn new(config: CameraConfig, link_distance_m: f64) -> Self {
-        assert!(link_distance_m > 0.0, "DepthCamera: link distance must be positive");
+        assert!(
+            link_distance_m > 0.0,
+            "DepthCamera: link distance must be positive"
+        );
         let focal_px = (config.image_width as f64 / 2.0) / (config.horizontal_fov_rad / 2.0).tan();
         DepthCamera {
             // Back wall 3 m behind the BS (far enough that the floor

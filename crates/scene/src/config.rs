@@ -143,7 +143,10 @@ impl SceneConfig {
     pub fn validate(&self) {
         assert!(self.camera.image_height > 0 && self.camera.image_width > 0);
         assert!(self.camera.near_m > 0.0 && self.camera.far_m > self.camera.near_m);
-        assert!(self.frame_interval_s > 0.0, "frame interval must be positive");
+        assert!(
+            self.frame_interval_s > 0.0,
+            "frame interval must be positive"
+        );
         assert!(self.num_frames > 0, "trace must contain frames");
         assert!(self.distance_m > 0.0, "link distance must be positive");
         assert!(self.blockage_depth_db >= 0.0);

@@ -89,7 +89,11 @@ impl PowerNormalizer {
         assert!(!powers_dbm.is_empty(), "PowerNormalizer: no samples");
         let n = powers_dbm.len() as f32;
         let mean = powers_dbm.iter().sum::<f32>() / n;
-        let var = powers_dbm.iter().map(|&p| (p - mean) * (p - mean)).sum::<f32>() / n;
+        let var = powers_dbm
+            .iter()
+            .map(|&p| (p - mean) * (p - mean))
+            .sum::<f32>()
+            / n;
         let std = var.sqrt();
         assert!(std > 0.0, "PowerNormalizer: zero variance");
         PowerNormalizer {
@@ -280,7 +284,10 @@ mod tests {
         let s = SplitIndices::paper_style(600, 4, 4);
         let last_train = *s.train.last().unwrap();
         let first_val = *s.val.first().unwrap();
-        assert!(last_train < first_val, "validation must follow training in time");
+        assert!(
+            last_train < first_val,
+            "validation must follow training in time"
+        );
         assert!(s.train.windows(2).all(|w| w[0] < w[1]));
         assert!(s.val.windows(2).all(|w| w[0] < w[1]));
     }

@@ -85,7 +85,8 @@ impl Pedestrian {
     /// time `t`: `max(0, |y| − width/2)`. Zero means the body straddles
     /// the line. `None` when inactive.
     pub fn edge_distance_to_los(&self, t: f64) -> Option<f64> {
-        self.y_at(t).map(|y| (y.abs() - self.width_m / 2.0).max(0.0))
+        self.y_at(t)
+            .map(|y| (y.abs() - self.width_m / 2.0).max(0.0))
     }
 }
 
@@ -146,8 +147,7 @@ mod tests {
             assert!(p.speed_mps >= cfg.speed_range_mps.0 && p.speed_mps <= cfg.speed_range_mps.1);
             assert!(p.width_m >= cfg.body_width_range_m.0 && p.width_m <= cfg.body_width_range_m.1);
             assert!(
-                p.height_m >= cfg.body_height_range_m.0
-                    && p.height_m <= cfg.body_height_range_m.1
+                p.height_m >= cfg.body_height_range_m.0 && p.height_m <= cfg.body_height_range_m.1
             );
             assert_eq!(p.start_y_m, -p.direction * cfg.corridor_half_m);
         }

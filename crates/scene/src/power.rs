@@ -67,12 +67,7 @@ impl PowerModel {
     ///
     /// Must be called once per frame in time order: the shadowing term is
     /// an AR(1) process whose state advances per call.
-    pub fn sample_dbm(
-        &mut self,
-        pedestrians: &[Pedestrian],
-        t: f64,
-        rng: &mut impl Rng,
-    ) -> f64 {
+    pub fn sample_dbm(&mut self, pedestrians: &[Pedestrian], t: f64, rng: &mut impl Rng) -> f64 {
         let cfg = &self.config;
         // AR(1): s' = ρ·s + sqrt(1-ρ²)·σ·ε keeps marginal variance σ².
         let innovation = gaussian(rng) * cfg.shadowing_sigma_db;
@@ -171,10 +166,16 @@ mod tests {
         let mut model = PowerModel::new(cfg.clone());
         let mut rng = StdRng::seed_from_u64(31);
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| model.sample_dbm(&[], 0.0, &mut rng)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| model.sample_dbm(&[], 0.0, &mut rng))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         assert!((mean - cfg.los_power_dbm).abs() < 0.1, "mean {mean}");
-        let var = samples.iter().map(|&s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n as f64;
         let expect = cfg.shadowing_sigma_db.powi(2) + cfg.fading_sigma_db.powi(2);
         assert!((var - expect).abs() < 0.15, "var {var} vs {expect}");
     }

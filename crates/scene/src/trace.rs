@@ -122,7 +122,11 @@ impl MeasurementTrace {
         if self.powers_dbm.is_empty() {
             return 0.0;
         }
-        let max = self.powers_dbm.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let max = self
+            .powers_dbm
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         let n = self
             .powers_dbm
             .iter()

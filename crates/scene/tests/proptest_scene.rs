@@ -6,18 +6,16 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sl_scene::{
-    DepthCamera, Pedestrian, PowerNormalizer, Scene, SceneConfig, SplitIndices,
-};
+use sl_scene::{DepthCamera, Pedestrian, PowerNormalizer, Scene, SceneConfig, SplitIndices};
 
 fn any_pedestrian() -> impl Strategy<Value = Pedestrian> {
     (
-        0.5f64..3.5,    // cross_x
-        0.0f64..100.0,  // spawn time
-        0.5f64..2.0,    // speed
+        0.5f64..3.5,   // cross_x
+        0.0f64..100.0, // spawn time
+        0.5f64..2.0,   // speed
         prop::bool::ANY,
-        0.3f64..0.6,    // width
-        1.5f64..2.0,    // height
+        0.3f64..0.6, // width
+        1.5f64..2.0, // height
     )
         .prop_map(|(cross_x, spawn, speed, fwd, width, height)| {
             let direction = if fwd { 1.0 } else { -1.0 };

@@ -1,0 +1,302 @@
+//! The structured event journal: events, field values and sinks.
+//!
+//! Every notable occurrence (an epoch finishing, a profile warning, a
+//! progress message) is an [`Event`]: a kind, a host-relative timestamp
+//! and a flat list of typed fields. Events flow into a [`Sink`] chosen at
+//! startup — dropped (`off`), summarized on stderr (`summary`), or
+//! appended as JSON lines to a file (`jsonl`) — so experiment stdout
+//! stays reserved for paper-comparable result rows.
+
+use std::cell::RefCell;
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use crate::json::JsonObject;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (serialized as `null` when non-finite).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Seconds since the owning [`crate::Telemetry`] was created.
+    pub t_host_s: f64,
+    /// Event kind, e.g. `"epoch"`, `"warn"`, `"progress"`.
+    pub kind: String,
+    /// Typed fields, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// The value of field `name`, if present.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The `msg` field as a string (progress and warn events carry one).
+    pub fn message(&self) -> Option<&str> {
+        match self.field("msg") {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// One JSONL line:
+    /// `{"t_host_s":1.25,"event":"epoch","epoch":3,"val_rmse_db":4.1}`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new()
+            .f64("t_host_s", self.t_host_s)
+            .str("event", &self.kind);
+        for (k, v) in &self.fields {
+            o = match v {
+                Value::U64(x) => o.u64(k, *x),
+                Value::I64(x) => o.i64(k, *x),
+                Value::F64(x) => o.f64(k, *x),
+                Value::Bool(x) => o.bool(k, *x),
+                Value::Str(x) => o.str(k, x),
+            };
+        }
+        o.finish()
+    }
+}
+
+/// Builder for an [`Event`] (the timestamp is stamped on emission).
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    kind: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl EventBuilder {
+    /// Starts an event of `kind`.
+    pub fn new(kind: &str) -> Self {
+        EventBuilder {
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, name: &str, v: u64) -> Self {
+        self.fields.push((name.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, name: &str, v: i64) -> Self {
+        self.fields.push((name.to_string(), Value::I64(v)));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(mut self, name: &str, v: f64) -> Self {
+        self.fields.push((name.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, v: bool) -> Self {
+        self.fields.push((name.to_string(), Value::Bool(v)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        self.fields
+            .push((name.to_string(), Value::Str(v.to_string())));
+        self
+    }
+
+    /// Finalizes with the given timestamp.
+    pub fn build(self, t_host_s: f64) -> Event {
+        Event {
+            t_host_s,
+            kind: self.kind,
+            fields: self.fields,
+        }
+    }
+}
+
+/// Where events go.
+pub trait Sink {
+    /// Consumes one event.
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Drops everything (`SLM_TELEMETRY=off`).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Human-readable progress on stderr (`SLM_TELEMETRY=summary`).
+///
+/// Prints progress chatter and end-of-run summaries; per-step and
+/// per-epoch structured events are deliberately skipped so long runs do
+/// not flood the terminal. Warnings are printed by the telemetry facade
+/// itself in every mode and are therefore skipped here too.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&mut self, event: &Event) {
+        match event.kind.as_str() {
+            "progress" => {
+                if let Some(msg) = event.message() {
+                    eprintln!("[sl] {msg}");
+                }
+            }
+            "train_end" | "run_end" | "deploy_end" => {
+                let fields: Vec<String> = event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| match v {
+                        Value::U64(x) => format!("{k}={x}"),
+                        Value::I64(x) => format!("{k}={x}"),
+                        Value::F64(x) => format!("{k}={x:.4}"),
+                        Value::Bool(x) => format!("{k}={x}"),
+                        Value::Str(x) => format!("{k}={x}"),
+                    })
+                    .collect();
+                eprintln!("[sl] {} {}", event.kind, fields.join(" "));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Appends every event as one JSON line (`SLM_TELEMETRY=jsonl`).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the journal file, making parent directories
+    /// as needed.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink {
+            writer: BufWriter::new(File::create(path)?),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&mut self, event: &Event) {
+        // Journal writes are best-effort: an unwritable disk must not
+        // abort a long experiment.
+        let _ = writeln!(self.writer, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Collects events in memory (tests).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Rc<RefCell<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// Creates a sink plus a shared handle to the collected events.
+    pub fn new() -> (Self, Rc<RefCell<Vec<Event>>>) {
+        let events = Rc::new(RefCell::new(Vec::new()));
+        (
+            MemorySink {
+                events: Rc::clone(&events),
+            },
+            events,
+        )
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_line() {
+        let e = EventBuilder::new("epoch")
+            .u64("epoch", 3)
+            .f64("val_rmse_db", 4.5)
+            .str("scheme", "Img+RF")
+            .build(1.25);
+        assert_eq!(
+            e.to_json(),
+            "{\"t_host_s\":1.25,\"event\":\"epoch\",\"epoch\":3,\
+             \"val_rmse_db\":4.5,\"scheme\":\"Img+RF\"}"
+        );
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = EventBuilder::new("warn")
+            .str("msg", "bad profile")
+            .build(0.0);
+        assert_eq!(e.message(), Some("bad profile"));
+        assert_eq!(e.field("absent"), None);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("sl_telemetry_test_jsonl");
+        let path = dir.join("stream.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.emit(&EventBuilder::new("a").u64("n", 1).build(0.0));
+        sink.emit(&EventBuilder::new("b").build(0.5));
+        sink.flush();
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"a\""));
+        assert!(lines[1].contains("\"event\":\"b\""));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_sink_collects() {
+        let (mut sink, events) = MemorySink::new();
+        sink.emit(&EventBuilder::new("x").build(0.0));
+        assert_eq!(events.borrow().len(), 1);
+        assert_eq!(events.borrow()[0].kind, "x");
+    }
+}

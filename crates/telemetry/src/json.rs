@@ -1,0 +1,210 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds with zero external crates, so instead of serde
+//! this module provides just enough of a writer to serialize metric
+//! snapshots, event-journal lines and run manifests: objects, arrays,
+//! and the five scalar kinds the telemetry layer uses. Output is always
+//! a single line (JSONL-friendly); non-finite floats become `null`.
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn push_str_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out`; NaN and infinities serialize as `null` (JSON has
+/// no representation for them).
+pub fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting; always parseable back.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental JSON object writer.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_str_escaped(name, &mut self.buf);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, v: &str) -> Self {
+        self.key(name);
+        push_str_escaped(v, &mut self.buf);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, name: &str, v: u64) -> Self {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, name: &str, v: i64) -> Self {
+        self.key(name);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn f64(mut self, name: &str, v: f64) -> Self {
+        self.key(name);
+        push_f64(v, &mut self.buf);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, v: bool) -> Self {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (nested objects/arrays).
+    pub fn raw(mut self, name: &str, json: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// Incremental JSON array writer (elements are pre-serialized values).
+#[derive(Debug)]
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    /// Appends a pre-serialized JSON value.
+    pub fn push_raw(&mut self, json: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(json);
+    }
+
+    /// Appends a string element.
+    pub fn push_str(&mut self, v: &str) {
+        let mut s = String::new();
+        push_str_escaped(v, &mut s);
+        self.push_raw(&s);
+    }
+
+    /// Closes the array and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        JsonArray::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        push_str_escaped("a\"b\\c\nd\te\u{1}", &mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn object_fields_in_order() {
+        let j = JsonObject::new()
+            .str("name", "x")
+            .u64("n", 3)
+            .f64("v", 1.5)
+            .bool("ok", true)
+            .i64("d", -2)
+            .finish();
+        assert_eq!(j, "{\"name\":\"x\",\"n\":3,\"v\":1.5,\"ok\":true,\"d\":-2}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let j = JsonObject::new()
+            .f64("a", f64::NAN)
+            .f64("b", f64::INFINITY)
+            .finish();
+        assert_eq!(j, "{\"a\":null,\"b\":null}");
+    }
+
+    #[test]
+    fn nested_raw_and_arrays() {
+        let mut arr = JsonArray::new();
+        arr.push_raw(&JsonObject::new().u64("k", 1).finish());
+        arr.push_str("two");
+        let j = JsonObject::new().raw("items", &arr.finish()).finish();
+        assert_eq!(j, "{\"items\":[{\"k\":1},\"two\"]}");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(JsonArray::new().finish(), "[]");
+    }
+}

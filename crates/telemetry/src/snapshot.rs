@@ -1,0 +1,164 @@
+//! Point-in-time metric snapshots and their JSON serialization.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonObject;
+use crate::metrics::Histogram;
+
+/// A copy of every metric in a [`crate::MetricsRegistry`] at one moment.
+///
+/// Snapshots keep the full histogram buckets (not just summaries) so two
+/// snapshots can be merged losslessly: merging equals recording the
+/// combined value streams (up to float-summation rounding in histogram
+/// sums).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Monotone counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Full histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Snapshot {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Folds `other` into `self`: counters add, histograms merge, and
+    /// gauges take `other`'s value (it is the later snapshot).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter total (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `None` when absent.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as a single-line JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"train.steps.applied":120},
+    ///  "gauges":{"sim.compute_s":1.25},
+    ///  "histograms":{"train.loss":{"count":120,"sum":...,"min":...,
+    ///                "max":...,"mean":...,"p50":...,"p90":...,"p99":...}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (k, v) in &self.counters {
+            counters = counters.u64(k, *v);
+        }
+        let mut gauges = JsonObject::new();
+        for (k, v) in &self.gauges {
+            gauges = gauges.f64(k, *v);
+        }
+        let mut hists = JsonObject::new();
+        for (k, h) in &self.histograms {
+            let mut o = JsonObject::new()
+                .u64("count", h.count())
+                .f64("sum", h.sum());
+            if let (Some(min), Some(max), Some(mean)) = (h.min(), h.max(), h.mean()) {
+                o = o
+                    .f64("min", min)
+                    .f64("max", max)
+                    .f64("mean", mean)
+                    .f64("p50", h.quantile(0.5).unwrap())
+                    .f64("p90", h.quantile(0.9).unwrap())
+                    .f64("p99", h.quantile(0.99).unwrap());
+            }
+            hists = hists.raw(k, &o.finish());
+        }
+        JsonObject::new()
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &hists.finish())
+            .finish()
+    }
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn registry_with(values: &[f64], steps: u64, rate: f64) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.add("steps", steps);
+        r.gauge_set("rate", rate);
+        for &v in values {
+            r.observe("loss", v);
+        }
+        r
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let a = registry_with(&[1.0, 2.0], 3, 0.5).snapshot();
+        let b = registry_with(&[4.0], 2, 0.9).snapshot();
+        let combined = registry_with(&[1.0, 2.0, 4.0], 5, 0.9).snapshot();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, combined);
+    }
+
+    #[test]
+    fn counter_and_gauge_access() {
+        let s = registry_with(&[], 7, 0.25).snapshot();
+        assert_eq!(s.counter("steps"), 7);
+        assert_eq!(s.counter("absent"), 0);
+        assert_eq!(s.gauge("rate"), Some(0.25));
+        assert_eq!(s.gauge("absent"), None);
+    }
+
+    #[test]
+    fn json_shape() {
+        let s = registry_with(&[2.0, 2.0], 1, 0.5).snapshot();
+        let j = s.to_json();
+        assert!(j.starts_with("{\"counters\":{\"steps\":1}"), "{j}");
+        assert!(j.contains("\"gauges\":{\"rate\":0.5}"), "{j}");
+        assert!(j.contains("\"loss\":{\"count\":2,\"sum\":4"), "{j}");
+        assert!(j.contains("\"p50\":2"), "{j}");
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let s = Snapshot::empty();
+        assert!(s.is_empty());
+        assert_eq!(
+            s.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the telemetry substrate: snapshot merging is
+//! equivalent to recording the combined stream, counters are monotone,
+//! and histogram quantile estimates stay within the log-bucket error
+//! bound.
+
+use proptest::prelude::*;
+
+use sl_telemetry::{Histogram, MetricsRegistry, BUCKETS_PER_OCTAVE};
+
+/// Positive, finite values spanning the histogram's tracked range.
+fn any_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1e6, 0..200)
+}
+
+fn record_all(values: &[f64]) -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    for &v in values {
+        r.observe("h", v);
+        r.inc("n");
+        r.gauge_set("last", v);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merging_snapshots_equals_recording_combined_stream(
+        a in any_values(),
+        b in any_values(),
+    ) {
+        let sa = record_all(&a).snapshot();
+        let sb = record_all(&b).snapshot();
+        let combined: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let sc = record_all(&combined).snapshot();
+
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        prop_assert_eq!(merged.counters.clone(), sc.counters.clone());
+        // Gauges: last write wins, which is b's last value when b is
+        // non-empty, else a's.
+        prop_assert_eq!(merged.gauges.clone(), sc.gauges.clone());
+        // Histograms: exact equality up to float summation order in `sum`.
+        prop_assert_eq!(merged.histograms.len(), sc.histograms.len());
+        for (name, hm) in &merged.histograms {
+            let hc = &sc.histograms[name];
+            prop_assert_eq!(hm.count(), hc.count());
+            prop_assert_eq!(hm.min(), hc.min());
+            prop_assert_eq!(hm.max(), hc.max());
+            prop_assert_eq!(hm.nonzero_buckets(), hc.nonzero_buckets());
+            let scale = hc.sum().abs().max(1.0);
+            prop_assert!((hm.sum() - hc.sum()).abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn counters_are_monotone(increments in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut r = MetricsRegistry::new();
+        let mut last = 0u64;
+        let mut total = 0u64;
+        for &n in &increments {
+            r.add("c", n);
+            let now = r.counter("c");
+            prop_assert!(now >= last, "counter decreased: {last} -> {now}");
+            last = now;
+            total += n;
+        }
+        prop_assert_eq!(r.counter("c"), total);
+    }
+
+    #[test]
+    fn quantile_estimates_within_bucket_error(values in any_values(), q in 0.0f64..=1.0) {
+        prop_assume!(!values.is_empty());
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q).unwrap();
+        // The estimate lies in the recorded range…
+        prop_assert!(est >= h.min().unwrap() && est <= h.max().unwrap());
+        // …and within one log-bucket of the true order statistic.
+        let tol = (1.0f64 / BUCKETS_PER_OCTAVE as f64).exp2() - 1.0;
+        let rel = (est - truth).abs() / truth;
+        prop_assert!(rel <= tol + 1e-9, "q={q}: est {est} vs true {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_in_counts(a in any_values(), b in any_values()) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert_eq!(ab.nonzero_buckets(), ba.nonzero_buckets());
+    }
+}

@@ -67,7 +67,12 @@ fn conv_dims(
         "conv2d: weight {} is not [out_c, in_c, kh, kw] rank-4",
         weight.shape()
     );
-    let (n, c_in, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (n, c_in, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     let (c_out, wc_in, kh, kw) = (
         weight.dims()[0],
         weight.dims()[1],
@@ -108,9 +113,9 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, padding: Padding) 
     let mut out = vec![0.0f32; n * c_out * ho * wo];
 
     for img in 0..n {
-        for co in 0..c_out {
+        for (co, &bias_co) in b.iter().enumerate() {
             let out_base = (img * c_out + co) * ho * wo;
-            out[out_base..out_base + ho * wo].fill(b[co]);
+            out[out_base..out_base + ho * wo].fill(bias_co);
             for ci in 0..c_in {
                 let in_base = (img * c_in + ci) * h * w;
                 let w_base = (co * c_in + ci) * kh * kw;
@@ -190,10 +195,10 @@ pub fn conv2d_backward(
     let mut gb = vec![0.0f32; c_out];
 
     for img in 0..n {
-        for co in 0..c_out {
+        for (co, gb_co) in gb.iter_mut().enumerate() {
             let out_base = (img * c_out + co) * ho * wo;
             // Bias gradient: sum of upstream gradient over the spatial map.
-            gb[co] += g[out_base..out_base + ho * wo].iter().sum::<f32>();
+            *gb_co += g[out_base..out_base + ho * wo].iter().sum::<f32>();
             for ci in 0..c_in {
                 let in_base = (img * c_in + ci) * h * w;
                 let w_base = (co * c_in + ci) * kh * kw;

@@ -69,7 +69,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = randn([10_000], 1.0, 2.0, &mut rng);
         assert!((t.mean() - 1.0).abs() < 0.1, "mean {} off", t.mean());
-        assert!((t.variance().sqrt() - 2.0).abs() < 0.1, "std {} off", t.variance().sqrt());
+        assert!(
+            (t.variance().sqrt() - 2.0).abs() < 0.1,
+            "std {} off",
+            t.variance().sqrt()
+        );
         assert!(t.all_finite());
     }
 

@@ -9,7 +9,12 @@
 use crate::tensor::Tensor;
 
 fn dims2(t: &Tensor, op: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{op}: tensor {} is not rank-2", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{op}: tensor {} is not rank-2",
+        t.shape()
+    );
     (t.dims()[0], t.dims()[1])
 }
 
@@ -21,7 +26,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul");
     let (kb, n) = dims2(b, "matmul");
     assert_eq!(
-        ka, kb,
+        ka,
+        kb,
         "matmul: inner dimensions differ ({} vs {})",
         a.shape(),
         b.shape()
@@ -52,7 +58,8 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (ka, m) = dims2(a, "matmul_at_b");
     let (kb, n) = dims2(b, "matmul_at_b");
     assert_eq!(
-        ka, kb,
+        ka,
+        kb,
         "matmul_at_b: leading dimensions differ ({} vs {})",
         a.shape(),
         b.shape()
@@ -82,7 +89,8 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul_a_bt");
     let (n, kb) = dims2(b, "matmul_a_bt");
     assert_eq!(
-        ka, kb,
+        ka,
+        kb,
         "matmul_a_bt: trailing dimensions differ ({} vs {})",
         a.shape(),
         b.shape()
@@ -112,7 +120,13 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let ad = a.data();
     let xd = x.data();
     let out: Vec<f32> = (0..m)
-        .map(|i| ad[i * n..(i + 1) * n].iter().zip(xd).map(|(&a, &b)| a * b).sum())
+        .map(|i| {
+            ad[i * n..(i + 1) * n]
+                .iter()
+                .zip(xd)
+                .map(|(&a, &b)| a * b)
+                .sum()
+        })
         .collect();
     Tensor::from_slice(&out)
 }
@@ -177,7 +191,10 @@ mod tests {
     #[test]
     fn fused_transpose_variants_agree() {
         let a = t([3, 2], &[1.0, -2.0, 0.5, 4.0, -1.0, 3.0]);
-        let b = t([3, 4], &(0..12).map(|i| i as f32 * 0.3 - 1.0).collect::<Vec<_>>());
+        let b = t(
+            [3, 4],
+            &(0..12).map(|i| i as f32 * 0.3 - 1.0).collect::<Vec<_>>(),
+        );
         assert_eq!(matmul_at_b(&a, &b), matmul(&transpose(&a), &b));
 
         let a2 = t([2, 2], &[1.0, 2.0, 3.0, 4.0]);

@@ -16,8 +16,16 @@ fn pool_dims(input: &Tensor, wh: usize, ww: usize) -> (usize, usize, usize, usiz
         "avg_pool2d: input {} is not NCHW rank-4",
         input.shape()
     );
-    assert!(wh > 0 && ww > 0, "avg_pool2d: pooling window must be non-empty");
-    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    assert!(
+        wh > 0 && ww > 0,
+        "avg_pool2d: pooling window must be non-empty"
+    );
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     assert!(
         h % wh == 0 && w % ww == 0,
         "avg_pool2d: window {wh}x{ww} does not tile input {h}x{w} exactly"
@@ -54,8 +62,17 @@ pub fn avg_pool2d(input: &Tensor, wh: usize, ww: usize) -> Tensor {
 
 /// Backward pass of [`avg_pool2d`]: distributes each upstream gradient
 /// uniformly over its pooling window (scaled by `1/(wh·ww)`).
-pub fn avg_pool2d_backward(input_dims: &[usize], grad_out: &Tensor, wh: usize, ww: usize) -> Tensor {
-    assert_eq!(input_dims.len(), 4, "avg_pool2d_backward: input_dims must be NCHW");
+pub fn avg_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    wh: usize,
+    ww: usize,
+) -> Tensor {
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "avg_pool2d_backward: input_dims must be NCHW"
+    );
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
     let (ho, wo) = (h / wh, w / ww);
     assert_eq!(
@@ -125,12 +142,12 @@ pub fn max_pool2d(input: &Tensor, wh: usize, ww: usize) -> (Tensor, Vec<usize>) 
 
 /// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
 /// input position that won the forward max.
-pub fn max_pool2d_backward(
-    input_dims: &[usize],
-    grad_out: &Tensor,
-    argmax: &[usize],
-) -> Tensor {
-    assert_eq!(input_dims.len(), 4, "max_pool2d_backward: input_dims must be NCHW");
+pub fn max_pool2d_backward(input_dims: &[usize], grad_out: &Tensor, argmax: &[usize]) -> Tensor {
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "max_pool2d_backward: input_dims must be NCHW"
+    );
     assert_eq!(
         grad_out.numel(),
         argmax.len(),
@@ -166,11 +183,8 @@ mod tests {
 
     #[test]
     fn window_averages_blocks() {
-        let input = Tensor::from_vec(
-            [1, 1, 2, 4],
-            vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0]).unwrap();
         let out = avg_pool2d(&input, 2, 2);
         assert_eq!(out.dims(), &[1, 1, 1, 2]);
         assert_eq!(out.data(), &[2.0, 6.0]);
@@ -229,11 +243,8 @@ mod tests {
 
     #[test]
     fn max_pool_selects_maxima() {
-        let input = Tensor::from_vec(
-            [1, 1, 2, 4],
-            vec![1.0, 3.0, 5.0, 7.0, 2.0, 0.0, 8.0, 6.0],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 2.0, 0.0, 8.0, 6.0]).unwrap();
         let (out, arg) = max_pool2d(&input, 2, 2);
         assert_eq!(out.dims(), &[1, 1, 1, 2]);
         assert_eq!(out.data(), &[3.0, 8.0]);
@@ -274,7 +285,11 @@ mod tests {
             let fd = (up - down) / (2.0 * eps);
             // Ties can flip winners under perturbation; this input has
             // distinct values so the gradient is exact.
-            assert!((fd - gx.data()[flat]).abs() < 1e-3, "at {flat}: {fd} vs {}", gx.data()[flat]);
+            assert!(
+                (fd - gx.data()[flat]).abs() < 1e-3,
+                "at {flat}: {fd} vs {}",
+                gx.data()[flat]
+            );
         }
     }
 }

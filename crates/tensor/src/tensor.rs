@@ -103,9 +103,9 @@ impl Tensor {
 
     /// Builds a tensor by evaluating `f` at every multi-index, in row-major
     /// order. `f` receives the flat index.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.numel()).map(|i| f(i)).collect();
+        let data = (0..shape.numel()).map(f).collect();
         Tensor { shape, data }
     }
 
@@ -205,9 +205,18 @@ impl Tensor {
     /// # Panics
     /// Panics unless the tensor is rank-2 and `row` is in bounds.
     pub fn row(&self, row: usize) -> Tensor {
-        assert_eq!(self.shape.rank(), 2, "row: tensor {} is not rank-2", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "row: tensor {} is not rank-2",
+            self.shape
+        );
         let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
-        assert!(row < rows, "row: index {row} out of bounds for {}", self.shape);
+        assert!(
+            row < rows,
+            "row: index {row} out of bounds for {}",
+            self.shape
+        );
         Tensor::from_slice(&self.data[row * cols..(row + 1) * cols])
     }
 
@@ -389,7 +398,11 @@ impl Tensor {
             return 0.0;
         }
         let mean = self.mean();
-        self.data.iter().map(|&a| (a - mean) * (a - mean)).sum::<f32>() / self.data.len() as f32
+        self.data
+            .iter()
+            .map(|&a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / self.data.len() as f32
     }
 
     /// Maximum element (`-inf` for an empty tensor).
@@ -417,7 +430,12 @@ impl Tensor {
     /// # Panics
     /// Panics unless the tensor is rank-2.
     pub fn sum_axis0(&self) -> Tensor {
-        assert_eq!(self.shape.rank(), 2, "sum_axis0: tensor {} is not rank-2", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "sum_axis0: tensor {} is not rank-2",
+            self.shape
+        );
         let (rows, cols) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0; cols];
         for r in 0..rows {
@@ -465,7 +483,10 @@ mod tests {
         assert_eq!(Tensor::ones([2, 2]).sum(), 4.0);
         assert_eq!(Tensor::full([3], 2.5).sum(), 7.5);
         assert_eq!(Tensor::scalar(5.0).item(), 5.0);
-        assert_eq!(Tensor::from_fn([4], |i| i as f32).data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            Tensor::from_fn([4], |i| i as f32).data(),
+            &[0.0, 1.0, 2.0, 3.0]
+        );
     }
 
     #[test]
@@ -473,7 +494,10 @@ mod tests {
         assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
         assert_eq!(
             Tensor::from_vec([2, 2], vec![1.0; 3]).unwrap_err(),
-            TensorError::LengthMismatch { expected: 4, actual: 3 }
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
         );
     }
 

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use sl_tensor::{
-    avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_a_bt, matmul_at_b, transpose,
-    Padding, Tensor,
+    avg_pool2d, avg_pool2d_backward, conv2d, matmul, matmul_a_bt, matmul_at_b, transpose, Padding,
+    Tensor,
 };
 
 /// Strategy: a tensor of the given shape with bounded finite values.

@@ -33,7 +33,10 @@ fn main() {
     let k_fade = (0..config.num_frames)
         .find(|&k| scene.blockage_at_frame(k) > config.blockage_depth_db * 0.9)
         .expect("trace contains a blockage");
-    println!("first full blockage at frame {k_fade} (t = {:.2} s)\n", scene.frame_time(k_fade));
+    println!(
+        "first full blockage at frame {k_fade} (t = {:.2} s)\n",
+        scene.frame_time(k_fade)
+    );
 
     for dk in [-30i64, -15, -6, 0, 6, 15] {
         let k = (k_fade as i64 + dk).max(0) as usize;
@@ -51,8 +54,14 @@ fn main() {
     println!("received power (dBm) around the event:");
     let lo = k_fade.saturating_sub(45);
     let hi = (k_fade + 45).min(trace.len() - 1);
-    let min = trace.powers_dbm[lo..=hi].iter().copied().fold(f32::INFINITY, f32::min);
-    let max = trace.powers_dbm[lo..=hi].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let min = trace.powers_dbm[lo..=hi]
+        .iter()
+        .copied()
+        .fold(f32::INFINITY, f32::min);
+    let max = trace.powers_dbm[lo..=hi]
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max);
     for k in (lo..=hi).step_by(3) {
         let p = trace.powers_dbm[k];
         let width = 60.0 * (p - min) / (max - min + 1e-6);

@@ -60,7 +60,11 @@ fn main() {
         } else if stats.delivery_rate() == 0.0 {
             "never".to_string()
         } else {
-            format!("{:.1} ({}% ok)", stats.mean_slots(), (stats.delivery_rate() * 100.0) as u32)
+            format!(
+                "{:.1} ({}% ok)",
+                stats.mean_slots(),
+                (stats.delivery_rate() * 100.0) as u32
+            )
         };
         println!(
             "{:<22} {:>12} {:>14.3e} {:>14.4} {:>16}",

@@ -58,7 +58,10 @@ fn main() {
             camera.render(scene.pedestrians(), k as f64 * scene_cfg.frame_interval_s)
         })
         .collect();
-    let ue = img_trainer.model_mut().ue_mut().expect("Img+RF has a UE half");
+    let ue = img_trainer
+        .model_mut()
+        .ue_mut()
+        .expect("Img+RF has a UE half");
     let features: Vec<Tensor> = frames.iter().map(|f| ue.infer_pooled_map(f)).collect();
     let leakage = privacy_leakage(
         &frames.iter().collect::<Vec<_>>(),

@@ -76,7 +76,10 @@ fn main() {
         powers,
     );
 
-    println!("\nlink control at threshold {threshold:.0} dBm over {} frames:", proactive.frames);
+    println!(
+        "\nlink control at threshold {threshold:.0} dBm over {} frames:",
+        proactive.frames
+    );
     println!(
         "  proactive (acts on the 120 ms-ahead prediction): {:4} blocked-on-link frames ({:.2}% outage), {:3} needless fallbacks, {:3} switches",
         proactive.blocked_on_link,
@@ -94,8 +97,7 @@ fn main() {
     let saved = reactive.blocked_on_link as i64 - proactive.blocked_on_link as i64;
     println!(
         "\nprediction removes {saved} blocked frames (~{:.0} ms of outage per crossing avoided)",
-        saved as f64 * dataset.trace().frame_interval_s * 1e3
-            / proactive.switches.max(1) as f64
+        saved as f64 * dataset.trace().frame_interval_s * 1e3 / proactive.switches.max(1) as f64
             * 2.0
     );
 }

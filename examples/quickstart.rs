@@ -45,7 +45,10 @@ fn main() {
 
     println!("\nlearning curve (simulated elapsed time vs validation RMSE):");
     for p in &outcome.curve {
-        println!("  t = {:6.2} s   epoch {:2}   RMSE = {:.2} dB", p.elapsed_s, p.epoch, p.val_rmse_db);
+        println!(
+            "  t = {:6.2} s   epoch {:2}   RMSE = {:.2} dB",
+            p.elapsed_s, p.epoch, p.val_rmse_db
+        );
     }
     println!(
         "\nstopped: {:?} after {} epochs — final RMSE {:.2} dB (best {:.2} dB)",

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full verification gate for the split-mmwave workspace:
+#   formatting, lints-as-errors, then the tier-1 build-and-test sequence
+#   from ROADMAP.md. Run from anywhere inside the repo.
+#
+#   scripts/verify.sh            # everything
+#   scripts/verify.sh --fast     # skip the release build (lints + tests)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+    fast=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$fast" -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "verify: all gates passed"

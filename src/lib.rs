@@ -14,6 +14,8 @@
 //! * [`scene`] — synthetic depth-camera + received-power trace generator.
 //! * [`privacy`] — MDS-based privacy-leakage metric.
 //! * [`core`] — the multimodal split-learning framework itself.
+//! * [`telemetry`] — std-only metrics registry, structured event journal
+//!   and scope timers (see README's *Observability* section).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.
@@ -23,6 +25,7 @@ pub use sl_core as core;
 pub use sl_nn as nn;
 pub use sl_privacy as privacy;
 pub use sl_scene as scene;
+pub use sl_telemetry as telemetry;
 pub use sl_tensor as tensor;
 
 /// Convenience prelude pulling in the types most programs need.
@@ -33,5 +36,6 @@ pub mod prelude {
         StreamingDeployment, TrainOutcome,
     };
     pub use sl_scene::{Scene, SceneConfig, SequenceDataset};
+    pub use sl_telemetry::{Telemetry, TelemetryMode};
     pub use sl_tensor::Tensor;
 }

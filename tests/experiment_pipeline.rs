@@ -77,9 +77,12 @@ fn table1_privacy_leakage_shape() {
 fn fig2_compression_mechanism() {
     let mut rng = StdRng::seed_from_u64(202);
     let img = split_mmwave::tensor::uniform([16, 16], 0.0, 1.0, &mut rng);
-    for pooling in [PoolingDim::RAW, PoolingDim::new(4, 4), PoolingDim::new(16, 16)] {
-        let mut model =
-            SplitModel::new(Scheme::ImgOnly, pooling, 16, 16, 4, 2, 8, 8, &mut rng);
+    for pooling in [
+        PoolingDim::RAW,
+        PoolingDim::new(4, 4),
+        PoolingDim::new(16, 16),
+    ] {
+        let mut model = SplitModel::new(Scheme::ImgOnly, pooling, 16, 16, 4, 2, 8, 8, &mut rng);
         let ue = model.ue_mut().unwrap();
         let full = ue.infer_cnn_map(&img);
         let pooled = ue.infer_pooled_map(&img);
@@ -105,5 +108,9 @@ fn fig3a_airtime_ordering_mechanism() {
     let s_coarse = slots(PoolingDim::COARSE).unwrap();
     let s_medium = slots(PoolingDim::MEDIUM).unwrap();
     assert!(s_pixel < s_coarse && s_coarse < s_medium);
-    assert_eq!(slots(PoolingDim::RAW), None, "1x1 payload must be undecodable");
+    assert_eq!(
+        slots(PoolingDim::RAW),
+        None,
+        "1x1 payload must be undecodable"
+    );
 }

@@ -1,0 +1,171 @@
+//! `slm-report` — render markdown run reports from `results/<exp>/`
+//! directories, maintain the `BENCH_<exp>.json` trajectory, and gate on
+//! regressions.
+//!
+//! ```sh
+//! slm-report results/fig3a                 # report + trajectory append
+//! slm-report --check results/fig3a         # regression gate (exit 1 on fail)
+//! slm-report --diff results/a results/b    # side-by-side comparison
+//! ```
+//!
+//! Flags: `--out FILE` (write markdown to a file), `--no-append` (skip
+//! the trajectory append), `--tol-rmse X` / `--tol-time X` (relative
+//! gate tolerances, defaults 0.30 / 0.25).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use sl_bench::report::{
+    append_trajectory, bench_path, check, entry_from_run, load_run, load_trajectory, render_diff,
+    render_markdown, CheckConfig, CheckOutcome,
+};
+
+const USAGE: &str = "usage: slm-report [--check] [--diff A B] [--out FILE] \
+                     [--no-append] [--tol-rmse X] [--tol-time X] <results-dir>...";
+
+fn main() -> ExitCode {
+    let mut check_mode = false;
+    let mut diff_mode = false;
+    let mut no_append = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut cfg = CheckConfig::default();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_mode = true,
+            "--diff" => diff_mode = true,
+            "--no-append" => no_append = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => return usage_error("--out needs a path"),
+            },
+            "--tol-rmse" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tol_rmse_rel = v,
+                None => return usage_error("--tol-rmse needs a number"),
+            },
+            "--tol-time" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.tol_time_rel = v,
+                None => return usage_error("--tol-time needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other:?}"));
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.is_empty() {
+        return usage_error("no results directory given");
+    }
+
+    if diff_mode {
+        if dirs.len() != 2 {
+            return usage_error("--diff needs exactly two results directories");
+        }
+        let (a, b) = match (load_run(&dirs[0]), load_run(&dirs[1])) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => return load_error(&e),
+        };
+        let (md, regressed) = render_diff(&a, &b, &cfg);
+        print!("{md}");
+        return if regressed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let now_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut failed = false;
+    let mut rendered = String::new();
+    for dir in &dirs {
+        let run = match load_run(dir) {
+            Ok(r) => r,
+            Err(e) => return load_error(&e),
+        };
+        let entry = entry_from_run(&run, now_s);
+        let traj = bench_path(&run);
+        if check_mode {
+            let history = match load_trajectory(&traj) {
+                Ok(h) => h,
+                Err(e) => return load_error(&e),
+            };
+            let outcome = check(&entry, &history, &cfg);
+            match &outcome {
+                CheckOutcome::NoBaseline => {
+                    println!(
+                        "PASS  {}  (no baseline for profile {} / config {})",
+                        run.name, entry.profile, entry.config_hash
+                    );
+                }
+                CheckOutcome::Pass { baseline } => {
+                    println!(
+                        "PASS  {}  rmse {:.2} dB (baseline {:.2}), sim {:.2} s (baseline {:.2})",
+                        run.name,
+                        entry.val_rmse_db,
+                        baseline.val_rmse_db,
+                        entry.sim_elapsed_s,
+                        baseline.sim_elapsed_s
+                    );
+                }
+                CheckOutcome::Fail { failures, .. } => {
+                    println!("FAIL  {}", run.name);
+                    for f in failures {
+                        println!("      - {f}");
+                    }
+                    failed = true;
+                }
+            }
+            if outcome.passed() && !no_append {
+                if let Err(e) = append_trajectory(&traj, &run.name, &entry) {
+                    eprintln!("slm-report: {e}");
+                }
+            }
+        } else {
+            rendered.push_str(&render_markdown(&run));
+            rendered.push('\n');
+            if !no_append {
+                match append_trajectory(&traj, &run.name, &entry) {
+                    Ok(n) => eprintln!("slm-report: appended entry #{n} to {}", traj.display()),
+                    Err(e) => eprintln!("slm-report: {e}"),
+                }
+            }
+        }
+    }
+    if !check_mode {
+        match &out_path {
+            Some(p) => {
+                if let Err(e) = std::fs::write(p, &rendered) {
+                    eprintln!("slm-report: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("slm-report: wrote {}", p.display());
+            }
+            None => print!("{rendered}"),
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("slm-report: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load_error(msg: &str) -> ExitCode {
+    eprintln!("slm-report: {msg}");
+    ExitCode::from(2)
+}

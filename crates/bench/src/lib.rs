@@ -7,8 +7,10 @@
 //! describing every training run, and a final metrics `snapshot.json` —
 //! under `results/<experiment>/` (see README *Observability*).
 //!
-//! Two profiles, selected by the `SLM_PROFILE` environment variable:
+//! Three profiles, selected by the `SLM_PROFILE` environment variable:
 //!
+//! * `smoke`: an 800-frame scene and 2 epochs — seconds-scale, used by
+//!   `scripts/verify.sh` to feed the `slm-report` regression gate.
 //! * `quick` (default): a 4,000-frame scene, ≤ 30 epochs, subsampled
 //!   validation — every experiment finishes in minutes on a laptop.
 //! * `full`: the paper's 13,228-frame scene and ≤ 100-epoch budget.
@@ -21,6 +23,8 @@
 //! Progress chatter (headers, sparklines, "wrote ..." notes) goes
 //! through [`Experiment::progress`] so `SLM_TELEMETRY=off` leaves only
 //! the paper-comparable result rows on stdout.
+
+pub mod report;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -37,6 +41,8 @@ use sl_telemetry::{EventBuilder, Snapshot, Telemetry};
 /// Experiment scale profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
+    /// Seconds-scale CI smoke runs (profiling/report gate).
+    Smoke,
     /// Minutes-scale runs (default).
     Quick,
     /// The paper's full scale.
@@ -51,6 +57,7 @@ impl Profile {
         match value {
             None | Some("quick") => Ok(Profile::Quick),
             Some("full") => Ok(Profile::Full),
+            Some("smoke") => Ok(Profile::Smoke),
             Some(other) => Err(other.to_string()),
         }
     }
@@ -69,7 +76,7 @@ impl Profile {
             Ok(p) => p,
             Err(bad) => {
                 tele.warn(&format!(
-                    "unrecognized SLM_PROFILE value {bad:?} (expected quick|full); \
+                    "unrecognized SLM_PROFILE value {bad:?} (expected smoke|quick|full); \
                      using quick"
                 ));
                 Profile::Quick
@@ -80,6 +87,7 @@ impl Profile {
     /// The profile's `SLM_PROFILE` spelling.
     pub fn name(self) -> &'static str {
         match self {
+            Profile::Smoke => "smoke",
             Profile::Quick => "quick",
             Profile::Full => "full",
         }
@@ -88,6 +96,7 @@ impl Profile {
     /// Scene frames for this profile.
     pub fn num_frames(self) -> usize {
         match self {
+            Profile::Smoke => 800,
             Profile::Quick => 4_000,
             Profile::Full => 13_228,
         }
@@ -96,6 +105,7 @@ impl Profile {
     /// Epoch budget for this profile.
     pub fn max_epochs(self) -> usize {
         match self {
+            Profile::Smoke => 2,
             Profile::Quick => 30,
             Profile::Full => 100,
         }
@@ -104,6 +114,7 @@ impl Profile {
     /// Validation subsample cap.
     pub fn val_subsample(self) -> Option<usize> {
         match self {
+            Profile::Smoke => Some(64),
             Profile::Quick => Some(256),
             Profile::Full => Some(1_024),
         }
@@ -111,9 +122,10 @@ impl Profile {
 
     /// UE CNN hidden channels (the quick profile halves the paper's 8 —
     /// measured accuracy difference on the synthetic scene is < 0.1 dB,
-    /// wall time halves).
+    /// wall time halves; the smoke profile halves again).
     pub fn conv_channels(self) -> usize {
         match self {
+            Profile::Smoke => 2,
             Profile::Quick => 4,
             Profile::Full => 8,
         }
@@ -214,14 +226,27 @@ impl Experiment {
     /// from `SLM_PROFILE` (warning on unrecognized values) and journals
     /// a `run_start` event.
     pub fn start(name: &str) -> Self {
-        let dir = results_dir().join(name);
-        fs::create_dir_all(&dir).expect("experiment dir is creatable");
         let mode = std::env::var("SLM_TELEMETRY").ok();
+        Self::start_configured(results_dir().join(name), name, mode.as_deref(), None)
+    }
+
+    /// [`Experiment::start`] with the environment inputs made explicit:
+    /// the artifact directory, the telemetry mode string and (optionally)
+    /// a fixed profile. Tests use this to run real experiments under a
+    /// temp directory without mutating process-wide environment
+    /// variables; `profile: None` still resolves `SLM_PROFILE`.
+    pub fn start_configured(
+        dir: PathBuf,
+        name: &str,
+        mode: Option<&str>,
+        profile: Option<Profile>,
+    ) -> Self {
+        fs::create_dir_all(&dir).expect("experiment dir is creatable");
         let journal_dir = std::env::var("SLM_TELEMETRY_PATH")
             .map(PathBuf::from)
             .unwrap_or_else(|_| dir.clone());
-        let mut telemetry = Telemetry::from_settings(mode.as_deref(), &journal_dir, name);
-        let profile = Profile::from_env_logged(&mut telemetry);
+        let mut telemetry = Telemetry::from_settings(mode, &journal_dir, name);
+        let profile = profile.unwrap_or_else(|| Profile::from_env_logged(&mut telemetry));
         telemetry.emit(
             EventBuilder::new("run_start")
                 .str("experiment", name)

@@ -1,0 +1,838 @@
+//! `slm-report` — run reports, trajectory tracking and the regression
+//! gate.
+//!
+//! Reads the artifacts one [`crate::Experiment`] leaves under
+//! `results/<exp>/` (`manifest.json`, `snapshot.json` and the JSONL
+//! journal) and turns them into:
+//!
+//! * a **markdown run report** — config fingerprints, the simulated
+//!   compute/airtime split, a per-layer host-time/FLOP table from the
+//!   `nn.{ue,bs}.layer.*` profiler metrics, health events and the
+//!   paper-comparable metrics;
+//! * a **trajectory entry** appended to `results/BENCH_<exp>.json`, one
+//!   per reported run, so metric drift is visible across sessions;
+//! * a **check** ([`check`]) comparing the fresh entry against the last
+//!   trajectory entry with the same profile + config fingerprint —
+//!   `slm-report --check` exits non-zero when RMSE or simulated time
+//!   regress beyond tolerance, which `scripts/verify.sh` uses as a gate.
+//!
+//! Everything is hand-rolled on `sl-telemetry`'s JSON reader/writer; no
+//! external dependencies.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sl_telemetry::json::{self, JsonArray, JsonObject, JsonValue};
+use sl_telemetry::Snapshot;
+
+use crate::fnv1a_64;
+
+/// One `health.*` journal event, as read back from the JSONL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Event kind (`health.diverged`).
+    pub kind: String,
+    /// The offending metric (`loss_ema`, `update_ratio`, ...).
+    pub metric: String,
+    /// Human-readable verdict line.
+    pub detail: String,
+    /// Configured action when it fired (`warn` | `abort`).
+    pub action: String,
+}
+
+/// Everything loaded from one `results/<exp>/` directory.
+#[derive(Debug, Clone)]
+pub struct RunData {
+    /// The directory the run was loaded from.
+    pub dir: PathBuf,
+    /// Experiment name (manifest `experiment`).
+    pub name: String,
+    /// Profile name (manifest `profile`).
+    pub profile: String,
+    /// Per-run config fingerprints (manifest `runs[].config_hash`).
+    pub config_hashes: Vec<String>,
+    /// Run labels, parallel to `config_hashes`.
+    pub run_labels: Vec<String>,
+    /// Host wall time of the whole experiment, seconds.
+    pub wall_s: f64,
+    /// The final metrics snapshot.
+    pub snapshot: Snapshot,
+    /// `health.*` events found in the journal.
+    pub health_events: Vec<HealthEvent>,
+}
+
+impl RunData {
+    /// One fingerprint for the whole experiment: FNV-1a over the
+    /// concatenated per-run config hashes (order-sensitive).
+    pub fn combined_config_hash(&self) -> String {
+        format!("{:016x}", fnv1a_64(self.config_hashes.join(",").as_bytes()))
+    }
+}
+
+/// Loads `manifest.json`, `snapshot.json` and the `<exp>.jsonl` journal
+/// from `dir`. The snapshot is required (run the experiment with
+/// `SLM_TELEMETRY=summary|jsonl`); the journal is optional.
+pub fn load_run(dir: &Path) -> Result<RunData, String> {
+    let manifest_path = dir.join("manifest.json");
+    let manifest_text = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let manifest =
+        json::parse(&manifest_text).map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let name = manifest
+        .get("experiment")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("{}: missing \"experiment\"", manifest_path.display()))?
+        .to_string();
+    let profile = manifest
+        .get("profile")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let wall_s = manifest
+        .get("wall_s")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let mut config_hashes = Vec::new();
+    let mut run_labels = Vec::new();
+    if let Some(runs) = manifest.get("runs").and_then(JsonValue::as_arr) {
+        for r in runs {
+            if let Some(h) = r.get("config_hash").and_then(JsonValue::as_str) {
+                config_hashes.push(h.to_string());
+                run_labels.push(
+                    r.get("label")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    let snap_path = dir.join("snapshot.json");
+    let snap_text = fs::read_to_string(&snap_path).map_err(|e| {
+        format!(
+            "{}: {e} (was the run made with SLM_TELEMETRY=off?)",
+            snap_path.display()
+        )
+    })?;
+    let snapshot =
+        Snapshot::from_json(&snap_text).map_err(|e| format!("{}: {e}", snap_path.display()))?;
+
+    let health_events = load_health_events(&dir.join(format!("{name}.jsonl")));
+
+    Ok(RunData {
+        dir: dir.to_path_buf(),
+        name,
+        profile,
+        config_hashes,
+        run_labels,
+        wall_s,
+        snapshot,
+        health_events,
+    })
+}
+
+/// Scans a JSONL journal for `health.*` events; a missing file or
+/// malformed lines yield an empty/partial list, never an error (the
+/// journal is best-effort by design).
+fn load_health_events(path: &Path) -> Vec<HealthEvent> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Ok(v) = json::parse(line) else { continue };
+        let Some(kind) = v.get("event").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        if !kind.starts_with("health.") {
+            continue;
+        }
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        out.push(HealthEvent {
+            kind: kind.to_string(),
+            metric: field("metric"),
+            detail: field("detail"),
+            action: field("action"),
+        });
+    }
+    out
+}
+
+/// One row of the per-layer profile table, rebuilt from the
+/// `nn.<side>.layer.<idx>.<name>.*` metrics the profiler published.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Which half of the split model (`ue` | `bs`).
+    pub side: String,
+    /// Layer index within its [`sl_nn::Sequential`].
+    pub idx: usize,
+    /// Layer display name.
+    pub name: String,
+    /// Total forward host seconds.
+    pub fwd_s: f64,
+    /// Forward invocations.
+    pub fwd_calls: u64,
+    /// Median forward host seconds per call.
+    pub fwd_p50_s: f64,
+    /// Total backward host seconds.
+    pub bwd_s: f64,
+    /// Backward invocations.
+    pub bwd_calls: u64,
+    /// Modelled FLOPs accumulated across all invocations.
+    pub flops: f64,
+    /// Trainable parameters.
+    pub params: u64,
+}
+
+impl LayerRow {
+    /// Forward + backward host seconds.
+    pub fn host_s(&self) -> f64 {
+        self.fwd_s + self.bwd_s
+    }
+}
+
+/// Rebuilds the per-layer table from a snapshot. Rows are sorted UE
+/// first, then BS, by layer index — i.e. in forward order across the
+/// split point.
+pub fn layer_rows(snap: &Snapshot) -> Vec<LayerRow> {
+    use std::collections::BTreeMap;
+    // Key: (side_rank, side, idx, name) so UE sorts before BS.
+    let mut rows: BTreeMap<(u8, String, usize, String), LayerRow> = BTreeMap::new();
+    for (key, hist) in &snap.histograms {
+        let Some((side, idx, name, dir)) = parse_layer_key(key) else {
+            continue;
+        };
+        let rank = if side == "ue" { 0 } else { 1 };
+        let entry = rows
+            .entry((rank, side.to_string(), idx, name.to_string()))
+            .or_insert_with(|| LayerRow {
+                side: side.to_string(),
+                idx,
+                name: name.to_string(),
+                fwd_s: 0.0,
+                fwd_calls: 0,
+                fwd_p50_s: 0.0,
+                bwd_s: 0.0,
+                bwd_calls: 0,
+                flops: 0.0,
+                params: 0,
+            });
+        // Satellite contract: read sums/counts/quantiles through the
+        // Histogram API, not by re-deriving them from raw JSON buckets.
+        match dir {
+            "fwd" => {
+                entry.fwd_s = hist.sum();
+                entry.fwd_calls = hist.count();
+                entry.fwd_p50_s = hist.quantile(0.5).unwrap_or(0.0);
+            }
+            _ => {
+                entry.bwd_s = hist.sum();
+                entry.bwd_calls = hist.count();
+            }
+        }
+        let base = format!("nn.{side}.layer.{idx}.{name}");
+        entry.flops = snap.gauge(&format!("{base}.flops")).unwrap_or(0.0);
+        entry.params = snap.gauge(&format!("{base}.params")).unwrap_or(0.0) as u64;
+    }
+    rows.into_values().collect()
+}
+
+/// Splits `nn.<side>.layer.<idx>.<name>.{fwd|bwd}.host_s` into its
+/// parts; `None` for keys of any other shape.
+fn parse_layer_key(key: &str) -> Option<(&str, usize, &str, &str)> {
+    let rest = key.strip_prefix("nn.")?;
+    let (rest, dir) = if let Some(r) = rest.strip_suffix(".fwd.host_s") {
+        (r, "fwd")
+    } else if let Some(r) = rest.strip_suffix(".bwd.host_s") {
+        (r, "bwd")
+    } else {
+        return None;
+    };
+    let (side, rest) = rest.split_once(".layer.")?;
+    let (idx, name) = rest.split_once('.')?;
+    Some((side, idx.parse().ok()?, name, dir))
+}
+
+/// The paper-comparable / gate-relevant metrics of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Final validation RMSE, dB (gauge `train.val_rmse_db`).
+    pub val_rmse_db: Option<f64>,
+    /// Applied SGD steps.
+    pub steps_applied: u64,
+    /// Link-voided steps.
+    pub steps_voided: u64,
+    /// Simulated compute seconds.
+    pub sim_compute_s: f64,
+    /// Simulated airtime seconds.
+    pub sim_airtime_s: f64,
+    /// Host seconds inside `model.forward`/`model.backward`
+    /// (histogram `train.model.host_s`).
+    pub model_host_s: f64,
+    /// Host seconds summed over the per-layer profile.
+    pub layer_host_s: f64,
+    /// Median per-step host seconds.
+    pub step_p50_s: Option<f64>,
+    /// Non-finite loss + gradient observations.
+    pub nonfinite: u64,
+}
+
+impl RunMetrics {
+    /// Simulated elapsed seconds (the Fig. 3a axis).
+    pub fn sim_elapsed_s(&self) -> f64 {
+        self.sim_compute_s + self.sim_airtime_s
+    }
+
+    /// `layer_host_s / model_host_s` — how much of the trainer's model
+    /// time the per-layer profiler accounts for (1.0 = perfect).
+    pub fn profile_coverage(&self) -> Option<f64> {
+        (self.model_host_s > 0.0).then(|| self.layer_host_s / self.model_host_s)
+    }
+}
+
+/// Extracts [`RunMetrics`] from a loaded run.
+pub fn run_metrics(run: &RunData) -> RunMetrics {
+    let snap = &run.snapshot;
+    let layer_host_s: f64 = layer_rows(snap).iter().map(LayerRow::host_s).sum();
+    RunMetrics {
+        val_rmse_db: snap.gauge("train.val_rmse_db"),
+        steps_applied: snap.counter("train.steps.applied"),
+        steps_voided: snap.counter("train.steps.voided"),
+        sim_compute_s: snap.gauge("sim.compute_s").unwrap_or(0.0),
+        sim_airtime_s: snap.gauge("sim.airtime_s").unwrap_or(0.0),
+        model_host_s: snap
+            .histograms
+            .get("train.model.host_s")
+            .map(|h| h.sum())
+            .unwrap_or(0.0),
+        layer_host_s,
+        step_p50_s: snap
+            .histograms
+            .get("train.step.host_s")
+            .and_then(|h| h.quantile(0.5)),
+        nonfinite: snap.counter("train.nonfinite.loss") + snap.counter("train.nonfinite.grad"),
+    }
+}
+
+/// Renders the markdown run report.
+pub fn render_markdown(run: &RunData) -> String {
+    let m = run_metrics(run);
+    let rows = layer_rows(&run.snapshot);
+    let mut out = String::new();
+    let _ = writeln!(out, "# slm-report: {}", run.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "- directory: `{}`", run.dir.display());
+    let _ = writeln!(out, "- profile: `{}`", run.profile);
+    let _ = writeln!(
+        out,
+        "- config: `{}` ({} run{})",
+        run.combined_config_hash(),
+        run.config_hashes.len(),
+        if run.config_hashes.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    for (label, hash) in run.run_labels.iter().zip(&run.config_hashes) {
+        let _ = writeln!(out, "  - {label}: `{hash}`");
+    }
+    let _ = writeln!(out, "- wall time: {:.1} s", run.wall_s);
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Simulated time");
+    let _ = writeln!(out);
+    let elapsed = m.sim_elapsed_s().max(1e-12);
+    let _ = writeln!(
+        out,
+        "| elapsed | compute | airtime | compute share |\n\
+         |---:|---:|---:|---:|\n\
+         | {:.2} s | {:.2} s | {:.2} s | {:.1}% |",
+        m.sim_elapsed_s(),
+        m.sim_compute_s,
+        m.sim_airtime_s,
+        100.0 * m.sim_compute_s / elapsed
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Per-layer profile");
+    let _ = writeln!(out);
+    if rows.is_empty() {
+        let _ = writeln!(out, "No per-layer metrics in the snapshot (profiling runs");
+        let _ = writeln!(out, "whenever telemetry is enabled during training).");
+    } else {
+        let total = m.layer_host_s.max(1e-12);
+        let _ = writeln!(
+            out,
+            "| side | # | layer | fwd ms | fwd p50 µs | bwd ms | calls | share | MFLOP | params |"
+        );
+        let _ = writeln!(out, "|---|---:|---|---:|---:|---:|---:|---:|---:|---:|");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {:.2} | {:.1} | {:.2} | {} | {:.1}% | {:.1} | {} |",
+                r.side,
+                r.idx,
+                r.name,
+                1e3 * r.fwd_s,
+                1e6 * r.fwd_p50_s,
+                1e3 * r.bwd_s,
+                r.fwd_calls,
+                100.0 * r.host_s() / total,
+                1e-6 * r.flops,
+                r.params
+            );
+        }
+        let _ = writeln!(out);
+        match m.profile_coverage() {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "Per-layer host time {:.1} ms covers {:.1}% of the trainer's \
+                     model time ({:.1} ms).",
+                    1e3 * m.layer_host_s,
+                    100.0 * c,
+                    1e3 * m.model_host_s
+                );
+            }
+            None => {
+                let _ = writeln!(out, "No `train.model.host_s` samples to compare against.");
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Health");
+    let _ = writeln!(out);
+    if run.health_events.is_empty() {
+        let _ = writeln!(out, "No health events.");
+    } else {
+        for e in &run.health_events {
+            let _ = writeln!(
+                out,
+                "- **{}** (metric `{}`, action {}): {}",
+                e.kind, e.metric, e.action, e.detail
+            );
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Metrics");
+    let _ = writeln!(out);
+    match m.val_rmse_db {
+        Some(v) => {
+            let _ = writeln!(out, "- final validation RMSE: **{v:.2} dB**");
+        }
+        None => {
+            let _ = writeln!(out, "- final validation RMSE: (not recorded)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "- steps: {} applied, {} voided",
+        m.steps_applied, m.steps_voided
+    );
+    if let Some(p50) = m.step_p50_s {
+        let _ = writeln!(out, "- per-step host time p50: {:.2} ms", 1e3 * p50);
+    }
+    let _ = writeln!(
+        out,
+        "- non-finite observations: {} ({} loss / {} grad)",
+        m.nonfinite,
+        run.snapshot.counter("train.nonfinite.loss"),
+        run.snapshot.counter("train.nonfinite.grad")
+    );
+    out
+}
+
+/// One `BENCH_<exp>.json` trajectory entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Unix seconds when the entry was appended (0 when unknown).
+    pub timestamp_s: u64,
+    /// Profile name.
+    pub profile: String,
+    /// [`RunData::combined_config_hash`].
+    pub config_hash: String,
+    /// Final validation RMSE, dB.
+    pub val_rmse_db: f64,
+    /// Simulated elapsed seconds.
+    pub sim_elapsed_s: f64,
+    /// Applied SGD steps.
+    pub steps_applied: u64,
+    /// Host wall seconds for the whole experiment.
+    pub wall_s: f64,
+    /// Trainer model host seconds.
+    pub model_host_s: f64,
+    /// Per-layer profile host seconds.
+    pub layer_host_s: f64,
+    /// Health events recorded during the run.
+    pub health_events: u64,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("timestamp_s", self.timestamp_s)
+            .str("profile", &self.profile)
+            .str("config_hash", &self.config_hash)
+            .f64("val_rmse_db", self.val_rmse_db)
+            .f64("sim_elapsed_s", self.sim_elapsed_s)
+            .u64("steps_applied", self.steps_applied)
+            .f64("wall_s", self.wall_s)
+            .f64("model_host_s", self.model_host_s)
+            .f64("layer_host_s", self.layer_host_s)
+            .u64("health_events", self.health_events)
+            .finish()
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("entry missing numeric field {k:?}"))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("entry missing integer field {k:?}"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field {k:?}"))
+        };
+        Ok(BenchEntry {
+            timestamp_s: u("timestamp_s")?,
+            profile: s("profile")?,
+            config_hash: s("config_hash")?,
+            val_rmse_db: f("val_rmse_db")?,
+            sim_elapsed_s: f("sim_elapsed_s")?,
+            steps_applied: u("steps_applied")?,
+            wall_s: f("wall_s")?,
+            model_host_s: f("model_host_s")?,
+            layer_host_s: f("layer_host_s")?,
+            health_events: u("health_events")?,
+        })
+    }
+}
+
+/// Builds the trajectory entry for a loaded run.
+pub fn entry_from_run(run: &RunData, timestamp_s: u64) -> BenchEntry {
+    let m = run_metrics(run);
+    BenchEntry {
+        timestamp_s,
+        profile: run.profile.clone(),
+        config_hash: run.combined_config_hash(),
+        val_rmse_db: m.val_rmse_db.unwrap_or(f64::NAN),
+        sim_elapsed_s: m.sim_elapsed_s(),
+        steps_applied: m.steps_applied,
+        wall_s: run.wall_s,
+        model_host_s: m.model_host_s,
+        layer_host_s: m.layer_host_s,
+        health_events: run.health_events.len() as u64,
+    }
+}
+
+/// Where a run's trajectory file lives: `BENCH_<exp>.json` next to the
+/// run directory (i.e. directly under `results/`).
+pub fn bench_path(run: &RunData) -> PathBuf {
+    let parent = run.dir.parent().unwrap_or(&run.dir);
+    parent.join(format!("BENCH_{}.json", run.name))
+}
+
+/// Loads a trajectory file; a missing file is an empty trajectory.
+pub fn load_trajectory(path: &Path) -> Result<Vec<BenchEntry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = v
+        .get("entries")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{}: missing \"entries\" array", path.display()))?;
+    entries
+        .iter()
+        .map(BenchEntry::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Appends `entry` to the trajectory file (rewriting it whole — the
+/// files stay small) and returns the new entry count.
+pub fn append_trajectory(
+    path: &Path,
+    experiment: &str,
+    entry: &BenchEntry,
+) -> Result<usize, String> {
+    let mut entries = load_trajectory(path)?;
+    entries.push(entry.clone());
+    let mut arr = JsonArray::new();
+    for e in &entries {
+        arr.push_raw(&e.to_json());
+    }
+    let body = JsonObject::new()
+        .str("experiment", experiment)
+        .raw("entries", &arr.finish())
+        .finish();
+    fs::write(path, body + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(entries.len())
+}
+
+/// Regression-gate tolerances (relative).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Allowed relative increase of the validation RMSE.
+    pub tol_rmse_rel: f64,
+    /// Allowed relative increase of the simulated elapsed time (the sim
+    /// clock is deterministic given the config, so drift means the
+    /// compute/airtime model changed).
+    pub tol_time_rel: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            tol_rmse_rel: 0.30,
+            tol_time_rel: 0.25,
+        }
+    }
+}
+
+/// [`check`]'s result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// No prior entry with the same profile + config hash — nothing to
+    /// compare against (treated as a pass).
+    NoBaseline,
+    /// Within tolerance of the baseline.
+    Pass {
+        /// What the entry was compared against.
+        baseline: Box<BenchEntry>,
+    },
+    /// Regression(s) found.
+    Fail {
+        /// What the entry was compared against.
+        baseline: Box<BenchEntry>,
+        /// One line per violated tolerance.
+        failures: Vec<String>,
+    },
+}
+
+impl CheckOutcome {
+    /// `true` unless a regression was found.
+    pub fn passed(&self) -> bool {
+        !matches!(self, CheckOutcome::Fail { .. })
+    }
+}
+
+/// Compares `entry` against the most recent `history` entry with the
+/// same profile and config hash. Gated: validation RMSE, simulated
+/// elapsed time, and any health events during the fresh run. Host wall
+/// times are reported but never gated (they are machine-dependent).
+pub fn check(entry: &BenchEntry, history: &[BenchEntry], cfg: &CheckConfig) -> CheckOutcome {
+    let mut failures = Vec::new();
+    if entry.health_events > 0 {
+        failures.push(format!(
+            "{} health event(s) during the run",
+            entry.health_events
+        ));
+    }
+    let baseline = history
+        .iter()
+        .rev()
+        .find(|e| e.profile == entry.profile && e.config_hash == entry.config_hash);
+    let Some(base) = baseline else {
+        return if failures.is_empty() {
+            CheckOutcome::NoBaseline
+        } else {
+            // Health failures stand even without a baseline.
+            CheckOutcome::Fail {
+                baseline: Box::new(entry.clone()),
+                failures,
+            }
+        };
+    };
+    if !entry.val_rmse_db.is_finite() {
+        failures.push("validation RMSE is non-finite".to_string());
+    } else if entry.val_rmse_db > base.val_rmse_db * (1.0 + cfg.tol_rmse_rel) + 0.05 {
+        failures.push(format!(
+            "val RMSE regressed: {:.2} dB vs baseline {:.2} dB (tol +{:.0}%)",
+            entry.val_rmse_db,
+            base.val_rmse_db,
+            100.0 * cfg.tol_rmse_rel
+        ));
+    }
+    if entry.sim_elapsed_s > base.sim_elapsed_s * (1.0 + cfg.tol_time_rel) {
+        failures.push(format!(
+            "simulated time regressed: {:.2} s vs baseline {:.2} s (tol +{:.0}%)",
+            entry.sim_elapsed_s,
+            base.sim_elapsed_s,
+            100.0 * cfg.tol_time_rel
+        ));
+    }
+    let baseline = Box::new(base.clone());
+    if failures.is_empty() {
+        CheckOutcome::Pass { baseline }
+    } else {
+        CheckOutcome::Fail { baseline, failures }
+    }
+}
+
+/// Renders a side-by-side diff of two runs; the `bool` is `true` when
+/// run `b` regresses beyond `cfg` relative to run `a`.
+pub fn render_diff(a: &RunData, b: &RunData, cfg: &CheckConfig) -> (String, bool) {
+    let ma = run_metrics(a);
+    let mb = run_metrics(b);
+    let mut out = String::new();
+    let _ = writeln!(out, "# slm-report diff: {} vs {}", a.name, b.name);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "| metric | {} | {} | delta |", a.name, b.name);
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    let mut row = |name: &str, va: f64, vb: f64, unit: &str| {
+        let delta = vb - va;
+        let rel = if va.abs() > 1e-12 {
+            format!(" ({:+.1}%)", 100.0 * delta / va)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "| {name} | {va:.3} {unit} | {vb:.3} {unit} | {delta:+.3}{rel} |"
+        );
+    };
+    let ra = ma.val_rmse_db.unwrap_or(f64::NAN);
+    let rb = mb.val_rmse_db.unwrap_or(f64::NAN);
+    row("val RMSE", ra, rb, "dB");
+    row("sim elapsed", ma.sim_elapsed_s(), mb.sim_elapsed_s(), "s");
+    row("sim compute", ma.sim_compute_s, mb.sim_compute_s, "s");
+    row("sim airtime", ma.sim_airtime_s, mb.sim_airtime_s, "s");
+    row(
+        "steps applied",
+        ma.steps_applied as f64,
+        mb.steps_applied as f64,
+        "",
+    );
+    row("model host", ma.model_host_s, mb.model_host_s, "s");
+    row("wall", a.wall_s, b.wall_s, "s");
+    let regressed = (rb.is_finite() && ra.is_finite() && rb > ra * (1.0 + cfg.tol_rmse_rel) + 0.05)
+        || mb.sim_elapsed_s() > ma.sim_elapsed_s() * (1.0 + cfg.tol_time_rel);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Regression (tol rmse +{:.0}%, time +{:.0}%): {}",
+        100.0 * cfg.tol_rmse_rel,
+        100.0 * cfg.tol_time_rel,
+        if regressed { "YES" } else { "no" }
+    );
+    (out, regressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(profile: &str, hash: &str, rmse: f64, sim: f64) -> BenchEntry {
+        BenchEntry {
+            timestamp_s: 1,
+            profile: profile.to_string(),
+            config_hash: hash.to_string(),
+            val_rmse_db: rmse,
+            sim_elapsed_s: sim,
+            steps_applied: 100,
+            wall_s: 2.0,
+            model_host_s: 1.0,
+            layer_host_s: 0.98,
+            health_events: 0,
+        }
+    }
+
+    #[test]
+    fn layer_key_parsing() {
+        assert_eq!(
+            parse_layer_key("nn.ue.layer.0.Conv2d.fwd.host_s"),
+            Some(("ue", 0, "Conv2d", "fwd"))
+        );
+        assert_eq!(
+            parse_layer_key("nn.bs.layer.1.Dense.bwd.host_s"),
+            Some(("bs", 1, "Dense", "bwd"))
+        );
+        assert_eq!(parse_layer_key("train.step.host_s"), None);
+        assert_eq!(parse_layer_key("nn.ue.layer.x.Conv2d.fwd.host_s"), None);
+    }
+
+    #[test]
+    fn layer_rows_read_profiler_metrics() {
+        let mut reg = sl_telemetry::MetricsRegistry::new();
+        reg.observe("nn.ue.layer.0.Conv2d.fwd.host_s", 0.002);
+        reg.observe("nn.ue.layer.0.Conv2d.fwd.host_s", 0.004);
+        reg.observe("nn.ue.layer.0.Conv2d.bwd.host_s", 0.010);
+        reg.gauge_add("nn.ue.layer.0.Conv2d.flops", 1e6);
+        reg.gauge_set("nn.ue.layer.0.Conv2d.params", 40.0);
+        reg.observe("nn.bs.layer.0.Lstm.fwd.host_s", 0.001);
+        let rows = layer_rows(&reg.snapshot());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].side, "ue"); // UE sorts before BS
+        assert_eq!(rows[0].name, "Conv2d");
+        assert_eq!(rows[0].fwd_calls, 2);
+        assert!((rows[0].fwd_s - 0.006).abs() < 1e-12);
+        assert!((rows[0].bwd_s - 0.010).abs() < 1e-12);
+        assert_eq!(rows[0].params, 40);
+        assert!(rows[0].flops > 0.0);
+        assert!(rows[0].fwd_p50_s > 0.0);
+        assert_eq!(rows[1].side, "bs");
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_parser() {
+        let dir = std::env::temp_dir().join("slm_report_test_traj");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_x.json");
+        let _ = std::fs::remove_file(&path);
+        let e1 = entry("smoke", "abc", 4.5, 10.0);
+        let e2 = entry("smoke", "abc", 4.2, 10.0);
+        assert_eq!(append_trajectory(&path, "x", &e1).unwrap(), 1);
+        assert_eq!(append_trajectory(&path, "x", &e2).unwrap(), 2);
+        let back = load_trajectory(&path).unwrap();
+        assert_eq!(back, vec![e1, e2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_gates_rmse_and_time() {
+        let cfg = CheckConfig::default();
+        let base = entry("smoke", "abc", 4.0, 10.0);
+        let hist = vec![entry("smoke", "other", 1.0, 1.0), base.clone()];
+
+        assert_eq!(
+            check(&entry("smoke", "new-config", 9.0, 9.0), &hist, &cfg),
+            CheckOutcome::NoBaseline
+        );
+        assert!(check(&entry("smoke", "abc", 4.3, 10.0), &hist, &cfg).passed());
+        // 2× RMSE must fail the gate.
+        let out = check(&entry("smoke", "abc", 8.0, 10.0), &hist, &cfg);
+        match out {
+            CheckOutcome::Fail { failures, .. } => {
+                assert!(failures[0].contains("val RMSE regressed"), "{failures:?}");
+            }
+            o => panic!("expected failure, got {o:?}"),
+        }
+        // Slower simulated time fails; faster passes.
+        assert!(!check(&entry("smoke", "abc", 4.0, 20.0), &hist, &cfg).passed());
+        assert!(check(&entry("smoke", "abc", 4.0, 5.0), &hist, &cfg).passed());
+        // Health events fail even without a baseline.
+        let mut sick = entry("smoke", "brand-new", 4.0, 10.0);
+        sick.health_events = 1;
+        assert!(!check(&sick, &hist, &cfg).passed());
+    }
+}

@@ -2,7 +2,8 @@
 
 use rand::Rng;
 
-use sl_nn::{Dense, Gru, Layer, Lstm};
+use sl_nn::{Dense, Gru, Layer, Lstm, Sequential};
+use sl_telemetry::Telemetry;
 use sl_tensor::Tensor;
 
 /// Which recurrent cell the BS half uses.
@@ -18,39 +19,13 @@ pub enum RnnCell {
     Gru,
 }
 
-enum Recurrent {
-    Lstm(Lstm),
-    Gru(Gru),
-}
-
-impl Recurrent {
-    fn as_layer(&mut self) -> &mut dyn Layer {
-        match self {
-            Recurrent::Lstm(l) => l,
-            Recurrent::Gru(g) => g,
-        }
-    }
-
-    fn input_dim(&self) -> usize {
-        match self {
-            Recurrent::Lstm(l) => l.input_dim(),
-            Recurrent::Gru(g) => g.input_dim(),
-        }
-    }
-
-    fn hidden_dim(&self) -> usize {
-        match self {
-            Recurrent::Lstm(l) => l.hidden_dim(),
-            Recurrent::Gru(g) => g.hidden_dim(),
-        }
-    }
-
+impl RnnCell {
     /// Gate count factor for the FLOP model (4 gate blocks for LSTM, 3
     /// for GRU).
-    fn gate_blocks(&self) -> f64 {
+    fn gate_blocks(self) -> f64 {
         match self {
-            Recurrent::Lstm(_) => 4.0,
-            Recurrent::Gru(_) => 3.0,
+            RnnCell::Lstm => 4.0,
+            RnnCell::Gru => 3.0,
         }
     }
 }
@@ -60,9 +35,14 @@ impl Recurrent {
 /// (pooled image pixels and/or the RF received power), and a dense head
 /// mapping the final hidden state to the predicted (normalized) future
 /// received power.
+///
+/// Both layers live in one [`Sequential`], so the per-layer profiler
+/// sees the recurrent cell and the head separately.
 pub struct BsNetwork {
-    rnn: Recurrent,
-    head: Dense,
+    net: Sequential,
+    feature_dim: usize,
+    hidden_dim: usize,
+    cell: RnnCell,
 }
 
 impl BsNetwork {
@@ -78,65 +58,75 @@ impl BsNetwork {
         cell: RnnCell,
         rng: &mut impl Rng,
     ) -> Self {
-        let rnn = match cell {
-            RnnCell::Lstm => Recurrent::Lstm(Lstm::new(feature_dim, hidden_dim, rng)),
-            RnnCell::Gru => Recurrent::Gru(Gru::new(feature_dim, hidden_dim, rng)),
-        };
+        let net = match cell {
+            RnnCell::Lstm => Sequential::new().push(Lstm::new(feature_dim, hidden_dim, rng)),
+            RnnCell::Gru => Sequential::new().push(Gru::new(feature_dim, hidden_dim, rng)),
+        }
+        .push(Dense::new(hidden_dim, 1, rng));
         BsNetwork {
-            rnn,
-            head: Dense::new(hidden_dim, 1, rng),
+            net,
+            feature_dim,
+            hidden_dim,
+            cell,
         }
     }
 
     /// Per-step input feature count.
     pub fn feature_dim(&self) -> usize {
-        self.rnn.input_dim()
+        self.feature_dim
     }
 
     /// Recurrent hidden units.
     pub fn hidden_dim(&self) -> usize {
-        self.rnn.hidden_dim()
+        self.hidden_dim
     }
 
     /// The configured cell type.
     pub fn cell(&self) -> RnnCell {
-        match self.rnn {
-            Recurrent::Lstm(_) => RnnCell::Lstm,
-            Recurrent::Gru(_) => RnnCell::Gru,
-        }
+        self.cell
     }
 
     /// Forward pass: `[B, L, F]` feature sequences → `[B, 1]` predicted
     /// normalized power.
     pub fn forward(&mut self, features: &Tensor) -> Tensor {
-        let h = self.rnn.as_layer().forward(features);
-        self.head.forward(&h)
+        self.net.forward(features)
     }
 
     /// Backward pass from the prediction gradient; returns the gradient
     /// with respect to the `[B, L, F]` input features (the part that must
     /// travel back over the downlink).
     pub fn backward(&mut self, grad_pred: &Tensor) -> Tensor {
-        let gh = self.head.backward(grad_pred);
-        self.rnn.as_layer().backward(&gh)
+        self.net.backward(grad_pred)
     }
 
     /// Parameter/gradient pairs for the BS-side optimizer.
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        let mut v = self.rnn.as_layer().params_and_grads();
-        v.extend(self.head.params_and_grads());
-        v
+        self.net.params_and_grads()
     }
 
     /// Clears accumulated gradients.
     pub fn zero_grads(&mut self) {
-        self.rnn.as_layer().zero_grads();
-        self.head.zero_grads();
+        self.net.zero_grads();
     }
 
     /// Total trainable parameters.
     pub fn parameter_count(&mut self) -> usize {
-        self.rnn.as_layer().parameter_count() + self.head.parameter_count()
+        self.net.parameter_count()
+    }
+
+    /// Turns on per-layer profiling of the BS stack.
+    pub fn enable_profiling(&mut self) {
+        self.net.enable_profiling();
+    }
+
+    /// Turns off per-layer profiling.
+    pub fn disable_profiling(&mut self) {
+        self.net.disable_profiling();
+    }
+
+    /// Publishes accumulated per-layer stats under `{prefix}.layer.*`.
+    pub fn publish_profile(&mut self, tele: &mut Telemetry, prefix: &str) {
+        self.net.publish_profile(tele, prefix);
     }
 
     /// Modelled forward FLOPs per sequence of length `seq_len`.
@@ -144,7 +134,7 @@ impl BsNetwork {
         let h = self.hidden_dim() as f64;
         let f = self.feature_dim() as f64;
         // Per step: gate matmuls 2·(blocks·H)·(F+H) plus ~12H pointwise.
-        let per_step = 2.0 * self.rnn.gate_blocks() * h * (f + h) + 12.0 * h;
+        let per_step = 2.0 * self.cell.gate_blocks() * h * (f + h) + 12.0 * h;
         seq_len as f64 * per_step + 2.0 * h // head
     }
 }

@@ -1,0 +1,547 @@
+//! Training-health watchdog.
+//!
+//! Long simulated-training runs can silently go bad: a NaN loss, an
+//! exploding gradient, or a loss that quietly diverges while the run
+//! keeps burning compute. The [`HealthMonitor`] watches the per-step
+//! statistics the trainer already computes — loss (tracked as an EMA),
+//! clipped gradient norms, weight-update ratios and non-finite counts —
+//! and raises a [`HealthVerdict`] when training is demonstrably
+//! diverging. What happens then is configured by `SLM_HEALTH`:
+//!
+//! * `warn` (default) — emit a `health.diverged` event and keep going;
+//! * `abort` — stop the run with [`crate::StopReason::HealthAborted`]
+//!   and a readable report;
+//! * `off` — disable the watchdog entirely.
+
+use std::fmt;
+
+/// What to do when the watchdog trips. Parsed from `SLM_HEALTH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthAction {
+    /// Emit a diagnostic event and continue training (default).
+    #[default]
+    Warn,
+    /// Stop the run with [`crate::StopReason::HealthAborted`].
+    Abort,
+    /// Watchdog disabled: observe nothing, never trip.
+    Off,
+}
+
+impl HealthAction {
+    /// Parses an `SLM_HEALTH` value; `None` for unrecognized input.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "warn" => Some(HealthAction::Warn),
+            "abort" => Some(HealthAction::Abort),
+            "off" => Some(HealthAction::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Watchdog thresholds. The defaults are deliberately loose: the goal is
+/// to catch *demonstrable* divergence (NaNs, loss exploding past many
+/// multiples of its best value), not to second-guess a noisy optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// What to do when the watchdog trips.
+    pub action: HealthAction,
+    /// EMA smoothing factor for the per-step loss.
+    pub ema_alpha: f64,
+    /// A step is "divergent" when the loss EMA exceeds
+    /// `divergence_factor × best_ema` (or the update ratio exceeds
+    /// [`HealthConfig::max_update_ratio`]).
+    pub divergence_factor: f64,
+    /// Consecutive divergent steps before tripping.
+    pub patience: usize,
+    /// Steps before the best-EMA baseline starts updating (lets the
+    /// early transient settle).
+    pub warmup_steps: usize,
+    /// Total non-finite observations (loss or gradient norms) before
+    /// tripping outright.
+    pub nonfinite_tolerance: u64,
+    /// Per-step `‖Δθ‖/‖θ‖` above this counts as a divergent step.
+    pub max_update_ratio: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            action: HealthAction::Warn,
+            ema_alpha: 0.1,
+            divergence_factor: 8.0,
+            patience: 25,
+            warmup_steps: 10,
+            nonfinite_tolerance: 3,
+            max_update_ratio: 10.0,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Builds the config from the `SLM_HEALTH` environment variable.
+    pub fn from_env() -> Self {
+        let raw = std::env::var("SLM_HEALTH").ok();
+        HealthConfig::from_settings(raw.as_deref())
+    }
+
+    /// [`HealthConfig::from_env`] with the environment made explicit
+    /// (testable without mutating process state). Unrecognized values
+    /// fall back to `warn`; the monitor reports the bad value so the
+    /// trainer can surface a warning.
+    pub fn from_settings(value: Option<&str>) -> Self {
+        let action = match value {
+            None => HealthAction::Warn,
+            Some(s) => HealthAction::parse(s).unwrap_or(HealthAction::Warn),
+        };
+        HealthConfig {
+            action,
+            ..HealthConfig::default()
+        }
+    }
+}
+
+/// Per-step statistics fed to the monitor by the trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Raw (pre-clip) batch loss.
+    pub loss: f64,
+    /// UE-side global gradient norm (0 for RF-only).
+    pub grad_norm_ue: f64,
+    /// BS-side global gradient norm.
+    pub grad_norm_bs: f64,
+    /// UE-side `‖Δθ‖/‖θ‖` for the optimizer step just applied.
+    pub update_ratio_ue: f64,
+    /// BS-side `‖Δθ‖/‖θ‖`.
+    pub update_ratio_bs: f64,
+}
+
+/// Why the watchdog tripped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthVerdict {
+    /// Too many NaN/inf observations.
+    NonFinite {
+        /// The metric whose observation pushed the count over the
+        /// tolerance (e.g. `loss`, `grad_norm.ue`).
+        metric: String,
+        /// Total non-finite observations so far.
+        count: u64,
+    },
+    /// Sustained divergence of the loss EMA or update ratio.
+    Diverged {
+        /// The metric that kept the divergence streak alive.
+        metric: String,
+        /// Current loss EMA.
+        ema: f64,
+        /// Best (lowest) post-warmup loss EMA.
+        best_ema: f64,
+        /// Length of the divergent streak.
+        streak: usize,
+    },
+}
+
+impl HealthVerdict {
+    /// The offending metric name.
+    pub fn metric(&self) -> &str {
+        match self {
+            HealthVerdict::NonFinite { metric, .. } => metric,
+            HealthVerdict::Diverged { metric, .. } => metric,
+        }
+    }
+}
+
+impl fmt::Display for HealthVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthVerdict::NonFinite { metric, count } => {
+                write!(f, "{count} non-finite observations (last: {metric})")
+            }
+            HealthVerdict::Diverged {
+                metric,
+                ema,
+                best_ema,
+                streak,
+            } => write!(
+                f,
+                "{metric} diverged for {streak} consecutive steps \
+                 (loss EMA {ema:.3e} vs best {best_ema:.3e})"
+            ),
+        }
+    }
+}
+
+/// Tracks per-step training statistics and trips on demonstrable
+/// divergence. One verdict per run: after tripping, the monitor goes
+/// quiet (the caller decides whether to abort).
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    step: u64,
+    ema: Option<f64>,
+    best_ema: f64,
+    streak: usize,
+    nonfinite_loss: u64,
+    nonfinite_grad: u64,
+    nonfinite_ratio: u64,
+    tripped: bool,
+    last_stats: Option<StepStats>,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given thresholds.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor {
+            cfg,
+            step: 0,
+            ema: None,
+            best_ema: f64::INFINITY,
+            streak: 0,
+            nonfinite_loss: 0,
+            nonfinite_grad: 0,
+            nonfinite_ratio: 0,
+            tripped: false,
+            last_stats: None,
+        }
+    }
+
+    /// A monitor configured from `SLM_HEALTH`.
+    pub fn from_env() -> Self {
+        HealthMonitor::new(HealthConfig::from_env())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// `true` once the watchdog has tripped.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Total non-finite loss observations so far.
+    pub fn nonfinite_loss(&self) -> u64 {
+        self.nonfinite_loss
+    }
+
+    /// Total non-finite gradient-norm observations so far.
+    pub fn nonfinite_grad(&self) -> u64 {
+        self.nonfinite_grad
+    }
+
+    /// Current loss EMA, when at least one finite loss was seen.
+    pub fn loss_ema(&self) -> Option<f64> {
+        self.ema
+    }
+
+    /// Whether update-ratio tracking is needed (lets the trainer skip
+    /// the parameter-copy overhead when the watchdog is off).
+    pub fn wants_update_ratio(&self) -> bool {
+        self.cfg.action != HealthAction::Off && !self.tripped
+    }
+
+    /// Feeds one step's statistics. Returns a verdict the first time the
+    /// watchdog trips, `None` otherwise.
+    pub fn observe_step(&mut self, stats: StepStats) -> Option<HealthVerdict> {
+        if self.cfg.action == HealthAction::Off || self.tripped {
+            return None;
+        }
+        self.step += 1;
+        self.last_stats = Some(stats);
+
+        // Non-finite bookkeeping. Each non-finite observation counts
+        // toward one shared tolerance: a single NaN is survivable (the
+        // trainer skips the step), a stream of them is divergence.
+        let mut last_nonfinite = None;
+        if !stats.loss.is_finite() {
+            self.nonfinite_loss += 1;
+            last_nonfinite = Some("loss");
+        }
+        if !stats.grad_norm_ue.is_finite() {
+            self.nonfinite_grad += 1;
+            last_nonfinite = Some("grad_norm.ue");
+        }
+        if !stats.grad_norm_bs.is_finite() {
+            self.nonfinite_grad += 1;
+            last_nonfinite = Some("grad_norm.bs");
+        }
+        if !stats.update_ratio_ue.is_finite() {
+            self.nonfinite_ratio += 1;
+            last_nonfinite = Some("update_ratio.ue");
+        }
+        if !stats.update_ratio_bs.is_finite() {
+            self.nonfinite_ratio += 1;
+            last_nonfinite = Some("update_ratio.bs");
+        }
+        let nonfinite_total = self.nonfinite_loss + self.nonfinite_grad + self.nonfinite_ratio;
+        if let Some(metric) = last_nonfinite {
+            if nonfinite_total >= self.cfg.nonfinite_tolerance {
+                self.tripped = true;
+                return Some(HealthVerdict::NonFinite {
+                    metric: metric.to_string(),
+                    count: nonfinite_total,
+                });
+            }
+            // A non-finite step contributes no EMA update but keeps the
+            // divergence streak alive.
+            self.streak += 1;
+        }
+
+        // Loss EMA tracking (finite losses only).
+        if stats.loss.is_finite() {
+            let a = self.cfg.ema_alpha;
+            let ema = match self.ema {
+                Some(prev) => a * stats.loss + (1.0 - a) * prev,
+                None => stats.loss,
+            };
+            self.ema = Some(ema);
+            if self.step <= self.cfg.warmup_steps as u64 {
+                self.best_ema = self.best_ema.min(ema);
+                return None;
+            }
+            let diverged_loss = ema > self.cfg.divergence_factor * self.best_ema.max(f64::EPSILON);
+            let diverged_ratio = stats.update_ratio_ue > self.cfg.max_update_ratio
+                || stats.update_ratio_bs > self.cfg.max_update_ratio;
+            if diverged_loss || diverged_ratio {
+                self.streak += 1;
+            } else {
+                self.streak = 0;
+                self.best_ema = self.best_ema.min(ema);
+            }
+            if self.streak >= self.cfg.patience {
+                self.tripped = true;
+                return Some(HealthVerdict::Diverged {
+                    metric: if diverged_loss {
+                        "loss_ema".to_string()
+                    } else {
+                        "update_ratio".to_string()
+                    },
+                    ema,
+                    best_ema: self.best_ema,
+                    streak: self.streak,
+                });
+            }
+        } else if self.streak >= self.cfg.patience {
+            // All-non-finite streams can also exhaust patience.
+            self.tripped = true;
+            return Some(HealthVerdict::Diverged {
+                metric: "loss".to_string(),
+                ema: self.ema.unwrap_or(f64::NAN),
+                best_ema: self.best_ema,
+                streak: self.streak,
+            });
+        }
+        None
+    }
+
+    /// A multi-line human-readable state dump, used for the abort report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("training-health report:\n");
+        out.push_str(&format!("  steps observed: {}\n", self.step));
+        match self.ema {
+            Some(e) => out.push_str(&format!(
+                "  loss EMA: {e:.6e} (best {:.6e})\n",
+                self.best_ema
+            )),
+            None => out.push_str("  loss EMA: no finite losses observed\n"),
+        }
+        out.push_str(&format!("  divergent streak: {}\n", self.streak));
+        out.push_str(&format!(
+            "  non-finite: loss {} / grad {} / update-ratio {}\n",
+            self.nonfinite_loss, self.nonfinite_grad, self.nonfinite_ratio
+        ));
+        if let Some(s) = self.last_stats {
+            out.push_str(&format!(
+                "  last step: loss {:.6e}, grad_norm ue {:.3e} bs {:.3e}, \
+                 update_ratio ue {:.3e} bs {:.3e}",
+                s.loss, s.grad_norm_ue, s.grad_norm_bs, s.update_ratio_ue, s.update_ratio_bs
+            ));
+        }
+        out
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::new(HealthConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_stats(loss: f64) -> StepStats {
+        StepStats {
+            loss,
+            grad_norm_ue: 1.0,
+            grad_norm_bs: 1.0,
+            update_ratio_ue: 1e-3,
+            update_ratio_bs: 1e-3,
+        }
+    }
+
+    #[test]
+    fn action_parsing() {
+        assert_eq!(HealthAction::parse("warn"), Some(HealthAction::Warn));
+        assert_eq!(HealthAction::parse("abort"), Some(HealthAction::Abort));
+        assert_eq!(HealthAction::parse("off"), Some(HealthAction::Off));
+        assert_eq!(HealthAction::parse("WARN"), None);
+        assert_eq!(HealthAction::parse("strict"), None);
+        assert_eq!(
+            HealthConfig::from_settings(Some("abort")).action,
+            HealthAction::Abort
+        );
+        assert_eq!(
+            HealthConfig::from_settings(Some("bogus")).action,
+            HealthAction::Warn
+        );
+        assert_eq!(HealthConfig::from_settings(None).action, HealthAction::Warn);
+    }
+
+    #[test]
+    fn healthy_stream_never_trips() {
+        let mut m = HealthMonitor::default();
+        for i in 0..500 {
+            let loss = 1.0 / (1.0 + i as f64 * 0.01); // steadily improving
+            assert_eq!(m.observe_step(ok_stats(loss)), None);
+        }
+        assert!(!m.tripped());
+    }
+
+    #[test]
+    fn noisy_but_bounded_stream_never_trips() {
+        let mut m = HealthMonitor::default();
+        for i in 0..500 {
+            // Oscillates ×2 around 1.0 — inside the 8× divergence factor.
+            let loss = if i % 2 == 0 { 2.0 } else { 0.5 };
+            assert_eq!(m.observe_step(ok_stats(loss)), None);
+        }
+    }
+
+    #[test]
+    fn nonfinite_observations_trip_after_tolerance() {
+        let mut m = HealthMonitor::default();
+        assert_eq!(m.observe_step(ok_stats(f64::NAN)), None);
+        assert_eq!(m.observe_step(ok_stats(f64::INFINITY)), None);
+        let v = m.observe_step(ok_stats(f64::NAN)).expect("must trip");
+        assert_eq!(
+            v,
+            HealthVerdict::NonFinite {
+                metric: "loss".to_string(),
+                count: 3
+            }
+        );
+        assert!(m.tripped());
+        assert_eq!(m.nonfinite_loss(), 3);
+        // After tripping the monitor goes quiet.
+        assert_eq!(m.observe_step(ok_stats(f64::NAN)), None);
+    }
+
+    #[test]
+    fn sustained_divergence_trips_with_patience() {
+        let cfg = HealthConfig {
+            patience: 5,
+            warmup_steps: 3,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        for _ in 0..10 {
+            assert_eq!(m.observe_step(ok_stats(1.0)), None);
+        }
+        // Loss explodes; EMA needs a few steps to cross 8× best, then
+        // 5 more consecutive divergent steps to trip.
+        let mut verdict = None;
+        for _ in 0..40 {
+            verdict = m.observe_step(ok_stats(1e6));
+            if verdict.is_some() {
+                break;
+            }
+        }
+        match verdict.expect("must trip") {
+            HealthVerdict::Diverged {
+                metric,
+                streak,
+                ema,
+                best_ema,
+            } => {
+                assert_eq!(metric, "loss_ema");
+                assert!(streak >= 5);
+                assert!(ema > 8.0 * best_ema);
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_resets_the_streak() {
+        // A fast EMA so recovery shows up within a step or two.
+        let cfg = HealthConfig {
+            patience: 6,
+            warmup_steps: 2,
+            ema_alpha: 0.9,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        for _ in 0..5 {
+            m.observe_step(ok_stats(1.0));
+        }
+        // Bursts of three divergent steps followed by recoveries: the
+        // EMA drops back under the divergence threshold before the
+        // streak reaches 6, so the watchdog never trips.
+        for _ in 0..20 {
+            for _ in 0..3 {
+                assert_eq!(m.observe_step(ok_stats(100.0)), None);
+            }
+            for _ in 0..3 {
+                assert_eq!(m.observe_step(ok_stats(1.0)), None);
+            }
+        }
+        assert!(!m.tripped());
+    }
+
+    #[test]
+    fn huge_update_ratio_counts_as_divergence() {
+        let cfg = HealthConfig {
+            patience: 3,
+            warmup_steps: 1,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        m.observe_step(ok_stats(1.0));
+        let bad = StepStats {
+            update_ratio_bs: 100.0,
+            ..ok_stats(1.0)
+        };
+        assert_eq!(m.observe_step(bad), None);
+        assert_eq!(m.observe_step(bad), None);
+        let v = m.observe_step(bad).expect("must trip");
+        assert_eq!(v.metric(), "update_ratio");
+    }
+
+    #[test]
+    fn off_mode_observes_nothing() {
+        let cfg = HealthConfig {
+            action: HealthAction::Off,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        assert!(!m.wants_update_ratio());
+        for _ in 0..100 {
+            assert_eq!(m.observe_step(ok_stats(f64::NAN)), None);
+        }
+        assert!(!m.tripped());
+        assert_eq!(m.nonfinite_loss(), 0);
+    }
+
+    #[test]
+    fn report_is_readable() {
+        let mut m = HealthMonitor::default();
+        m.observe_step(ok_stats(2.0));
+        m.observe_step(ok_stats(f64::NAN));
+        let r = m.report();
+        assert!(r.contains("steps observed: 2"), "{r}");
+        assert!(r.contains("loss EMA"), "{r}");
+        assert!(r.contains("non-finite: loss 1"), "{r}");
+    }
+}

@@ -21,6 +21,10 @@
 //!   producing the paper's "elapsed time in training" axis (Fig. 3a).
 //! * [`TrainOutcome`] / [`CurvePoint`] — learning curves, stop-reason
 //!   bookkeeping, and prediction traces for Fig. 3b.
+//! * [`HealthMonitor`] — training-health watchdog: tracks the loss EMA,
+//!   gradient norms, update ratios and non-finite counts each step and
+//!   (per `SLM_HEALTH=warn|abort|off`) warns on or aborts demonstrably
+//!   diverging runs.
 //! * [`StreamingDeployment`] / [`LinkPolicy`] — deployment: per-frame
 //!   streaming inference over the simulated uplink and the proactive
 //!   link controller the paper's predictions exist to enable.
@@ -34,6 +38,7 @@ mod bs;
 mod clock;
 mod config;
 mod deploy;
+mod health;
 mod model;
 mod persist;
 mod pooling;
@@ -50,6 +55,7 @@ pub use config::{ExperimentConfig, PAPER_CALIBRATED_UPLINK_SNR_DB};
 pub use deploy::{
     simulate_link_policy, LinkPolicy, OutageReport, StreamPoint, StreamReport, StreamingDeployment,
 };
+pub use health::{HealthAction, HealthConfig, HealthMonitor, HealthVerdict, StepStats};
 pub use model::SplitModel;
 pub use persist::WeightIoError;
 pub use pooling::PoolingDim;

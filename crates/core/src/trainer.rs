@@ -29,6 +29,7 @@ use sl_tensor::Tensor;
 use crate::batch::Batch;
 use crate::clock::SimClock;
 use crate::config::ExperimentConfig;
+use crate::health::{HealthAction, HealthConfig, HealthMonitor, StepStats};
 use crate::model::SplitModel;
 
 /// One learning-curve sample (taken after each validation pass).
@@ -53,6 +54,9 @@ pub enum StopReason {
     /// is too bulky for the link (the fate of 1×1 pooling under the
     /// paper's whole-payload policy).
     LinkStalled,
+    /// The training-health watchdog tripped under `SLM_HEALTH=abort`
+    /// (NaN/inf stream or sustained divergence).
+    HealthAborted,
 }
 
 /// One point of a Fig. 3b prediction trace.
@@ -123,6 +127,7 @@ pub struct SplitTrainer {
     downlink: TransferSimulator,
     clock: SimClock,
     rng: StdRng,
+    health: HealthMonitor,
 }
 
 impl SplitTrainer {
@@ -155,7 +160,19 @@ impl SplitTrainer {
             model,
             config,
             rng,
+            health: HealthMonitor::from_env(),
         }
+    }
+
+    /// Replaces the `SLM_HEALTH`-derived watchdog configuration (for
+    /// tests and programmatic callers; resets the monitor's state).
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health = HealthMonitor::new(cfg);
+    }
+
+    /// The training-health watchdog state.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
     }
 
     /// The model (e.g. for Fig. 2 visualizations after training).
@@ -179,8 +196,15 @@ impl SplitTrainer {
     /// into `tele`:
     ///
     /// * per step — `train.loss`, `train.grad_norm.{ue,bs}`,
-    ///   `train.step.{host_s,compute_s,airtime_s}` histograms and the
-    ///   `train.steps.{applied,voided}` counters;
+    ///   `train.step.{host_s,compute_s,airtime_s}` and `train.model.host_s`
+    ///   histograms, plus the `train.steps.{applied,voided}` and
+    ///   `train.nonfinite.{loss,grad}` counters;
+    /// * per layer — host-time/FLOP/parameter stats under
+    ///   `nn.{ue,bs}.layer.<idx>.<name>.*` (profiling is enabled for the
+    ///   whole run whenever `tele` is enabled);
+    /// * health — a `health.diverged` event if the [`HealthMonitor`]
+    ///   trips (under `SLM_HEALTH=abort` the run then stops with
+    ///   [`StopReason::HealthAborted`]);
     /// * per epoch — an `"epoch"` event plus the `train.val_rmse_db`
     ///   gauge;
     /// * at the end — the uplink/downlink slot metrics
@@ -197,9 +221,14 @@ impl SplitTrainer {
         let mut steps_applied = 0u64;
         let mut steps_voided = 0u64;
         let mut consecutive_voids = 0usize;
+        if tele.is_enabled() {
+            // Per-layer profiling rides along with telemetry: every layer
+            // forward/backward below lands in `nn.{ue,bs}.layer.*`.
+            self.model.enable_profiling();
+        }
 
         // Epoch-0 point: the untrained model.
-        let mut val = self.validate(dataset);
+        let mut val = self.validate_with(dataset, tele);
         curve.push(CurvePoint {
             elapsed_s: self.clock.elapsed_s(),
             epoch: 0,
@@ -224,10 +253,18 @@ impl SplitTrainer {
                             break 'outer;
                         }
                     }
+                    StepResult::HealthAborted => {
+                        // The update was applied before the watchdog
+                        // tripped; the run stops here with a report.
+                        steps_applied += 1;
+                        stop = StopReason::HealthAborted;
+                        epochs = epoch;
+                        break 'outer;
+                    }
                 }
             }
             epochs = epoch;
-            val = self.validate(dataset);
+            val = self.validate_with(dataset, tele);
             curve.push(CurvePoint {
                 elapsed_s: self.clock.elapsed_s(),
                 epoch,
@@ -253,6 +290,8 @@ impl SplitTrainer {
         }
 
         if tele.is_enabled() {
+            self.model.publish_profiles(tele);
+            self.model.disable_profiling();
             tele.add("train.steps.applied", steps_applied);
             tele.add("train.steps.voided", steps_voided);
             // The simulated-clock split, accumulated across runs so a
@@ -350,11 +389,20 @@ impl SplitTrainer {
 
         // The actual numerics (instantaneous with respect to the
         // simulated clock — their cost is what the FLOP model charged).
+        let instrument = tele.is_enabled();
         let idx = dataset.sample_train_batch(b, &mut self.rng);
         let batch = Batch::assemble(dataset, dataset.normalizer(), &idx, uses_images);
+        let fwd = instrument.then(Stopwatch::start);
         let pred = self.model.forward(&batch);
+        if let Some(w) = fwd {
+            w.observe(tele, "train.model");
+        }
         let loss = mse_loss(&pred, &batch.targets_norm);
+        let bwd = instrument.then(Stopwatch::start);
         self.model.backward(&loss.grad);
+        if let Some(w) = bwd {
+            w.observe(tele, "train.model");
+        }
 
         let clip = self.config.grad_clip;
         let ue_norm;
@@ -369,20 +417,85 @@ impl SplitTrainer {
             let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
             bs_norm = clip_global_norm(&mut grads, clip);
         }
-        if tele.is_enabled() {
+        if instrument {
             if loss.loss.is_finite() {
                 tele.observe("train.loss", loss.loss.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.loss");
             }
             if ue_norm.is_finite() {
                 tele.observe("train.grad_norm.ue", ue_norm.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.grad");
             }
             if bs_norm.is_finite() {
                 tele.observe("train.grad_norm.bs", bs_norm.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.grad");
             }
         }
+
+        // Snapshot parameters before the optimizer steps so the watchdog
+        // can see the per-step update ratio ‖Δθ‖/‖θ‖.
+        let track_ratio = self.health.wants_update_ratio();
+        let prev_ue: Option<Vec<Tensor>> = track_ratio.then(|| {
+            self.model
+                .ue_params_and_grads()
+                .iter()
+                .map(|(p, _)| (**p).clone())
+                .collect()
+        });
+        let prev_bs: Option<Vec<Tensor>> = track_ratio.then(|| {
+            self.model
+                .bs_params_and_grads()
+                .iter()
+                .map(|(p, _)| (**p).clone())
+                .collect()
+        });
         self.opt_ue.step(&mut self.model.ue_params_and_grads());
         self.opt_bs.step(&mut self.model.bs_params_and_grads());
         self.model.zero_grads();
+
+        if self.health.config().action != HealthAction::Off && !self.health.tripped() {
+            let ratio_ue = prev_ue
+                .map(|prev| update_ratio(&prev, &self.model.ue_params_and_grads()))
+                .unwrap_or(0.0);
+            let ratio_bs = prev_bs
+                .map(|prev| update_ratio(&prev, &self.model.bs_params_and_grads()))
+                .unwrap_or(0.0);
+            let stats = StepStats {
+                loss: loss.loss as f64,
+                grad_norm_ue: ue_norm as f64,
+                grad_norm_bs: bs_norm as f64,
+                update_ratio_ue: ratio_ue,
+                update_ratio_bs: ratio_bs,
+            };
+            if let Some(verdict) = self.health.observe_step(stats) {
+                let action = self.health.config().action;
+                if tele.is_enabled() {
+                    tele.emit(
+                        EventBuilder::new("health.diverged")
+                            .str("metric", verdict.metric())
+                            .str("detail", &verdict.to_string())
+                            .str(
+                                "action",
+                                if action == HealthAction::Abort {
+                                    "abort"
+                                } else {
+                                    "warn"
+                                },
+                            )
+                            .u64("nonfinite_loss", self.health.nonfinite_loss())
+                            .u64("nonfinite_grad", self.health.nonfinite_grad()),
+                    );
+                }
+                eprintln!("[slm-health] watchdog tripped: {verdict}");
+                eprintln!("{}", self.health.report());
+                if action == HealthAction::Abort {
+                    return StepResult::HealthAborted;
+                }
+            }
+        }
         StepResult::Applied
     }
 
@@ -391,12 +504,28 @@ impl SplitTrainer {
     /// axis measures training, and validation can run concurrently at the
     /// BS).
     pub fn validate(&mut self, dataset: &SequenceDataset) -> f32 {
+        self.validate_with(dataset, &mut Telemetry::disabled())
+    }
+
+    /// [`SplitTrainer::validate`] with the validation forwards timed into
+    /// `train.model.host_s` (so profiled runs account for every model
+    /// invocation, not just training steps).
+    fn validate_with(&mut self, dataset: &SequenceDataset, tele: &mut Telemetry) -> f32 {
         let indices = subsample(dataset.val_indices(), self.config.val_subsample);
-        self.rmse_over(dataset, &indices)
+        self.rmse_over_with(dataset, &indices, tele)
     }
 
     /// RMSE (dB) over arbitrary dataset indices.
     pub fn rmse_over(&mut self, dataset: &SequenceDataset, indices: &[usize]) -> f32 {
+        self.rmse_over_with(dataset, indices, &mut Telemetry::disabled())
+    }
+
+    fn rmse_over_with(
+        &mut self,
+        dataset: &SequenceDataset,
+        indices: &[usize],
+        tele: &mut Telemetry,
+    ) -> f32 {
         assert!(!indices.is_empty(), "rmse_over: no indices");
         let normalizer = dataset.normalizer();
         let uses_images = self.config.scheme.uses_images();
@@ -404,7 +533,11 @@ impl SplitTrainer {
         let mut targets = Vec::with_capacity(indices.len());
         for chunk in indices.chunks(128) {
             let batch = Batch::assemble(dataset, normalizer, chunk, uses_images);
+            let watch = tele.is_enabled().then(Stopwatch::start);
             let p = self.model.forward(&batch);
+            if let Some(w) = watch {
+                w.observe(tele, "train.model");
+            }
             preds.extend_from_slice(p.data());
             targets.extend_from_slice(batch.targets_norm.data());
         }
@@ -453,6 +586,22 @@ impl SplitTrainer {
 enum StepResult {
     Applied,
     Voided,
+    HealthAborted,
+}
+
+/// `‖θ_new − θ_old‖ / ‖θ_old‖` across a parameter list (the classic
+/// update-ratio health signal; ~1e-3 is healthy, ≫1 is divergence).
+fn update_ratio(prev: &[Tensor], pairs: &[(&mut Tensor, &mut Tensor)]) -> f64 {
+    let mut delta_sq = 0.0f64;
+    let mut norm_sq = 0.0f64;
+    for (old, (new, _)) in prev.iter().zip(pairs) {
+        for (a, b) in old.data().iter().zip(new.data()) {
+            let d = (*b - *a) as f64;
+            delta_sq += d * d;
+            norm_sq += (*a as f64) * (*a as f64);
+        }
+    }
+    delta_sq.sqrt() / (norm_sq.sqrt() + 1e-12)
 }
 
 /// Deterministic stride subsample of `indices` down to at most `cap`.

@@ -3,9 +3,15 @@
 use rand::Rng;
 
 use sl_nn::{Activation, AvgPool2d, Conv2d, Layer, Sequential};
+use sl_telemetry::Telemetry;
 use sl_tensor::{Padding, Tensor};
 
 use crate::pooling::PoolingDim;
+
+/// Layer count of the convolutional stack before the cut-layer pool
+/// (`conv → relu → conv → sigmoid`), i.e. the prefix that produces the
+/// Fig. 2 "CNN output image".
+const CNN_LAYERS: usize = 4;
 
 /// The network half that stays on the mmWave UE (paper Fig. 1, left):
 ///
@@ -15,11 +21,13 @@ use crate::pooling::PoolingDim;
 /// 'Same' padding keeps the CNN output at the raw image's `N_H × N_W`, so
 /// the pooling window alone decides the transmitted feature-map size; the
 /// sigmoid bounds the output in `[0, 1]` for `R`-bit quantization.
+///
+/// The whole stack (pool included) lives in one [`Sequential`], so the
+/// per-layer profiler sees every UE-side layer; the pre-pool CNN map is
+/// recovered with a partial forward.
 pub struct UeNetwork {
-    /// Convolutional stack (everything before the cut layer).
-    cnn: Sequential,
-    /// The cut-layer compressor.
-    pool: AvgPool2d,
+    /// The full UE-side stack, cut-layer pool included.
+    net: Sequential,
     image_h: usize,
     image_w: usize,
     channels: usize,
@@ -39,14 +47,14 @@ impl UeNetwork {
         assert!(channels > 0, "UeNetwork: channels must be positive");
         // Validate tiling up front.
         let _ = pooling.output_size(image_h, image_w);
-        let cnn = Sequential::new()
+        let net = Sequential::new()
             .push(Conv2d::new(1, channels, 3, Padding::Same, rng))
             .push(Activation::relu())
             .push(Conv2d::new(channels, 1, 3, Padding::Same, rng))
-            .push(Activation::sigmoid());
+            .push(Activation::sigmoid())
+            .push(AvgPool2d::new(pooling.h, pooling.w));
         UeNetwork {
-            cnn,
-            pool: AvgPool2d::new(pooling.h, pooling.w),
+            net,
             image_h,
             image_w,
             channels,
@@ -75,48 +83,60 @@ impl UeNetwork {
             self.image_h,
             self.image_w
         );
-        let maps = self.cnn.forward(images);
-        self.pool.forward(&maps)
+        self.net.forward(images)
     }
 
     /// Backward pass from the cut-layer gradient (as received over the
     /// downlink), accumulating CNN parameter gradients.
     pub fn backward(&mut self, grad_pooled: &Tensor) {
-        let g = self.pool.backward(grad_pooled);
-        let _ = self.cnn.backward(&g);
+        let _ = self.net.backward(grad_pooled);
     }
 
     /// The pre-pooling CNN output for one `[H, W]` image — the Fig. 2
     /// "CNN output image" visualization (inference only, no caching).
     pub fn infer_cnn_map(&mut self, image: &Tensor) -> Tensor {
         let x = image.reshape([1, 1, self.image_h, self.image_w]);
-        let y = self.cnn.forward(&x);
-        self.cnn.zero_grads();
+        let y = self.net.forward_partial(CNN_LAYERS, &x);
+        self.net.zero_grads();
         y.reshape([self.image_h, self.image_w])
     }
 
     /// The pooled cut-layer output for one `[H, W]` image (inference).
     pub fn infer_pooled_map(&mut self, image: &Tensor) -> Tensor {
         let x = image.reshape([1, 1, self.image_h, self.image_w]);
-        let maps = self.cnn.forward(&x);
-        let pooled = self.pool.forward(&maps);
+        let pooled = self.net.forward(&x);
         let (ph, pw) = self.pooling.output_size(self.image_h, self.image_w);
         pooled.reshape([ph, pw])
     }
 
     /// Parameter/gradient pairs for the UE-side optimizer.
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        self.cnn.params_and_grads()
+        self.net.params_and_grads()
     }
 
     /// Clears accumulated gradients.
     pub fn zero_grads(&mut self) {
-        self.cnn.zero_grads();
+        self.net.zero_grads();
     }
 
     /// Total trainable parameters.
     pub fn parameter_count(&mut self) -> usize {
-        self.cnn.parameter_count()
+        self.net.parameter_count()
+    }
+
+    /// Turns on per-layer profiling of the UE stack.
+    pub fn enable_profiling(&mut self) {
+        self.net.enable_profiling();
+    }
+
+    /// Turns off per-layer profiling.
+    pub fn disable_profiling(&mut self) {
+        self.net.disable_profiling();
+    }
+
+    /// Publishes accumulated per-layer stats under `{prefix}.layer.*`.
+    pub fn publish_profile(&mut self, tele: &mut Telemetry, prefix: &str) {
+        self.net.publish_profile(tele, prefix);
     }
 
     /// Modelled forward FLOPs per image: two 'same' 3×3 convolutions.

@@ -127,6 +127,17 @@ impl Layer for Activation {
             ActivationKind::Identity => "identity",
         }
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        let numel = input_dims.iter().product::<usize>() as f64;
+        // Transcendental activations are charged a nominal 4 FLOPs per
+        // element, cheap elementwise ops 1.
+        match self.kind {
+            ActivationKind::Sigmoid | ActivationKind::Tanh => 4.0 * numel,
+            ActivationKind::Relu => numel,
+            ActivationKind::Identity => 0.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,20 @@ impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "conv2d"
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        if input_dims.len() != 4 {
+            return 0.0;
+        }
+        let (n, h, w) = (input_dims[0], input_dims[2], input_dims[3]);
+        let k = self.weight.dims()[2];
+        let (oh, ow) = match self.padding {
+            Padding::Same => (h, w),
+            Padding::Valid => (h.saturating_sub(k - 1), w.saturating_sub(k - 1)),
+        };
+        // 2 FLOPs per MAC over every output position × filter tap.
+        2.0 * (n * oh * ow) as f64 * (self.out_channels() * self.in_channels() * k * k) as f64
+    }
 }
 
 #[cfg(test)]

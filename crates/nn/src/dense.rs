@@ -114,6 +114,14 @@ impl Layer for Dense {
     fn name(&self) -> &'static str {
         "dense"
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        let rows = match input_dims.split_last() {
+            Some((_, lead)) => lead.iter().product::<usize>(),
+            None => 0,
+        };
+        2.0 * rows as f64 * (self.input_dim() * self.output_dim()) as f64
+    }
 }
 
 #[cfg(test)]

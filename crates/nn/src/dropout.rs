@@ -90,6 +90,10 @@ impl Layer for Dropout {
     fn name(&self) -> &'static str {
         "dropout"
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        input_dims.iter().product::<usize>() as f64
+    }
 }
 
 #[cfg(test)]

@@ -110,4 +110,13 @@ pub trait Layer {
 
     /// A short human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Modelled floating-point operations for one forward pass over an
+    /// input of shape `input_dims`, following the usual convention of
+    /// 2 FLOPs per multiply-accumulate. This is an analytic estimate for
+    /// profiling (the backward pass is charged at 2× forward by the
+    /// profiler), not a measurement; stateless reshapes return 0.
+    fn flops_forward(&self, _input_dims: &[usize]) -> f64 {
+        0.0
+    }
 }

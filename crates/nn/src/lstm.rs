@@ -259,6 +259,19 @@ impl Layer for Lstm {
     fn name(&self) -> &'static str {
         "lstm"
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        if input_dims.len() != 3 {
+            return 0.0;
+        }
+        let (n, l) = (input_dims[0], input_dims[1]);
+        let (f, h) = (self.input_dim, self.hidden_dim);
+        // Per step: four gate blocks of H units over [x; h] MACs, plus
+        // ~12 elementwise ops per unit for gate nonlinearities and the
+        // cell/hidden updates.
+        let per_step = 2.0 * (4 * h * (f + h)) as f64 + 12.0 * h as f64;
+        (n * l) as f64 * per_step
+    }
 }
 
 #[cfg(test)]

@@ -52,6 +52,11 @@ impl Layer for AvgPool2d {
     fn name(&self) -> &'static str {
         "avg_pool2d"
     }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        // One add per input element (plus a divide per window, dominated).
+        input_dims.iter().product::<usize>() as f64
+    }
 }
 
 /// Non-overlapping max pooling (`NCHW`) — the cut-layer alternative that
@@ -102,6 +107,11 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "max_pool2d"
+    }
+
+    fn flops_forward(&self, input_dims: &[usize]) -> f64 {
+        // One compare per input element.
+        input_dims.iter().product::<usize>() as f64
     }
 }
 

@@ -1,5 +1,8 @@
 //! A sequential container chaining layers.
 
+use std::time::Instant;
+
+use sl_telemetry::{Profiler, Telemetry};
 use sl_tensor::Tensor;
 
 use crate::Layer;
@@ -10,15 +13,25 @@ use crate::Layer;
 /// BS-side head are each a `Sequential`; the split-learning trainer in
 /// `sl-core` owns one per side and moves the cut-layer tensors between
 /// them through the simulated channel.
+///
+/// Each container owns a [`Profiler`] (disabled by default). With
+/// [`Sequential::enable_profiling`] every forward/backward pass records
+/// per-layer host time and modelled FLOPs, published to a [`Telemetry`]
+/// handle via [`Sequential::publish_profile`]. The disabled path costs
+/// one branch per pass.
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    profiler: Profiler,
 }
 
 impl Sequential {
     /// An empty container.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            profiler: Profiler::disabled(),
+        }
     }
 
     /// Appends a layer (builder style).
@@ -41,21 +54,102 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Turns on per-layer profiling and records each layer's parameter
+    /// count into the profiler.
+    pub fn enable_profiling(&mut self) {
+        self.profiler.enable();
+        for i in 0..self.layers.len() {
+            let name = self.layers[i].name();
+            let params = self.layers[i].parameter_count() as u64;
+            self.profiler.set_params(i, name, params);
+        }
+    }
+
+    /// Turns off per-layer profiling (accumulated stats are kept until
+    /// the next [`Sequential::publish_profile`]).
+    pub fn disable_profiling(&mut self) {
+        self.profiler.disable();
+    }
+
+    /// The accumulated per-layer profile.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Folds the accumulated per-layer stats into `tele` under
+    /// `{prefix}.layer.<idx>.<name>.*` and resets the profiler's stats.
+    pub fn publish_profile(&mut self, tele: &mut Telemetry, prefix: &str) {
+        self.profiler.publish_to(tele, prefix);
+    }
+
+    /// Runs only the first `upto` layers (used for visualizing
+    /// intermediate activations, e.g. the pre-pool CNN map). Layer
+    /// caches are overwritten as in a normal forward pass, so calling
+    /// `backward` after a partial forward is invalid; callers should
+    /// [`Layer::zero_grads`]-style reset via a full forward before
+    /// training again. Partial passes are never profiled.
+    ///
+    /// Panics when `upto` exceeds the layer count.
+    pub fn forward_partial(&mut self, upto: usize, input: &Tensor) -> Tensor {
+        assert!(
+            upto <= self.layers.len(),
+            "Sequential::forward_partial: upto {} exceeds {} layers",
+            upto,
+            self.layers.len()
+        );
+        let mut x = input.clone();
+        for layer in &mut self.layers[..upto] {
+            x = layer.forward(&x);
+        }
+        x
+    }
 }
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        if !self.profiler.is_enabled() {
+            // Un-profiled fast path: feed `input` straight into the first
+            // layer instead of cloning it.
+            let (first, rest) = match self.layers.split_first_mut() {
+                Some(split) => split,
+                None => return input.clone(),
+            };
+            let mut x = first.forward(input);
+            for layer in rest {
+                x = layer.forward(&x);
+            }
+            return x;
+        }
         let mut x = input.clone();
-        for layer in &mut self.layers {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let flops = layer.flops_forward(x.dims());
+            let t0 = Instant::now();
             x = layer.forward(&x);
+            self.profiler
+                .record_fwd(i, layer.name(), t0.elapsed().as_secs_f64(), flops);
         }
         x
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if !self.profiler.is_enabled() {
+            let (last, rest) = match self.layers.split_last_mut() {
+                Some(split) => split,
+                None => return grad_out.clone(),
+            };
+            let mut g = last.backward(grad_out);
+            for layer in rest.iter_mut().rev() {
+                g = layer.backward(&g);
+            }
+            return g;
+        }
         let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let t0 = Instant::now();
             g = layer.backward(&g);
+            self.profiler
+                .record_bwd(i, layer.name(), t0.elapsed().as_secs_f64());
         }
         g
     }
@@ -69,6 +163,12 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn flops_forward(&self, _input_dims: &[usize]) -> f64 {
+        // A container cannot know intermediate shapes without running;
+        // per-layer FLOPs are recorded by the profiler instead.
+        0.0
     }
 }
 
@@ -128,6 +228,65 @@ mod tests {
         let input = sl_tensor::randn([2, 1, 4, 4], 0.0, 1.0, &mut rng);
         let report = crate::check_gradients(net, &input, 1e-2, 4);
         assert!(report.max_abs_err < 5e-2, "{report:?}");
+    }
+
+    #[test]
+    fn forward_partial_matches_prefix() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = tiny_cnn(&mut rng);
+        let x = sl_tensor::randn([2, 1, 4, 4], 0.0, 1.0, &mut rng);
+        // Prefix of length 4 is the pre-pool activation map.
+        let partial = net.forward_partial(4, &x);
+        assert_eq!(partial.dims(), &[2, 1, 4, 4]);
+        // Full forward still works afterwards and profiling is off.
+        let full = net.forward(&x);
+        assert_eq!(full.dims(), &[2, 1]);
+        assert!(net.profiler().is_empty());
+    }
+
+    #[test]
+    fn profiling_does_not_change_outputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut plain = tiny_cnn(&mut rng);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut profiled = tiny_cnn(&mut rng);
+        profiled.enable_profiling();
+        let x = sl_tensor::randn([3, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let a = plain.forward(&x);
+        let b = profiled.forward(&x);
+        assert_eq!(a.data(), b.data());
+        let ga = plain.backward(&Tensor::ones(a.dims()));
+        let gb = profiled.backward(&Tensor::ones(b.dims()));
+        assert_eq!(ga.data(), gb.data());
+        // Every layer recorded one forward and one backward sample.
+        let layers: Vec<_> = profiled.profiler().layers().collect();
+        assert_eq!(layers.len(), 7);
+        for (_, p) in &layers {
+            assert_eq!(p.fwd.count(), 1);
+            assert_eq!(p.bwd.count(), 1);
+        }
+        // Parameterized layers report their counts; conv FLOPs dominate.
+        assert_eq!(layers[0].1.params, 20);
+        assert!(layers[0].1.flops > 0.0);
+    }
+
+    #[test]
+    fn publish_profile_emits_layer_metrics() {
+        use sl_telemetry::{MemorySink, Telemetry, TelemetryMode};
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = tiny_cnn(&mut rng);
+        net.enable_profiling();
+        let x = sl_tensor::randn([2, 1, 4, 4], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x);
+        net.backward(&Tensor::ones(y.dims()));
+        net.publish_profile(&mut tele, "nn.ue");
+        let s = tele.snapshot();
+        assert_eq!(s.histograms["nn.ue.layer.0.conv2d.fwd.host_s"].count(), 1);
+        assert_eq!(s.histograms["nn.ue.layer.6.dense.bwd.host_s"].count(), 1);
+        assert_eq!(s.gauge("nn.ue.layer.6.dense.params"), Some(5.0));
+        assert!(net.profiler().is_empty());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   [`Histogram`]s (count/sum/min/max/p50/p90/p99).
 //! * [`Stopwatch`] / [`SimSpan`] — scope timers for host wall-clock and
 //!   for `sl-core`'s simulated compute/airtime split.
+//! * [`Profiler`] — per-layer forward/backward host-time histograms and
+//!   FLOP/parameter counts, threaded through `sl-nn::Sequential` and
+//!   published under `nn.{ue,bs}.layer.<idx>.<name>.*`.
 //! * [`Event`] journal with pluggable [`Sink`]s — dropped, summarized on
 //!   stderr, or appended as JSON lines — selected by the
 //!   `SLM_TELEMETRY` environment variable (`off` | `summary` | `jsonl`,
@@ -26,11 +29,13 @@
 mod events;
 pub mod json;
 mod metrics;
+mod profiler;
 mod snapshot;
 mod timer;
 
 pub use events::{Event, EventBuilder, JsonlSink, MemorySink, NullSink, Sink, StderrSink, Value};
 pub use metrics::{Histogram, MetricsRegistry, BUCKETS_PER_OCTAVE};
+pub use profiler::{LayerProfile, Profiler};
 pub use snapshot::Snapshot;
 pub use timer::{SimSpan, Stopwatch};
 

@@ -169,8 +169,58 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Non-empty buckets as `(bucket_index, count)` pairs. Together with
+    /// `sum`/`min`/`max` this is the histogram's full state, so snapshots
+    /// can serialize it and [`Histogram::from_parts`] can rebuild the
+    /// exact histogram (same quantile estimates) on the way back in.
+    pub fn indexed_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from serialized parts: the sparse
+    /// `(bucket_index, count)` pairs plus the exactly-tracked `sum`,
+    /// `min` and `max`. The inverse of [`Histogram::indexed_buckets`];
+    /// `count` is recovered as the bucket total. Returns `Err` on
+    /// out-of-range bucket indices or stats inconsistent with emptiness.
+    pub fn from_parts(
+        buckets: &[(usize, u64)],
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for &(i, c) in buckets {
+            if i >= NUM_BUCKETS {
+                return Err(format!(
+                    "Histogram::from_parts: bucket index {i} out of range"
+                ));
+            }
+            h.buckets[i] += c;
+            h.count += c;
+        }
+        if h.count == 0 {
+            return Ok(h);
+        }
+        let (min, max) = match (min, max) {
+            (Some(lo), Some(hi)) if lo.is_finite() && hi.is_finite() && lo <= hi => (lo, hi),
+            _ => {
+                return Err("Histogram::from_parts: non-empty histogram needs min ≤ max".into());
+            }
+        };
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs (for debugging
-    /// and tests; JSON snapshots serialize the summary statistics only).
+    /// and tests; JSON snapshots serialize the summary statistics plus
+    /// the sparse indexed buckets).
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
         self.buckets
             .iter()
@@ -392,6 +442,29 @@ mod tests {
     #[should_panic(expected = "bad value")]
     fn rejects_negative_values() {
         Histogram::new().record(-1.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut h = Histogram::new();
+        for v in [0.0, 1e-12, 0.25, 3.0, 3.0, 1e300] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(&h.indexed_buckets(), h.sum(), h.min(), h.max()).unwrap();
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+        // Empty histograms round-trip too.
+        let empty = Histogram::new();
+        let rebuilt = Histogram::from_parts(&[], 0.0, None, None).unwrap();
+        assert_eq!(rebuilt, empty);
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_input() {
+        assert!(Histogram::from_parts(&[(usize::MAX, 1)], 0.0, Some(0.0), Some(0.0)).is_err());
+        assert!(Histogram::from_parts(&[(1, 1)], 1.0, None, None).is_err());
+        assert!(Histogram::from_parts(&[(1, 1)], 1.0, Some(2.0), Some(1.0)).is_err());
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Per-layer host-time and FLOP profiling.
+//!
+//! A [`Profiler`] is owned by whatever executes layers in order (in this
+//! workspace, `sl-nn::Sequential`): the executor calls
+//! [`Profiler::record_fwd`] / [`Profiler::record_bwd`] around each layer
+//! with the measured wall-clock seconds and a modelled FLOP count. The
+//! profiler accumulates a [`Histogram`] per layer and direction plus
+//! FLOP/parameter totals, then [`Profiler::publish_to`] folds everything
+//! into a [`Telemetry`] handle under
+//! `{prefix}.layer.<idx>.<name>.{fwd,bwd}.host_s` (histograms) and
+//! `{prefix}.layer.<idx>.<name>.{flops,params}` (gauges).
+//!
+//! Profilers start disabled; a disabled profiler is a no-op and the
+//! executor is expected to guard its `Instant::now()` calls on
+//! [`Profiler::is_enabled`], so un-profiled hot loops pay one branch.
+
+use crate::metrics::Histogram;
+use crate::Telemetry;
+
+/// One layer's accumulated profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerProfile {
+    /// Layer name as reported by the executor (e.g. `conv2d`).
+    pub name: String,
+    /// Forward-pass host seconds, one sample per call.
+    pub fwd: Histogram,
+    /// Backward-pass host seconds, one sample per call.
+    pub bwd: Histogram,
+    /// Accumulated modelled FLOPs (forward + backward).
+    pub flops: f64,
+    /// Trainable parameter count.
+    pub params: u64,
+    /// FLOPs of the most recent forward call, used to charge the
+    /// backward pass (modelled at 2× forward: one pass for input
+    /// gradients, one for parameter gradients).
+    last_fwd_flops: f64,
+}
+
+impl LayerProfile {
+    fn new(name: &str) -> Self {
+        LayerProfile {
+            name: name.to_string(),
+            fwd: Histogram::new(),
+            bwd: Histogram::new(),
+            flops: 0.0,
+            params: 0,
+            last_fwd_flops: 0.0,
+        }
+    }
+
+    /// Total host seconds spent in this layer (forward + backward).
+    pub fn host_s(&self) -> f64 {
+        self.fwd.sum() + self.bwd.sum()
+    }
+}
+
+/// Accumulates per-layer timing/FLOP statistics for one layer stack.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profiler {
+    enabled: bool,
+    layers: Vec<Option<LayerProfile>>,
+}
+
+impl Profiler {
+    /// A disabled profiler (every call is a no-op).
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    /// Turns profiling on (keeps any stats already accumulated).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns profiling off (keeps accumulated stats for publishing).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// `true` when recording; executors guard their timing code on this.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// `true` when no samples or parameter counts have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.layers.iter().all(Option::is_none)
+    }
+
+    fn slot(&mut self, idx: usize, name: &str) -> &mut LayerProfile {
+        if idx >= self.layers.len() {
+            self.layers.resize(idx + 1, None);
+        }
+        self.layers[idx].get_or_insert_with(|| LayerProfile::new(name))
+    }
+
+    /// Records the trainable parameter count of layer `idx`.
+    pub fn set_params(&mut self, idx: usize, name: &str, params: u64) {
+        if self.enabled {
+            self.slot(idx, name).params = params;
+        }
+    }
+
+    /// Records one forward pass through layer `idx`: measured host
+    /// `seconds` and the modelled `flops` for the input it saw.
+    pub fn record_fwd(&mut self, idx: usize, name: &str, seconds: f64, flops: f64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self.slot(idx, name);
+        slot.fwd.record(seconds.max(0.0));
+        slot.flops += flops;
+        slot.last_fwd_flops = flops;
+    }
+
+    /// Records one backward pass through layer `idx`. FLOPs are charged
+    /// at 2× the layer's most recent forward pass.
+    pub fn record_bwd(&mut self, idx: usize, name: &str, seconds: f64) {
+        if !self.enabled {
+            return;
+        }
+        let slot = self.slot(idx, name);
+        slot.bwd.record(seconds.max(0.0));
+        slot.flops += 2.0 * slot.last_fwd_flops;
+    }
+
+    /// The accumulated per-layer profiles, in layer order.
+    pub fn layers(&self) -> impl Iterator<Item = (usize, &LayerProfile)> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p)))
+    }
+
+    /// Total host seconds across all layers and both directions.
+    pub fn total_host_s(&self) -> f64 {
+        self.layers().map(|(_, p)| p.host_s()).sum()
+    }
+
+    /// Folds every layer's stats into `tele` under
+    /// `{prefix}.layer.<idx>.<name>.*` and clears the accumulated stats
+    /// (the enabled flag is untouched). Histograms merge, so repeated
+    /// publishes across a run accumulate instead of double-counting.
+    pub fn publish_to(&mut self, tele: &mut Telemetry, prefix: &str) {
+        for (idx, p) in self.layers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let base = format!("{prefix}.layer.{idx}.{}", p.name);
+            tele.merge_histogram(&format!("{base}.fwd.host_s"), &p.fwd);
+            tele.merge_histogram(&format!("{base}.bwd.host_s"), &p.bwd);
+            tele.gauge_add(&format!("{base}.flops"), p.flops);
+            tele.gauge_set(&format!("{base}.params"), p.params as f64);
+        }
+        self.layers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemorySink, TelemetryMode};
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        p.record_fwd(0, "conv2d", 0.25, 100.0);
+        p.record_bwd(0, "conv2d", 0.5);
+        p.set_params(0, "conv2d", 7);
+        assert!(p.is_empty());
+        assert_eq!(p.total_host_s(), 0.0);
+    }
+
+    #[test]
+    fn accumulates_per_layer_stats() {
+        let mut p = Profiler::disabled();
+        p.enable();
+        p.set_params(0, "conv2d", 80);
+        p.record_fwd(0, "conv2d", 0.25, 100.0);
+        p.record_bwd(0, "conv2d", 0.5);
+        p.record_fwd(2, "dense", 0.125, 10.0);
+        let layers: Vec<_> = p.layers().collect();
+        assert_eq!(layers.len(), 2);
+        let (idx, conv) = layers[0];
+        assert_eq!(idx, 0);
+        assert_eq!(conv.name, "conv2d");
+        assert_eq!(conv.params, 80);
+        assert_eq!(conv.fwd.count(), 1);
+        assert_eq!(conv.bwd.count(), 1);
+        // Backward charged at 2× the last forward's FLOPs.
+        assert_eq!(conv.flops, 100.0 + 200.0);
+        assert_eq!(conv.host_s(), 0.75);
+        assert_eq!(layers[1].0, 2);
+        assert_eq!(p.total_host_s(), 0.875);
+    }
+
+    #[test]
+    fn publish_emits_metrics_and_resets() {
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        let mut p = Profiler::disabled();
+        p.enable();
+        p.set_params(1, "dense", 33);
+        p.record_fwd(1, "dense", 0.25, 8.0);
+        p.record_bwd(1, "dense", 0.75);
+        p.publish_to(&mut tele, "nn.ue");
+        let s = tele.snapshot();
+        let fwd = &s.histograms["nn.ue.layer.1.dense.fwd.host_s"];
+        assert_eq!(fwd.count(), 1);
+        assert_eq!(fwd.sum(), 0.25);
+        assert_eq!(s.histograms["nn.ue.layer.1.dense.bwd.host_s"].sum(), 0.75);
+        assert_eq!(s.gauge("nn.ue.layer.1.dense.flops"), Some(24.0));
+        assert_eq!(s.gauge("nn.ue.layer.1.dense.params"), Some(33.0));
+        // Stats reset after publish; a second publish adds nothing.
+        assert!(p.is_empty());
+        assert!(p.is_enabled());
+        p.publish_to(&mut tele, "nn.ue");
+        assert_eq!(
+            tele.snapshot().histograms["nn.ue.layer.1.dense.fwd.host_s"].count(),
+            1
+        );
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::json::JsonObject;
+use crate::json::{self, JsonArray, JsonObject, JsonValue};
 use crate::metrics::Histogram;
 
 /// A copy of every metric in a [`crate::MetricsRegistry`] at one moment.
@@ -66,8 +66,14 @@ impl Snapshot {
     /// {"counters":{"train.steps.applied":120},
     ///  "gauges":{"sim.compute_s":1.25},
     ///  "histograms":{"train.loss":{"count":120,"sum":...,"min":...,
-    ///                "max":...,"mean":...,"p50":...,"p90":...,"p99":...}}}
+    ///                "max":...,"mean":...,"p50":...,"p90":...,"p99":...,
+    ///                "buckets":[[idx,count],...]}}}
     /// ```
+    ///
+    /// The quantile fields are derived conveniences for humans; the
+    /// sparse `buckets` array plus `sum`/`min`/`max` is the histogram's
+    /// full state, so [`Snapshot::from_json`] rebuilds the exact
+    /// [`Histogram`] and tools can call [`Histogram::quantile`] on it.
     pub fn to_json(&self) -> String {
         let mut counters = JsonObject::new();
         for (k, v) in &self.counters {
@@ -91,6 +97,11 @@ impl Snapshot {
                     .f64("p90", h.quantile(0.9).unwrap())
                     .f64("p99", h.quantile(0.99).unwrap());
             }
+            let mut buckets = JsonArray::new();
+            for (i, c) in h.indexed_buckets() {
+                buckets.push_raw(&format!("[{i},{c}]"));
+            }
+            o = o.raw("buckets", &buckets.finish());
             hists = hists.raw(k, &o.finish());
         }
         JsonObject::new()
@@ -98,6 +109,66 @@ impl Snapshot {
             .raw("gauges", &gauges.finish())
             .raw("histograms", &hists.finish())
             .finish()
+    }
+
+    /// Parses a snapshot serialized by [`Snapshot::to_json`], rebuilding
+    /// full histograms from their sparse buckets. Gauges that serialized
+    /// as `null` (non-finite) are dropped.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = json::parse(text).map_err(|e| e.to_string())?;
+        let mut snap = Snapshot::empty();
+        let section = |name: &str| -> Result<BTreeMap<String, JsonValue>, String> {
+            match root.get(name) {
+                Some(JsonValue::Obj(m)) => Ok(m.clone()),
+                Some(_) => Err(format!("snapshot: \"{name}\" is not an object")),
+                None => Ok(BTreeMap::new()),
+            }
+        };
+        for (k, v) in section("counters")? {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("snapshot: counter {k:?} is not a u64"))?;
+            snap.counters.insert(k, n);
+        }
+        for (k, v) in section("gauges")? {
+            match v {
+                JsonValue::Null => {}
+                _ => {
+                    let f = v
+                        .as_f64()
+                        .ok_or_else(|| format!("snapshot: gauge {k:?} is not a number"))?;
+                    snap.gauges.insert(k, f);
+                }
+            }
+        }
+        for (k, v) in section("histograms")? {
+            let buckets = match v.get("buckets") {
+                Some(JsonValue::Arr(items)) => items
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair
+                            .as_arr()
+                            .filter(|p| p.len() == 2)
+                            .ok_or_else(|| format!("snapshot: bad bucket in {k:?}"))?;
+                        let i = pair[0]
+                            .as_u64()
+                            .ok_or_else(|| format!("snapshot: bad bucket index in {k:?}"))?;
+                        let c = pair[1]
+                            .as_u64()
+                            .ok_or_else(|| format!("snapshot: bad bucket count in {k:?}"))?;
+                        Ok((i as usize, c))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err(format!("snapshot: histogram {k:?} has no buckets array")),
+            };
+            let sum = v.get("sum").and_then(JsonValue::as_f64).unwrap_or(0.0);
+            let min = v.get("min").and_then(JsonValue::as_f64);
+            let max = v.get("max").and_then(JsonValue::as_f64);
+            let h = Histogram::from_parts(&buckets, sum, min, max)
+                .map_err(|e| format!("snapshot: histogram {k:?}: {e}"))?;
+            snap.histograms.insert(k, h);
+        }
+        Ok(snap)
     }
 }
 
@@ -159,6 +230,34 @@ mod tests {
         assert_eq!(
             s.to_json(),
             "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = registry_with(&[0.001, 2.0, 2.0, 1e6], 42, 0.125);
+        r.observe("other", 7.5);
+        let s = r.snapshot();
+        let back = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Reconstructed histograms expose the full quantile API.
+        let h = &back.histograms["loss"];
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.5), s.histograms["loss"].quantile(0.5));
+        // Empty snapshots round-trip too.
+        assert_eq!(
+            Snapshot::from_json(&Snapshot::empty().to_json()).unwrap(),
+            Snapshot::empty()
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_snapshots() {
+        assert!(Snapshot::from_json("not json").is_err());
+        assert!(Snapshot::from_json("{\"counters\":{\"a\":-1}}").is_err());
+        assert!(
+            Snapshot::from_json("{\"histograms\":{\"h\":{\"count\":1,\"sum\":1}}}").is_err(),
+            "histogram without buckets must be rejected"
         );
     }
 }

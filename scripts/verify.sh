@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification gate for the split-mmwave workspace:
-#   formatting, lints-as-errors, then the tier-1 build-and-test sequence
-#   from ROADMAP.md. Run from anywhere inside the repo.
+#   formatting, lints-as-errors, the tier-1 build-and-test sequence from
+#   ROADMAP.md, then a smoke-profile fig3a run fed through the
+#   slm-report regression gate. Run from anywhere inside the repo.
 #
 #   scripts/verify.sh            # everything
-#   scripts/verify.sh --fast     # skip the release build (lints + tests)
-set -euo pipefail
+#   scripts/verify.sh --fast     # lints + tests only (skip build/smoke/report)
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -14,18 +15,53 @@ if [[ "${1:-}" == "--fast" ]]; then
     fast=1
 fi
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+declare -a results=()
+overall=0
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+stage() {
+    local name="$1"
+    shift
+    echo "==> $name: $*"
+    if "$@"; then
+        echo "PASS  $name"
+        results+=("PASS  $name")
+    else
+        echo "FAIL  $name"
+        results+=("FAIL  $name")
+        overall=1
+    fi
+}
 
-if [[ "$fast" -eq 0 ]]; then
-    echo "==> cargo build --release (tier-1)"
-    cargo build --release
+stage fmt cargo fmt --all -- --check
+stage clippy cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
+    stage build cargo build --release
 fi
 
-echo "==> cargo test -q (tier-1)"
-cargo test -q
+if [[ "$overall" -eq 0 ]]; then
+    stage test cargo test -q
+fi
 
-echo "verify: all gates passed"
+if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
+    # Seconds-scale profiled training run, then the regression gate:
+    # slm-report renders results/fig3a into a markdown report, appends a
+    # trajectory entry to results/BENCH_fig3a.json and fails on metric
+    # or simulated-time regressions against the last same-config entry.
+    stage smoke env SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+        cargo run --release -q -p sl-bench --bin fig3a
+    stage report cargo run --release -q -p sl-bench --bin slm-report -- \
+        --check results/fig3a
+fi
+
+echo
+echo "verify summary:"
+for r in "${results[@]}"; do
+    echo "  $r"
+done
+if [[ "$overall" -eq 0 ]]; then
+    echo "verify: all gates passed"
+else
+    echo "verify: FAILED"
+fi
+exit "$overall"

@@ -258,6 +258,7 @@ impl Experiment {
             telemetry,
             dir,
             runs: Vec::new(),
+            // slm-lint: allow(no-nondeterminism) bench harness wall-clock; timings are reported, never used in computation
             wall: Instant::now(),
         }
     }

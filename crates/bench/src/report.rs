@@ -321,6 +321,62 @@ pub fn run_metrics(run: &RunData) -> RunMetrics {
     }
 }
 
+/// Summary of the latest `slm-lint` run, read back from the JSON the
+/// `lint` stage of `scripts/verify.sh` writes to `results/lint.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintSummary {
+    /// No active findings (allowlist exactly covers the remainder).
+    pub clean: bool,
+    /// `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Burn-down allowlist size — the number that must only shrink.
+    pub allowlist_len: u64,
+    /// Findings absorbed by the allowlist.
+    pub allowlisted: u64,
+    /// Findings suppressed by inline documented waivers.
+    pub waived: u64,
+    /// Active findings (non-zero means the lint gate failed).
+    pub findings: u64,
+    /// Per-rule counts over active + allowlisted findings, sorted by id.
+    pub rule_counts: Vec<(String, u64)>,
+}
+
+/// Where a run's lint summary lives: `lint.json` next to the run
+/// directory (i.e. directly under `results/`), shared by all runs.
+pub fn lint_path(run: &RunData) -> PathBuf {
+    run.dir.parent().unwrap_or(&run.dir).join("lint.json")
+}
+
+/// Loads a lint summary; `None` when the file is missing or unreadable
+/// (the report then just notes that no lint data is available).
+pub fn load_lint_summary(path: &Path) -> Option<LintSummary> {
+    let text = fs::read_to_string(path).ok()?;
+    let v = json::parse(&text).ok()?;
+    let u = |k: &str| v.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    let rule_counts = v
+        .get("rule_counts")
+        .and_then(JsonValue::as_obj)
+        .map(|m| {
+            m.iter()
+                .map(|(rule, n)| (rule.clone(), n.as_u64().unwrap_or(0)))
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(LintSummary {
+        clean: v.get("clean").and_then(JsonValue::as_bool).unwrap_or(false),
+        files_scanned: u("files_scanned"),
+        allowlist_len: u("allowlist_len"),
+        allowlisted: u("allowlisted"),
+        waived: u("waived"),
+        findings: v
+            .get("findings")
+            .and_then(JsonValue::as_arr)
+            .map(|a| a.len() as u64)
+            .unwrap_or(0),
+        rule_counts,
+    })
+}
+
 /// Renders the markdown run report.
 pub fn render_markdown(run: &RunData) -> String {
     let m = run_metrics(run);
@@ -424,6 +480,42 @@ pub fn render_markdown(run: &RunData) -> String {
     }
     let _ = writeln!(out);
 
+    let _ = writeln!(out, "## Static analysis");
+    let _ = writeln!(out);
+    match load_lint_summary(&lint_path(run)) {
+        Some(l) => {
+            let _ = writeln!(
+                out,
+                "- status: {} ({} active finding{})",
+                if l.clean { "**clean**" } else { "**FINDINGS**" },
+                l.findings,
+                if l.findings == 1 { "" } else { "s" }
+            );
+            let _ = writeln!(
+                out,
+                "- {} files scanned; allowlist size **{}** (burn-down: must only \
+                 shrink), {} allowlisted, {} waived",
+                l.files_scanned, l.allowlist_len, l.allowlisted, l.waived
+            );
+            if !l.rule_counts.is_empty() {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "| rule | findings (incl. allowlisted) |");
+                let _ = writeln!(out, "|---|---:|");
+                for (rule, n) in &l.rule_counts {
+                    let _ = writeln!(out, "| `{rule}` | {n} |");
+                }
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "No lint summary (`results/lint.json` missing — the `lint` stage \
+                 of `scripts/verify.sh` writes it)."
+            );
+        }
+    }
+    let _ = writeln!(out);
+
     let _ = writeln!(out, "## Metrics");
     let _ = writeln!(out);
     match m.val_rmse_db {
@@ -475,6 +567,13 @@ pub struct BenchEntry {
     pub layer_host_s: f64,
     /// Health events recorded during the run.
     pub health_events: u64,
+    /// Active lint findings at report time (0 for pre-lint trajectories).
+    pub lint_findings: u64,
+    /// Lint allowlist size — growth across entries means the burn-down
+    /// ratchet slipped.
+    pub lint_allowlist: u64,
+    /// Inline lint waivers in effect.
+    pub lint_waived: u64,
 }
 
 impl BenchEntry {
@@ -490,6 +589,9 @@ impl BenchEntry {
             .f64("model_host_s", self.model_host_s)
             .f64("layer_host_s", self.layer_host_s)
             .u64("health_events", self.health_events)
+            .u64("lint_findings", self.lint_findings)
+            .u64("lint_allowlist", self.lint_allowlist)
+            .u64("lint_waived", self.lint_waived)
             .finish()
     }
 
@@ -521,6 +623,11 @@ impl BenchEntry {
             model_host_s: f("model_host_s")?,
             layer_host_s: f("layer_host_s")?,
             health_events: u("health_events")?,
+            // Lint fields arrived later; default 0 keeps pre-lint
+            // trajectory files loadable.
+            lint_findings: u("lint_findings").unwrap_or(0),
+            lint_allowlist: u("lint_allowlist").unwrap_or(0),
+            lint_waived: u("lint_waived").unwrap_or(0),
         })
     }
 }
@@ -528,6 +635,7 @@ impl BenchEntry {
 /// Builds the trajectory entry for a loaded run.
 pub fn entry_from_run(run: &RunData, timestamp_s: u64) -> BenchEntry {
     let m = run_metrics(run);
+    let lint = load_lint_summary(&lint_path(run)).unwrap_or_default();
     BenchEntry {
         timestamp_s,
         profile: run.profile.clone(),
@@ -539,6 +647,9 @@ pub fn entry_from_run(run: &RunData, timestamp_s: u64) -> BenchEntry {
         model_host_s: m.model_host_s,
         layer_host_s: m.layer_host_s,
         health_events: run.health_events.len() as u64,
+        lint_findings: lint.findings,
+        lint_allowlist: lint.allowlist_len,
+        lint_waived: lint.waived,
     }
 }
 
@@ -754,7 +865,65 @@ mod tests {
             model_host_s: 1.0,
             layer_host_s: 0.98,
             health_events: 0,
+            lint_findings: 0,
+            lint_allowlist: 0,
+            lint_waived: 0,
         }
+    }
+
+    #[test]
+    fn bench_entry_round_trips_lint_fields() {
+        let mut e = entry("smoke", "abc", 3.0, 10.0);
+        e.lint_findings = 1;
+        e.lint_allowlist = 65;
+        e.lint_waived = 9;
+        let v = json::parse(&e.to_json()).unwrap();
+        let back = BenchEntry::from_json(&v).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn bench_entry_lint_fields_default_for_pre_lint_trajectories() {
+        // Entries written before the lint stage existed have no lint_*
+        // keys; they must still load, with zeros.
+        let old = entry("smoke", "abc", 3.0, 10.0);
+        let v = json::parse(&old.to_json()).unwrap();
+        let mut obj = v.as_obj().unwrap().clone();
+        obj.remove("lint_findings");
+        obj.remove("lint_allowlist");
+        obj.remove("lint_waived");
+        let stripped = JsonValue::Obj(obj);
+        let back = BenchEntry::from_json(&stripped).unwrap();
+        assert_eq!(back.lint_allowlist, 0);
+        assert_eq!(back.lint_findings, 0);
+        assert_eq!(back.lint_waived, 0);
+        assert_eq!(back.profile, "smoke");
+    }
+
+    #[test]
+    fn lint_summary_parses_slm_lint_json() {
+        let dir = std::env::temp_dir().join("slm_report_lint_summary_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lint.json");
+        fs::write(
+            &path,
+            r#"{"clean":true,"files_scanned":101,"allowlist_len":65,"allowlisted":65,"waived":9,"rule_counts":{"no-expect":44,"lossy-cast":13},"findings":[]}"#,
+        )
+        .unwrap();
+        let l = load_lint_summary(&path).unwrap();
+        assert!(l.clean);
+        assert_eq!(l.files_scanned, 101);
+        assert_eq!(l.allowlist_len, 65);
+        assert_eq!(l.waived, 9);
+        assert_eq!(l.findings, 0);
+        assert_eq!(
+            l.rule_counts,
+            vec![
+                ("lossy-cast".to_string(), 13),
+                ("no-expect".to_string(), 44)
+            ]
+        );
+        assert!(load_lint_summary(&dir.join("missing.json")).is_none());
     }
 
     #[test]

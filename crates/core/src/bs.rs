@@ -45,6 +45,22 @@ pub struct BsNetwork {
     cell: RnnCell,
 }
 
+/// Builds the BS-side layer stack (the single source of truth for its
+/// wiring, shared by [`BsNetwork::with_cell`] and the static shape
+/// checker in [`crate::WiringSpec`]).
+pub(crate) fn build_stack(
+    feature_dim: usize,
+    hidden_dim: usize,
+    cell: RnnCell,
+    rng: &mut impl Rng,
+) -> Sequential {
+    match cell {
+        RnnCell::Lstm => Sequential::new().push(Lstm::new(feature_dim, hidden_dim, rng)),
+        RnnCell::Gru => Sequential::new().push(Gru::new(feature_dim, hidden_dim, rng)),
+    }
+    .push(Dense::new(hidden_dim, 1, rng))
+}
+
 impl BsNetwork {
     /// Builds the BS network with the default LSTM cell.
     pub fn new(feature_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
@@ -58,11 +74,7 @@ impl BsNetwork {
         cell: RnnCell,
         rng: &mut impl Rng,
     ) -> Self {
-        let net = match cell {
-            RnnCell::Lstm => Sequential::new().push(Lstm::new(feature_dim, hidden_dim, rng)),
-            RnnCell::Gru => Sequential::new().push(Gru::new(feature_dim, hidden_dim, rng)),
-        }
-        .push(Dense::new(hidden_dim, 1, rng));
+        let net = build_stack(feature_dim, hidden_dim, cell, rng);
         BsNetwork {
             net,
             feature_dim,

@@ -25,6 +25,10 @@
 //!   gradient norms, update ratios and non-finite counts each step and
 //!   (per `SLM_HEALTH=warn|abort|off`) warns on or aborts demonstrably
 //!   diverging runs.
+//! * [`WiringSpec`] — pre-run static validation of the
+//!   UE→pool→payload→BS shapes: propagates symbolic shapes through the
+//!   actual layer stacks so a miswired configuration fails with a
+//!   per-layer trace before training starts (also `slm-lint --shapes`).
 //! * [`StreamingDeployment`] / [`LinkPolicy`] — deployment: per-frame
 //!   streaming inference over the simulated uplink and the proactive
 //!   link controller the paper's predictions exist to enable.
@@ -44,6 +48,7 @@ mod persist;
 mod pooling;
 mod quantize;
 mod scheme;
+mod shapes;
 mod trainer;
 mod ue;
 
@@ -61,4 +66,5 @@ pub use persist::WeightIoError;
 pub use pooling::PoolingDim;
 pub use quantize::Quantizer;
 pub use scheme::Scheme;
+pub use shapes::{WiringError, WiringReport, WiringSpec};
 pub use trainer::{CurvePoint, PredictionPoint, SplitTrainer, StopReason, TrainOutcome};

@@ -137,6 +137,7 @@ impl SplitModel {
             let images = batch
                 .images
                 .as_ref()
+                // slm-lint: allow(no-expect) scheme/batch agreement is validated by the WiringSpec pre-run check and Batch construction
                 .expect("SplitModel: image scheme requires batch images");
             let pooled = ue.forward(images); // [B·L, 1, ph, pw]
                                              // What actually crosses the link: R-bit-quantized activations.
@@ -154,10 +155,12 @@ impl SplitModel {
         match self.scheme {
             Scheme::RfOnly => powers.reshape([b, l, 1]),
             Scheme::ImgOnly => {
+                // slm-lint: allow(no-expect) forward() always computes image features for image schemes
                 let img = img.expect("ImgOnly scheme requires image features");
                 img.reshape([b, l, p])
             }
             Scheme::ImgRf => {
+                // slm-lint: allow(no-expect) forward() always computes image features for image schemes
                 let img = img.expect("ImgRf scheme requires image features");
                 let f = p + 1;
                 let mut out = Tensor::zeros([b, l, f]);
@@ -184,6 +187,7 @@ impl SplitModel {
         let (b, l) = self
             .last_batch_shape
             .take()
+            // slm-lint: allow(no-expect) forward-before-backward is the Layer trait's documented calling contract
             .expect("SplitModel::backward called without a preceding forward");
         let grad_features = self.bs.backward(grad_pred); // [B, L, F]
         let p = self.pooled_pixels();

@@ -95,7 +95,12 @@ impl SplitModel {
             if *off + 4 > bytes.len() {
                 return Err(WeightIoError::Corrupt("truncated header"));
             }
-            let v = u32::from_le_bytes(bytes[*off..*off + 4].try_into().unwrap());
+            let v = u32::from_le_bytes([
+                bytes[*off],
+                bytes[*off + 1],
+                bytes[*off + 2],
+                bytes[*off + 3],
+            ]);
             *off += 4;
             Ok(v)
         };
@@ -119,7 +124,8 @@ impl SplitModel {
             }
             let data: Vec<f32> = (0..numel)
                 .map(|i| {
-                    f32::from_le_bytes(bytes[off + i * 4..off + i * 4 + 4].try_into().unwrap())
+                    let o = off + i * 4;
+                    f32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
                 })
                 .collect();
             off += numel * 4;

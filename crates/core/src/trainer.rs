@@ -138,6 +138,11 @@ impl SplitTrainer {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let frame = &dataset.trace().frames[0];
         let (h, w) = (frame.dims()[0], frame.dims()[1]);
+        // Static shape-contract check: reject a miswired configuration
+        // with a per-layer trace *before* any tensor work happens.
+        if let Err(e) = crate::WiringSpec::from_config(&config, h, w, dataset.seq_len()).check() {
+            panic!("SplitTrainer: miswired split-model configuration\n{e}");
+        }
         let model = SplitModel::with_cell(
             config.scheme,
             config.pooling,
@@ -489,8 +494,8 @@ impl SplitTrainer {
                             .u64("nonfinite_grad", self.health.nonfinite_grad()),
                     );
                 }
-                eprintln!("[slm-health] watchdog tripped: {verdict}");
-                eprintln!("{}", self.health.report());
+                tele.warn(&format!("health watchdog tripped: {verdict}"));
+                tele.warn(&self.health.report());
                 if action == HealthAction::Abort {
                     return StepResult::HealthAborted;
                 }

@@ -11,7 +11,20 @@ use crate::pooling::PoolingDim;
 /// Layer count of the convolutional stack before the cut-layer pool
 /// (`conv → relu → conv → sigmoid`), i.e. the prefix that produces the
 /// Fig. 2 "CNN output image".
-const CNN_LAYERS: usize = 4;
+pub(crate) const CNN_LAYERS: usize = 4;
+
+/// Builds the UE-side layer stack (the single source of truth for its
+/// wiring, shared by [`UeNetwork::new`] and the static shape checker in
+/// [`crate::WiringSpec`]). Performs no tiling validation — the shape
+/// contracts report non-tiling pools instead.
+pub(crate) fn build_stack(channels: usize, pooling: PoolingDim, rng: &mut impl Rng) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(1, channels, 3, Padding::Same, rng))
+        .push(Activation::relu())
+        .push(Conv2d::new(channels, 1, 3, Padding::Same, rng))
+        .push(Activation::sigmoid())
+        .push(AvgPool2d::new(pooling.h, pooling.w))
+}
 
 /// The network half that stays on the mmWave UE (paper Fig. 1, left):
 ///
@@ -47,12 +60,7 @@ impl UeNetwork {
         assert!(channels > 0, "UeNetwork: channels must be positive");
         // Validate tiling up front.
         let _ = pooling.output_size(image_h, image_w);
-        let net = Sequential::new()
-            .push(Conv2d::new(1, channels, 3, Padding::Same, rng))
-            .push(Activation::relu())
-            .push(Conv2d::new(channels, 1, 3, Padding::Same, rng))
-            .push(Activation::sigmoid())
-            .push(AvgPool2d::new(pooling.h, pooling.w));
+        let net = build_stack(channels, pooling, rng);
         UeNetwork {
             net,
             image_h,

@@ -1,0 +1,49 @@
+//! Seeded violations for the `slm-lint` golden tests — exactly one per
+//! rule, at positions the tests pin down to line and column.
+
+use std::time::Instant;
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("seeded violation")
+}
+
+pub fn nondet_site() -> Instant {
+    Instant::now()
+}
+
+pub fn print_site() {
+    println!("seeded violation");
+}
+
+pub fn float_cmp_site(x: f32) -> bool {
+    x == 0.5
+}
+
+pub fn lossy_cast_site(n: usize) -> f32 {
+    n as f32
+}
+
+// slm-lint: allow(no-unwrap)
+pub fn bad_waiver_site() {}
+
+pub fn waived_site(v: Option<u32>) -> u32 {
+    // slm-lint: allow(no-unwrap) seeded: a documented waiver suppresses the next line
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exempt_regions_do_not_fire() {
+        assert_eq!(unwrap_site(Some(1)), 1);
+        let v: Option<u32> = Some(2);
+        assert_eq!(v.unwrap(), 2);
+        println!("prints are fine in tests");
+    }
+}

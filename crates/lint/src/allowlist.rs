@@ -1,0 +1,197 @@
+//! Burn-down allowlist: a checked-in ratchet for known findings.
+//!
+//! `crates/lint/allowlist.txt` holds one `<rule-id> <path>` line per
+//! tolerated finding site. Semantics are *exact-count*: if a file gains
+//! a second `lossy-cast` while the allowlist grants one, the extra
+//! finding fails the run; if a granted entry no longer matches any
+//! finding it is reported as `stale-allowlist` so the list can only
+//! shrink. `slm-lint --update-allowlist` regenerates the file from the
+//! current findings (for the initial capture or after a burn-down).
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: (rule, file) → granted count.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    grants: BTreeMap<(String, String), usize>,
+}
+
+/// Outcome of reconciling findings against the allowlist.
+#[derive(Debug)]
+pub struct Reconciled {
+    /// Findings not covered by a grant — these fail the run.
+    pub active: Vec<Finding>,
+    /// Findings absorbed by the allowlist.
+    pub allowlisted: Vec<Finding>,
+    /// Synthetic `stale-allowlist` findings for grants with no match.
+    pub stale: Vec<Finding>,
+}
+
+impl Allowlist {
+    /// Parses the `<rule-id> <path>` line format. Blank lines and `#`
+    /// comments are skipped; repeating a line grants one more instance.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut grants: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!(
+                    "allowlist line {}: expected `<rule-id> <path>`, got {:?}",
+                    idx + 1,
+                    line
+                ));
+            };
+            *grants
+                .entry((rule.to_string(), path.to_string()))
+                .or_insert(0) += 1;
+        }
+        Ok(Allowlist { grants })
+    }
+
+    /// Total granted instances (the burn-down metric).
+    pub fn len(&self) -> usize {
+        self.grants.values().sum()
+    }
+
+    /// True when no grants remain.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+
+    /// Splits `findings` into active / allowlisted and reports stale
+    /// grants. Counts are exact per (rule, file): surplus findings stay
+    /// active, surplus grants become stale.
+    pub fn reconcile(&self, findings: Vec<Finding>) -> Reconciled {
+        let mut budget = self.grants.clone();
+        let mut active = Vec::new();
+        let mut allowlisted = Vec::new();
+        for finding in findings {
+            let key = (finding.rule.clone(), finding.file.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    allowlisted.push(finding);
+                }
+                _ => active.push(finding),
+            }
+        }
+        let stale = budget
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((rule, file), n)| Finding {
+                rule: "stale-allowlist".into(),
+                file: file.clone(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "allowlist grants {n} `{rule}` finding(s) here that no longer occur; \
+                     remove the entry (the allowlist must only shrink)"
+                ),
+            })
+            .collect();
+        Reconciled {
+            active,
+            allowlisted,
+            stale,
+        }
+    }
+
+    /// Renders an allowlist that exactly covers `findings`, sorted for a
+    /// stable diff.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.rule.clone(), f.file.clone())).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# slm-lint burn-down allowlist: one `<rule-id> <path>` line per tolerated\n\
+             # finding. Exact-count semantics; this file must only shrink over time.\n\
+             # Regenerate after a burn-down with `slm-lint --update-allowlist`.\n",
+        );
+        for ((rule, file), n) in counts {
+            for _ in 0..n {
+                out.push_str(&rule);
+                out.push(' ');
+                out.push_str(&file);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_counts_duplicates_and_skips_comments() {
+        let list = Allowlist::parse(
+            "# header\n\nlossy-cast crates/tensor/src/init.rs\nlossy-cast crates/tensor/src/init.rs\nno-unwrap crates/scene/src/io.rs\n",
+        )
+        .unwrap();
+        assert_eq!(list.len(), 3);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = Allowlist::parse("lossy-cast\n").unwrap_err();
+        assert!(err.contains("line 1"));
+        assert!(Allowlist::parse("a b c\n").is_err());
+    }
+
+    #[test]
+    fn reconcile_is_exact_count() {
+        let list = Allowlist::parse("lossy-cast a.rs\n").unwrap();
+        let r = list.reconcile(vec![
+            finding("lossy-cast", "a.rs", 3),
+            finding("lossy-cast", "a.rs", 9),
+        ]);
+        assert_eq!(r.allowlisted.len(), 1);
+        assert_eq!(r.active.len(), 1);
+        assert_eq!(r.active[0].line, 9);
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn unused_grants_are_stale() {
+        let list = Allowlist::parse("no-unwrap gone.rs\n").unwrap();
+        let r = list.reconcile(vec![]);
+        assert!(r.active.is_empty());
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].rule, "stale-allowlist");
+        assert!(r.stale[0].message.contains("no-unwrap"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let findings = vec![
+            finding("lossy-cast", "b.rs", 1),
+            finding("lossy-cast", "b.rs", 2),
+            finding("no-print", "a.rs", 7),
+        ];
+        let rendered = Allowlist::render(&findings);
+        let list = Allowlist::parse(&rendered).unwrap();
+        assert_eq!(list.len(), 3);
+        let r = list.reconcile(findings);
+        assert!(r.active.is_empty());
+        assert!(r.stale.is_empty());
+        assert_eq!(r.allowlisted.len(), 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! `slm-lint` — static analyzer + offline shape-contract checker CLI.
+//!
+//! ```text
+//! slm-lint [--root PATH] [--json] [--json-out PATH]
+//!          [--shapes] [--miswire] [--update-allowlist]
+//! ```
+//!
+//! Default run: lint every workspace crate under `--root` (default `.`),
+//! print findings rustc-style and exit non-zero if any survive the
+//! allowlist. `--shapes` additionally validates the UE→pool→payload→BS
+//! wiring of every experiment profile without allocating a tensor;
+//! `--miswire` injects a deliberately wrong BS input width and *must*
+//! exit non-zero with a per-layer trace (checker self-test).
+//! `--update-allowlist` rewrites `crates/lint/allowlist.txt` to exactly
+//! cover the current findings (initial capture / post burn-down).
+
+use sl_lint::{Allowlist, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    json_out: Option<PathBuf>,
+    shapes: bool,
+    miswire: bool,
+    update_allowlist: bool,
+    lint: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        json_out: None,
+        shapes: false,
+        miswire: false,
+        update_allowlist: false,
+        lint: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a path".to_string())?,
+                );
+            }
+            "--json" => args.json = true,
+            "--json-out" => {
+                args.json_out = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--json-out requires a path".to_string())?,
+                ));
+            }
+            "--shapes" => args.shapes = true,
+            "--miswire" => {
+                args.shapes = true;
+                args.miswire = true;
+            }
+            "--shapes-only" => {
+                args.shapes = true;
+                args.lint = false;
+            }
+            "--update-allowlist" => args.update_allowlist = true,
+            "--help" | "-h" => {
+                println!(
+                    "slm-lint: workspace static analyzer + shape-contract checker\n\n\
+                     USAGE: slm-lint [--root PATH] [--json] [--json-out PATH]\n\
+                            [--shapes] [--shapes-only] [--miswire] [--update-allowlist]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("slm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = LintConfig::default();
+
+    if args.update_allowlist {
+        return update_allowlist(&args, &config);
+    }
+
+    let mut failed = false;
+
+    if args.lint {
+        match sl_lint::run(&args.root, &config) {
+            Ok(report) => {
+                if args.json {
+                    println!("{}", report.to_json());
+                } else {
+                    for f in &report.findings {
+                        println!("{f}");
+                    }
+                    println!(
+                        "slm-lint: {} file(s) scanned, {} finding(s), {} allowlisted, {} waived \
+                         (allowlist size {})",
+                        report.files_scanned,
+                        report.findings.len(),
+                        report.allowlisted.len(),
+                        report.waived.len(),
+                        report.allowlist_len,
+                    );
+                }
+                if let Some(path) = &args.json_out {
+                    if let Some(dir) = path.parent() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                    if let Err(e) = std::fs::write(path, report.to_json()) {
+                        eprintln!("slm-lint: cannot write {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                failed |= !report.clean();
+            }
+            Err(e) => {
+                eprintln!("slm-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if args.shapes {
+        match shapes::run(args.miswire) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn update_allowlist(args: &Args, config: &LintConfig) -> ExitCode {
+    let collected = match sl_lint::collect(&args.root, config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("slm-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let path = args.root.join("crates/lint/allowlist.txt");
+    let rendered = Allowlist::render(&collected.findings);
+    if let Err(e) = std::fs::write(&path, rendered) {
+        eprintln!("slm-lint: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "slm-lint: wrote {} with {} entr(ies) covering the current findings",
+        path.display(),
+        collected.findings.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The offline shape-contract pass: validate every experiment profile's
+/// wiring (and, with `--miswire`, prove a bad wiring is rejected with a
+/// per-layer trace).
+#[cfg(feature = "shapes")]
+mod shapes {
+    use sl_core::{ExperimentConfig, PoolingDim, Scheme, WiringSpec};
+    use sl_scene::PAPER_SEQ_LEN;
+
+    /// Paper camera geometry (`CameraConfig::paper()`): 40×40 frames.
+    const PAPER_IMG: usize = 40;
+    /// The quick profile trains on 16×16 test scenes.
+    const QUICK_IMG: usize = 16;
+
+    pub fn run(miswire: bool) -> Result<(), String> {
+        if miswire {
+            return inject_miswire();
+        }
+        let mut checked = 0usize;
+        for scheme in Scheme::ALL {
+            for pooling in PoolingDim::TABLE1 {
+                for (profile, config) in [
+                    ("paper", ExperimentConfig::paper(scheme, pooling)),
+                    (
+                        "paper-literal-link",
+                        ExperimentConfig::paper_literal_link(scheme, pooling),
+                    ),
+                ] {
+                    check_one(profile, &config, PAPER_IMG, PAPER_SEQ_LEN)?;
+                    checked += 1;
+                }
+                // The quick profile runs on 16×16 scenes, so only pooling
+                // windows that tile 16×16 apply (RAW and MEDIUM from
+                // Table 1).
+                if QUICK_IMG.is_multiple_of(pooling.h) && QUICK_IMG.is_multiple_of(pooling.w) {
+                    let config = ExperimentConfig::quick(scheme, pooling);
+                    check_one("quick", &config, QUICK_IMG, PAPER_SEQ_LEN)?;
+                    checked += 1;
+                }
+            }
+        }
+        println!("slm-lint --shapes: {checked} profile wiring(s) verified");
+        Ok(())
+    }
+
+    fn check_one(
+        profile: &str,
+        config: &ExperimentConfig,
+        img: usize,
+        seq_len: usize,
+    ) -> Result<(), String> {
+        let spec = WiringSpec::from_config(config, img, img, seq_len);
+        match spec.check() {
+            Ok(report) => {
+                println!(
+                    "  ok  {profile:<18} {:?} {}x{} pool {}x{}  payload {} px, F={}",
+                    config.scheme,
+                    img,
+                    img,
+                    config.pooling.h,
+                    config.pooling.w,
+                    report.pooled_pixels,
+                    report.feature_dim,
+                );
+                Ok(())
+            }
+            Err(e) => Err(format!(
+                "slm-lint --shapes: profile `{profile}` ({:?}, pool {}x{}, {img}x{img}) is miswired:\n{e}",
+                config.scheme, config.pooling.h, config.pooling.w
+            )),
+        }
+    }
+
+    /// Deliberately wrong BS input width: the checker must refuse it and
+    /// show where the shapes stop lining up.
+    fn inject_miswire() -> Result<(), String> {
+        let config = ExperimentConfig::paper(Scheme::ImgRf, PoolingDim::ONE_PIXEL);
+        let mut spec = WiringSpec::from_config(&config, PAPER_IMG, PAPER_IMG, PAPER_SEQ_LEN);
+        // One-pixel ImgRf has F = 2; wire the BS for 17 features instead.
+        spec.bs_feature_dim = Some(17);
+        match spec.check() {
+            Err(e) => Err(format!(
+                "slm-lint --miswire: checker correctly rejected the wiring:\n{e}"
+            )),
+            Ok(_) => {
+                // The self-test *failing to fail* is the broken outcome.
+                Err("slm-lint --miswire: BUG: deliberately miswired config was accepted".into())
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "shapes"))]
+mod shapes {
+    pub fn run(_miswire: bool) -> Result<(), String> {
+        Err("slm-lint: built without the `shapes` feature; --shapes unavailable".into())
+    }
+}

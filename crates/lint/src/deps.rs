@@ -1,0 +1,177 @@
+//! `deps-policy`: external dependencies of every workspace manifest must
+//! stay inside the allowed set.
+//!
+//! The reproduction is deliberately dependency-light — the model stack,
+//! channel model and telemetry are all written against `std`, and the
+//! only external crates tolerated are the RNG and the dev-only test and
+//! bench harnesses. This pass parses just enough TOML to enumerate
+//! dependency names: section headers, `name = ...` entries inside
+//! dependency sections, and the `[dependencies.NAME]` long form.
+
+use crate::{Finding, LintConfig};
+use std::path::Path;
+
+/// Dependency sections subject to the policy (target-specific sections
+/// such as `[target.'cfg(unix)'.dependencies]` do not occur in this
+/// workspace and would be flagged as unparsed by the manifest check in
+/// `verify.sh`'s clippy stage anyway).
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Scans one manifest and appends a `deps-policy` finding per external
+/// dependency that is not in `config.allowed_external_deps`.
+pub fn check_manifest(text: &str, path: &Path, config: &LintConfig, out: &mut Vec<Finding>) {
+    let display = path.display().to_string();
+    // Section the cursor is inside, if it is a dependency section.
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            let section = line.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = DEP_SECTIONS.contains(&section);
+            if !in_dep_section {
+                // `[dependencies.NAME]` / `[workspace.dependencies.NAME]`
+                // long form: the name is the last path segment.
+                for prefix in ["dependencies.", "workspace.dependencies."] {
+                    if let Some(name) = section.strip_prefix(prefix) {
+                        check_dep(name, line, raw, idx, &display, config, out);
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // `name = "1.0"` or `name = { version = ... }` or `name.workspace = true`
+        let key = line
+            .split('=')
+            .next()
+            .map(str::trim)
+            .unwrap_or_default()
+            .split('.')
+            .next()
+            .map(str::trim)
+            .unwrap_or_default();
+        if key.is_empty() {
+            continue;
+        }
+        check_dep(key, line, raw, idx, &display, config, out);
+    }
+}
+
+fn check_dep(
+    name: &str,
+    line: &str,
+    raw: &str,
+    idx: usize,
+    file: &str,
+    config: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    // Internal: workspace path crates. Anything declared by path is part
+    // of this repo, and all first-party crates use the `sl-` prefix or
+    // are the umbrella package itself.
+    if name.starts_with("sl-") || name == "split-mmwave" || line.contains("path =") {
+        return;
+    }
+    if config.allowed_external_deps.contains(name) {
+        return;
+    }
+    let col = raw.find(name).map(|c| c + 1).unwrap_or(1);
+    out.push(Finding {
+        rule: "deps-policy".into(),
+        file: file.into(),
+        line: (idx + 1) as u32,
+        col: col as u32,
+        message: format!(
+            "external dependency `{name}` is not in the allowed set ({})",
+            config
+                .allowed_external_deps
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(text: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check_manifest(
+            text,
+            &PathBuf::from("Cargo.toml"),
+            &LintConfig::default(),
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn allowed_and_internal_deps_pass() {
+        let toml = r#"
+[package]
+name = "sl-x"
+
+[dependencies]
+sl-tensor = { workspace = true }
+rand = "0.9"
+
+[dev-dependencies]
+proptest.workspace = true
+criterion = { workspace = true }
+"#;
+        assert!(run(toml).is_empty());
+    }
+
+    #[test]
+    fn unknown_external_dep_is_flagged() {
+        let toml = "[dependencies]\nserde = \"1\"\n";
+        let findings = run(toml);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "deps-policy");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("`serde`"));
+    }
+
+    #[test]
+    fn long_form_section_is_flagged() {
+        let toml = "[dependencies.tokio]\nversion = \"1\"\n";
+        let findings = run(toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`tokio`"));
+    }
+
+    #[test]
+    fn workspace_dependencies_are_checked() {
+        let toml = "[workspace.dependencies]\nrand = \"0.9\"\nndarray = \"0.16\"\n";
+        let findings = run(toml);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`ndarray`"));
+    }
+
+    #[test]
+    fn path_deps_are_internal() {
+        let toml = "[dependencies]\nhelper = { path = \"../helper\" }\n";
+        assert!(run(toml).is_empty());
+    }
+
+    #[test]
+    fn non_dep_sections_are_ignored() {
+        let toml = "[package]\nserde = \"oops\"\n[features]\ntokio = []\n";
+        assert!(run(toml).is_empty());
+    }
+}

@@ -1,0 +1,663 @@
+//! A minimal token-level Rust lexer.
+//!
+//! Just enough lexical structure for the repo's lint rules: identifiers,
+//! numbers (with float detection), the punctuation the rules match on
+//! (`::`, `==`, `!=` are fused; everything else is a single character),
+//! and — crucially — correct *skipping* of everything that could fake a
+//! match: string literals, raw strings (any `#` depth), byte strings,
+//! char literals (disambiguated from lifetimes), line comments and
+//! nested block comments. Comments are preserved separately because
+//! lint waivers live in them.
+//!
+//! This is not a full Rust lexer; it is a deliberately small scanner
+//! whose failure mode is *skipping too much* (never attributing code to
+//! a literal or vice versa on well-formed input).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// String, raw-string or byte-string literal.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Numeric literal.
+    Number,
+    /// Punctuation; `::`, `==` and `!=` are fused, others single-char.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text (for `Punct`, the operator text; for `Str`/`Char`,
+    /// the literal without delimiters is not reconstructed — rules never
+    /// look inside literals, so the text is empty for them).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+    /// `true` for `Number` tokens that are float literals (contain a
+    /// decimal point, an exponent, or an `f32`/`f64` suffix).
+    pub is_float: bool,
+}
+
+/// A comment with the line it starts on. `text` excludes the `//` / `/*`
+/// delimiters' trailing newline but keeps the body verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// `true` when the comment is the only thing on its line (ignoring
+    /// leading whitespace) — such waiver comments cover the *next* line.
+    pub own_line: bool,
+    /// Comment body, delimiters stripped.
+    pub text: String,
+}
+
+/// The lexer output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens (comments and whitespace removed).
+    pub tokens: Vec<Tok>,
+    /// Comments, for waiver extraction.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+    /// `true` until a non-whitespace char is seen on the current line.
+    at_line_start: bool,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+            at_line_start: true,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.at_line_start = true;
+        } else {
+            self.col += 1;
+            if !c.is_whitespace() {
+                self.at_line_start = false;
+            }
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`, returning code tokens and comments.
+pub fn lex(src: &str) -> LexOutput {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOutput::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        let own_line = cur.at_line_start;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' => {
+                cur.bump();
+                match cur.peek() {
+                    Some('/') => {
+                        cur.bump();
+                        let mut text = String::new();
+                        while let Some(ch) = cur.peek() {
+                            if ch == '\n' {
+                                break;
+                            }
+                            text.push(ch);
+                            cur.bump();
+                        }
+                        out.comments.push(Comment {
+                            line,
+                            own_line,
+                            text,
+                        });
+                    }
+                    Some('*') => {
+                        cur.bump();
+                        let mut depth = 1u32;
+                        let mut text = String::new();
+                        while depth > 0 {
+                            match cur.bump() {
+                                Some('/') if cur.peek() == Some('*') => {
+                                    cur.bump();
+                                    depth += 1;
+                                    text.push_str("/*");
+                                }
+                                Some('*') if cur.peek() == Some('/') => {
+                                    cur.bump();
+                                    depth -= 1;
+                                    if depth > 0 {
+                                        text.push_str("*/");
+                                    }
+                                }
+                                Some(ch) => text.push(ch),
+                                None => break, // unterminated; EOF ends it
+                            }
+                        }
+                        out.comments.push(Comment {
+                            line,
+                            own_line,
+                            text,
+                        });
+                    }
+                    _ => out.tokens.push(punct(line, col, "/")),
+                }
+            }
+            '"' => {
+                cur.bump();
+                skip_string_body(&mut cur);
+                out.tokens.push(literal(TokKind::Str, line, col));
+            }
+            '\'' => {
+                cur.bump();
+                lex_quote(&mut cur, &mut out, line, col);
+            }
+            'r' | 'b' => {
+                // Maybe a raw string (r", r#"), byte string (b", br#"),
+                // byte char (b'), raw ident (r#ident) — else an ident.
+                if !try_lex_prefixed(&mut cur, &mut out, line, col) {
+                    lex_ident(&mut cur, &mut out, line, col);
+                }
+            }
+            _ if is_ident_start(c) => lex_ident(&mut cur, &mut out, line, col),
+            _ if c.is_ascii_digit() => lex_number(&mut cur, &mut out, line, col),
+            ':' => {
+                cur.bump();
+                if cur.peek() == Some(':') {
+                    cur.bump();
+                    out.tokens.push(punct(line, col, "::"));
+                } else {
+                    out.tokens.push(punct(line, col, ":"));
+                }
+            }
+            '=' => {
+                cur.bump();
+                if cur.peek() == Some('=') {
+                    cur.bump();
+                    out.tokens.push(punct(line, col, "=="));
+                } else {
+                    out.tokens.push(punct(line, col, "="));
+                }
+            }
+            '!' => {
+                cur.bump();
+                if cur.peek() == Some('=') {
+                    cur.bump();
+                    out.tokens.push(punct(line, col, "!="));
+                } else {
+                    out.tokens.push(punct(line, col, "!"));
+                }
+            }
+            _ => {
+                cur.bump();
+                let mut s = String::new();
+                s.push(c);
+                out.tokens.push(punct(line, col, &s));
+            }
+        }
+    }
+    out
+}
+
+fn punct(line: u32, col: u32, text: &str) -> Tok {
+    Tok {
+        kind: TokKind::Punct,
+        text: text.to_string(),
+        line,
+        col,
+        is_float: false,
+    }
+}
+
+fn literal(kind: TokKind, line: u32, col: u32) -> Tok {
+    Tok {
+        kind,
+        text: String::new(),
+        line,
+        col,
+        is_float: false,
+    }
+}
+
+/// Consumes a (non-raw) string body after the opening `"`.
+fn skip_string_body(cur: &mut Cursor) {
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw-string body after `r`/`br`, starting at the `#`s or
+/// the quote. Returns `false` if this is not a raw string opener (cursor
+/// may have consumed `#`s — only called when lookahead confirmed).
+fn skip_raw_string(cur: &mut Cursor) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some('"') {
+        return; // raw ident handled by caller lookahead; defensive
+    }
+    cur.bump();
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// After a `'` has been consumed: decide char literal vs lifetime.
+fn lex_quote(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            cur.bump();
+            cur.bump(); // the escaped char (or first of \u)
+            while let Some(c) = cur.peek() {
+                let done = c == '\'';
+                cur.bump();
+                if done {
+                    break;
+                }
+            }
+            out.tokens.push(literal(TokKind::Char, line, col));
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` / `'static` is a lifetime. Consume
+            // the ident, then check for a closing quote.
+            let mut ident = String::new();
+            while let Some(ch) = cur.peek() {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if cur.peek() == Some('\'') && ident.chars().count() == 1 {
+                cur.bump();
+                out.tokens.push(literal(TokKind::Char, line, col));
+            } else {
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: ident,
+                    line,
+                    col,
+                    is_float: false,
+                });
+            }
+        }
+        Some(_) => {
+            // `'('`-style: any single char then closing quote.
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            out.tokens.push(literal(TokKind::Char, line, col));
+        }
+        None => out.tokens.push(punct(line, col, "'")),
+    }
+}
+
+/// Handles `r`/`b`-prefixed literals. Returns `true` when a literal was
+/// lexed; `false` means the caller should lex an ordinary identifier.
+fn try_lex_prefixed(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) -> bool {
+    // Clone-free two-char lookahead: collect the prefix first.
+    let first = cur.peek().unwrap_or('\0');
+    // Snapshot what follows by materializing a small lookahead string.
+    let rest: String = cur.chars.clone().skip(1).take(3).collect();
+    let next = rest.chars().next();
+    match (first, next) {
+        ('r', Some('"')) => {
+            cur.bump(); // r
+            skip_raw_string(cur);
+            out.tokens.push(literal(TokKind::Str, line, col));
+            true
+        }
+        ('r', Some('#')) => {
+            // r#"..." raw string, or r#ident raw identifier.
+            let after_hash = rest.chars().nth(1);
+            if matches!(after_hash, Some('"') | Some('#')) {
+                cur.bump(); // r
+                skip_raw_string(cur);
+                out.tokens.push(literal(TokKind::Str, line, col));
+                true
+            } else {
+                // Raw identifier: consume r# then the ident.
+                cur.bump(); // r
+                cur.bump(); // #
+                lex_ident(cur, out, line, col);
+                true
+            }
+        }
+        ('b', Some('"')) => {
+            cur.bump(); // b
+            cur.bump(); // "
+            skip_string_body(cur);
+            out.tokens.push(literal(TokKind::Str, line, col));
+            true
+        }
+        ('b', Some('\'')) => {
+            cur.bump(); // b
+            cur.bump(); // '
+            lex_quote(cur, out, line, col);
+            // lex_quote pushed a Char (or lifetime, impossible for b');
+            true
+        }
+        ('b', Some('r')) if matches!(rest.chars().nth(1), Some('"') | Some('#')) => {
+            cur.bump(); // b
+            cur.bump(); // r
+            skip_raw_string(cur);
+            out.tokens.push(literal(TokKind::Str, line, col));
+            true
+        }
+        _ => false,
+    }
+}
+
+fn lex_ident(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    out.tokens.push(Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+        is_float: false,
+    });
+}
+
+fn lex_number(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    let mut text = String::new();
+    let mut is_float = false;
+    // Radix prefixes are always integers.
+    let radix_prefix = {
+        let rest: String = cur.chars.clone().take(2).collect();
+        matches!(rest.as_str(), "0x" | "0o" | "0b" | "0X" | "0O" | "0B")
+    };
+    if radix_prefix {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else {
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Decimal point (but not `..` ranges or method calls `1.max()`).
+        if cur.peek() == Some('.') {
+            let after: Option<char> = cur.chars.clone().nth(1);
+            if after.is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else if after.is_none_or(|c| !is_ident_start(c) && c != '.') {
+                // Trailing-dot float like `1.`
+                is_float = true;
+                text.push('.');
+                cur.bump();
+            }
+        }
+        // Exponent.
+        if matches!(cur.peek(), Some('e') | Some('E')) {
+            let mut look = cur.chars.clone();
+            look.next();
+            let mut sign_len = 0;
+            let mut exp = look.next();
+            if matches!(exp, Some('+') | Some('-')) {
+                sign_len = 1;
+                exp = look.next();
+            }
+            if exp.is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                text.push(cur.bump().unwrap_or('e'));
+                for _ in 0..sign_len {
+                    text.push(cur.bump().unwrap_or('+'));
+                }
+                while let Some(c) = cur.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Type suffix (`f32`, `u8`, …).
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    out.tokens.push(Tok {
+        kind: TokKind::Number,
+        text,
+        line,
+        col,
+        is_float,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_tokens() {
+        let out = lex(r#"let s = "x.unwrap()"; s.len()"#);
+        assert!(!idents(r#"let s = "x.unwrap()"; s.len()"#).contains(&"unwrap".to_string()));
+        assert_eq!(
+            out.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_quotes_and_hashes() {
+        let src = r##"let s = r#"a "quoted" unwrap() inside"#; x.y()"##;
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        assert!(idents(src).contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let src = r##"let a = b"unwrap()"; let b2 = br#"expect()"#; f()"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ real()";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        let out = lex(src);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s: &'static str; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        assert_eq!(
+            out.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_detection() {
+        let floats: Vec<(String, bool)> = lex("1.0 2 3e5 0x1f 1_000 2.5e-3 4f32 5f64 7u32 1..5")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| (t.text, t.is_float))
+            .collect();
+        let expect = [
+            ("1.0", true),
+            ("2", false),
+            ("3e5", true),
+            ("0x1f", false),
+            ("1_000", false),
+            ("2.5e-3", true),
+            ("4f32", true),
+            ("5f64", true),
+            ("7u32", false),
+            ("1", false),
+            ("5", false),
+        ];
+        assert_eq!(floats.len(), expect.len(), "{floats:?}");
+        for ((text, isf), (etext, eisf)) in floats.iter().zip(expect) {
+            assert_eq!((text.as_str(), *isf), (etext, eisf));
+        }
+    }
+
+    #[test]
+    fn fused_puncts_and_positions() {
+        let out = lex("a::b == c != d");
+        let puncts: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["::", "==", "!="]);
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[0].col, 1);
+        assert_eq!(out.tokens[1].col, 2); // `::`
+    }
+
+    #[test]
+    fn comments_know_if_they_own_their_line() {
+        let out = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert!(!out.comments[0].own_line);
+        assert!(out.comments[1].own_line);
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 1; r#fn()");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang() {
+        lex("\"unterminated");
+        lex("/* unterminated");
+        lex("r#\"unterminated");
+        lex("'");
+    }
+}

@@ -1,0 +1,590 @@
+//! The repo-specific lint rules, run over the token stream.
+//!
+//! Rule IDs (see README §Static analysis):
+//!
+//! * `no-unwrap` — no `.unwrap()` in non-test library code.
+//! * `no-expect` — no `.expect(..)` in non-test library code; a
+//!   documented contract panic carries an inline waiver instead.
+//! * `no-nondeterminism` — no `rand::rng()` / `thread_rng()` /
+//!   `Instant::now()` / `SystemTime::now()` in library code outside
+//!   `sl-telemetry` (simulated time and seeded RNGs only).
+//! * `no-print` — no `println!` / `eprintln!` in library code outside
+//!   bins and the telemetry sinks.
+//! * `float-cmp` — no `==` / `!=` against float literals.
+//! * `lossy-cast` — no lossy `as` casts (`as f32`, narrowing integer
+//!   targets) in the numeric-kernel crates.
+//! * `bad-waiver` — a malformed `slm-lint: allow(..)` comment (missing
+//!   rule id or reason).
+//!
+//! Tokens inside `#[cfg(test)]` items and `mod tests { .. }` blocks are
+//! exempt from every rule.
+//!
+//! # Waivers
+//!
+//! A finding is waived by a comment on the same line or the line above:
+//!
+//! ```text
+//! // slm-lint: allow(no-expect) cache is Some by the forward/backward contract
+//! let x = self.cache.take().expect("backward before forward");
+//! ```
+//!
+//! The reason is mandatory; waivers are counted and reported, so they
+//! stay visible in `slm-report` output.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::workspace::TargetKind;
+use crate::{Finding, LintConfig};
+
+/// Narrowing / precision-losing `as` targets flagged by `lossy-cast`.
+const LOSSY_TARGETS: [&str; 7] = ["f32", "i8", "i16", "i32", "u8", "u16", "u32"];
+
+/// Per-file lint context.
+pub struct FileContext<'a> {
+    /// Package the file belongs to (rule exemptions key off this).
+    pub crate_name: &'a str,
+    /// Target classification (lib / bin / test-like).
+    pub target: TargetKind,
+    /// Repo-relative path recorded in findings.
+    pub path: &'a str,
+}
+
+/// The outcome of scanning one file.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Active findings (not waived).
+    pub findings: Vec<Finding>,
+    /// Findings covered by an inline waiver.
+    pub waived: Vec<Finding>,
+}
+
+/// Scans one source file with every applicable rule.
+pub fn scan_file(src: &str, ctx: &FileContext, config: &LintConfig) -> ScanResult {
+    let out = lex(src);
+    let in_test = test_region_mask(&out.tokens);
+    let (waivers, mut raw) = parse_waivers(&out.comments, ctx);
+
+    let toks = &out.tokens;
+    let lib_only = ctx.target == TargetKind::Lib;
+    if lib_only {
+        rule_no_unwrap_expect(toks, &in_test, ctx, &mut raw);
+        if !config.determinism_exempt.contains(ctx.crate_name) {
+            rule_no_nondeterminism(toks, &in_test, ctx, &mut raw);
+        }
+        if !config.print_exempt.contains(ctx.crate_name) {
+            rule_no_print(toks, &in_test, ctx, &mut raw);
+        }
+        rule_float_cmp(toks, &in_test, ctx, &mut raw);
+        if config.lossy_cast_crates.contains(ctx.crate_name) {
+            rule_lossy_cast(toks, &in_test, ctx, &mut raw);
+        }
+    }
+
+    let mut result = ScanResult::default();
+    for f in raw {
+        let waived = waivers
+            .get(&f.rule)
+            .is_some_and(|lines| lines.contains(&f.line));
+        if waived && f.rule != "bad-waiver" {
+            result.waived.push(f);
+        } else {
+            result.findings.push(f);
+        }
+    }
+    result
+        .findings
+        .sort_by_key(|f| (f.line, f.col, f.rule.clone()));
+    result
+}
+
+/// Marks every token inside a `#[cfg(test)]` item or a `mod tests {}`
+/// block.
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // `#[cfg(test)]` — allow `#![cfg(test)]` too.
+        if is_punct(toks, i, "#") {
+            let attr_start = if is_punct(toks, i + 1, "!") {
+                i + 2
+            } else {
+                i + 1
+            };
+            if is_punct(toks, attr_start, "[") {
+                let close = match matching_bracket(toks, attr_start, "[", "]") {
+                    Some(c) => c,
+                    None => break,
+                };
+                if is_cfg_test_attr(&toks[attr_start + 1..close]) {
+                    let end = mark_item(toks, close + 1, &mut mask);
+                    i = end;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        // Bare `mod tests {` (convention even without the attribute).
+        if is_ident(toks, i, "mod") && is_ident(toks, i + 1, "tests") && is_punct(toks, i + 2, "{")
+        {
+            let close = matching_bracket(toks, i + 2, "{", "}").unwrap_or(toks.len() - 1);
+            for m in &mut mask[i..=close] {
+                *m = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `cfg ( test )` — exactly, so `cfg(feature = "test-utils")` and
+/// `cfg(not(test))` stay lintable.
+fn is_cfg_test_attr(attr: &[Tok]) -> bool {
+    attr.len() == 4
+        && attr[0].kind == TokKind::Ident
+        && attr[0].text == "cfg"
+        && attr[1].text == "("
+        && attr[2].kind == TokKind::Ident
+        && attr[2].text == "test"
+        && attr[3].text == ")"
+}
+
+/// Marks the item starting at `start` (skipping further attributes) up
+/// to its closing `}` or terminating `;`, returning the index after it.
+fn mark_item(toks: &[Tok], mut start: usize, mask: &mut [bool]) -> usize {
+    // Skip stacked attributes between the cfg and the item.
+    while is_punct(toks, start, "#") {
+        let attr_start = if is_punct(toks, start + 1, "!") {
+            start + 2
+        } else {
+            start + 1
+        };
+        match matching_bracket(toks, attr_start, "[", "]") {
+            Some(close) => start = close + 1,
+            None => return toks.len(),
+        }
+    }
+    let mut j = start;
+    while j < toks.len() {
+        if is_punct(toks, j, ";") {
+            // Braceless item (`#[cfg(test)] use ..;`).
+            for m in &mut mask[start..=j] {
+                *m = true;
+            }
+            return j + 1;
+        }
+        if is_punct(toks, j, "{") {
+            let close = matching_bracket(toks, j, "{", "}").unwrap_or(toks.len() - 1);
+            for m in &mut mask[start..=close] {
+                *m = true;
+            }
+            return close + 1;
+        }
+        j += 1;
+    }
+    for m in &mut mask[start..] {
+        *m = true;
+    }
+    toks.len()
+}
+
+/// Index of the bracket matching `toks[open]`, honoring nesting.
+fn matching_bracket(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    if !is_punct(toks, open, open_s) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == open_s {
+                depth += 1;
+            } else if t.text == close_s {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+}
+
+fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
+}
+
+/// Extracts waivers (`rule -> covered lines`) from comments; malformed
+/// waiver comments become `bad-waiver` findings.
+fn parse_waivers(
+    comments: &[Comment],
+    ctx: &FileContext,
+) -> (BTreeMap<String, BTreeSet<u32>>, Vec<Finding>) {
+    let mut waivers: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("slm-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let parsed = rest.strip_prefix("allow(").and_then(|r| {
+            let (rule, reason) = r.split_once(')')?;
+            let rule = rule.trim();
+            let reason = reason.trim_start_matches(':').trim();
+            if rule.is_empty() || rule.contains(char::is_whitespace) {
+                return None;
+            }
+            Some((rule.to_string(), reason.to_string()))
+        });
+        match parsed {
+            Some((rule, reason)) if !reason.is_empty() => {
+                let lines = waivers.entry(rule).or_default();
+                lines.insert(c.line);
+                if c.own_line {
+                    lines.insert(c.line + 1);
+                }
+            }
+            _ => findings.push(Finding {
+                rule: "bad-waiver".into(),
+                file: ctx.path.into(),
+                line: c.line,
+                col: 1,
+                message: "malformed waiver: expected `slm-lint: allow(<rule-id>) <reason>` \
+                          with a non-empty reason"
+                    .into(),
+            }),
+        }
+    }
+    (waivers, findings)
+}
+
+fn push(out: &mut Vec<Finding>, ctx: &FileContext, tok: &Tok, rule: &str, message: String) {
+    out.push(Finding {
+        rule: rule.into(),
+        file: ctx.path.into(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    });
+}
+
+fn rule_no_unwrap_expect(
+    toks: &[Tok],
+    in_test: &[bool],
+    ctx: &FileContext,
+    out: &mut Vec<Finding>,
+) {
+    for (i, masked) in in_test.iter().enumerate() {
+        if *masked || !is_punct(toks, i, ".") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident || !is_punct(toks, i + 2, "(") {
+            continue;
+        }
+        match name.text.as_str() {
+            "unwrap" => push(
+                out,
+                ctx,
+                name,
+                "no-unwrap",
+                "`.unwrap()` in library code — return a Result or add a \
+                 documented waiver"
+                    .into(),
+            ),
+            "expect" => push(
+                out,
+                ctx,
+                name,
+                "no-expect",
+                "`.expect(..)` in library code — return a Result or waive it \
+                 with the contract that makes it unreachable"
+                    .into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+fn rule_no_nondeterminism(
+    toks: &[Tok],
+    in_test: &[bool],
+    ctx: &FileContext,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let call = |name: &str| -> String {
+            format!(
+                "`{name}` is nondeterministic — use seeded RNGs / the simulated \
+                 clock (wall time belongs to sl-telemetry)"
+            )
+        };
+        if t.text == "thread_rng" && is_punct(toks, i + 1, "(") {
+            push(out, ctx, t, "no-nondeterminism", call("thread_rng()"));
+        } else if t.text == "rand"
+            && is_punct(toks, i + 1, "::")
+            && is_ident(toks, i + 2, "rng")
+            && is_punct(toks, i + 3, "(")
+        {
+            push(out, ctx, t, "no-nondeterminism", call("rand::rng()"));
+        } else if (t.text == "Instant" || t.text == "SystemTime")
+            && is_punct(toks, i + 1, "::")
+            && is_ident(toks, i + 2, "now")
+            && is_punct(toks, i + 3, "(")
+        {
+            push(
+                out,
+                ctx,
+                t,
+                "no-nondeterminism",
+                call(&format!("{}::now()", t.text)),
+            );
+        }
+    }
+}
+
+fn rule_no_print(toks: &[Tok], in_test: &[bool], ctx: &FileContext, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident
+            && (t.text == "println" || t.text == "eprintln")
+            && is_punct(toks, i + 1, "!")
+        {
+            push(
+                out,
+                ctx,
+                t,
+                "no-print",
+                format!(
+                    "`{}!` in library code — route output through sl-telemetry \
+                     (bins may print)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_float_cmp(toks: &[Tok], in_test: &[bool], ctx: &FileContext, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_operand = |j: Option<usize>| {
+            j.and_then(|j| toks.get(j))
+                .is_some_and(|t| t.kind == TokKind::Number && t.is_float)
+        };
+        if float_operand(i.checked_sub(1)) || float_operand(Some(i + 1)) {
+            push(
+                out,
+                ctx,
+                t,
+                "float-cmp",
+                format!(
+                    "`{}` against a float literal — compare with a tolerance \
+                     or restructure",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn rule_lossy_cast(toks: &[Tok], in_test: &[bool], ctx: &FileContext, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if in_test[i] || !is_ident(toks, i, "as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident && LOSSY_TARGETS.contains(&target.text.as_str()) {
+            push(
+                out,
+                ctx,
+                &toks[i],
+                "lossy-cast",
+                format!(
+                    "`as {}` may lose precision or truncate in a numeric kernel \
+                     — justify with a waiver or use a checked conversion",
+                    target.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod rule_tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScanResult {
+        scan_lib("sl-core", src)
+    }
+
+    fn scan_lib(crate_name: &str, src: &str) -> ScanResult {
+        let ctx = FileContext {
+            crate_name,
+            target: TargetKind::Lib,
+            path: "crates/x/src/lib.rs",
+        };
+        scan_file(src, &ctx, &LintConfig::default())
+    }
+
+    fn rules(r: &ScanResult) -> Vec<&str> {
+        r.findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_in_lib() {
+        let r = scan("fn f() { x.unwrap(); y.expect(\"msg\"); z.unwrap_or(0); }");
+        assert_eq!(rules(&r), vec!["no-unwrap", "no-expect"]);
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = r#"
+fn lib_code() { a.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { b.unwrap(); println!("ok"); }
+}
+"#;
+        let r = scan(src);
+        assert_eq!(rules(&r), vec!["no-unwrap"]);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_single_item_and_stacked_attrs() {
+        let src = r#"
+#[cfg(test)]
+#[allow(dead_code)]
+fn helper() { x.unwrap() }
+fn real() { y.unwrap() }
+"#;
+        let r = scan(src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn cfg_not_test_still_linted() {
+        let r = scan("#[cfg(not(test))]\nfn f() { x.unwrap(); }");
+        assert_eq!(rules(&r), vec!["no-unwrap"]);
+    }
+
+    #[test]
+    fn nondeterminism_patterns() {
+        let src = "fn f() { let a = rand::rng(); let b = thread_rng(); \
+                   let t = Instant::now(); let s = SystemTime::now(); }";
+        let r = scan(src);
+        assert_eq!(rules(&r).len(), 4);
+        assert!(rules(&r).iter().all(|&r| r == "no-nondeterminism"));
+        // Telemetry is exempt.
+        assert!(scan_lib("sl-telemetry", src).findings.is_empty());
+    }
+
+    #[test]
+    fn print_rule_and_exemption() {
+        let src = "fn f() { println!(\"a\"); eprintln!(\"b\"); }";
+        assert_eq!(rules(&scan(src)), vec!["no-print", "no-print"]);
+        assert!(scan_lib("sl-telemetry", src).findings.is_empty());
+    }
+
+    #[test]
+    fn float_cmp_literals_only() {
+        let r = scan("fn f() { if x == 0.0 {} if 1.5 != y {} if a == b {} if n == 3 {} }");
+        assert_eq!(rules(&r), vec!["float-cmp", "float-cmp"]);
+    }
+
+    #[test]
+    fn lossy_cast_scoped_to_kernel_crates() {
+        let src = "fn f() { let a = i as f32; let b = x as u8; let c = y as f64; \
+                   let d = z as usize; }";
+        let r = scan_lib("sl-tensor", src);
+        assert_eq!(rules(&r), vec!["lossy-cast", "lossy-cast"]);
+        assert!(scan_lib("sl-core", src).findings.is_empty());
+    }
+
+    #[test]
+    fn waiver_same_line_and_line_above() {
+        let src = "\
+fn f() {
+    let a = c.take().expect(\"x\"); // slm-lint: allow(no-expect) forward/backward contract
+    // slm-lint: allow(no-unwrap) checked two lines up
+    let b = d.unwrap();
+    let c = e.unwrap();
+}";
+        let r = scan(src);
+        assert_eq!(r.waived.len(), 2);
+        assert_eq!(rules(&r), vec!["no-unwrap"]);
+        assert_eq!(r.findings[0].line, 5);
+    }
+
+    #[test]
+    fn waiver_requires_reason_and_rule() {
+        let r = scan("// slm-lint: allow(no-unwrap)\nlet a = b.unwrap();");
+        assert!(rules(&r).contains(&"bad-waiver"));
+        assert!(rules(&r).contains(&"no-unwrap"), "waiver must not apply");
+        let r2 = scan("// slm-lint: disable everything\nfn f() {}");
+        assert_eq!(rules(&r2), vec!["bad-waiver"]);
+    }
+
+    #[test]
+    fn literals_and_comments_never_match() {
+        let src = r###"
+fn f() {
+    let s = "x.unwrap() and println!";
+    let r = r#"thread_rng() "quoted""#;
+    // a comment mentioning .unwrap() and Instant::now()
+    /* nested /* SystemTime::now() */ still */
+    let c = '\'';
+}
+"###;
+        assert!(scan(src).findings.is_empty());
+    }
+
+    #[test]
+    fn bins_and_tests_targets_are_exempt() {
+        for target in [TargetKind::Bin, TargetKind::TestLike] {
+            let ctx = FileContext {
+                crate_name: "sl-core",
+                target,
+                path: "x.rs",
+            };
+            let r = scan_file(
+                "fn main() { x.unwrap(); println!(\"ok\"); }",
+                &ctx,
+                &LintConfig::default(),
+            );
+            assert!(r.findings.is_empty(), "{target:?}");
+        }
+    }
+}

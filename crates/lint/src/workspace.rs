@@ -1,0 +1,176 @@
+//! Workspace discovery and target classification.
+//!
+//! The repo's layout is fixed (a root umbrella package plus `crates/*`),
+//! so discovery is a directory walk, not a full manifest resolver: the
+//! root `Cargo.toml` and every `crates/*/Cargo.toml` define a package,
+//! and each package's Rust sources live under `src/`, `tests/`,
+//! `benches/` and `examples/`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a source file is compiled, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Library code — every rule applies.
+    Lib,
+    /// Binary target (`src/bin/*`, `src/main.rs`) — operational code
+    /// that may print and read wall time.
+    Bin,
+    /// Tests, benches and examples — exempt, like `#[cfg(test)]`.
+    TestLike,
+}
+
+/// One workspace package.
+#[derive(Debug, Clone)]
+pub struct Package {
+    /// Package name from its manifest.
+    pub name: String,
+    /// Package root directory (absolute).
+    pub root: PathBuf,
+    /// The package's `Cargo.toml` (absolute).
+    pub manifest: PathBuf,
+}
+
+/// Discovers the root package and every `crates/*` member. Paths are
+/// returned in deterministic (sorted) order.
+pub fn discover(root: &Path) -> io::Result<Vec<Package>> {
+    let mut packages = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    if let Some(name) = package_name(&fs::read_to_string(&root_manifest)?) {
+        packages.push(Package {
+            name,
+            root: root.to_path_buf(),
+            manifest: root_manifest,
+        });
+    }
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                members.push(path);
+            }
+        }
+    }
+    members.sort();
+    for dir in members {
+        let manifest = dir.join("Cargo.toml");
+        let text = fs::read_to_string(&manifest)?;
+        let name = package_name(&text).unwrap_or_else(|| {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        });
+        packages.push(Package {
+            name,
+            root: dir,
+            manifest,
+        });
+    }
+    Ok(packages)
+}
+
+/// Extracts `name = "..."` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Classifies a source file within its package.
+pub fn classify(pkg_root: &Path, file: &Path) -> TargetKind {
+    let rel = file.strip_prefix(pkg_root).unwrap_or(file);
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    match parts.next().as_deref() {
+        Some("tests") | Some("benches") | Some("examples") => TargetKind::TestLike,
+        Some("src") => match parts.next().as_deref() {
+            Some("bin") => TargetKind::Bin,
+            Some("main.rs") => TargetKind::Bin,
+            _ => TargetKind::Lib,
+        },
+        _ => TargetKind::Lib,
+    }
+}
+
+/// All `.rs` files of a package, sorted: `src/`, `tests/`, `benches/`,
+/// `examples/` (the root package's walk does not descend into `crates/`
+/// because only those four directories are visited).
+pub fn rust_sources(pkg: &Package) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for dir in ["src", "tests", "benches", "examples"] {
+        let path = pkg.root.join(dir);
+        if path.is_dir() {
+            walk(&path, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_targets() {
+        let root = Path::new("/repo/crates/x");
+        assert_eq!(classify(root, &root.join("src/lib.rs")), TargetKind::Lib);
+        assert_eq!(
+            classify(root, &root.join("src/deep/mod.rs")),
+            TargetKind::Lib
+        );
+        assert_eq!(
+            classify(root, &root.join("src/bin/tool.rs")),
+            TargetKind::Bin
+        );
+        assert_eq!(classify(root, &root.join("src/main.rs")), TargetKind::Bin);
+        assert_eq!(
+            classify(root, &root.join("tests/it.rs")),
+            TargetKind::TestLike
+        );
+        assert_eq!(
+            classify(root, &root.join("benches/b.rs")),
+            TargetKind::TestLike
+        );
+        assert_eq!(
+            classify(root, &root.join("examples/e.rs")),
+            TargetKind::TestLike
+        );
+    }
+
+    #[test]
+    fn package_name_parses() {
+        let toml = "[workspace]\nmembers = []\n[package]\nname = \"sl-x\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(toml), Some("sl-x".into()));
+        assert_eq!(package_name("[dependencies]\nname = \"nope\""), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end tests of the `slm-lint` binary: exit codes and output for
+//! the fixture crate, the real workspace, and the shape-contract pass.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn slm_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slm-lint"))
+        .args(args)
+        .output()
+        .expect("slm-lint binary runs")
+}
+
+fn fixture_root() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad-crate").to_string()
+}
+
+fn repo_root() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    root.display().to_string()
+}
+
+#[test]
+fn fixture_crate_fails_with_rustc_style_findings() {
+    let out = slm_lint(&["--root", &fixture_root()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("src/lib.rs:7:7: no-unwrap:"), "{stdout}");
+    assert!(stdout.contains("Cargo.toml:12:1: deps-policy:"), "{stdout}");
+    assert!(stdout.contains("bad-waiver"), "{stdout}");
+}
+
+#[test]
+fn fixture_crate_json_output_is_machine_readable() {
+    let out = slm_lint(&["--root", &fixture_root(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"clean\":false"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"no-print\""), "{stdout}");
+}
+
+#[test]
+fn real_workspace_is_clean_post_burn_down() {
+    // The PR's acceptance bar: the checked-in allowlist exactly covers
+    // the remaining findings, so the workspace lints clean.
+    let out = slm_lint(&["--root", &repo_root()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "{stdout}\n{stderr}");
+}
+
+#[test]
+fn shapes_pass_accepts_every_profile() {
+    let out = slm_lint(&["--root", &repo_root(), "--shapes-only"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("profile wiring(s) verified"), "{stdout}");
+}
+
+#[test]
+fn miswire_self_test_is_rejected_with_a_per_layer_trace() {
+    let out = slm_lint(&["--root", &repo_root(), "--shapes-only", "--miswire"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SHAPE ERROR"), "{stderr}");
+    assert!(stderr.contains("input_dim 17"), "{stderr}");
+    assert!(stderr.contains("lstm"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = slm_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

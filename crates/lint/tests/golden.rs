@@ -1,0 +1,79 @@
+//! Golden tests against `fixtures/bad-crate`: every rule has exactly one
+//! seeded violation there, and each must be reported with the exact rule
+//! id, line and column — no more, no less.
+
+use sl_lint::{collect, run, LintConfig};
+use std::path::Path;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/bad-crate"))
+}
+
+/// The fixture crate is not in the default `lossy_cast_crates` set, so
+/// opt it in to exercise that rule too.
+fn fixture_config() -> LintConfig {
+    let mut config = LintConfig::default();
+    config.lossy_cast_crates.insert("bad-crate".into());
+    config
+}
+
+#[test]
+fn every_rule_fires_exactly_once_at_its_seeded_location() {
+    let collected = collect(fixture_root(), &fixture_config()).unwrap();
+    let got: Vec<(String, String, u32, u32)> = collected
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line, f.col))
+        .collect();
+    let lib = |rule: &str, line, col| (rule.to_string(), "src/lib.rs".to_string(), line, col);
+    let expected = vec![
+        ("deps-policy".to_string(), "Cargo.toml".to_string(), 12, 1),
+        lib("no-unwrap", 7, 7),
+        lib("no-expect", 11, 7),
+        lib("no-nondeterminism", 15, 5),
+        lib("no-print", 19, 5),
+        lib("float-cmp", 23, 7),
+        lib("lossy-cast", 27, 7),
+        lib("bad-waiver", 30, 1),
+    ];
+    assert_eq!(got, expected, "findings:\n{:#?}", collected.findings);
+}
+
+#[test]
+fn documented_waiver_suppresses_its_site() {
+    let collected = collect(fixture_root(), &fixture_config()).unwrap();
+    assert_eq!(collected.waived.len(), 1);
+    let w = &collected.waived[0];
+    assert_eq!((w.rule.as_str(), w.line), ("no-unwrap", 35));
+    // The waived site must not also appear as an active finding.
+    assert!(!collected
+        .findings
+        .iter()
+        .any(|f| f.rule == "no-unwrap" && f.line == 35));
+}
+
+#[test]
+fn run_reports_the_fixture_as_dirty() {
+    // The fixture has no allowlist, so every finding stays active.
+    let report = run(fixture_root(), &fixture_config()).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.findings.len(), 8);
+    assert_eq!(report.allowlist_len, 0);
+    assert_eq!(report.rule_counts["no-unwrap"], 1);
+    assert_eq!(report.rule_counts["deps-policy"], 1);
+    let json = report.to_json();
+    assert!(json.contains("\"clean\":false"));
+    assert!(json.contains("\"rule\":\"no-unwrap\""));
+}
+
+#[test]
+fn findings_render_rustc_style() {
+    let collected = collect(fixture_root(), &fixture_config()).unwrap();
+    let rendered: Vec<String> = collected.findings.iter().map(|f| f.to_string()).collect();
+    assert!(rendered
+        .iter()
+        .any(|r| r.starts_with("src/lib.rs:7:7: no-unwrap:")));
+    assert!(rendered
+        .iter()
+        .any(|r| r.starts_with("Cargo.toml:12:1: deps-policy:")));
+}

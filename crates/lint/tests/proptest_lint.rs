@@ -1,0 +1,148 @@
+//! Property tests of the lint lexer on adversarial inputs: sources are
+//! assembled from a palette of tricky snippets (raw strings, nested
+//! comments, lifetimes vs char literals, ranges vs floats) and the
+//! lexer's invariants are checked on every combination.
+
+use proptest::prelude::*;
+use sl_lint::lexer::{lex, TokKind};
+
+/// Snippets that must HIDE the marker identifier from the token stream.
+const HIDING: [&str; 8] = [
+    "\"forbidden_marker\"",
+    "\"escaped \\\" forbidden_marker\"",
+    "r\"forbidden_marker\"",
+    "r#\"raw \"quoted\" forbidden_marker\"#",
+    "r##\"# forbidden_marker \"# still\"##",
+    "b\"forbidden_marker\"",
+    "// forbidden_marker in a line comment\n",
+    "/* outer /* nested forbidden_marker */ tail */",
+];
+
+/// Visible filler the marker must survive alongside.
+const FILLER: [&str; 8] = [
+    "fn f(x: u32) -> u32 { x + 1 }",
+    "let r = 1..5;",
+    "let v: Vec<&'static str> = Vec::new();",
+    "let c = 'x';",
+    "let nl = '\\n';",
+    "let f = 1.5e3f32;",
+    "let b = b'z';",
+    "impl<'a> Foo<'a> { fn g(&'a self) {} }",
+];
+
+fn assemble(picks: &[(usize, bool)]) -> String {
+    let mut src = String::new();
+    for &(idx, hide) in picks {
+        if hide {
+            src.push_str(HIDING[idx % HIDING.len()]);
+        } else {
+            src.push_str(FILLER[idx % FILLER.len()]);
+        }
+        src.push('\n');
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn strings_and_comments_hide_identifiers(
+        picks in proptest::collection::vec((0usize..64, 0usize..2), 0..24),
+    ) {
+        let picks: Vec<(usize, bool)> =
+            picks.into_iter().map(|(i, h)| (i, h == 1)).collect();
+        let src = assemble(&picks);
+        let out = lex(&src);
+        // The marker only ever occurs inside literals/comments, so it
+        // must never surface as an identifier token.
+        prop_assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "forbidden_marker"));
+        // Control: appending it as real code makes it visible.
+        let visible = format!("{src}\nlet forbidden_marker = 1;\n");
+        let out2 = lex(&visible);
+        prop_assert!(out2
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "forbidden_marker"));
+    }
+
+    #[test]
+    fn token_positions_are_in_bounds(
+        picks in proptest::collection::vec((0usize..64, 0usize..2), 0..24),
+    ) {
+        let picks: Vec<(usize, bool)> =
+            picks.into_iter().map(|(i, h)| (i, h == 1)).collect();
+        let src = assemble(&picks);
+        let n_lines = src.lines().count().max(1) as u32;
+        let out = lex(&src);
+        for t in &out.tokens {
+            prop_assert!(t.line >= 1 && t.line <= n_lines, "token {t:?}");
+            prop_assert!(t.col >= 1, "token {t:?}");
+        }
+        for c in &out.comments {
+            prop_assert!(c.line >= 1 && c.line <= n_lines, "comment {c:?}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_and_chars_are_distinguished(
+        n_lifetimes in 0usize..8,
+        n_chars in 0usize..8,
+    ) {
+        let mut src = String::new();
+        for i in 0..n_lifetimes {
+            src.push_str(&format!("fn f{i}<'a>(x: &'a u32) -> &'a u32 {{ x }}\n"));
+        }
+        for i in 0..n_chars {
+            src.push_str(&format!("const C{i}: char = 'x';\n"));
+        }
+        let out = lex(&src);
+        let lifetimes = out.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = out.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        // Each lifetime-using fn mentions 'a three times; each const has
+        // one char literal.
+        prop_assert_eq!(lifetimes, n_lifetimes * 3);
+        prop_assert_eq!(chars, n_chars);
+    }
+
+    #[test]
+    fn nested_comments_hide_contents_at_any_depth(depth in 1usize..12) {
+        let mut src = String::from("let before = 1; ");
+        for _ in 0..depth {
+            src.push_str("/* forbidden_marker ");
+        }
+        src.push_str(" body ");
+        for _ in 0..depth {
+            src.push_str(" */");
+        }
+        src.push_str(" let after = 2;");
+        let out = lex(&src);
+        prop_assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "forbidden_marker"));
+        // Both sides of the comment survive.
+        prop_assert!(out.tokens.iter().any(|t| t.text == "before"));
+        prop_assert!(out.tokens.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn raw_string_hash_depth_is_respected(hashes in 1usize..6) {
+        let fence = "#".repeat(hashes);
+        // A raw string whose body contains a quote followed by FEWER
+        // hashes than the fence — must not terminate early.
+        let inner_fence = "#".repeat(hashes.saturating_sub(1));
+        let src = format!(
+            "let s = r{fence}\"body \"{inner_fence} forbidden_marker\"{fence}; let tail = 3;"
+        );
+        let out = lex(&src);
+        prop_assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "forbidden_marker"));
+        prop_assert!(out.tokens.iter().any(|t| t.text == "tail"));
+    }
+}

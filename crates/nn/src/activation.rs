@@ -128,6 +128,10 @@ impl Layer for Activation {
         }
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        Ok(input.to_vec())
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         let numel = input_dims.iter().product::<usize>() as f64;
         // Transcendental activations are charged a nominal 4 FLOPs per

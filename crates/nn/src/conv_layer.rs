@@ -100,6 +100,36 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        if input.len() != 4 {
+            return Err(format!(
+                "conv2d expects rank-4 [N, C, H, W], got rank-{}",
+                input.len()
+            ));
+        }
+        let (n, c, h, w) = (input[0], input[1], input[2], input[3]);
+        if c != self.in_channels() {
+            return Err(format!(
+                "input channels {} do not match layer in_channels {}",
+                c,
+                self.in_channels()
+            ));
+        }
+        let k = self.kernel();
+        let (oh, ow) = match self.padding {
+            Padding::Same => (h, w),
+            Padding::Valid => {
+                if h < k || w < k {
+                    return Err(format!(
+                        "valid-padding {k}x{k} kernel does not fit {h}x{w} input"
+                    ));
+                }
+                (h - k + 1, w - k + 1)
+            }
+        };
+        Ok(vec![n, self.out_channels(), oh, ow])
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         if input_dims.len() != 4 {
             return 0.0;

@@ -115,6 +115,23 @@ impl Layer for Dense {
         "dense"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        if input.len() != 2 {
+            return Err(format!(
+                "dense expects rank-2 [batch, features], got rank-{}",
+                input.len()
+            ));
+        }
+        if input[1] != self.input_dim() {
+            return Err(format!(
+                "input features {} do not match layer input_dim {}",
+                input[1],
+                self.input_dim()
+            ));
+        }
+        Ok(vec![input[0], self.output_dim()])
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         let rows = match input_dims.split_last() {
             Some((_, lead)) => lead.iter().product::<usize>(),

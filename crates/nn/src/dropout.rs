@@ -57,7 +57,7 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        if !self.training || self.p == 0.0 {
+        if !self.training || self.p <= 0.0 {
             self.mask = Some(Tensor::ones(input.dims()));
             return input.clone();
         }
@@ -89,6 +89,10 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "dropout"
+    }
+
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        Ok(input.to_vec())
     }
 
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {

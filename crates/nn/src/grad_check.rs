@@ -154,6 +154,9 @@ mod tests {
             fn name(&self) -> &'static str {
                 "broken"
             }
+            fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+                Ok(input.to_vec())
+            }
         }
         let bad = check_gradients(Broken { cache: None }, &x, 1e-3, 8);
         assert!(bad.max_abs_err > 0.5, "broken layer not detected: {bad:?}");

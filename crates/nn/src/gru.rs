@@ -229,6 +229,10 @@ impl Layer for Gru {
         "gru"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        recurrent_out_shape("gru", input, self.input_dim, self.hidden_dim)
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         if input_dims.len() != 3 {
             return 0.0;
@@ -240,6 +244,32 @@ impl Layer for Gru {
         let per_step = 2.0 * (3 * h * (f + h)) as f64 + 12.0 * h as f64;
         (n * l) as f64 * per_step
     }
+}
+
+/// Shared recurrent-layer shape contract: `[N, L, X] -> [N, H]` with a
+/// non-empty sequence and per-step features matching `input_dim`.
+pub(crate) fn recurrent_out_shape(
+    layer: &str,
+    input: &[usize],
+    input_dim: usize,
+    hidden_dim: usize,
+) -> Result<Vec<usize>, String> {
+    if input.len() != 3 {
+        return Err(format!(
+            "{layer} expects rank-3 [batch, steps, features], got rank-{}",
+            input.len()
+        ));
+    }
+    if input[1] == 0 {
+        return Err(format!("{layer} rejects an empty sequence"));
+    }
+    if input[2] != input_dim {
+        return Err(format!(
+            "input features {} do not match {layer} input_dim {input_dim}",
+            input[2]
+        ));
+    }
+    Ok(vec![input[0], hidden_dim])
 }
 
 #[cfg(test)]

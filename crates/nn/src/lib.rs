@@ -53,6 +53,7 @@ mod lstm;
 mod optim;
 mod pool_layer;
 mod sequential;
+pub mod shape;
 
 pub use activation::{Activation, ActivationKind};
 pub use conv_layer::Conv2d;
@@ -65,6 +66,7 @@ pub use lstm::Lstm;
 pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
 pub use pool_layer::{AvgPool2d, Flatten, MaxPool2d};
 pub use sequential::Sequential;
+pub use shape::{ShapeError, ShapeStep, ShapeTrace};
 
 use sl_tensor::Tensor;
 
@@ -110,6 +112,19 @@ pub trait Layer {
 
     /// A short human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Static shape contract: the output shape this layer would produce
+    /// for an input of shape `input`, or a human-readable reason why the
+    /// input is invalid — computed symbolically, without allocating or
+    /// running anything. [`Sequential::shape_trace`] chains contracts
+    /// through a stack so miswired networks are rejected with a
+    /// per-layer trace before any training run (`slm-lint --shapes`).
+    ///
+    /// The contract must agree with [`Layer::forward`]: whenever
+    /// `out_shape(dims)` returns `Ok(out)`, a forward pass on a tensor
+    /// of shape `dims` must produce shape `out`; whenever it returns
+    /// `Err`, a forward pass must panic.
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String>;
 
     /// Modelled floating-point operations for one forward pass over an
     /// input of shape `input_dims`, following the usual convention of

@@ -260,6 +260,10 @@ impl Layer for Lstm {
         "lstm"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        crate::gru::recurrent_out_shape("lstm", input, self.input_dim, self.hidden_dim)
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         if input_dims.len() != 3 {
             return 0.0;

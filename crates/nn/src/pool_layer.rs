@@ -53,6 +53,10 @@ impl Layer for AvgPool2d {
         "avg_pool2d"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        pool_out_shape(input, self.wh, self.ww)
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         // One add per input element (plus a divide per window, dominated).
         input_dims.iter().product::<usize>() as f64
@@ -109,6 +113,10 @@ impl Layer for MaxPool2d {
         "max_pool2d"
     }
 
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        pool_out_shape(input, self.wh, self.ww)
+    }
+
     fn flops_forward(&self, input_dims: &[usize]) -> f64 {
         // One compare per input element.
         input_dims.iter().product::<usize>() as f64
@@ -162,6 +170,34 @@ impl Layer for Flatten {
     fn name(&self) -> &'static str {
         "flatten"
     }
+
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        if input.len() < 2 {
+            return Err(format!(
+                "flatten needs a leading batch axis, got rank-{}",
+                input.len()
+            ));
+        }
+        Ok(vec![input[0], input[1..].iter().product()])
+    }
+}
+
+/// Shared pooling shape contract: the `wh × ww` window must tile the
+/// spatial plane exactly (non-overlapping, no remainder).
+fn pool_out_shape(input: &[usize], wh: usize, ww: usize) -> Result<Vec<usize>, String> {
+    if input.len() != 4 {
+        return Err(format!(
+            "pooling expects rank-4 [N, C, H, W], got rank-{}",
+            input.len()
+        ));
+    }
+    let (n, c, h, w) = (input[0], input[1], input[2], input[3]);
+    if h == 0 || w == 0 || h % wh != 0 || w % ww != 0 {
+        return Err(format!(
+            "{wh}x{ww} window does not tile {h}x{w} input exactly"
+        ));
+    }
+    Ok(vec![n, c, h / wh, w / ww])
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use std::time::Instant;
 use sl_telemetry::{Profiler, Telemetry};
 use sl_tensor::Tensor;
 
+use crate::shape::{ShapeError, ShapeStep, ShapeTrace};
 use crate::Layer;
 
 /// Runs layers in order on `forward`, in reverse on `backward`.
@@ -104,6 +105,63 @@ impl Sequential {
         }
         x
     }
+
+    /// Propagates a symbolic input shape through every layer's
+    /// [`Layer::out_shape`] contract, returning the full per-layer trace
+    /// — or a [`ShapeError`] locating the first layer that rejects its
+    /// input. Nothing is allocated or executed; this is the static
+    /// counterpart of [`Layer::forward`] used by `slm-lint --shapes` and
+    /// the pre-run wiring check in `sl-core`.
+    pub fn shape_trace(&self, input: &[usize]) -> Result<ShapeTrace, ShapeError> {
+        self.shape_trace_partial(self.layers.len(), input)
+    }
+
+    /// [`Sequential::shape_trace`] restricted to the first `upto` layers
+    /// — the static counterpart of [`Sequential::forward_partial`],
+    /// covering e.g. the Fig. 2 pre-pool CNN-map extraction path.
+    ///
+    /// Panics when `upto` exceeds the layer count (same contract as
+    /// `forward_partial`).
+    pub fn shape_trace_partial(
+        &self,
+        upto: usize,
+        input: &[usize],
+    ) -> Result<ShapeTrace, ShapeError> {
+        assert!(
+            upto <= self.layers.len(),
+            "Sequential::shape_trace_partial: upto {} exceeds {} layers",
+            upto,
+            self.layers.len()
+        );
+        let mut steps = Vec::with_capacity(upto);
+        let mut dims = input.to_vec();
+        for (index, layer) in self.layers[..upto].iter().enumerate() {
+            match layer.out_shape(&dims) {
+                Ok(out) => {
+                    steps.push(ShapeStep {
+                        index,
+                        layer: layer.name(),
+                        input: dims,
+                        output: out.clone(),
+                    });
+                    dims = out;
+                }
+                Err(message) => {
+                    return Err(ShapeError {
+                        index,
+                        layer: layer.name(),
+                        input: dims,
+                        message,
+                        steps,
+                    })
+                }
+            }
+        }
+        Ok(ShapeTrace {
+            steps,
+            output: dims,
+        })
+    }
 }
 
 impl Layer for Sequential {
@@ -124,6 +182,7 @@ impl Layer for Sequential {
         let mut x = input.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             let flops = layer.flops_forward(x.dims());
+            // slm-lint: allow(no-nondeterminism) the profiler's whole job is measuring wall time; readings feed telemetry only, never the model
             let t0 = Instant::now();
             x = layer.forward(&x);
             self.profiler
@@ -146,6 +205,7 @@ impl Layer for Sequential {
         }
         let mut g = grad_out.clone();
         for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            // slm-lint: allow(no-nondeterminism) profiler wall-time reading; telemetry only, never fed back into the model
             let t0 = Instant::now();
             g = layer.backward(&g);
             self.profiler
@@ -163,6 +223,13 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn out_shape(&self, input: &[usize]) -> Result<Vec<usize>, String> {
+        match self.shape_trace(input) {
+            Ok(trace) => Ok(trace.output),
+            Err(e) => Err(format!("layer #{} ({}): {}", e.index, e.layer, e.message)),
+        }
     }
 
     fn flops_forward(&self, _input_dims: &[usize]) -> f64 {
@@ -287,6 +354,38 @@ mod tests {
         assert_eq!(s.histograms["nn.ue.layer.6.dense.bwd.host_s"].count(), 1);
         assert_eq!(s.gauge("nn.ue.layer.6.dense.params"), Some(5.0));
         assert!(net.profiler().is_empty());
+    }
+
+    #[test]
+    fn shape_trace_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = tiny_cnn(&mut rng);
+        let trace = net.shape_trace(&[3, 1, 4, 4]).unwrap();
+        assert_eq!(trace.output, vec![3, 1]);
+        assert_eq!(trace.steps.len(), 7);
+        // The symbolic trace agrees with the real forward at every layer.
+        let out = net.forward(&Tensor::zeros([3, 1, 4, 4]));
+        assert_eq!(out.dims(), trace.output.as_slice());
+        assert_eq!(trace.steps[4].layer, "avg_pool2d");
+        assert_eq!(trace.steps[4].output, vec![3, 1, 2, 2]);
+        // Partial trace mirrors forward_partial's pre-pool prefix.
+        let partial = net.shape_trace_partial(4, &[2, 1, 4, 4]).unwrap();
+        assert_eq!(partial.output, vec![2, 1, 4, 4]);
+    }
+
+    #[test]
+    fn shape_trace_locates_miswired_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = tiny_cnn(&mut rng);
+        // 5x5 input: AvgPool2d(2, 2) at index 4 cannot tile it.
+        let err = net.shape_trace(&[1, 1, 5, 5]).unwrap_err();
+        assert_eq!(err.index, 4);
+        assert_eq!(err.layer, "avg_pool2d");
+        assert_eq!(err.steps.len(), 4);
+        assert!(err.message.contains("does not tile"), "{}", err.message);
+        assert!(err.to_string().contains("SHAPE ERROR"));
+        // The trait-level contract surfaces the same failure.
+        assert!(net.out_shape(&[1, 1, 5, 5]).is_err());
     }
 
     #[test]

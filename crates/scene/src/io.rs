@@ -84,9 +84,15 @@ impl MeasurementTrace {
         if bytes.len() < 28 || &bytes[..8] != MAGIC {
             return Err(TraceIoError::BadMagic);
         }
-        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap()) as usize;
+        // Fixed-width array reads are infallible (header length checked
+        // above, payload length checked below) — no unwrap needed.
+        let u32_at = |o: usize| {
+            u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]) as usize
+        };
         let (h, w, n) = (u32_at(8), u32_at(12), u32_at(16));
-        let interval = f64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let interval = f64::from_le_bytes([
+            bytes[20], bytes[21], bytes[22], bytes[23], bytes[24], bytes[25], bytes[26], bytes[27],
+        ]);
         if h == 0 || w == 0 || n == 0 {
             return Err(TraceIoError::Corrupt("zero dimension"));
         }
@@ -97,16 +103,12 @@ impl MeasurementTrace {
         if bytes.len() != expected {
             return Err(TraceIoError::Corrupt("length mismatch"));
         }
-        let f32_at = |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let f32_at =
+            |o: usize| f32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
         let powers: Vec<f32> = (0..n).map(|i| f32_at(28 + i * 4)).collect();
         let base = 28 + n * 4;
         let frames: Vec<Tensor> = (0..n)
-            .map(|i| {
-                let data: Vec<f32> = (0..h * w)
-                    .map(|j| f32_at(base + (i * h * w + j) * 4))
-                    .collect();
-                Tensor::from_vec([h, w], data).expect("frame buffer sized by construction")
-            })
+            .map(|i| Tensor::from_fn([h, w], |j| f32_at(base + (i * h * w + j) * 4)))
             .collect();
         Ok(MeasurementTrace {
             frames,

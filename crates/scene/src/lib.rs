@@ -36,7 +36,7 @@ mod trace;
 
 pub use camera::DepthCamera;
 pub use config::{CameraConfig, SceneConfig};
-pub use dataset::{PowerNormalizer, SequenceDataset, SequenceSample, SplitIndices};
+pub use dataset::{PowerNormalizer, SequenceDataset, SequenceSample, SplitIndices, PAPER_SEQ_LEN};
 pub use io::TraceIoError;
 pub use pedestrian::Pedestrian;
 pub use power::PowerModel;

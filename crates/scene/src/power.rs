@@ -23,7 +23,9 @@ pub fn blockage_attenuation_db(config: &SceneConfig, pedestrians: &[Pedestrian],
         let Some(edge) = p.edge_distance_to_los(t) else {
             continue;
         };
+        // slm-lint: allow(float-cmp) exact sentinel for the degenerate zero-margin config, not arithmetic
         let depth = if config.transition_margin_m == 0.0 {
+            // slm-lint: allow(float-cmp) exact geometric boundary of the degenerate case above
             if edge == 0.0 {
                 1.0
             } else {

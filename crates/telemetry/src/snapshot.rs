@@ -88,14 +88,21 @@ impl Snapshot {
             let mut o = JsonObject::new()
                 .u64("count", h.count())
                 .f64("sum", h.sum());
-            if let (Some(min), Some(max), Some(mean)) = (h.min(), h.max(), h.mean()) {
+            if let (Some(min), Some(max), Some(mean), Some(p50), Some(p90), Some(p99)) = (
+                h.min(),
+                h.max(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+            ) {
                 o = o
                     .f64("min", min)
                     .f64("max", max)
                     .f64("mean", mean)
-                    .f64("p50", h.quantile(0.5).unwrap())
-                    .f64("p90", h.quantile(0.9).unwrap())
-                    .f64("p99", h.quantile(0.99).unwrap());
+                    .f64("p50", p50)
+                    .f64("p90", p90)
+                    .f64("p99", p99);
             }
             let mut buckets = JsonArray::new();
             for (i, c) in h.indexed_buckets() {

@@ -35,6 +35,15 @@ stage() {
 stage fmt cargo fmt --all -- --check
 stage clippy cargo clippy --workspace --all-targets -- -D warnings
 
+# Static analysis: workspace rules (unwrap/nondeterminism/print/float-eq/
+# lossy-cast/deps policy, ratcheted by crates/lint/allowlist.txt) plus the
+# offline shape-contract check of every experiment profile's wiring.
+# Writes results/lint.json so slm-report can track the allowlist burn-down.
+if [[ "$overall" -eq 0 ]]; then
+    stage lint cargo run -q -p sl-lint --bin slm-lint -- \
+        --shapes --json-out results/lint.json
+fi
+
 if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     stage build cargo build --release
 fi

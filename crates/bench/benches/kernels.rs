@@ -9,7 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use sl_nn::{Layer, Lstm};
-use sl_tensor::{avg_pool2d, conv2d, matmul, randn, Padding, Tensor};
+use sl_tensor::{
+    avg_pool2d, conv2d, conv2d_backward_in, conv2d_in, matmul, matmul_in, randn, ComputePool,
+    Padding, Tensor,
+};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -43,6 +46,59 @@ fn bench_pool(c: &mut Criterion) {
     });
 }
 
+/// Serial vs pooled compute backend at the paper shapes — results are
+/// bitwise identical across the two pools; only throughput differs.
+/// (On a single-core host the pooled variant measures dispatch overhead.)
+fn bench_backend(c: &mut Criterion) {
+    let serial = ComputePool::new(1);
+    let pooled = ComputePool::new(4);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Dense-layer shape: a 256-sample minibatch through a 16→64 layer.
+    let a = randn([256, 16], 0.0, 1.0, &mut rng);
+    let b = randn([16, 64], 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_256x16x64_serial", |bch| {
+        bch.iter(|| black_box(matmul_in(&serial, black_box(&a), &b)))
+    });
+    c.bench_function("matmul_256x16x64_pool4", |bch| {
+        bch.iter(|| black_box(matmul_in(&pooled, black_box(&a), &b)))
+    });
+
+    let x = randn([4, 1, 40, 40], 0.0, 1.0, &mut rng);
+    let w = randn([8, 1, 3, 3], 0.0, 0.3, &mut rng);
+    let bias = Tensor::zeros([8]);
+    c.bench_function("conv2d_40x40_1to8_serial", |bch| {
+        bch.iter(|| black_box(conv2d_in(&serial, black_box(&x), &w, &bias, Padding::Same)))
+    });
+    c.bench_function("conv2d_40x40_1to8_pool4", |bch| {
+        bch.iter(|| black_box(conv2d_in(&pooled, black_box(&x), &w, &bias, Padding::Same)))
+    });
+
+    let g = conv2d_in(&serial, &x, &w, &bias, Padding::Same);
+    c.bench_function("conv2d_bwd_40x40_1to8_serial", |bch| {
+        bch.iter(|| {
+            black_box(conv2d_backward_in(
+                &serial,
+                black_box(&x),
+                &w,
+                &g,
+                Padding::Same,
+            ))
+        })
+    });
+    c.bench_function("conv2d_bwd_40x40_1to8_pool4", |bch| {
+        bch.iter(|| {
+            black_box(conv2d_backward_in(
+                &pooled,
+                black_box(&x),
+                &w,
+                &g,
+                Padding::Same,
+            ))
+        })
+    });
+}
+
 fn bench_lstm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     // The BS half on a one-pixel Img+RF batch: [64, 4, 2] → hidden 32.
@@ -64,6 +120,6 @@ fn bench_lstm(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_conv, bench_pool, bench_lstm
+    targets = bench_matmul, bench_conv, bench_pool, bench_backend, bench_lstm
 }
 criterion_main!(kernels);

@@ -1,0 +1,338 @@
+//! `kernels` — compute-backend micro-benchmark recorder.
+//!
+//! Measures the paper-shaped hot-path kernels at three tiers:
+//!
+//! * **ref** — the pre-backend scalar loops (naive i-k-j matmul, direct
+//!   seven-loop convolution), reimplemented here as the fixed baseline;
+//! * **serial** — the tiled backend on an explicit one-thread
+//!   [`ComputePool`];
+//! * **pooled** — the tiled backend on the process-wide pool
+//!   (`SLM_THREADS` wide).
+//!
+//! Each workload also asserts the backend's determinism contract: the
+//! pooled output must be **bitwise identical** to the serial one. The
+//! resulting [`KernelsEntry`] batch is appended to
+//! `results/BENCH_kernels.json` and can be rendered / gated with
+//! `slm-report --kernels [--check]`. Throughputs are recorded for the
+//! trajectory but never gated — they are host-dependent.
+//!
+//! ```sh
+//! kernels              # measure, append to results/BENCH_kernels.json
+//! kernels --no-append  # measure + print only
+//! kernels results2     # use a different results directory
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_bench::report::{
+    append_kernels_trajectory, check_kernels, kernels_bench_path, render_kernels, KernelsEntry,
+};
+use sl_tensor::{conv2d_backward_in, conv2d_in, matmul_in, randn, ComputePool, Padding, Tensor};
+
+/// Fixed data seed so successive runs measure identical workloads.
+const SEED: u64 = 0x6b65_726e;
+
+const USAGE: &str = "usage: kernels [--no-append] [<results-dir>]";
+
+fn main() -> ExitCode {
+    let mut no_append = false;
+    let mut results_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-append" => no_append = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("kernels: unknown flag {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            dir => results_dir = PathBuf::from(dir),
+        }
+    }
+
+    let now_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let serial = ComputePool::new(1);
+    let pooled = ComputePool::global();
+    eprintln!(
+        "kernels: pooled tier runs {} thread(s) (set SLM_THREADS to change)",
+        pooled.threads()
+    );
+
+    let mut batch = Vec::new();
+    for (m, k, n, label) in [(256, 16, 64, "dense batch"), (64, 96, 96, "gru gates")] {
+        batch.push(measure_matmul(now_s, &serial, pooled, m, k, n, label));
+    }
+    batch.push(measure_conv_fwd(now_s, &serial, pooled));
+    batch.push(measure_conv_bwd(now_s, &serial, pooled));
+
+    print!("{}", render_kernels(&batch));
+    let failures = check_kernels(&batch);
+    for f in &failures {
+        eprintln!("kernels: FAIL {f}");
+    }
+
+    if !no_append {
+        let path = kernels_bench_path(&results_dir);
+        if let Err(e) = std::fs::create_dir_all(&results_dir) {
+            eprintln!("kernels: {}: {e}", results_dir.display());
+            return ExitCode::from(2);
+        }
+        match append_kernels_trajectory(&path, &batch) {
+            Ok(total) => eprintln!(
+                "kernels: appended {} entries to {} ({total} total)",
+                batch.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("kernels: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Best-observed throughput for `f`, in GFLOP/s: one warm-up call, then
+/// three samples of `reps` calls sized to ~20 ms each.
+fn time_gflops(flops: f64, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let reps = ((0.02 / once).ceil() as usize).clamp(1, 2000);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    flops / best.max(1e-9) / 1e9
+}
+
+fn bitwise_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The pre-backend matmul idiom: i-k-j accumulation into the output
+/// row, with the zero-skip branch the backend removed.
+fn ref_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            // slm-lint: allow(float-cmp) reproducing the removed zero-skip idiom verbatim
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+    out
+}
+
+fn measure_matmul(
+    now_s: u64,
+    serial: &ComputePool,
+    pooled: &ComputePool,
+    m: usize,
+    k: usize,
+    n: usize,
+    label: &str,
+) -> KernelsEntry {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = randn([m, k], 0.0, 1.0, &mut rng);
+    let b = randn([k, n], 0.0, 1.0, &mut rng);
+    let flops = 2.0 * (m * k * n) as f64;
+
+    let ref_gflops = time_gflops(flops, || {
+        std::hint::black_box(ref_matmul(a.data(), b.data(), m, k, n));
+    });
+    let serial_gflops = time_gflops(flops, || {
+        std::hint::black_box(matmul_in(serial, &a, &b));
+    });
+    let pooled_gflops = time_gflops(flops, || {
+        std::hint::black_box(matmul_in(pooled, &a, &b));
+    });
+    let eq = bitwise_equal(&matmul_in(serial, &a, &b), &matmul_in(pooled, &a, &b));
+    eprintln!("kernels: matmul {m}x{k}x{n} ({label})");
+    KernelsEntry {
+        timestamp_s: now_s,
+        kernel: "matmul".to_string(),
+        shape: format!("{m}x{k}x{n}"),
+        threads: pooled.threads() as u64,
+        ref_gflops,
+        serial_gflops,
+        pooled_gflops,
+        bitwise_equal: eq,
+    }
+}
+
+/// The pre-backend convolution idiom: direct loops over every output
+/// position and filter tap, no im2col.
+fn ref_conv2d(x: &Tensor, w: &Tensor, bias: &Tensor, pad: Padding) -> Tensor {
+    let (n, c_in, h, wi) = dims4(x);
+    let (c_out, _, kh, kw) = dims4(w);
+    let (ph, pw) = pad.amounts(kh, kw);
+    let (ho, wo) = pad.output_size(h, wi, kh, kw);
+    let mut out = Tensor::zeros([n, c_out, ho, wo]);
+    for img in 0..n {
+        for o in 0..c_out {
+            for y in 0..ho {
+                for xx in 0..wo {
+                    let mut acc = bias.data()[o];
+                    for c in 0..c_in {
+                        for dy in 0..kh {
+                            for dx in 0..kw {
+                                let iy = y + dy;
+                                let ix = xx + dx;
+                                if iy >= ph && ix >= pw && iy - ph < h && ix - pw < wi {
+                                    acc +=
+                                        x.at(&[img, c, iy - ph, ix - pw]) * w.at(&[o, c, dy, dx]);
+                                }
+                            }
+                        }
+                    }
+                    *out.at_mut(&[img, o, y, xx]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Direct-loop backward matching [`ref_conv2d`]'s summation structure.
+fn ref_conv2d_backward(x: &Tensor, w: &Tensor, g: &Tensor, pad: Padding) -> (Tensor, Tensor) {
+    let (n, c_in, h, wi) = dims4(x);
+    let (c_out, _, kh, kw) = dims4(w);
+    let (ph, pw) = pad.amounts(kh, kw);
+    let (_, _, ho, wo) = dims4(g);
+    let mut gx = Tensor::zeros(x.dims());
+    let mut gw = Tensor::zeros(w.dims());
+    for img in 0..n {
+        for o in 0..c_out {
+            for y in 0..ho {
+                for xx in 0..wo {
+                    let gv = g.at(&[img, o, y, xx]);
+                    for c in 0..c_in {
+                        for dy in 0..kh {
+                            for dx in 0..kw {
+                                let iy = y + dy;
+                                let ix = xx + dx;
+                                if iy >= ph && ix >= pw && iy - ph < h && ix - pw < wi {
+                                    *gw.at_mut(&[o, c, dy, dx]) +=
+                                        gv * x.at(&[img, c, iy - ph, ix - pw]);
+                                    *gx.at_mut(&[img, c, iy - ph, ix - pw]) +=
+                                        gv * w.at(&[o, c, dy, dx]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, gw)
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let d = t.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+/// Conv workload shaped like the paper's UE-side CNN input: a batch of
+/// depth frames through a 3×3 'same' convolution.
+fn conv_workload() -> (Tensor, Tensor, Tensor, f64) {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 1);
+    let x = randn([4, 1, 40, 40], 0.0, 1.0, &mut rng);
+    let w = randn([8, 1, 3, 3], 0.0, 0.5, &mut rng);
+    let b = randn([8], 0.0, 0.1, &mut rng);
+    let flops = 2.0 * (4 * 40 * 40) as f64 * (8 * 3 * 3) as f64;
+    (x, w, b, flops)
+}
+
+fn measure_conv_fwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> KernelsEntry {
+    let (x, w, b, flops) = conv_workload();
+    let pad = Padding::Same;
+    let ref_gflops = time_gflops(flops, || {
+        std::hint::black_box(ref_conv2d(&x, &w, &b, pad));
+    });
+    let serial_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_in(serial, &x, &w, &b, pad));
+    });
+    let pooled_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_in(pooled, &x, &w, &b, pad));
+    });
+    let eq = bitwise_equal(
+        &conv2d_in(serial, &x, &w, &b, pad),
+        &conv2d_in(pooled, &x, &w, &b, pad),
+    );
+    eprintln!("kernels: conv2d_fwd 4x1x40x40 * 8x1x3x3 same");
+    KernelsEntry {
+        timestamp_s: now_s,
+        kernel: "conv2d_fwd".to_string(),
+        shape: "4x1x40x40*8x1x3x3".to_string(),
+        threads: pooled.threads() as u64,
+        ref_gflops,
+        serial_gflops,
+        pooled_gflops,
+        bitwise_equal: eq,
+    }
+}
+
+fn measure_conv_bwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> KernelsEntry {
+    let (x, w, b, fwd_flops) = conv_workload();
+    let pad = Padding::Same;
+    let g = conv2d_in(serial, &x, &w, &b, pad);
+    // grad_input + grad_weight are each one forward-sized GEMM.
+    let flops = 2.0 * fwd_flops;
+
+    let ref_gflops = time_gflops(flops, || {
+        std::hint::black_box(ref_conv2d_backward(&x, &w, &g, pad));
+    });
+    let serial_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_backward_in(serial, &x, &w, &g, pad));
+    });
+    let pooled_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_backward_in(pooled, &x, &w, &g, pad));
+    });
+    let gs = conv2d_backward_in(serial, &x, &w, &g, pad);
+    let gp = conv2d_backward_in(pooled, &x, &w, &g, pad);
+    let eq = bitwise_equal(&gs.grad_input, &gp.grad_input)
+        && bitwise_equal(&gs.grad_weight, &gp.grad_weight)
+        && bitwise_equal(&gs.grad_bias, &gp.grad_bias);
+    eprintln!("kernels: conv2d_bwd 4x1x40x40 * 8x1x3x3 same");
+    KernelsEntry {
+        timestamp_s: now_s,
+        kernel: "conv2d_bwd".to_string(),
+        shape: "4x1x40x40*8x1x3x3".to_string(),
+        threads: pooled.threads() as u64,
+        ref_gflops,
+        serial_gflops,
+        pooled_gflops,
+        bitwise_equal: eq,
+    }
+}

@@ -6,27 +6,34 @@
 //! slm-report results/fig3a                 # report + trajectory append
 //! slm-report --check results/fig3a         # regression gate (exit 1 on fail)
 //! slm-report --diff results/a results/b    # side-by-side comparison
+//! slm-report --kernels results             # latest compute-kernel batch
+//! slm-report --kernels --check results     # gate kernel determinism
 //! ```
 //!
 //! Flags: `--out FILE` (write markdown to a file), `--no-append` (skip
 //! the trajectory append), `--tol-rmse X` / `--tol-time X` (relative
-//! gate tolerances, defaults 0.30 / 0.25).
+//! gate tolerances, defaults 0.30 / 0.25). `--kernels` reads the
+//! `BENCH_kernels.json` trajectory written by the `kernels` bin and,
+//! with `--check`, fails on determinism violations (throughputs are
+//! reported, never gated).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use sl_bench::report::{
-    append_trajectory, bench_path, check, entry_from_run, load_run, load_trajectory, render_diff,
-    render_markdown, CheckConfig, CheckOutcome,
+    append_trajectory, bench_path, check, check_kernels, entry_from_run, kernels_bench_path,
+    latest_kernels_batch, load_kernels_trajectory, load_run, load_trajectory, render_diff,
+    render_kernels, render_markdown, CheckConfig, CheckOutcome,
 };
 
-const USAGE: &str = "usage: slm-report [--check] [--diff A B] [--out FILE] \
+const USAGE: &str = "usage: slm-report [--check] [--diff A B] [--kernels] [--out FILE] \
                      [--no-append] [--tol-rmse X] [--tol-time X] <results-dir>...";
 
 fn main() -> ExitCode {
     let mut check_mode = false;
     let mut diff_mode = false;
+    let mut kernels_mode = false;
     let mut no_append = false;
     let mut out_path: Option<PathBuf> = None;
     let mut cfg = CheckConfig::default();
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--check" => check_mode = true,
             "--diff" => diff_mode = true,
+            "--kernels" => kernels_mode = true,
             "--no-append" => no_append = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(PathBuf::from(p)),
@@ -62,6 +70,33 @@ fn main() -> ExitCode {
     }
     if dirs.is_empty() {
         return usage_error("no results directory given");
+    }
+
+    if kernels_mode {
+        if dirs.len() != 1 {
+            return usage_error("--kernels needs exactly one results directory");
+        }
+        let path = kernels_bench_path(&dirs[0]);
+        let all = match load_kernels_trajectory(&path) {
+            Ok(t) => t,
+            Err(e) => return load_error(&e),
+        };
+        let batch = latest_kernels_batch(&all);
+        print!("{}", render_kernels(batch));
+        if !check_mode {
+            return ExitCode::SUCCESS;
+        }
+        let failures = check_kernels(batch);
+        return if failures.is_empty() {
+            println!("\nPASS  kernels  ({} entries in latest batch)", batch.len());
+            ExitCode::SUCCESS
+        } else {
+            println!("\nFAIL  kernels");
+            for f in &failures {
+                println!("      - {f}");
+            }
+            ExitCode::from(1)
+        };
     }
 
     if diff_mode {

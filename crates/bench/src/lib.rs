@@ -331,6 +331,12 @@ impl Experiment {
             .str("experiment", &self.name)
             .str("profile", self.profile.name())
             .u64("scene_seed", SCENE_SEED)
+            // Compute-backend width for the run — results are bitwise
+            // thread-count independent, but throughput is not.
+            .u64(
+                "slm_threads",
+                sl_tensor::ComputePool::global().threads() as u64,
+            )
             .str(
                 "telemetry_mode",
                 match self.telemetry.mode() {

@@ -800,6 +800,217 @@ pub fn check(entry: &BenchEntry, history: &[BenchEntry], cfg: &CheckConfig) -> C
     }
 }
 
+// ---------------------------------------------------------------------
+// Kernel micro-benchmark trajectory (`BENCH_kernels.json`)
+// ---------------------------------------------------------------------
+
+/// One `BENCH_kernels.json` entry: a single kernel workload measured at
+/// three tiers — the pre-backend scalar reference loop, the tiled
+/// backend on one thread, and the tiled backend on the pooled thread
+/// count. Written by the `kernels` bin, rendered/gated by
+/// `slm-report --kernels`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelsEntry {
+    /// Unix seconds of the batch this entry belongs to (0 when unknown);
+    /// entries appended together share one timestamp.
+    pub timestamp_s: u64,
+    /// Kernel family (`matmul`, `matmul_at_b`, `conv2d_fwd`, ...).
+    pub kernel: String,
+    /// Workload shape label, e.g. `256x16x64`.
+    pub shape: String,
+    /// Pooled participant count measured (the host may cap the useful
+    /// parallelism below `SLM_THREADS`).
+    pub threads: u64,
+    /// Throughput of the scalar pre-backend reference, GFLOP/s.
+    pub ref_gflops: f64,
+    /// Throughput of the backend at one thread, GFLOP/s.
+    pub serial_gflops: f64,
+    /// Throughput of the backend at `threads` participants, GFLOP/s.
+    pub pooled_gflops: f64,
+    /// Whether the pooled output was bitwise identical to the serial
+    /// output — the backend's determinism contract, gated by
+    /// [`check_kernels`].
+    pub bitwise_equal: bool,
+}
+
+impl KernelsEntry {
+    /// serial / reference: what cache blocking alone buys.
+    pub fn tile_speedup(&self) -> f64 {
+        self.serial_gflops / self.ref_gflops
+    }
+
+    /// pooled / serial: what the worker pool buys on this host.
+    pub fn pool_speedup(&self) -> f64 {
+        self.pooled_gflops / self.serial_gflops
+    }
+
+    /// pooled / reference: the end-to-end backend speedup.
+    pub fn total_speedup(&self) -> f64 {
+        self.pooled_gflops / self.ref_gflops
+    }
+
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("timestamp_s", self.timestamp_s)
+            .str("kernel", &self.kernel)
+            .str("shape", &self.shape)
+            .u64("threads", self.threads)
+            .f64("ref_gflops", self.ref_gflops)
+            .f64("serial_gflops", self.serial_gflops)
+            .f64("pooled_gflops", self.pooled_gflops)
+            .bool("bitwise_equal", self.bitwise_equal)
+            .finish()
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("kernels entry missing numeric field {k:?}"))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("kernels entry missing integer field {k:?}"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("kernels entry missing string field {k:?}"))
+        };
+        Ok(KernelsEntry {
+            timestamp_s: u("timestamp_s")?,
+            kernel: s("kernel")?,
+            shape: s("shape")?,
+            threads: u("threads")?,
+            ref_gflops: f("ref_gflops")?,
+            serial_gflops: f("serial_gflops")?,
+            pooled_gflops: f("pooled_gflops")?,
+            bitwise_equal: v
+                .get("bitwise_equal")
+                .and_then(JsonValue::as_bool)
+                .ok_or("kernels entry missing boolean field \"bitwise_equal\"")?,
+        })
+    }
+}
+
+/// Where the kernel trajectory lives: `BENCH_kernels.json` directly
+/// under `results/`.
+pub fn kernels_bench_path(results_dir: &Path) -> PathBuf {
+    results_dir.join("BENCH_kernels.json")
+}
+
+/// Loads the kernel trajectory; a missing file is an empty trajectory.
+pub fn load_kernels_trajectory(path: &Path) -> Result<Vec<KernelsEntry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = v
+        .get("entries")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{}: missing \"entries\" array", path.display()))?;
+    entries
+        .iter()
+        .map(KernelsEntry::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Appends a batch of entries to the kernel trajectory (rewriting the
+/// file whole, like [`append_trajectory`]) and returns the new total.
+pub fn append_kernels_trajectory(path: &Path, batch: &[KernelsEntry]) -> Result<usize, String> {
+    let mut entries = load_kernels_trajectory(path)?;
+    entries.extend(batch.iter().cloned());
+    let mut arr = JsonArray::new();
+    for e in &entries {
+        arr.push_raw(&e.to_json());
+    }
+    let body = JsonObject::new()
+        .str("experiment", "kernels")
+        .raw("entries", &arr.finish())
+        .finish();
+    fs::write(path, body + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(entries.len())
+}
+
+/// The most recent batch: the suffix of entries sharing the last entry's
+/// timestamp (batches are appended together with one timestamp).
+pub fn latest_kernels_batch(entries: &[KernelsEntry]) -> &[KernelsEntry] {
+    let Some(last) = entries.last() else {
+        return entries;
+    };
+    let start = entries
+        .iter()
+        .rposition(|e| e.timestamp_s != last.timestamp_s)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    &entries[start..]
+}
+
+/// Renders a kernel batch as a markdown table.
+pub fn render_kernels(batch: &[KernelsEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# slm-report: compute-backend kernels");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| kernel | shape | threads | ref GF/s | serial GF/s | pooled GF/s \
+         | tile× | pool× | total× | bitwise |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    for e in batch {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |",
+            e.kernel,
+            e.shape,
+            e.threads,
+            e.ref_gflops,
+            e.serial_gflops,
+            e.pooled_gflops,
+            e.tile_speedup(),
+            e.pool_speedup(),
+            e.total_speedup(),
+            if e.bitwise_equal { "ok" } else { "MISMATCH" }
+        );
+    }
+    out
+}
+
+/// Correctness gate over a kernel batch. Throughputs are recorded but —
+/// like host wall times elsewhere — never gated (machine-dependent);
+/// what *is* gated is the determinism contract and that every tier
+/// actually ran: an empty batch, a bitwise mismatch, or a non-positive /
+/// non-finite throughput fails.
+pub fn check_kernels(batch: &[KernelsEntry]) -> Vec<String> {
+    let mut failures = Vec::new();
+    if batch.is_empty() {
+        failures.push("no kernel entries recorded".to_string());
+    }
+    for e in batch {
+        let label = format!("{} {}", e.kernel, e.shape);
+        if !e.bitwise_equal {
+            failures.push(format!(
+                "{label}: pooled output differs bitwise from the serial reference"
+            ));
+        }
+        for (tier, v) in [
+            ("ref", e.ref_gflops),
+            ("serial", e.serial_gflops),
+            ("pooled", e.pooled_gflops),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                failures.push(format!("{label}: {tier} throughput is {v} GFLOP/s"));
+            }
+        }
+    }
+    failures
+}
+
 /// Renders a side-by-side diff of two runs; the `bool` is `true` when
 /// run `b` regresses beyond `cfg` relative to run `a`.
 pub fn render_diff(a: &RunData, b: &RunData, cfg: &CheckConfig) -> (String, bool) {
@@ -869,6 +1080,69 @@ mod tests {
             lint_allowlist: 0,
             lint_waived: 0,
         }
+    }
+
+    fn kentry(kernel: &str, ts: u64, bitwise: bool) -> KernelsEntry {
+        KernelsEntry {
+            timestamp_s: ts,
+            kernel: kernel.to_string(),
+            shape: "8x8x8".to_string(),
+            threads: 4,
+            ref_gflops: 1.0,
+            serial_gflops: 2.0,
+            pooled_gflops: 4.0,
+            bitwise_equal: bitwise,
+        }
+    }
+
+    #[test]
+    fn kernels_entry_round_trips_and_derives_speedups() {
+        let e = kentry("matmul", 7, true);
+        let back = KernelsEntry::from_json(&json::parse(&e.to_json()).unwrap()).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.tile_speedup(), 2.0);
+        assert_eq!(back.pool_speedup(), 2.0);
+        assert_eq!(back.total_speedup(), 4.0);
+    }
+
+    #[test]
+    fn kernels_trajectory_appends_and_batches() {
+        let dir = std::env::temp_dir().join(format!("slm-kern-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = kernels_bench_path(&dir);
+        let _ = fs::remove_file(&path);
+        assert!(load_kernels_trajectory(&path).unwrap().is_empty());
+        append_kernels_trajectory(&path, &[kentry("matmul", 1, true)]).unwrap();
+        let n = append_kernels_trajectory(
+            &path,
+            &[kentry("matmul", 2, true), kentry("conv2d_fwd", 2, true)],
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        let all = load_kernels_trajectory(&path).unwrap();
+        assert_eq!(all.len(), 3);
+        let batch = latest_kernels_batch(&all);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.timestamp_s == 2));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn kernels_check_gates_determinism_not_speed() {
+        assert_eq!(check_kernels(&[]).len(), 1);
+        // Slow is fine: pooled below serial is reported, not gated.
+        let mut slow = kentry("matmul", 1, true);
+        slow.pooled_gflops = 0.5;
+        assert!(check_kernels(&[slow]).is_empty());
+        // A bitwise mismatch or dead tier is not fine.
+        let bad = kentry("matmul", 1, false);
+        let mut dead = kentry("conv2d_fwd", 1, true);
+        dead.ref_gflops = 0.0;
+        let failures = check_kernels(&[bad, dead]);
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].contains("bitwise"));
+        assert!(failures[1].contains("ref throughput"));
     }
 
     #[test]

@@ -297,6 +297,9 @@ impl SplitTrainer {
         if tele.is_enabled() {
             self.model.publish_profiles(tele);
             self.model.disable_profiling();
+            // Compute-backend counters (thread pool, per-kernel host time)
+            // so reports can relate throughput to `SLM_THREADS`.
+            sl_tensor::ComputePool::global().publish_metrics(tele);
             tele.add("train.steps.applied", steps_applied);
             tele.add("train.steps.voided", steps_voided);
             // The simulated-clock split, accumulated across runs so a

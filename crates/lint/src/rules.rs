@@ -6,8 +6,10 @@
 //! * `no-expect` — no `.expect(..)` in non-test library code; a
 //!   documented contract panic carries an inline waiver instead.
 //! * `no-nondeterminism` — no `rand::rng()` / `thread_rng()` /
-//!   `Instant::now()` / `SystemTime::now()` in library code outside
-//!   `sl-telemetry` (simulated time and seeded RNGs only).
+//!   `Instant::now()` / `SystemTime::now()` / `thread::spawn()` /
+//!   `available_parallelism()` in library code outside `sl-telemetry`
+//!   (simulated time and seeded RNGs only; OS threads are sanctioned
+//!   solely inside `sl-tensor`'s ComputePool via inline waivers).
 //! * `no-print` — no `println!` / `eprintln!` in library code outside
 //!   bins and the telemetry sinks.
 //! * `float-cmp` — no `==` / `!=` against float literals.
@@ -357,6 +359,30 @@ fn rule_no_nondeterminism(
                 "no-nondeterminism",
                 call(&format!("{}::now()", t.text)),
             );
+        } else if t.text == "thread"
+            && is_punct(toks, i + 1, "::")
+            && is_ident(toks, i + 2, "spawn")
+            && is_punct(toks, i + 3, "(")
+        {
+            push(
+                out,
+                ctx,
+                t,
+                "no-nondeterminism",
+                "`thread::spawn` introduces scheduling nondeterminism — parallel \
+                 compute belongs to sl-tensor's ComputePool (waivered there)"
+                    .to_string(),
+            );
+        } else if t.text == "available_parallelism" && is_punct(toks, i + 1, "(") {
+            push(
+                out,
+                ctx,
+                t,
+                "no-nondeterminism",
+                "`available_parallelism()` is host-dependent — results must never \
+                 depend on it (pool sizing in sl-tensor carries a waiver)"
+                    .to_string(),
+            );
         }
     }
 }
@@ -503,12 +529,24 @@ fn real() { y.unwrap() }
     #[test]
     fn nondeterminism_patterns() {
         let src = "fn f() { let a = rand::rng(); let b = thread_rng(); \
-                   let t = Instant::now(); let s = SystemTime::now(); }";
+                   let t = Instant::now(); let s = SystemTime::now(); \
+                   let h = thread::spawn(|| ()); \
+                   let p = thread::available_parallelism(); }";
         let r = scan(src);
-        assert_eq!(rules(&r).len(), 4);
+        assert_eq!(rules(&r).len(), 6);
         assert!(rules(&r).iter().all(|&r| r == "no-nondeterminism"));
         // Telemetry is exempt.
         assert!(scan_lib("sl-telemetry", src).findings.is_empty());
+    }
+
+    #[test]
+    fn thread_patterns_do_not_fire_on_lookalikes() {
+        // `spawn`/`available_parallelism` must be called through/`(`-adjacent
+        // to count; module paths and bare idents are fine.
+        let src = "fn f() { use std::thread; let s = \"thread::spawn(\"; \
+                   let spawn = 1; let available_parallelism = 2; \
+                   thread::sleep(d); }";
+        assert!(scan(src).findings.is_empty());
     }
 
     #[test]

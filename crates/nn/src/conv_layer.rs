@@ -11,6 +11,11 @@ use crate::Layer;
 /// The UE-side network of the paper stacks two of these ('same' padding,
 /// 3×3 kernels) so that the CNN output keeps the raw image's spatial size
 /// before the average-pooling cut layer compresses it.
+///
+/// Both passes run on `sl-tensor`'s im2col + GEMM backend (one image per
+/// pool job, bitwise thread-count independent); [`Layer::flops_forward`]
+/// keeps counting the mathematical convolution FLOPs, which the im2col
+/// lowering does not change.
 pub struct Conv2d {
     weight: Tensor,
     bias: Tensor,

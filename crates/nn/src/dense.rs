@@ -11,6 +11,11 @@ use crate::Layer;
 /// Weights are stored `[out, in]` (one row per output unit) and
 /// initialized with Xavier-uniform; biases start at zero. The BS-side
 /// prediction head (`Dense(hidden → 1)`) is an instance of this layer.
+///
+/// Forward and both backward matmuls run on `sl-tensor`'s tiled,
+/// pool-parallel GEMM backend (`SLM_THREADS`); the reported
+/// [`Layer::flops_forward`] counts the mathematical `2·N·in·out` FLOPs,
+/// which the backend does not change.
 pub struct Dense {
     weight: Tensor,
     bias: Tensor,

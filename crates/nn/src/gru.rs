@@ -3,7 +3,9 @@
 //! The paper specifies only "recurrent NN layers" at the BS; the default
 //! implementation is [`crate::Lstm`], and this GRU exists for the
 //! cell-type ablation (`sl-bench --bin ablation`). Gate layout along the
-//! `3H` axis is `[reset, update, candidate]`.
+//! `3H` axis is `[reset, update, candidate]`; the `[N, in]·[3H, in]ᵀ`
+//! gate matmuls (and their BPTT transposed variants) run on `sl-tensor`'s
+//! pooled GEMM backend.
 
 use rand::Rng;
 

@@ -8,7 +8,9 @@
 //! Gate layout along the `4H` axis is `[input, forget, cell, output]`.
 //! The forget-gate bias is initialized to 1 (the standard Jozefowicz
 //! et al. trick) so early training does not immediately erase the cell
-//! state.
+//! state. The per-step gate matmuls and their BPTT transposed variants
+//! run on `sl-tensor`'s pooled GEMM backend (`SLM_THREADS`), bitwise
+//! identical at every thread count.
 
 use rand::Rng;
 

@@ -7,7 +7,38 @@
 //! by the pooling size). Only stride 1 is implemented — the paper's
 //! architecture needs nothing else, and leaving stride out keeps the
 //! kernels small and auditable.
+//!
+//! # im2col + GEMM
+//!
+//! Both passes lower convolution onto the cache-blocked GEMM microkernels
+//! in [`crate::gemm`]. Per image, the input is unrolled into a column
+//! matrix `Col: [K × H_out·W_out]` with `K = C_in·kh·kw` (zero rows for
+//! padding taps); the weight tensor `[C_out, C_in, kh, kw]` is already a
+//! row-major `[C_out × K]` matrix, so:
+//!
+//! * forward: `Out_n = W · Col_n` (+ bias),
+//! * weight gradient: `∂W_n = G_n · Col_nᵀ`, reduced over images serially,
+//! * input gradient: `∂Col_n = Wᵀ · G_n`, scattered back by `col2im`.
+//!
+//! This turns the direct 7-deep loop nest into three GEMMs that reuse the
+//! register-blocked kernels (and their cache behaviour) across the whole
+//! training hot path.
+//!
+//! # Determinism
+//!
+//! Parallelism is one image per pool job: each job owns a disjoint slice
+//! of the output (or of per-image gradient slots, reduced afterwards in
+//! ascending image order on the calling thread), and within a job every
+//! output element is a single accumulator summed in ascending `k` order.
+//! Results are therefore bitwise identical at every thread count.
+//!
+//! Like `linalg`, the kernels deliberately do **not** skip zero weights
+//! or zero activations: `0 × NaN` must reach the accumulator so that
+//! non-finite blowups propagate to the training-health watchdog instead
+//! of being silently masked.
 
+use crate::gemm;
+use crate::pool::{ComputePool, KernelKind};
 use crate::tensor::Tensor;
 
 /// Spatial padding policy for [`conv2d`].
@@ -94,7 +125,93 @@ fn conv_dims(
     (n, c_in, h, w, c_out, kh, kw)
 }
 
-/// Stride-1 2-D convolution.
+/// Per-image geometry shared by the `im2col`/`col2im` lowering.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    ph: usize,
+    pw: usize,
+    ho: usize,
+    wo: usize,
+}
+
+impl ConvGeom {
+    /// Unrolled patch length `K = C_in·kh·kw`.
+    fn k(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Output pixels per channel `P = H_out·W_out`.
+    fn p(&self) -> usize {
+        self.ho * self.wo
+    }
+}
+
+/// Unrolls one image `x: [C_in, H, W]` into `col: [K × P]`. `col` must be
+/// zero-initialized; padding taps stay zero.
+fn im2col(col: &mut [f32], x: &[f32], gm: ConvGeom) {
+    let p = gm.p();
+    let mut k = 0usize;
+    for ci in 0..gm.c_in {
+        let in_base = ci * gm.h * gm.w;
+        for dy in 0..gm.kh {
+            // Valid output rows for this vertical tap: oy + dy must land
+            // inside the (virtually padded) input.
+            let oy_lo = gm.ph.saturating_sub(dy);
+            let oy_hi = (gm.h + gm.ph).saturating_sub(dy).min(gm.ho);
+            for dx in 0..gm.kw {
+                let ox_lo = gm.pw.saturating_sub(dx);
+                let ox_hi = (gm.w + gm.pw).saturating_sub(dx).min(gm.wo);
+                let row = &mut col[k * p..(k + 1) * p];
+                if ox_lo < ox_hi {
+                    for oy in oy_lo..oy_hi {
+                        let irow = in_base + (oy + dy - gm.ph) * gm.w + (ox_lo + dx - gm.pw);
+                        row[oy * gm.wo + ox_lo..oy * gm.wo + ox_hi]
+                            .copy_from_slice(&x[irow..irow + (ox_hi - ox_lo)]);
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds `dcol: [K × P]` back into one image gradient
+/// `gx: [C_in, H, W]` — the transpose of [`im2col`], with `+=` because an
+/// input pixel feeds several patches.
+fn col2im_add(gx: &mut [f32], dcol: &[f32], gm: ConvGeom) {
+    let p = gm.p();
+    let mut k = 0usize;
+    for ci in 0..gm.c_in {
+        let in_base = ci * gm.h * gm.w;
+        for dy in 0..gm.kh {
+            let oy_lo = gm.ph.saturating_sub(dy);
+            let oy_hi = (gm.h + gm.ph).saturating_sub(dy).min(gm.ho);
+            for dx in 0..gm.kw {
+                let ox_lo = gm.pw.saturating_sub(dx);
+                let ox_hi = (gm.w + gm.pw).saturating_sub(dx).min(gm.wo);
+                let row = &dcol[k * p..(k + 1) * p];
+                if ox_lo < ox_hi {
+                    for oy in oy_lo..oy_hi {
+                        let irow = in_base + (oy + dy - gm.ph) * gm.w + (ox_lo + dx - gm.pw);
+                        let dst = &mut gx[irow..irow + (ox_hi - ox_lo)];
+                        let src = &row[oy * gm.wo + ox_lo..oy * gm.wo + ox_hi];
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Stride-1 2-D convolution on the process-wide pool.
 ///
 /// * `input`: `[N, C_in, H, W]`
 /// * `weight`: `[C_out, C_in, kh, kw]`
@@ -103,55 +220,56 @@ fn conv_dims(
 /// Returns `[N, C_out, H_out, W_out]` where the output spatial size follows
 /// from `padding` (see [`Padding::output_size`]).
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, padding: Padding) -> Tensor {
+    conv2d_in(ComputePool::global(), input, weight, bias, padding)
+}
+
+/// [`conv2d`] on an explicit pool.
+pub fn conv2d_in(
+    pool: &ComputePool,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    padding: Padding,
+) -> Tensor {
     let (n, c_in, h, w, c_out, kh, kw) = conv_dims(input, weight, bias);
     let (ph, pw) = padding.amounts(kh, kw);
     let (ho, wo) = padding.output_size(h, w, kh, kw);
+    let gm = ConvGeom {
+        c_in,
+        h,
+        w,
+        kh,
+        kw,
+        ph,
+        pw,
+        ho,
+        wo,
+    };
+    let (k_sz, p_sz) = (gm.k(), gm.p());
 
+    let timer = pool.start_kernel(KernelKind::Conv2dFwd);
     let x = input.data();
     let wt = weight.data();
     let b = bias.data();
-    let mut out = vec![0.0f32; n * c_out * ho * wo];
+    let x_per = c_in * h * w;
 
-    for img in 0..n {
-        for (co, &bias_co) in b.iter().enumerate() {
-            let out_base = (img * c_out + co) * ho * wo;
-            out[out_base..out_base + ho * wo].fill(bias_co);
-            for ci in 0..c_in {
-                let in_base = (img * c_in + ci) * h * w;
-                let w_base = (co * c_in + ci) * kh * kw;
-                for dy in 0..kh {
-                    // Valid output rows for this vertical tap: oy + dy
-                    // must land inside the (virtually padded) input.
-                    let oy_lo = ph.saturating_sub(dy);
-                    let oy_hi = (h + ph - dy).min(ho);
-                    for dx in 0..kw {
-                        let wv = wt[w_base + dy * kw + dx];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        // Valid output columns for this horizontal tap —
-                        // hoisting the bounds out of the inner loop keeps
-                        // it contiguous and branch-free (vectorizable).
-                        let ox_lo = pw.saturating_sub(dx);
-                        let ox_hi = (w + pw - dx).min(wo);
-                        if ox_lo >= ox_hi {
-                            continue;
-                        }
-                        for oy in oy_lo..oy_hi {
-                            let orow = out_base + oy * wo;
-                            let irow = in_base + (oy + dy - ph) * w + (ox_lo + dx - pw);
-                            let dst = &mut out[orow + ox_lo..orow + ox_hi];
-                            let src = &x[irow..irow + (ox_hi - ox_lo)];
-                            for (o, &v) in dst.iter_mut().zip(src) {
-                                *o += wv * v;
-                            }
-                        }
-                    }
+    let mut out = vec![0.0f32; n * c_out * p_sz];
+    if !out.is_empty() {
+        // One image per job: each job owns a disjoint [C_out × P] output
+        // slab and its own im2col scratch.
+        pool.run_chunks(&mut out, c_out * p_sz, |img, chunk| {
+            let mut col = vec![0.0f32; k_sz * p_sz];
+            im2col(&mut col, &x[img * x_per..(img + 1) * x_per], gm);
+            gemm::serial_ab(chunk, wt, &col, c_out, k_sz, p_sz);
+            for (orow, &bias_co) in chunk.chunks_exact_mut(p_sz).zip(b) {
+                for o in orow {
+                    *o += bias_co;
                 }
             }
-        }
+        });
     }
-    Tensor::from_vec([n, c_out, ho, wo], out).expect("conv2d output buffer sized by construction")
+    pool.record_kernel(timer);
+    Tensor::from_parts([n, c_out, ho, wo], out)
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -164,12 +282,23 @@ pub struct Conv2dGrads {
     pub grad_bias: Tensor,
 }
 
-/// Backward pass of [`conv2d`].
+/// Backward pass of [`conv2d`], on the process-wide pool.
 ///
 /// Given the upstream gradient `grad_out` (`[N, C_out, H_out, W_out]`, same
 /// shape as the forward output), produces the gradients with respect to
 /// the input, weights and bias.
 pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    padding: Padding,
+) -> Conv2dGrads {
+    conv2d_backward_in(ComputePool::global(), input, weight, grad_out, padding)
+}
+
+/// [`conv2d_backward`] on an explicit pool.
+pub fn conv2d_backward_in(
+    pool: &ComputePool,
     input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
@@ -185,57 +314,71 @@ pub fn conv2d_backward(
         "conv2d_backward: grad_out {} does not match expected [{n}x{c_out}x{ho}x{wo}]",
         grad_out.shape()
     );
+    let gm = ConvGeom {
+        c_in,
+        h,
+        w,
+        kh,
+        kw,
+        ph,
+        pw,
+        ho,
+        wo,
+    };
+    let (k_sz, p_sz) = (gm.k(), gm.p());
 
+    let timer = pool.start_kernel(KernelKind::Conv2dBwd);
     let x = input.data();
     let wt = weight.data();
     let g = grad_out.data();
 
-    let mut gx = vec![0.0f32; x.len()];
-    let mut gw = vec![0.0f32; wt.len()];
-    let mut gb = vec![0.0f32; c_out];
+    let x_per = c_in * h * w;
+    let w_len = wt.len();
 
+    // Bias gradient: a cheap serial reduction over the spatial maps, in
+    // ascending image order.
+    let mut gb = vec![0.0f32; c_out];
     for img in 0..n {
         for (co, gb_co) in gb.iter_mut().enumerate() {
-            let out_base = (img * c_out + co) * ho * wo;
-            // Bias gradient: sum of upstream gradient over the spatial map.
-            *gb_co += g[out_base..out_base + ho * wo].iter().sum::<f32>();
-            for ci in 0..c_in {
-                let in_base = (img * c_in + ci) * h * w;
-                let w_base = (co * c_in + ci) * kh * kw;
-                for dy in 0..kh {
-                    let oy_lo = ph.saturating_sub(dy);
-                    let oy_hi = (h + ph - dy).min(ho);
-                    for dx in 0..kw {
-                        let wv = wt[w_base + dy * kw + dx];
-                        let ox_lo = pw.saturating_sub(dx);
-                        let ox_hi = (w + pw - dx).min(wo);
-                        if ox_lo >= ox_hi {
-                            continue;
-                        }
-                        let mut gwv = 0.0f32;
-                        for oy in oy_lo..oy_hi {
-                            let orow = out_base + oy * wo;
-                            let irow = in_base + (oy + dy - ph) * w + (ox_lo + dx - pw);
-                            let grow = &g[orow + ox_lo..orow + ox_hi];
-                            let xrow = &x[irow..irow + (ox_hi - ox_lo)];
-                            let gxrow = &mut gx[irow..irow + (ox_hi - ox_lo)];
-                            for ((gxv, &gv), &xv) in gxrow.iter_mut().zip(grow).zip(xrow) {
-                                gwv += gv * xv;
-                                *gxv += gv * wv;
-                            }
-                        }
-                        gw[w_base + dy * kw + dx] += gwv;
-                    }
-                }
-            }
+            let base = (img * c_out + co) * p_sz;
+            *gb_co += g[base..base + p_sz].iter().sum::<f32>();
         }
     }
 
+    // Per-image job writing into a disjoint [gx_n | gw_n] slot: the input
+    // gradient slab is final (images never overlap), the weight-gradient
+    // partials are reduced below in ascending image order so the sum's
+    // accumulation order never depends on the thread count.
+    let mut parts = vec![0.0f32; n * (x_per + w_len)];
+    if !parts.is_empty() {
+        pool.run_chunks(&mut parts, x_per + w_len, |img, chunk| {
+            let (gx_n, gw_n) = chunk.split_at_mut(x_per);
+            let g_n = &g[img * c_out * p_sz..(img + 1) * c_out * p_sz];
+            let mut col = vec![0.0f32; k_sz * p_sz];
+            im2col(&mut col, &x[img * x_per..(img + 1) * x_per], gm);
+            // ∂W_n = G_n · Col_nᵀ : [C_out × P] · [K × P]ᵀ → [C_out × K].
+            gemm::serial_a_bt(gw_n, g_n, &col, c_out, p_sz, k_sz);
+            // ∂Col_n = Wᵀ · G_n : [C_out × K]ᵀ · [C_out × P] → [K × P].
+            let mut dcol = vec![0.0f32; k_sz * p_sz];
+            gemm::serial_at_b(&mut dcol, wt, g_n, 0, c_out, k_sz, p_sz);
+            col2im_add(gx_n, &dcol, gm);
+        });
+    }
+
+    let mut gx = vec![0.0f32; n * x_per];
+    let mut gw = vec![0.0f32; w_len];
+    for img in 0..n {
+        let chunk = &parts[img * (x_per + w_len)..(img + 1) * (x_per + w_len)];
+        gx[img * x_per..(img + 1) * x_per].copy_from_slice(&chunk[..x_per]);
+        for (o, &v) in gw.iter_mut().zip(&chunk[x_per..]) {
+            *o += v;
+        }
+    }
+    pool.record_kernel(timer);
+
     Conv2dGrads {
-        grad_input: Tensor::from_vec([n, c_in, h, w], gx)
-            .expect("conv2d_backward grad_input sized by construction"),
-        grad_weight: Tensor::from_vec([c_out, c_in, kh, kw], gw)
-            .expect("conv2d_backward grad_weight sized by construction"),
+        grad_input: Tensor::from_parts([n, c_in, h, w], gx),
+        grad_weight: Tensor::from_parts([c_out, c_in, kh, kw], gw),
         grad_bias: Tensor::from_slice(&gb),
     }
 }
@@ -349,6 +492,47 @@ mod tests {
                 "kernel disagrees with reference under {padding:?}"
             );
         }
+    }
+
+    #[test]
+    fn pooled_conv_bitwise_equals_serial() {
+        let mut seed = 7u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f32 / 500.0 - 1.0
+        };
+        let input = Tensor::from_fn([5, 3, 7, 6], |_| next());
+        let weight = Tensor::from_fn([4, 3, 3, 3], |_| next());
+        let bias = Tensor::from_fn([4], |_| next());
+        let serial = ComputePool::new(1);
+        for padding in [Padding::Same, Padding::Valid] {
+            let want = conv2d_in(&serial, &input, &weight, &bias, padding);
+            let grad_out = Tensor::from_fn(want.dims(), |_| next());
+            let want_bwd = conv2d_backward_in(&serial, &input, &weight, &grad_out, padding);
+            for threads in [2usize, 3, 8] {
+                let pool = ComputePool::new(threads);
+                let got = conv2d_in(&pool, &input, &weight, &bias, padding);
+                assert_eq!(got, want, "forward differs at {threads} threads");
+                let got_bwd = conv2d_backward_in(&pool, &input, &weight, &grad_out, padding);
+                assert_eq!(got_bwd.grad_input, want_bwd.grad_input);
+                assert_eq!(got_bwd.grad_weight, want_bwd.grad_weight);
+                assert_eq!(got_bwd.grad_bias, want_bwd.grad_bias);
+            }
+        }
+    }
+
+    #[test]
+    fn nan_input_poisons_output_even_under_zero_weights() {
+        // Regression test for the removed zero-skip branch: an all-zero
+        // kernel must still propagate NaN from the input (0 × NaN = NaN).
+        let mut input = Tensor::zeros([1, 1, 3, 3]);
+        *input.at_mut(&[0, 0, 1, 1]) = f32::NAN;
+        let weight = Tensor::zeros([1, 1, 3, 3]);
+        let bias = Tensor::zeros([1]);
+        let out = conv2d(&input, &weight, &bias, Padding::Same);
+        assert!(out.at(&[0, 0, 1, 1]).is_nan());
     }
 
     #[test]

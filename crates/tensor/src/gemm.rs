@@ -1,0 +1,335 @@
+//! Cache-blocked GEMM kernels with a register-blocked microkernel — the
+//! compute core behind [`crate::matmul`] and the im2col convolution.
+//!
+//! # Determinism contract
+//!
+//! Every output element is produced by **one** accumulator summing its
+//! `k` products in ascending-`k` order. The blocking constants below
+//! change which elements are *resident* together (cache behavior), and
+//! the pool changes *who* computes a row range — neither changes any
+//! element's accumulation order. Consequently the result is bitwise
+//! identical for every thread count and for every (ragged or full) tile
+//! shape, and `assert_eq!` on tensors is meaningful across machines with
+//! the same FP semantics.
+//!
+//! # Blocking
+//!
+//! * [`MR`]×[`NB`] register/L1 tile: `MR` output rows share each loaded
+//!   `B` row; `NB` columns of partial sums stay in registers/L1 across
+//!   the whole `k` loop and are written to `C` exactly once.
+//! * [`ROWS_PER_JOB`] rows per pool job: the parallel granule. The job
+//!   count derives from the output row count only, so the partitioning
+//!   is thread-count independent (see `crate::pool`).
+
+use crate::pool::ComputePool;
+
+/// Output rows processed together by the microkernel (the register
+/// block height).
+pub(crate) const MR: usize = 4;
+
+/// Output columns accumulated in the on-stack tile (the register block
+/// width; `MR × NB` f32 = 1 KiB, comfortably L1-resident).
+pub(crate) const NB: usize = 64;
+
+/// Independent accumulator lanes of the `A · Bᵀ` dot-product kernel.
+pub(crate) const JB: usize = 8;
+
+/// Output rows per pool job. Small enough to load-balance the paper's
+/// batch-of-64 activations over several workers, large enough that one
+/// job amortizes dispatch.
+pub(crate) const ROWS_PER_JOB: usize = 16;
+
+/// `out[m×n] = a[m×k] · b[k×n]`, rows partitioned over the pool.
+pub(crate) fn gemm_ab(
+    pool: &ComputePool,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len() % n.max(1), 0);
+    if n == 0 {
+        return;
+    }
+    pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
+        let i0 = job * ROWS_PER_JOB;
+        let rows = chunk.len() / n;
+        serial_ab(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+    });
+}
+
+/// `out[m×n] = aᵀ · b` for `a: [k×am]`, `b: [k×n]`, taking `out` rows
+/// `0..m` from `a` columns `0..m` (`m == am` for the public entry),
+/// partitioned over the pool.
+pub(crate) fn gemm_at_b(
+    pool: &ComputePool,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    am: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
+        serial_at_b(chunk, a, b, job * ROWS_PER_JOB, k, am, n);
+    });
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ`, rows partitioned over the pool.
+pub(crate) fn gemm_a_bt(
+    pool: &ComputePool,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
+        let i0 = job * ROWS_PER_JOB;
+        let rows = chunk.len() / n;
+        serial_a_bt(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+    });
+}
+
+/// Serial `out[m×n] = a[m×k] · b[k×n]` via the register-blocked
+/// microkernel. Also the per-image GEMM of the im2col convolution.
+pub(crate) fn serial_ab(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut i0 = 0;
+    while i0 < m {
+        let rr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let cc = NB.min(n - j0);
+            if rr == MR {
+                // Fast path: fixed row count lets the compiler keep the
+                // four accumulator rows register/L1 resident.
+                let mut acc = [[0.0f32; NB]; MR];
+                for kk in 0..k {
+                    let brow = &b[kk * n + j0..kk * n + j0 + cc];
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let a_rk = a[(i0 + r) * k + kk];
+                        for (c, &bv) in brow.iter().enumerate() {
+                            acc_r[c] += a_rk * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + cc];
+                    orow.copy_from_slice(&acc_r[..cc]);
+                }
+            } else {
+                // Ragged row tail: same ascending-k accumulation, so the
+                // values match the fast path bit for bit.
+                let mut acc = [[0.0f32; NB]; MR];
+                for kk in 0..k {
+                    let brow = &b[kk * n + j0..kk * n + j0 + cc];
+                    for (r, acc_r) in acc.iter_mut().enumerate().take(rr) {
+                        let a_rk = a[(i0 + r) * k + kk];
+                        for (c, &bv) in brow.iter().enumerate() {
+                            acc_r[c] += a_rk * bv;
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate().take(rr) {
+                    let orow = &mut out[(i0 + r) * n + j0..(i0 + r) * n + j0 + cc];
+                    orow.copy_from_slice(&acc_r[..cc]);
+                }
+            }
+            j0 += NB;
+        }
+        i0 += MR;
+    }
+}
+
+/// Serial rows `i0..i0 + out.len()/n` of `aᵀ · b` (`a: [k×am]`,
+/// `b: [k×n]`) into `out`.
+pub(crate) fn serial_at_b(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    k: usize,
+    am: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * am);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len() % n, 0);
+    let rows = out.len() / n;
+    let mut r0 = 0;
+    while r0 < rows {
+        let rr = MR.min(rows - r0);
+        let mut j0 = 0;
+        while j0 < n {
+            let cc = NB.min(n - j0);
+            let mut acc = [[0.0f32; NB]; MR];
+            for kk in 0..k {
+                let arow = &a[kk * am..(kk + 1) * am];
+                let brow = &b[kk * n + j0..kk * n + j0 + cc];
+                for (r, acc_r) in acc.iter_mut().enumerate().take(rr) {
+                    let a_rk = arow[i0 + r0 + r];
+                    for (c, &bv) in brow.iter().enumerate() {
+                        acc_r[c] += a_rk * bv;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate().take(rr) {
+                let orow = &mut out[(r0 + r) * n + j0..(r0 + r) * n + j0 + cc];
+                orow.copy_from_slice(&acc_r[..cc]);
+            }
+            j0 += NB;
+        }
+        r0 += MR;
+    }
+}
+
+/// Serial `out[m×n] = a[m×k] · b[n×k]ᵀ` — row-by-row dot products with
+/// [`JB`] independent accumulator lanes (one per `b` row), each summing
+/// in ascending `k`.
+pub(crate) fn serial_a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jj = JB.min(n - j0);
+            let mut acc = [0.0f32; JB];
+            for (kk, &av) in arow.iter().enumerate() {
+                for (c, acc_c) in acc.iter_mut().enumerate().take(jj) {
+                    *acc_c += av * b[(j0 + c) * k + kk];
+                }
+            }
+            orow[j0..j0 + jj].copy_from_slice(&acc[..jj]);
+            j0 += JB;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook reference: one accumulator per element, ascending k —
+    /// the order the production kernels promise to reproduce exactly.
+    fn naive_ab(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_ab_bitwise_matches_naive_across_ragged_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 16, 64), // exact tiles
+            (5, 3, 65),  // ragged rows and columns
+            (7, 33, 17),
+            (64, 16, 96), // GRU gate shape
+            (3, 0, 5),    // empty inner dim
+        ] {
+            let a = fill(m * k, 11);
+            let b = fill(k * n, 23);
+            let mut out = vec![f32::NAN; m * n];
+            serial_ab(&mut out, &a, &b, m, k, n);
+            let want = naive_ab(&a, &b, m, k, n);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_naive() {
+        let (m, k, n) = (9usize, 21usize, 13usize);
+        let a = fill(k * m, 5); // for at_b: A is k×m
+        let b = fill(k * n, 7);
+        let mut out = vec![0.0f32; m * n];
+        serial_at_b(&mut out, &a, &b, 0, k, m, n);
+        // Transpose A and compare against the reference.
+        let mut at = vec![0.0f32; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                at[i * k + kk] = a[kk * m + i];
+            }
+        }
+        assert_eq!(out, naive_ab(&at, &b, m, k, n));
+
+        let a2 = fill(m * k, 3);
+        let b2 = fill(n * k, 9); // for a_bt: B is n×k
+        let mut out2 = vec![0.0f32; m * n];
+        serial_a_bt(&mut out2, &a2, &b2, m, k, n);
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b2[j * k + kk];
+            }
+        }
+        assert_eq!(out2, naive_ab(&a2, &bt, m, k, n));
+    }
+
+    #[test]
+    fn pooled_gemm_bitwise_equals_serial() {
+        let (m, k, n) = (67usize, 19usize, 31usize);
+        let a = fill(m * k, 41);
+        let b = fill(k * n, 43);
+        let mut serial = vec![0.0f32; m * n];
+        serial_ab(&mut serial, &a, &b, m, k, n);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ComputePool::new(threads);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_ab(&pool, &mut out, &a, &b, k, n);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_propagates_through_the_kernels() {
+        // The old kernels' zero-skip branch swallowed 0 × NaN; the tiled
+        // kernels must propagate it (the health watchdog depends on
+        // seeing non-finite values).
+        let a = vec![0.0f32, 1.0];
+        let b = vec![f32::NAN, 0.0];
+        let mut out = vec![0.0f32; 1];
+        serial_ab(&mut out, &a, &b, 1, 2, 1);
+        assert!(out[0].is_nan(), "0 × NaN must reach the accumulator");
+    }
+}

@@ -18,9 +18,22 @@
 //!   constructors (e.g. [`Tensor::from_vec`]) return [`TensorError`]
 //!   instead.
 //!
+//! ## Compute backend
+//!
+//! The hot kernels (`matmul` variants, `conv2d`/`conv2d_backward`) run on
+//! a std-only, lazily-initialized worker pool ([`ComputePool`], sized by
+//! `SLM_THREADS`, default: available parallelism) using cache-blocked
+//! tiled GEMM and an im2col lowering for convolution. Work is partitioned
+//! into **disjoint output row ranges** whose count depends only on the
+//! problem shape, and every output element is one accumulator summed in
+//! ascending reduction order — so results are **bitwise identical at
+//! every thread count**, keeping checkpoints, golden tests and the
+//! determinism lint story intact. Each kernel also has a `*_in` variant
+//! taking an explicit pool (used by equivalence tests and benches).
+//!
 //! The split-learning stack built on top of this crate is deterministic:
 //! every random initializer takes an explicit `rand::Rng`, so seeding the
-//! caller's RNG reproduces training bit-for-bit.
+//! caller's RNG reproduces training bit-for-bit regardless of `SLM_THREADS`.
 //!
 //! ```
 //! use sl_tensor::{avg_pool2d, matmul, Tensor};
@@ -37,15 +50,21 @@
 //! ```
 
 mod conv;
+mod gemm;
 mod init;
 mod linalg;
 mod pool;
+mod pooling;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, Conv2dGrads, Padding};
+pub use conv::{conv2d, conv2d_backward, conv2d_backward_in, conv2d_in, Conv2dGrads, Padding};
 pub use init::{he_normal, randn, uniform, xavier_uniform};
-pub use linalg::{matmul, matmul_a_bt, matmul_at_b, matvec, outer, transpose};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
+pub use linalg::{
+    matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in, matmul_in, matvec, outer,
+    transpose,
+};
+pub use pool::{ComputePool, KernelKind, MAX_THREADS};
+pub use pooling::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
 pub use shape::{broadcastable, Shape};
 pub use tensor::{Tensor, TensorError};

@@ -5,7 +5,22 @@
 //! backward passes of dense and recurrent layers need transposed operands;
 //! fusing the transpose into the kernel avoids materializing transposed
 //! copies on every SGD step.
+//!
+//! All three route through the cache-blocked kernels in [`crate::gemm`]
+//! and partition output rows over a [`ComputePool`]: `matmul(a, b)` uses
+//! the process-wide pool (`SLM_THREADS`), and each has a `*_in` variant
+//! taking an explicit pool for tests and benches. Results are bitwise
+//! identical at every thread count — see the determinism contract in
+//! `crate::gemm`.
+//!
+//! Deliberately absent: the old `if a == 0.0 { continue }` zero-skip
+//! branches. They made sparse-ish inputs marginally cheaper but silently
+//! swallowed NaN/Inf propagation (`0 × NaN` never reached the
+//! accumulator), masking exactly the non-finite blowups the training
+//! health watchdog exists to catch.
 
+use crate::gemm;
+use crate::pool::{ComputePool, KernelKind};
 use crate::tensor::Tensor;
 
 fn dims2(t: &Tensor, op: &str) -> (usize, usize) {
@@ -18,11 +33,17 @@ fn dims2(t: &Tensor, op: &str) -> (usize, usize) {
     (t.dims()[0], t.dims()[1])
 }
 
-/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`.
+/// `C = A · B` for rank-2 tensors `A: [m, k]`, `B: [k, n]`, computed on
+/// the process-wide pool.
 ///
 /// # Panics
 /// Panics unless both tensors are rank-2 with matching inner dimension.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_in(ComputePool::global(), a, b)
+}
+
+/// [`matmul`] on an explicit pool.
+pub fn matmul_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul");
     let (kb, n) = dims2(b, "matmul");
     assert_eq!(
@@ -32,29 +53,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let (ad, bd) = (a.data(), b.data());
+    let timer = pool.start_kernel(KernelKind::Matmul);
     let mut out = vec![0.0f32; m * n];
-    // i-k-j loop order keeps the inner loop contiguous over B and C rows.
-    for i in 0..m {
-        for k in 0..ka {
-            let aik = ad[i * ka + k];
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bd[k * n..(k + 1) * n];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &b) in crow.iter_mut().zip(brow) {
-                *c += aik * b;
-            }
-        }
-    }
-    Tensor::from_vec([m, n], out).expect("matmul output buffer sized by construction")
+    gemm::gemm_ab(pool, &mut out, a.data(), b.data(), ka, n);
+    pool.record_kernel(timer);
+    Tensor::from_parts([m, n], out)
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (yields `[m, n]`).
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (yields `[m, n]`), computed
+/// on the process-wide pool.
 ///
 /// Equivalent to `matmul(&transpose(a), b)` without the copy.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_at_b_in(ComputePool::global(), a, b)
+}
+
+/// [`matmul_at_b`] on an explicit pool.
+pub fn matmul_at_b_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     let (ka, m) = dims2(a, "matmul_at_b");
     let (kb, n) = dims2(b, "matmul_at_b");
     assert_eq!(
@@ -64,28 +79,23 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let (ad, bd) = (a.data(), b.data());
+    let timer = pool.start_kernel(KernelKind::MatmulAtB);
     let mut out = vec![0.0f32; m * n];
-    for k in 0..ka {
-        let arow = &ad[k * m..(k + 1) * m];
-        let brow = &bd[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &b) in crow.iter_mut().zip(brow) {
-                *c += aki * b;
-            }
-        }
-    }
-    Tensor::from_vec([m, n], out).expect("matmul_at_b output buffer sized by construction")
+    gemm::gemm_at_b(pool, &mut out, a.data(), b.data(), ka, m, n);
+    pool.record_kernel(timer);
+    Tensor::from_parts([m, n], out)
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (yields `[m, n]`).
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (yields `[m, n]`), computed
+/// on the process-wide pool.
 ///
 /// Equivalent to `matmul(a, &transpose(b))` without the copy.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_a_bt_in(ComputePool::global(), a, b)
+}
+
+/// [`matmul_a_bt`] on an explicit pool.
+pub fn matmul_a_bt_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul_a_bt");
     let (n, kb) = dims2(b, "matmul_a_bt");
     assert_eq!(
@@ -95,16 +105,11 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-    let (ad, bd) = (a.data(), b.data());
+    let timer = pool.start_kernel(KernelKind::MatmulABt);
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bd[j * kb..(j + 1) * kb];
-            out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-        }
-    }
-    Tensor::from_vec([m, n], out).expect("matmul_a_bt output buffer sized by construction")
+    gemm::gemm_a_bt(pool, &mut out, a.data(), b.data(), ka, n);
+    pool.record_kernel(timer);
+    Tensor::from_parts([m, n], out)
 }
 
 /// Matrix-vector product `A · x` for `A: [m, n]`, `x: [n]` (yields `[m]`).
@@ -141,7 +146,7 @@ pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
             out.push(xi * yj);
         }
     }
-    Tensor::from_vec([m, n], out).expect("outer output buffer sized by construction")
+    Tensor::from_parts([m, n], out)
 }
 
 /// Transpose of a rank-2 tensor.
@@ -154,7 +159,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
             out[j * m + i] = ad[i * n + j];
         }
     }
-    Tensor::from_vec([n, m], out).expect("transpose output buffer sized by construction")
+    Tensor::from_parts([n, m], out)
 }
 
 #[cfg(test)]
@@ -225,5 +230,37 @@ mod tests {
         let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(transpose(&transpose(&a)), a);
         assert_eq!(transpose(&a).at(&[2, 1]), 6.0);
+    }
+
+    #[test]
+    fn nan_propagates_despite_zero_operands() {
+        // Regression test for the removed zero-skip branches: a NaN
+        // multiplied by an exactly-zero operand must still poison the
+        // output, in every multiplication variant.
+        let z = t([2, 2], &[0.0, 0.0, 0.0, 0.0]);
+        let nan = t([2, 2], &[f32::NAN, 1.0, 1.0, 1.0]);
+        assert!(matmul(&z, &nan).data()[0].is_nan());
+        assert!(matmul(&nan, &z).data()[0].is_nan());
+        assert!(matmul_at_b(&z, &nan).data()[0].is_nan());
+        assert!(matmul_at_b(&nan, &z).data()[0].is_nan());
+        assert!(matmul_a_bt(&z, &nan).data()[0].is_nan());
+        assert!(matmul_a_bt(&nan, &z).data()[0].is_nan());
+    }
+
+    #[test]
+    fn explicit_pools_agree_with_global() {
+        let a = t(
+            [5, 7],
+            &(0..35).map(|i| (i as f32).sin()).collect::<Vec<_>>(),
+        );
+        let b = t(
+            [7, 9],
+            &(0..63).map(|i| (i as f32).cos()).collect::<Vec<_>>(),
+        );
+        let serial = ComputePool::new(1);
+        let four = ComputePool::new(4);
+        let want = matmul_in(&serial, &a, &b);
+        assert_eq!(matmul(&a, &b), want);
+        assert_eq!(matmul_in(&four, &a, &b), want);
     }
 }

@@ -1,295 +1,500 @@
-//! Average pooling — the paper's cut-layer compression operator.
+//! The std-only compute worker pool behind the tensor kernels.
 //!
-//! The split network filters the CNN output through an average-pooling
-//! layer of dimension `w_H × w_W`; the pooled map (`(N_H/w_H) × (N_W/w_W)`)
-//! is the *only* image-derived data that crosses the wireless link, so the
-//! pooling size directly trades accuracy against communication payload and
-//! privacy leakage. `40 × 40` pooling of the `40 × 40` CNN output yields
-//! the paper's headline **one-pixel image**.
+//! [`ComputePool`] owns `threads − 1` long-lived worker threads (the
+//! caller is the remaining participant) and dispatches *index jobs* to
+//! them over per-worker channels. Kernels partition their work into
+//! **disjoint output ranges** whose count depends only on the problem
+//! size — never on the thread count — and every output element is
+//! accumulated in a fixed order, so results are bitwise identical to the
+//! serial reference at every thread count. Parallelism changes *who*
+//! computes a chunk, never *what* is computed.
+//!
+//! The process-wide pool ([`ComputePool::global`]) sizes itself from the
+//! `SLM_THREADS` environment variable (default: available parallelism,
+//! clamped to [`MAX_THREADS`]); `SLM_THREADS=1` takes the serial path
+//! with no worker threads at all. Unparseable or out-of-range values
+//! warn through `sl_telemetry` instead of silently falling back.
+//!
+//! Observability: the pool counts dispatched jobs and accumulated
+//! load-imbalance idle time, and each public kernel records its host
+//! time per kernel family; [`ComputePool::publish_metrics`] pushes all
+//! of it into a [`Telemetry`] handle as `tensor.pool.*` /
+//! `tensor.kernel.*` gauges.
+//!
+//! This module is the one place in the numeric crates where OS threads
+//! and wall clocks are allowed; the `no-nondeterminism` lint flags both
+//! elsewhere (the inline waivers below carry the justification).
 
-use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Instant;
 
-fn pool_dims(input: &Tensor, wh: usize, ww: usize) -> (usize, usize, usize, usize, usize, usize) {
-    assert_eq!(
-        input.shape().rank(),
-        4,
-        "avg_pool2d: input {} is not NCHW rank-4",
-        input.shape()
-    );
-    assert!(
-        wh > 0 && ww > 0,
-        "avg_pool2d: pooling window must be non-empty"
-    );
-    let (n, c, h, w) = (
-        input.dims()[0],
-        input.dims()[1],
-        input.dims()[2],
-        input.dims()[3],
-    );
-    assert!(
-        h % wh == 0 && w % ww == 0,
-        "avg_pool2d: window {wh}x{ww} does not tile input {h}x{w} exactly"
-    );
-    (n, c, h, w, h / wh, w / ww)
+use sl_telemetry::Telemetry;
+
+/// Upper clamp for the worker count — beyond this, per-call dispatch
+/// overhead dwarfs any speedup at the paper's tensor sizes.
+pub const MAX_THREADS: usize = 64;
+
+/// Lifetime-erased pointer to the per-call job body. Only dereferenced
+/// by participants holding a claimed job index `< n_jobs`, and every
+/// such job completes before [`ComputePool::run`] returns, so the
+/// pointee outlives all dereferences.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from several workers are
+// fine) and the pointer itself is only a capability to reach it; see the
+// lifetime argument on [`TaskPtr`].
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Shared state of one `run` call: the job body, an atomic job cursor,
+/// a completion latch and the per-call imbalance accounting.
+struct CallShared {
+    task: TaskPtr,
+    n_jobs: usize,
+    /// Next unclaimed job index (may run past `n_jobs`; claims beyond it
+    /// are no-ops).
+    next: AtomicUsize,
+    /// Jobs not yet finished; the participant that takes it to zero
+    /// latches `done`.
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Call start, the common time base of the imbalance metric.
+    start: Instant,
+    /// Sum over participants of nanoseconds-from-start at claim-loop exit.
+    exit_sum_nanos: AtomicU64,
+    /// Max over participants of nanoseconds-from-start at claim-loop exit.
+    exit_max_nanos: AtomicU64,
+    /// Participants that executed at least one job.
+    participants: AtomicU64,
 }
 
-/// Non-overlapping average pooling over an `NCHW` tensor.
+impl CallShared {
+    /// Claims and runs jobs until the cursor is exhausted; returns
+    /// whether this participant ran any job.
+    fn work(&self) -> bool {
+        // SAFETY: see [`TaskPtr`] — `run` keeps the body alive until
+        // `remaining` hits zero, and a claim `< n_jobs` precedes every
+        // dereference.
+        let task = unsafe { &*self.task.0 };
+        let mut ran = false;
+        loop {
+            let job = self.next.fetch_add(1, Ordering::Relaxed);
+            if job >= self.n_jobs {
+                break;
+            }
+            ran = true;
+            task(job);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // slm-lint: allow(no-unwrap) latch mutex is never poisoned: no panic can occur while it is held
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+        if ran {
+            let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.exit_sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+            self.exit_max_nanos.fetch_max(nanos, Ordering::Relaxed);
+            self.participants.fetch_add(1, Ordering::Relaxed);
+        }
+        ran
+    }
+
+    /// Blocks until every job has finished.
+    fn wait(&self) {
+        // slm-lint: allow(no-unwrap) latch mutex is never poisoned: no panic can occur while it is held
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            // slm-lint: allow(no-unwrap) condvar wait only fails on a poisoned mutex, excluded above
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Raw pointer to a mutable `f32` buffer, capturable by a `Sync` job
+/// body. Safe because [`ComputePool::run_chunks`] hands each job a
+/// *disjoint* sub-slice.
+struct BufPtr(*mut f32);
+
+impl BufPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+// SAFETY: jobs address disjoint ranges of the buffer (enforced by the
+// chunk arithmetic in `run_chunks`), so shared access never aliases.
+unsafe impl Send for BufPtr {}
+unsafe impl Sync for BufPtr {}
+
+/// Per-kernel-family host-time accounting (atomics so kernels can record
+/// through the shared global pool).
+#[derive(Default)]
+struct KernelStat {
+    calls: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// The kernel families the backend times individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// `C = A · B`.
+    Matmul,
+    /// `C = Aᵀ · B`.
+    MatmulAtB,
+    /// `C = A · Bᵀ`.
+    MatmulABt,
+    /// im2col + GEMM convolution forward.
+    Conv2dFwd,
+    /// Convolution backward (all three gradients).
+    Conv2dBwd,
+}
+
+impl KernelKind {
+    const ALL: [KernelKind; 5] = [
+        KernelKind::Matmul,
+        KernelKind::MatmulAtB,
+        KernelKind::MatmulABt,
+        KernelKind::Conv2dFwd,
+        KernelKind::Conv2dBwd,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            KernelKind::Matmul => "matmul",
+            KernelKind::MatmulAtB => "matmul_at_b",
+            KernelKind::MatmulABt => "matmul_a_bt",
+            KernelKind::Conv2dFwd => "conv2d_fwd",
+            KernelKind::Conv2dBwd => "conv2d_bwd",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelKind::Matmul => 0,
+            KernelKind::MatmulAtB => 1,
+            KernelKind::MatmulABt => 2,
+            KernelKind::Conv2dFwd => 3,
+            KernelKind::Conv2dBwd => 4,
+        }
+    }
+}
+
+/// A started per-kernel timer; finish it with [`ComputePool::record_kernel`].
+pub struct KernelTimer {
+    kind: KernelKind,
+    start: Instant,
+}
+
+/// A reusable worker pool with deterministic job partitioning.
 ///
-/// The window `wh × ww` must tile the spatial extent exactly (the paper's
-/// pooling dimensions 1×1, 4×4, 10×10 and 40×40 all tile the 40×40 CNN
-/// output). Returns `[N, C, H/wh, W/ww]`.
-pub fn avg_pool2d(input: &Tensor, wh: usize, ww: usize) -> Tensor {
-    let (n, c, _h, w, ho, wo) = pool_dims(input, wh, ww);
-    let x = input.data();
-    let inv = 1.0 / (wh * ww) as f32;
-    let mut out = vec![0.0f32; n * c * ho * wo];
-    for map in 0..n * c {
-        let in_base = map * (ho * wh) * (wo * ww);
-        let out_base = map * ho * wo;
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let mut acc = 0.0f32;
-                for dy in 0..wh {
-                    let row = in_base + (oy * wh + dy) * w + ox * ww;
-                    acc += x[row..row + ww].iter().sum::<f32>();
-                }
-                out[out_base + oy * wo + ox] = acc * inv;
-            }
-        }
-    }
-    Tensor::from_vec([n, c, ho, wo], out).expect("avg_pool2d output buffer sized by construction")
+/// See the module docs for the determinism contract. Construct explicit
+/// pools ([`ComputePool::new`]) in tests/benches; production code goes
+/// through [`ComputePool::global`].
+pub struct ComputePool {
+    /// One channel per worker; `run` broadcasts the call to all of them.
+    senders: Vec<Sender<Arc<CallShared>>>,
+    threads: usize,
+    jobs: AtomicU64,
+    steal_idle_nanos: AtomicU64,
+    kernel_stats: [KernelStat; 5],
 }
 
-/// Backward pass of [`avg_pool2d`]: distributes each upstream gradient
-/// uniformly over its pooling window (scaled by `1/(wh·ww)`).
-pub fn avg_pool2d_backward(
-    input_dims: &[usize],
-    grad_out: &Tensor,
-    wh: usize,
-    ww: usize,
-) -> Tensor {
-    assert_eq!(
-        input_dims.len(),
-        4,
-        "avg_pool2d_backward: input_dims must be NCHW"
-    );
-    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
-    let (ho, wo) = (h / wh, w / ww);
-    assert_eq!(
-        grad_out.dims(),
-        &[n, c, ho, wo],
-        "avg_pool2d_backward: grad_out {} does not match pooled shape [{n}x{c}x{ho}x{wo}]",
-        grad_out.shape()
-    );
-    let g = grad_out.data();
-    let inv = 1.0 / (wh * ww) as f32;
-    let mut gx = vec![0.0f32; n * c * h * w];
-    for map in 0..n * c {
-        let in_base = map * h * w;
-        let out_base = map * ho * wo;
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let gv = g[out_base + oy * wo + ox] * inv;
-                for dy in 0..wh {
-                    let row = in_base + (oy * wh + dy) * w + ox * ww;
-                    for v in &mut gx[row..row + ww] {
-                        *v += gv;
-                    }
+impl ComputePool {
+    /// Builds a pool that computes with `threads` participants: the
+    /// caller plus `threads − 1` spawned workers. `threads` is clamped
+    /// to `1..=`[`MAX_THREADS`].
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let mut senders = Vec::with_capacity(threads.saturating_sub(1));
+        for _worker in 1..threads {
+            let (tx, rx) = channel::<Arc<CallShared>>();
+            senders.push(tx);
+            // Workers live for the process: detached, blocked in `recv`
+            // until the pool (a process-wide singleton in production)
+            // drops its sender.
+            // slm-lint: allow(no-nondeterminism) the one sanctioned thread spawn: workers only compute pre-partitioned disjoint chunks
+            let _ = thread::spawn(move || {
+                while let Ok(call) = rx.recv() {
+                    call.work();
                 }
-            }
+            });
+        }
+        ComputePool {
+            senders,
+            threads,
+            jobs: AtomicU64::new(0),
+            steal_idle_nanos: AtomicU64::new(0),
+            kernel_stats: Default::default(),
         }
     }
-    Tensor::from_vec([n, c, h, w], gx).expect("avg_pool2d_backward buffer sized by construction")
+
+    /// The process-wide pool, lazily built from `SLM_THREADS` on first
+    /// use (see the module docs for the parsing rules).
+    pub fn global() -> &'static ComputePool {
+        static GLOBAL: OnceLock<ComputePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ComputePool::new(configured_threads()))
+    }
+
+    /// Number of participants (caller + workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Jobs dispatched so far.
+    pub fn jobs_dispatched(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated load-imbalance idle seconds: for each parallel call,
+    /// the time participants spent finished-but-waiting for the slowest
+    /// participant (0 on the serial path).
+    pub fn steal_idle_s(&self) -> f64 {
+        self.steal_idle_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Runs `body(job)` for every `job < n_jobs`, spread over the pool.
+    ///
+    /// Jobs must be independent: the partitioning into jobs (and
+    /// therefore the result) must not depend on the thread count. With
+    /// one participant, or a single job, everything runs inline on the
+    /// caller.
+    pub fn run<F>(&self, n_jobs: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.jobs.fetch_add(n_jobs as u64, Ordering::Relaxed);
+        if self.threads == 1 || n_jobs <= 1 {
+            for job in 0..n_jobs {
+                body(job);
+            }
+            return;
+        }
+        // SAFETY: pure lifetime erasure (same fat-pointer layout); the
+        // invariants on [`TaskPtr`] keep every dereference inside the
+        // borrow of `body`.
+        let task = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(&body)
+        });
+        let shared = Arc::new(CallShared {
+            task,
+            n_jobs,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n_jobs),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            // slm-lint: allow(no-nondeterminism) imbalance accounting only; never feeds numerics
+            start: Instant::now(),
+            exit_sum_nanos: AtomicU64::new(0),
+            exit_max_nanos: AtomicU64::new(0),
+            participants: AtomicU64::new(0),
+        });
+        for tx in &self.senders {
+            // A worker that died (panicked job) just means less help;
+            // the caller's own claim loop still drains every job.
+            let _ = tx.send(Arc::clone(&shared));
+        }
+        shared.work();
+        shared.wait();
+        // Imbalance: participants × slowest-exit − Σ exits. Workers that
+        // arrive after completion claim nothing and record nothing.
+        let participants = shared.participants.load(Ordering::Relaxed);
+        let max = shared.exit_max_nanos.load(Ordering::Relaxed);
+        let sum = shared.exit_sum_nanos.load(Ordering::Relaxed);
+        let idle = (participants * max).saturating_sub(sum);
+        self.steal_idle_nanos.fetch_add(idle, Ordering::Relaxed);
+    }
+
+    /// Splits `out` into consecutive `chunk_len`-sized sub-slices (the
+    /// last may be shorter) and runs `body(chunk_index, chunk)` for each,
+    /// spread over the pool. The chunk count depends only on
+    /// `out.len()` and `chunk_len`, keeping results thread-count
+    /// independent.
+    pub fn run_chunks<F>(&self, out: &mut [f32], chunk_len: usize, body: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        assert!(chunk_len > 0, "run_chunks: chunk_len must be positive");
+        let len = out.len();
+        if len == 0 {
+            return;
+        }
+        let n_jobs = len.div_ceil(chunk_len);
+        let base = BufPtr(out.as_mut_ptr());
+        self.run(n_jobs, |job| {
+            let lo = job * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            // SAFETY: [lo, hi) ranges of distinct jobs are disjoint by
+            // construction and within the buffer; `out` is mutably
+            // borrowed for the whole call.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            body(job, chunk);
+        });
+    }
+
+    /// Starts a host-time timer for one kernel invocation.
+    pub fn start_kernel(&self, kind: KernelKind) -> KernelTimer {
+        KernelTimer {
+            kind,
+            // slm-lint: allow(no-nondeterminism) observability-only timestamp; results never depend on it
+            start: Instant::now(),
+        }
+    }
+
+    /// Finishes a [`KernelTimer`], folding its elapsed time into the
+    /// per-kernel stats.
+    pub fn record_kernel(&self, timer: KernelTimer) {
+        let stat = &self.kernel_stats[timer.kind.index()];
+        stat.calls.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(timer.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stat.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Accumulated `(calls, host_seconds)` for one kernel family.
+    pub fn kernel_totals(&self, kind: KernelKind) -> (u64, f64) {
+        let stat = &self.kernel_stats[kind.index()];
+        (
+            stat.calls.load(Ordering::Relaxed),
+            stat.nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        )
+    }
+
+    /// Publishes the pool and per-kernel counters as telemetry gauges:
+    /// `tensor.pool.{threads,jobs,steal_idle_s}` and
+    /// `tensor.kernel.<name>.{calls,host_s}`.
+    pub fn publish_metrics(&self, tele: &mut Telemetry) {
+        tele.gauge_set("tensor.pool.threads", self.threads as f64);
+        tele.gauge_set("tensor.pool.jobs", self.jobs_dispatched() as f64);
+        tele.gauge_set("tensor.pool.steal_idle_s", self.steal_idle_s());
+        for kind in KernelKind::ALL {
+            let (calls, host_s) = self.kernel_totals(kind);
+            if calls == 0 {
+                continue;
+            }
+            tele.gauge_set(
+                &format!("tensor.kernel.{}.calls", kind.name()),
+                calls as f64,
+            );
+            tele.gauge_set(&format!("tensor.kernel.{}.host_s", kind.name()), host_s);
+        }
+    }
 }
 
-/// Non-overlapping max pooling over an `NCHW` tensor.
+/// Resolves the global pool's thread count from `SLM_THREADS`.
 ///
-/// The cut-layer alternative to [`avg_pool2d`]: keeps the strongest
-/// activation per window instead of the mean. Returns the pooled tensor
-/// and the flat argmax indices (into the input buffer) needed by
-/// [`max_pool2d_backward`].
-pub fn max_pool2d(input: &Tensor, wh: usize, ww: usize) -> (Tensor, Vec<usize>) {
-    let (n, c, _h, w, ho, wo) = pool_dims(input, wh, ww);
-    let x = input.data();
-    let mut out = vec![f32::NEG_INFINITY; n * c * ho * wo];
-    let mut arg = vec![0usize; n * c * ho * wo];
-    for map in 0..n * c {
-        let in_base = map * (ho * wh) * (wo * ww);
-        let out_base = map * ho * wo;
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let mut best = f32::NEG_INFINITY;
-                let mut best_at = 0usize;
-                for dy in 0..wh {
-                    let row = in_base + (oy * wh + dy) * w + ox * ww;
-                    for (dx, &v) in x[row..row + ww].iter().enumerate() {
-                        if v > best {
-                            best = v;
-                            best_at = row + dx;
-                        }
-                    }
-                }
-                out[out_base + oy * wo + ox] = best;
-                arg[out_base + oy * wo + ox] = best_at;
-            }
+/// Unset → available parallelism (clamped to [`MAX_THREADS`]).
+/// Unparseable or `0` → warn and use the default; values above the
+/// clamp warn and clamp.
+fn configured_threads() -> usize {
+    // slm-lint: allow(no-nondeterminism) queried once to size the pool; the job partitioning never depends on it
+    let default = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS);
+    let Ok(raw) = std::env::var("SLM_THREADS") else {
+        return default;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => {
+            Telemetry::disabled().warn(&format!(
+                "unusable SLM_THREADS value {raw:?} (expected 1..={MAX_THREADS}); \
+                 using {default} (available parallelism)"
+            ));
+            default
         }
+        Ok(n) if n > MAX_THREADS => {
+            Telemetry::disabled().warn(&format!(
+                "SLM_THREADS={n} exceeds the clamp; using {MAX_THREADS}"
+            ));
+            MAX_THREADS
+        }
+        Ok(n) => n,
     }
-    (
-        Tensor::from_vec([n, c, ho, wo], out).expect("max_pool2d output sized by construction"),
-        arg,
-    )
-}
-
-/// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
-/// input position that won the forward max.
-pub fn max_pool2d_backward(input_dims: &[usize], grad_out: &Tensor, argmax: &[usize]) -> Tensor {
-    assert_eq!(
-        input_dims.len(),
-        4,
-        "max_pool2d_backward: input_dims must be NCHW"
-    );
-    assert_eq!(
-        grad_out.numel(),
-        argmax.len(),
-        "max_pool2d_backward: argmax length does not match grad_out"
-    );
-    let numel: usize = input_dims.iter().product();
-    let mut gx = vec![0.0f32; numel];
-    for (&g, &at) in grad_out.data().iter().zip(argmax) {
-        assert!(at < numel, "max_pool2d_backward: argmax out of bounds");
-        gx[at] += g;
-    }
-    Tensor::from_vec(input_dims.to_vec(), gx)
-        .expect("max_pool2d_backward buffer sized by construction")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
-    fn one_by_one_window_is_identity() {
-        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
-        assert_eq!(avg_pool2d(&input, 1, 1), input);
+    fn serial_pool_runs_all_jobs_inline() {
+        let pool = ComputePool::new(1);
+        let hits = AtomicU32::new(0);
+        pool.run(17, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 17);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.jobs_dispatched(), 17);
     }
 
     #[test]
-    fn full_window_yields_one_pixel_mean() {
-        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
-        let out = avg_pool2d(&input, 4, 4);
-        assert_eq!(out.dims(), &[1, 1, 1, 1]);
-        assert_eq!(out.item(), 7.5); // mean of 0..15
-    }
-
-    #[test]
-    fn window_averages_blocks() {
-        let input =
-            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0]).unwrap();
-        let out = avg_pool2d(&input, 2, 2);
-        assert_eq!(out.dims(), &[1, 1, 1, 2]);
-        assert_eq!(out.data(), &[2.0, 6.0]);
-    }
-
-    #[test]
-    fn preserves_batch_and_channels() {
-        let input = Tensor::from_fn([2, 3, 4, 4], |i| (i % 16) as f32);
-        let out = avg_pool2d(&input, 2, 2);
-        assert_eq!(out.dims(), &[2, 3, 2, 2]);
-    }
-
-    #[test]
-    fn pooling_preserves_global_mean() {
-        let input = Tensor::from_fn([1, 2, 8, 8], |i| ((i * 37) % 11) as f32);
-        let out = avg_pool2d(&input, 4, 2);
-        assert!((out.mean() - input.mean()).abs() < 1e-5);
-    }
-
-    #[test]
-    fn backward_distributes_uniformly() {
-        let dims = [1usize, 1, 4, 4];
-        let grad_out = Tensor::from_vec([1, 1, 2, 2], vec![4.0, 8.0, 12.0, 16.0]).unwrap();
-        let gx = avg_pool2d_backward(&dims, &grad_out, 2, 2);
-        // Each 2x2 window receives grad/4 per element.
-        assert_eq!(gx.at(&[0, 0, 0, 0]), 1.0);
-        assert_eq!(gx.at(&[0, 0, 0, 2]), 2.0);
-        assert_eq!(gx.at(&[0, 0, 2, 0]), 3.0);
-        assert_eq!(gx.at(&[0, 0, 3, 3]), 4.0);
-        // Total gradient mass is conserved.
-        assert!((gx.sum() - grad_out.sum()).abs() < 1e-6);
-    }
-
-    #[test]
-    fn backward_matches_finite_differences() {
-        let input = Tensor::from_fn([1, 1, 4, 4], |i| (i as f32).sin());
-        let grad_out = Tensor::ones([1, 1, 2, 2]);
-        let gx = avg_pool2d_backward(&[1, 1, 4, 4], &grad_out, 2, 2);
-        let eps = 1e-2f32;
-        for flat in 0..16 {
-            let mut p = input.clone();
-            p.data_mut()[flat] += eps;
-            let up = avg_pool2d(&p, 2, 2).sum();
-            p.data_mut()[flat] -= 2.0 * eps;
-            let down = avg_pool2d(&p, 2, 2).sum();
-            let fd = (up - down) / (2.0 * eps);
-            assert!((fd - gx.data()[flat]).abs() < 1e-3);
+    fn parallel_pool_runs_each_job_exactly_once() {
+        let pool = ComputePool::new(4);
+        let mut out = vec![0.0f32; 1000];
+        pool.run_chunks(&mut out, 7, |job, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (job * 7 + off) as f32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as f32, "element {i} written by the wrong job");
         }
     }
 
     #[test]
-    #[should_panic(expected = "does not tile")]
-    fn rejects_non_tiling_window() {
-        avg_pool2d(&Tensor::zeros([1, 1, 5, 5]), 2, 2);
-    }
-
-    #[test]
-    fn max_pool_selects_maxima() {
-        let input =
-            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 2.0, 0.0, 8.0, 6.0]).unwrap();
-        let (out, arg) = max_pool2d(&input, 2, 2);
-        assert_eq!(out.dims(), &[1, 1, 1, 2]);
-        assert_eq!(out.data(), &[3.0, 8.0]);
-        assert_eq!(arg, vec![1, 6]);
-    }
-
-    #[test]
-    fn max_pool_dominates_avg_pool() {
-        let input = Tensor::from_fn([2, 1, 4, 4], |i| ((i * 31) % 17) as f32 - 8.0);
-        let (mx, _) = max_pool2d(&input, 2, 2);
-        let av = avg_pool2d(&input, 2, 2);
-        for (m, a) in mx.data().iter().zip(av.data()) {
-            assert!(m >= a);
+    fn chunk_partitioning_is_thread_count_independent() {
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ComputePool::new(threads);
+            let mut out = vec![0.0f32; 103]; // ragged vs chunk_len 10
+            pool.run_chunks(&mut out, 10, |job, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = job as f32;
+                }
+            });
+            let expect: Vec<f32> = (0..103).map(|i| (i / 10) as f32).collect();
+            assert_eq!(out, expect, "threads={threads}");
         }
     }
 
     #[test]
-    fn max_pool_backward_routes_to_winner() {
-        let input = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]).unwrap();
-        let (out, arg) = max_pool2d(&input, 2, 2);
-        assert_eq!(out.item(), 9.0);
-        let gx = max_pool2d_backward(&[1, 1, 2, 2], &Tensor::full([1, 1, 1, 1], 5.0), &arg);
-        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    fn zero_and_single_job_calls_are_fine() {
+        let pool = ComputePool::new(3);
+        pool.run(0, |_| panic!("no jobs must run"));
+        let hit = AtomicU32::new(0);
+        pool.run(1, |j| {
+            assert_eq!(j, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+        pool.run_chunks(&mut [], 4, |_, _| panic!("empty buffer has no chunks"));
     }
 
     #[test]
-    fn max_pool_backward_matches_finite_differences() {
-        let input = Tensor::from_fn([1, 1, 4, 4], |i| ((i * 7) % 13) as f32 * 0.1);
-        let (_, arg) = max_pool2d(&input, 2, 2);
-        let gx = max_pool2d_backward(&[1, 1, 4, 4], &Tensor::ones([1, 1, 2, 2]), &arg);
-        let eps = 1e-2f32;
-        for flat in 0..16 {
-            let mut p = input.clone();
-            p.data_mut()[flat] += eps;
-            let up = max_pool2d(&p, 2, 2).0.sum();
-            p.data_mut()[flat] -= 2.0 * eps;
-            let down = max_pool2d(&p, 2, 2).0.sum();
-            let fd = (up - down) / (2.0 * eps);
-            // Ties can flip winners under perturbation; this input has
-            // distinct values so the gradient is exact.
-            assert!(
-                (fd - gx.data()[flat]).abs() < 1e-3,
-                "at {flat}: {fd} vs {}",
-                gx.data()[flat]
-            );
-        }
+    fn thread_count_clamps() {
+        assert_eq!(ComputePool::new(0).threads(), 1);
+        assert_eq!(ComputePool::new(MAX_THREADS + 40).threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn kernel_stats_accumulate() {
+        let pool = ComputePool::new(1);
+        let t = pool.start_kernel(KernelKind::Matmul);
+        pool.record_kernel(t);
+        let (calls, host_s) = pool.kernel_totals(KernelKind::Matmul);
+        assert_eq!(calls, 1);
+        assert!(host_s >= 0.0);
+        let mut tele = Telemetry::summary();
+        pool.publish_metrics(&mut tele);
+        let snap = tele.snapshot();
+        assert_eq!(snap.gauge("tensor.pool.threads"), Some(1.0));
+        assert_eq!(snap.gauge("tensor.kernel.matmul.calls"), Some(1.0));
     }
 }

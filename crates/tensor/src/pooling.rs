@@ -1,0 +1,291 @@
+//! Average pooling — the paper's cut-layer compression operator.
+//!
+//! The split network filters the CNN output through an average-pooling
+//! layer of dimension `w_H × w_W`; the pooled map (`(N_H/w_H) × (N_W/w_W)`)
+//! is the *only* image-derived data that crosses the wireless link, so the
+//! pooling size directly trades accuracy against communication payload and
+//! privacy leakage. `40 × 40` pooling of the `40 × 40` CNN output yields
+//! the paper's headline **one-pixel image**.
+
+use crate::tensor::Tensor;
+
+fn pool_dims(input: &Tensor, wh: usize, ww: usize) -> (usize, usize, usize, usize, usize, usize) {
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "avg_pool2d: input {} is not NCHW rank-4",
+        input.shape()
+    );
+    assert!(
+        wh > 0 && ww > 0,
+        "avg_pool2d: pooling window must be non-empty"
+    );
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    assert!(
+        h % wh == 0 && w % ww == 0,
+        "avg_pool2d: window {wh}x{ww} does not tile input {h}x{w} exactly"
+    );
+    (n, c, h, w, h / wh, w / ww)
+}
+
+/// Non-overlapping average pooling over an `NCHW` tensor.
+///
+/// The window `wh × ww` must tile the spatial extent exactly (the paper's
+/// pooling dimensions 1×1, 4×4, 10×10 and 40×40 all tile the 40×40 CNN
+/// output). Returns `[N, C, H/wh, W/ww]`.
+pub fn avg_pool2d(input: &Tensor, wh: usize, ww: usize) -> Tensor {
+    let (n, c, _h, w, ho, wo) = pool_dims(input, wh, ww);
+    let x = input.data();
+    let inv = 1.0 / (wh * ww) as f32;
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    for map in 0..n * c {
+        let in_base = map * (ho * wh) * (wo * ww);
+        let out_base = map * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0f32;
+                for dy in 0..wh {
+                    let row = in_base + (oy * wh + dy) * w + ox * ww;
+                    acc += x[row..row + ww].iter().sum::<f32>();
+                }
+                out[out_base + oy * wo + ox] = acc * inv;
+            }
+        }
+    }
+    Tensor::from_parts([n, c, ho, wo], out)
+}
+
+/// Backward pass of [`avg_pool2d`]: distributes each upstream gradient
+/// uniformly over its pooling window (scaled by `1/(wh·ww)`).
+pub fn avg_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    wh: usize,
+    ww: usize,
+) -> Tensor {
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "avg_pool2d_backward: input_dims must be NCHW"
+    );
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (ho, wo) = (h / wh, w / ww);
+    assert_eq!(
+        grad_out.dims(),
+        &[n, c, ho, wo],
+        "avg_pool2d_backward: grad_out {} does not match pooled shape [{n}x{c}x{ho}x{wo}]",
+        grad_out.shape()
+    );
+    let g = grad_out.data();
+    let inv = 1.0 / (wh * ww) as f32;
+    let mut gx = vec![0.0f32; n * c * h * w];
+    for map in 0..n * c {
+        let in_base = map * h * w;
+        let out_base = map * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let gv = g[out_base + oy * wo + ox] * inv;
+                for dy in 0..wh {
+                    let row = in_base + (oy * wh + dy) * w + ox * ww;
+                    for v in &mut gx[row..row + ww] {
+                        *v += gv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_parts([n, c, h, w], gx)
+}
+
+/// Non-overlapping max pooling over an `NCHW` tensor.
+///
+/// The cut-layer alternative to [`avg_pool2d`]: keeps the strongest
+/// activation per window instead of the mean. Returns the pooled tensor
+/// and the flat argmax indices (into the input buffer) needed by
+/// [`max_pool2d_backward`].
+pub fn max_pool2d(input: &Tensor, wh: usize, ww: usize) -> (Tensor, Vec<usize>) {
+    let (n, c, _h, w, ho, wo) = pool_dims(input, wh, ww);
+    let x = input.data();
+    let mut out = vec![f32::NEG_INFINITY; n * c * ho * wo];
+    let mut arg = vec![0usize; n * c * ho * wo];
+    for map in 0..n * c {
+        let in_base = map * (ho * wh) * (wo * ww);
+        let out_base = map * ho * wo;
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_at = 0usize;
+                for dy in 0..wh {
+                    let row = in_base + (oy * wh + dy) * w + ox * ww;
+                    for (dx, &v) in x[row..row + ww].iter().enumerate() {
+                        if v > best {
+                            best = v;
+                            best_at = row + dx;
+                        }
+                    }
+                }
+                out[out_base + oy * wo + ox] = best;
+                arg[out_base + oy * wo + ox] = best_at;
+            }
+        }
+    }
+    (Tensor::from_parts([n, c, ho, wo], out), arg)
+}
+
+/// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
+/// input position that won the forward max.
+pub fn max_pool2d_backward(input_dims: &[usize], grad_out: &Tensor, argmax: &[usize]) -> Tensor {
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "max_pool2d_backward: input_dims must be NCHW"
+    );
+    assert_eq!(
+        grad_out.numel(),
+        argmax.len(),
+        "max_pool2d_backward: argmax length does not match grad_out"
+    );
+    let numel: usize = input_dims.iter().product();
+    let mut gx = vec![0.0f32; numel];
+    for (&g, &at) in grad_out.data().iter().zip(argmax) {
+        assert!(at < numel, "max_pool2d_backward: argmax out of bounds");
+        gx[at] += g;
+    }
+    Tensor::from_parts(input_dims.to_vec(), gx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_by_one_window_is_identity() {
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        assert_eq!(avg_pool2d(&input, 1, 1), input);
+    }
+
+    #[test]
+    fn full_window_yields_one_pixel_mean() {
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let out = avg_pool2d(&input, 4, 4);
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.item(), 7.5); // mean of 0..15
+    }
+
+    #[test]
+    fn window_averages_blocks() {
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 1.0, 3.0, 5.0, 7.0]).unwrap();
+        let out = avg_pool2d(&input, 2, 2);
+        assert_eq!(out.dims(), &[1, 1, 1, 2]);
+        assert_eq!(out.data(), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn preserves_batch_and_channels() {
+        let input = Tensor::from_fn([2, 3, 4, 4], |i| (i % 16) as f32);
+        let out = avg_pool2d(&input, 2, 2);
+        assert_eq!(out.dims(), &[2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn pooling_preserves_global_mean() {
+        let input = Tensor::from_fn([1, 2, 8, 8], |i| ((i * 37) % 11) as f32);
+        let out = avg_pool2d(&input, 4, 2);
+        assert!((out.mean() - input.mean()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let dims = [1usize, 1, 4, 4];
+        let grad_out = Tensor::from_vec([1, 1, 2, 2], vec![4.0, 8.0, 12.0, 16.0]).unwrap();
+        let gx = avg_pool2d_backward(&dims, &grad_out, 2, 2);
+        // Each 2x2 window receives grad/4 per element.
+        assert_eq!(gx.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(gx.at(&[0, 0, 0, 2]), 2.0);
+        assert_eq!(gx.at(&[0, 0, 2, 0]), 3.0);
+        assert_eq!(gx.at(&[0, 0, 3, 3]), 4.0);
+        // Total gradient mass is conserved.
+        assert!((gx.sum() - grad_out.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| (i as f32).sin());
+        let grad_out = Tensor::ones([1, 1, 2, 2]);
+        let gx = avg_pool2d_backward(&[1, 1, 4, 4], &grad_out, 2, 2);
+        let eps = 1e-2f32;
+        for flat in 0..16 {
+            let mut p = input.clone();
+            p.data_mut()[flat] += eps;
+            let up = avg_pool2d(&p, 2, 2).sum();
+            p.data_mut()[flat] -= 2.0 * eps;
+            let down = avg_pool2d(&p, 2, 2).sum();
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - gx.data()[flat]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn rejects_non_tiling_window() {
+        avg_pool2d(&Tensor::zeros([1, 1, 5, 5]), 2, 2);
+    }
+
+    #[test]
+    fn max_pool_selects_maxima() {
+        let input =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 3.0, 5.0, 7.0, 2.0, 0.0, 8.0, 6.0]).unwrap();
+        let (out, arg) = max_pool2d(&input, 2, 2);
+        assert_eq!(out.dims(), &[1, 1, 1, 2]);
+        assert_eq!(out.data(), &[3.0, 8.0]);
+        assert_eq!(arg, vec![1, 6]);
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool() {
+        let input = Tensor::from_fn([2, 1, 4, 4], |i| ((i * 31) % 17) as f32 - 8.0);
+        let (mx, _) = max_pool2d(&input, 2, 2);
+        let av = avg_pool2d(&input, 2, 2);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_winner() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]).unwrap();
+        let (out, arg) = max_pool2d(&input, 2, 2);
+        assert_eq!(out.item(), 9.0);
+        let gx = max_pool2d_backward(&[1, 1, 2, 2], &Tensor::full([1, 1, 1, 1], 5.0), &arg);
+        assert_eq!(gx.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_matches_finite_differences() {
+        let input = Tensor::from_fn([1, 1, 4, 4], |i| ((i * 7) % 13) as f32 * 0.1);
+        let (_, arg) = max_pool2d(&input, 2, 2);
+        let gx = max_pool2d_backward(&[1, 1, 4, 4], &Tensor::ones([1, 1, 2, 2]), &arg);
+        let eps = 1e-2f32;
+        for flat in 0..16 {
+            let mut p = input.clone();
+            p.data_mut()[flat] += eps;
+            let up = max_pool2d(&p, 2, 2).0.sum();
+            p.data_mut()[flat] -= 2.0 * eps;
+            let down = max_pool2d(&p, 2, 2).0.sum();
+            let fd = (up - down) / (2.0 * eps);
+            // Ties can flip winners under perturbation; this input has
+            // distinct values so the gradient is exact.
+            assert!(
+                (fd - gx.data()[flat]).abs() < 1e-3,
+                "at {flat}: {fd} vs {}",
+                gx.data()[flat]
+            );
+        }
+    }
+}

@@ -93,6 +93,20 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Builds a tensor from a buffer whose length is correct by
+    /// construction (kernel outputs sized as `shape.numel()` up front).
+    /// Checked in debug builds only; fallible callers use [`Tensor::from_vec`].
+    pub(crate) fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        debug_assert_eq!(
+            shape.numel(),
+            data.len(),
+            "from_parts: buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
     /// Builds a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
         Tensor {

@@ -1,0 +1,203 @@
+//! Bitwise equivalence of the pooled compute backend against its serial
+//! execution: for *any* shape — including ragged tiles that don't fill
+//! the GEMM micro-kernel's MR/NB/JB blocks or the pool's row chunks —
+//! running on 2, 3 or 8 threads must produce exactly the bits the
+//! one-thread pool produces. `scripts/verify.sh` runs this suite under
+//! both `SLM_THREADS=1` and `SLM_THREADS=4` so the process-wide pool is
+//! exercised at both widths (see `global_pool_matches_explicit_serial`).
+//!
+//! Operand data is sampled at the maximum size and sliced down to the
+//! sampled shape (the strategy language here has no dependent sizing),
+//! so every case still sees fresh random values.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use sl_tensor::{
+    conv2d_backward_in, conv2d_in, matmul_a_bt_in, matmul_at_b_in, matmul_in, ComputePool, Padding,
+    Tensor,
+};
+
+/// One pool per tested width, shared across all proptest cases (workers
+/// are detached threads; respawning them per case would dominate the
+/// suite's runtime).
+fn pools() -> &'static [ComputePool] {
+    static POOLS: OnceLock<Vec<ComputePool>> = OnceLock::new();
+    POOLS.get_or_init(|| [1, 2, 3, 8].map(ComputePool::new).into_iter().collect())
+}
+
+fn serial() -> &'static ComputePool {
+    &pools()[0]
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// First `shape.numel()` values of `data` as a tensor.
+fn slice_tensor(shape: Vec<usize>, data: &[f32]) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, data[..n].to_vec()).unwrap()
+}
+
+// Matmul dims span the blocking edges: rows crossing the MR=4 micro-tile
+// and the 16-row job chunks, columns crossing the JB=8 and NB=64 blocks.
+const M_MAX: usize = 37;
+const K_MAX: usize = 19;
+const N_MAX: usize = 70;
+const A_MAX: usize = M_MAX * K_MAX;
+const B_MAX: usize = K_MAX * N_MAX;
+
+fn mm_case() -> impl Strategy<Value = ((usize, usize, usize), Vec<f32>)> {
+    (
+        (1usize..=M_MAX, 1usize..=K_MAX, 1usize..=N_MAX),
+        proptest::collection::vec(-10.0f32..10.0, A_MAX + B_MAX),
+    )
+}
+
+// Conv dims cover multi-image batches (one pool job per image), 1×1 and
+// 3×3 kernels, and both paddings.
+const X_MAX: usize = 4 * 3 * 9 * 9;
+const W_MAX: usize = 4 * 3 * 3 * 3;
+
+#[allow(clippy::type_complexity)]
+fn conv_case(
+) -> impl Strategy<Value = ((usize, usize, usize, usize, usize, usize, usize), Vec<f32>)> {
+    (
+        (
+            1usize..=4, // batch
+            1usize..=3, // in channels
+            3usize..=9, // height
+            3usize..=9, // width
+            1usize..=4, // out channels
+            0usize..=1, // kernel selector: 1×1 or 3×3
+            0usize..=1, // padding selector: Same or Valid
+        ),
+        proptest::collection::vec(-10.0f32..10.0, X_MAX + W_MAX + 4),
+    )
+}
+
+fn conv_operands(
+    dims: (usize, usize, usize, usize, usize, usize, usize),
+    data: &[f32],
+) -> (Tensor, Tensor, Tensor, Padding) {
+    let (n, c_in, h, w, c_out, kc, pc) = dims;
+    let k = if kc == 0 { 1 } else { 3 };
+    let pad = if pc == 0 {
+        Padding::Same
+    } else {
+        Padding::Valid
+    };
+    let x = slice_tensor(vec![n, c_in, h, w], data);
+    let wt = slice_tensor(vec![c_out, c_in, k, k], &data[X_MAX..]);
+    let bias = slice_tensor(vec![c_out], &data[X_MAX + W_MAX..]);
+    (x, wt, bias, pad)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bitwise_thread_count_independent(case in mm_case()) {
+        let ((m, k, n), data) = case;
+        let a = slice_tensor(vec![m, k], &data);
+        let b = slice_tensor(vec![k, n], &data[A_MAX..]);
+        let want = bits(&matmul_in(serial(), &a, &b));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(&bits(&matmul_in(pool, &a, &b)), &want);
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_bitwise_thread_count_independent(case in mm_case()) {
+        let ((m, k, n), data) = case;
+        // A is [k, m]: the transposed-A product used by weight gradients.
+        let a = slice_tensor(vec![k, m], &data);
+        let b = slice_tensor(vec![k, n], &data[A_MAX..]);
+        let want = bits(&matmul_at_b_in(serial(), &a, &b));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(&bits(&matmul_at_b_in(pool, &a, &b)), &want);
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_bitwise_thread_count_independent(case in mm_case()) {
+        let ((m, k, n), data) = case;
+        // B is [n, k]: the transposed-B product used by input gradients.
+        let a = slice_tensor(vec![m, k], &data);
+        let b = slice_tensor(vec![n, k], &data[A_MAX..]);
+        let want = bits(&matmul_a_bt_in(serial(), &a, &b));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(&bits(&matmul_a_bt_in(pool, &a, &b)), &want);
+        }
+    }
+
+    #[test]
+    fn conv2d_bitwise_thread_count_independent(case in conv_case()) {
+        let (dims, data) = case;
+        let (x, w, bias, pad) = conv_operands(dims, &data);
+        let want = bits(&conv2d_in(serial(), &x, &w, &bias, pad));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(&bits(&conv2d_in(pool, &x, &w, &bias, pad)), &want);
+        }
+    }
+
+    #[test]
+    fn conv2d_backward_bitwise_thread_count_independent(case in conv_case()) {
+        let (dims, data) = case;
+        let (x, w, bias, pad) = conv_operands(dims, &data);
+        let g = conv2d_in(serial(), &x, &w, &bias, pad);
+        let want = conv2d_backward_in(serial(), &x, &w, &g, pad);
+        for pool in &pools()[1..] {
+            let got = conv2d_backward_in(pool, &x, &w, &g, pad);
+            prop_assert_eq!(&bits(&got.grad_input), &bits(&want.grad_input));
+            prop_assert_eq!(&bits(&got.grad_weight), &bits(&want.grad_weight));
+            prop_assert_eq!(&bits(&got.grad_bias), &bits(&want.grad_bias));
+        }
+    }
+}
+
+/// Shape-derived data: irrational-step ramp so no two elements repeat
+/// and accumulation-order differences cannot cancel out.
+fn deterministic(shape: Vec<usize>, salt: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n)
+        .map(|i| {
+            let x = (i as f32 + salt as f32 * 0.37).mul_add(0.618_034, -0.5 * n as f32);
+            (x % 7.3) - 2.1
+        })
+        .collect();
+    Tensor::from_vec(shape, data).unwrap()
+}
+
+/// The process-wide pool (whatever width `SLM_THREADS` selected) agrees
+/// bitwise with an explicit one-thread pool. Running the suite under
+/// `SLM_THREADS=1` and `SLM_THREADS=4` turns this into the end-to-end
+/// determinism check that `scripts/verify.sh` relies on.
+#[test]
+fn global_pool_matches_explicit_serial() {
+    let global = ComputePool::global();
+    let one = ComputePool::new(1);
+
+    let a = deterministic(vec![23, 11], 7);
+    let b = deterministic(vec![11, 66], 8);
+    assert_eq!(
+        bits(&matmul_in(global, &a, &b)),
+        bits(&matmul_in(&one, &a, &b))
+    );
+
+    let x = deterministic(vec![3, 2, 8, 7], 9);
+    let w = deterministic(vec![4, 2, 3, 3], 10);
+    let bias = deterministic(vec![4], 11);
+    for pad in [Padding::Same, Padding::Valid] {
+        let fg = conv2d_in(global, &x, &w, &bias, pad);
+        let fs = conv2d_in(&one, &x, &w, &bias, pad);
+        assert_eq!(bits(&fg), bits(&fs));
+        let gg = conv2d_backward_in(global, &x, &w, &fg, pad);
+        let gs = conv2d_backward_in(&one, &x, &w, &fs, pad);
+        assert_eq!(bits(&gg.grad_input), bits(&gs.grad_input));
+        assert_eq!(bits(&gg.grad_weight), bits(&gs.grad_weight));
+        assert_eq!(bits(&gg.grad_bias), bits(&gs.grad_bias));
+    }
+}

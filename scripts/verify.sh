@@ -52,15 +52,41 @@ if [[ "$overall" -eq 0 ]]; then
     stage test cargo test -q
 fi
 
+# Compute-backend determinism: the parallel kernels must be bitwise
+# identical to serial at every thread count, so the equivalence suite
+# runs with the process-wide pool at both widths.
+if [[ "$overall" -eq 0 ]]; then
+    stage kernels-eq-1t env SLM_THREADS=1 \
+        cargo test -q -p sl-tensor --test parallel_equivalence
+    stage kernels-eq-4t env SLM_THREADS=4 \
+        cargo test -q -p sl-tensor --test parallel_equivalence
+fi
+
 if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
-    # Seconds-scale profiled training run, then the regression gate:
+    # Seconds-scale profiled training runs, then the regression gate:
     # slm-report renders results/fig3a into a markdown report, appends a
     # trajectory entry to results/BENCH_fig3a.json and fails on metric
     # or simulated-time regressions against the last same-config entry.
-    stage smoke env SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+    # The smoke run executes twice — single-threaded and on a 4-thread
+    # pool — and the figure CSV must come out byte-identical: training
+    # results never depend on SLM_THREADS.
+    stage smoke-1t env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
         cargo run --release -q -p sl-bench --bin fig3a
+    cp results/fig3a/fig3a.csv results/fig3a/fig3a_1t.csv 2>/dev/null || true
+    stage smoke-4t env SLM_THREADS=4 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+        cargo run --release -q -p sl-bench --bin fig3a
+    stage smoke-bitwise cmp results/fig3a/fig3a_1t.csv results/fig3a/fig3a.csv
+    rm -f results/fig3a/fig3a_1t.csv
     stage report cargo run --release -q -p sl-bench --bin slm-report -- \
         --check results/fig3a
+
+    # Kernel micro-benchmarks: record ref/serial/pooled throughput into
+    # results/BENCH_kernels.json, then gate the determinism contract
+    # (throughput itself is host-dependent and never gated).
+    stage kernels-bench env SLM_THREADS=4 \
+        cargo run --release -q -p sl-bench --bin kernels
+    stage kernels-report cargo run --release -q -p sl-bench --bin slm-report -- \
+        --kernels --check results
 fi
 
 echo

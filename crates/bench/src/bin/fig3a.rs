@@ -19,7 +19,10 @@
 //! SLM_PROFILE=full cargo run --release -p sl-bench --bin fig3a
 //! ```
 
-use sl_bench::{build_dataset, experiment_config, sparkline, Experiment};
+use sl_bench::{
+    build_dataset, experiment_config, fig3a_configs, fig3a_curve_rows, fig3a_label, sparkline,
+    Experiment, FIG3A_CSV_HEADER,
+};
 use sl_core::{PoolingDim, Scheme, SplitTrainer, TrainOutcome};
 
 fn run(
@@ -55,23 +58,11 @@ fn main() {
         ols.val_rmse(&dataset)
     );
 
-    let configs: [(Scheme, PoolingDim); 5] = [
-        (Scheme::RfOnly, PoolingDim::ONE_PIXEL),
-        (Scheme::ImgOnly, PoolingDim::ONE_PIXEL),
-        (Scheme::ImgOnly, PoolingDim::MEDIUM),
-        (Scheme::ImgRf, PoolingDim::MEDIUM),
-        (Scheme::ImgRf, PoolingDim::ONE_PIXEL),
-    ];
-
     let mut rows = Vec::new();
     let mut outcomes = Vec::new();
-    for (scheme, pooling) in configs {
+    for (scheme, pooling) in fig3a_configs() {
         let wall = std::time::Instant::now();
-        let label = if scheme == Scheme::RfOnly {
-            scheme.to_string()
-        } else {
-            format!("{scheme}, {pooling}")
-        };
+        let label = fig3a_label(scheme, pooling);
         let out = run(&mut exp, scheme, pooling, &label, &dataset);
         println!(
             "{label:<28} best {:>5.2} dB  final {:>5.2} dB  sim {:>7.2} s (air {:>6.2} s)  epochs {:>3}  stop {:?}  [wall {:.0} s]",
@@ -85,16 +76,11 @@ fn main() {
         );
         let curve_vals: Vec<f32> = out.curve.iter().map(|p| p.val_rmse_db).collect();
         exp.progress(&format!("{label:<28} {}", sparkline(&curve_vals)));
-        for p in &out.curve {
-            rows.push(format!(
-                "{label},{},{:.4},{:.4}",
-                p.epoch, p.elapsed_s, p.val_rmse_db
-            ));
-        }
+        fig3a_curve_rows(&label, &out, &mut rows);
         outcomes.push((label, out));
     }
 
-    exp.write_csv("fig3a.csv", "config,epoch,elapsed_s,val_rmse_db", &rows);
+    exp.write_csv("fig3a.csv", FIG3A_CSV_HEADER, &rows);
 
     // The telemetry snapshot's simulated-time totals must agree with the
     // trainers' own SimClocks (the Fig. 3a time axis) to float precision.

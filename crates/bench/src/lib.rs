@@ -33,7 +33,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use sl_core::{ExperimentConfig, PoolingDim, Scheme};
+use sl_core::{ExperimentConfig, PoolingDim, Scheme, TrainOutcome};
 use sl_scene::{Scene, SceneConfig, SequenceDataset};
 use sl_telemetry::json::{JsonArray, JsonObject};
 use sl_telemetry::{EventBuilder, Snapshot, Telemetry};
@@ -169,6 +169,44 @@ pub fn experiment_config(
     cfg
 }
 
+/// The Fig. 3a configuration sweep, in the figure's row order (the
+/// paper's proposal — 1-pixel Img+RF — last). Shared by the in-process
+/// `fig3a` binary and the networked `slm-ue` loopback harness so the two
+/// runs sweep byte-identical configurations.
+pub fn fig3a_configs() -> [(Scheme, PoolingDim); 5] {
+    [
+        (Scheme::RfOnly, PoolingDim::ONE_PIXEL),
+        (Scheme::ImgOnly, PoolingDim::ONE_PIXEL),
+        (Scheme::ImgOnly, PoolingDim::MEDIUM),
+        (Scheme::ImgRf, PoolingDim::MEDIUM),
+        (Scheme::ImgRf, PoolingDim::ONE_PIXEL),
+    ]
+}
+
+/// The Fig. 3a row label for a configuration (`RF`, `Img+RF, 4x4`, ...).
+pub fn fig3a_label(scheme: Scheme, pooling: PoolingDim) -> String {
+    if scheme == Scheme::RfOnly {
+        scheme.to_string()
+    } else {
+        format!("{scheme}, {pooling}")
+    }
+}
+
+/// The Fig. 3a CSV header.
+pub const FIG3A_CSV_HEADER: &str = "config,epoch,elapsed_s,val_rmse_db";
+
+/// Appends one formatted CSV row per learning-curve point. The exact
+/// formatting lives here (not in the binaries) because the loopback
+/// byte-identity gate `cmp`s two CSVs produced by different binaries.
+pub fn fig3a_curve_rows(label: &str, out: &TrainOutcome, rows: &mut Vec<String>) {
+    for p in &out.curve {
+        rows.push(format!(
+            "{label},{},{:.4},{:.4}",
+            p.epoch, p.elapsed_s, p.val_rmse_db
+        ));
+    }
+}
+
 /// FNV-1a (64-bit) — the workspace's dependency-free stable hash, used
 /// to fingerprint experiment configs in run manifests.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
@@ -216,6 +254,7 @@ pub struct Experiment {
     telemetry: Telemetry,
     dir: PathBuf,
     runs: Vec<RunRecord>,
+    extras: Vec<(String, String)>,
     wall: Instant,
 }
 
@@ -241,6 +280,7 @@ impl Experiment {
         mode: Option<&str>,
         profile: Option<Profile>,
     ) -> Self {
+        // slm-lint: allow(no-expect) harness startup: an uncreatable artifact dir is unrecoverable and the message names the path's role
         fs::create_dir_all(&dir).expect("experiment dir is creatable");
         let journal_dir = std::env::var("SLM_TELEMETRY_PATH")
             .map(PathBuf::from)
@@ -258,9 +298,19 @@ impl Experiment {
             telemetry,
             dir,
             runs: Vec::new(),
+            extras: Vec::new(),
             // slm-lint: allow(no-nondeterminism) bench harness wall-clock; timings are reported, never used in computation
             wall: Instant::now(),
         }
+    }
+
+    /// Attaches a raw JSON value under `key` at the top level of the run
+    /// manifest — e.g. the networked runtime records its `net` block
+    /// (addr, port, fault seed, retry budget) here. Later annotations
+    /// with the same key replace earlier ones.
+    pub fn annotate_raw(&mut self, key: &str, json: &str) {
+        self.extras.retain(|(k, _)| k != key);
+        self.extras.push((key.to_string(), json.to_string()));
     }
 
     /// The resolved profile.
@@ -348,6 +398,9 @@ impl Experiment {
         if let Some(p) = self.telemetry.events_path() {
             obj = obj.str("events_path", &p.display().to_string());
         }
+        for (k, v) in &self.extras {
+            obj = obj.raw(k, v);
+        }
         obj = obj
             .f64("wall_s", self.wall.elapsed().as_secs_f64())
             .f64(
@@ -376,9 +429,11 @@ impl Experiment {
         );
         let manifest_path = self.dir.join("manifest.json");
         fs::write(&manifest_path, self.manifest_json(&snapshot) + "\n")
+            // slm-lint: allow(no-expect) losing the manifest silently would invalidate the experiment record; abort loudly
             .expect("manifest is writable");
         if self.telemetry.is_enabled() {
             let snap_path = self.dir.join("snapshot.json");
+            // slm-lint: allow(no-expect) the metrics snapshot is a primary experiment artifact; abort loudly if unwritable
             fs::write(&snap_path, snapshot.to_json() + "\n").expect("snapshot is writable");
         }
         self.telemetry.flush();
@@ -390,6 +445,7 @@ impl Experiment {
 /// workspace root when run via `cargo run -p sl-bench`, else the CWD.
 pub fn results_dir() -> PathBuf {
     let dir = workspace_root().join("results");
+    // slm-lint: allow(no-expect) harness startup: no results dir means nothing can be recorded; abort loudly
     fs::create_dir_all(&dir).expect("results dir is creatable");
     dir
 }
@@ -423,6 +479,7 @@ fn write_csv_at(dir: &Path, name: &str, header: &str, rows: &[String]) -> PathBu
         body.push_str(r);
         body.push('\n');
     }
+    // slm-lint: allow(no-expect) a CSV that cannot be written is a lost figure; abort loudly with the role in the message
     fs::write(&path, body).expect("results file is writable");
     path
 }
@@ -499,6 +556,66 @@ mod tests {
         assert_ne!(config_hash(&a), config_hash(&b));
         let c = experiment_config(Profile::Quick, Scheme::ImgRf, PoolingDim::MEDIUM);
         assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn fig3a_labels_match_figure_rows() {
+        assert_eq!(fig3a_label(Scheme::RfOnly, PoolingDim::ONE_PIXEL), "RF");
+        assert_eq!(
+            fig3a_label(Scheme::ImgRf, PoolingDim::MEDIUM),
+            "Img+RF, 4x4"
+        );
+        assert_eq!(
+            fig3a_label(Scheme::ImgRf, PoolingDim::ONE_PIXEL),
+            "Img+RF, 40x40 (1-pixel)"
+        );
+        // Five rows, proposal last, labels unique.
+        let labels: Vec<String> = fig3a_configs()
+            .iter()
+            .map(|&(s, p)| fig3a_label(s, p))
+            .collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(
+            labels.last().map(String::as_str),
+            Some("Img+RF, 40x40 (1-pixel)")
+        );
+        for (i, l) in labels.iter().enumerate() {
+            assert!(!labels[..i].contains(l), "duplicate fig3a label {l}");
+        }
+    }
+
+    #[test]
+    fn fig3a_rows_format_is_stable() {
+        use sl_core::{CurvePoint, StopReason};
+        let out = TrainOutcome {
+            curve: vec![CurvePoint {
+                elapsed_s: 1.25,
+                epoch: 1,
+                val_rmse_db: 3.5,
+            }],
+            stop: StopReason::EpochLimit,
+            final_rmse_db: 3.5,
+            epochs: 1,
+            steps_applied: 1,
+            steps_voided: 0,
+            compute_s: 1.0,
+            airtime_s: 0.25,
+        };
+        let mut rows = Vec::new();
+        fig3a_curve_rows("RF", &out, &mut rows);
+        assert_eq!(rows, vec!["RF,1,1.2500,3.5000".to_string()]);
+    }
+
+    #[test]
+    fn manifest_annotations_land_at_top_level() {
+        let mut exp = Experiment::start("_test_annotations");
+        exp.annotate_raw("net", "{\"port\":1234}");
+        exp.annotate_raw("net", "{\"port\":5678}"); // replaces
+        let manifest = exp.manifest_json(&exp.telemetry.snapshot());
+        assert!(manifest.contains("\"net\":{\"port\":5678}"));
+        assert!(!manifest.contains("1234"));
+        let path = exp.finish();
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
     #[test]

@@ -179,6 +179,10 @@ impl StreamingDeployment {
                     misses += 1;
                     feature_age += 1;
                     tele.inc("deploy.deadline_miss");
+                    // Mirrored under the net.* namespace so the networked
+                    // runtime's dashboards gate on one metric family for
+                    // both simulated and socket-borne deadline misses.
+                    tele.inc("net.deadline_miss");
                     last_delivered.clone().unwrap_or_else(|| fresh.map(|_| 0.0))
                 };
                 tele.observe("deploy.feature_age_frames", feature_age as f64);
@@ -499,6 +503,7 @@ mod tests {
 
         let snap = tele.snapshot();
         assert_eq!(snap.counter("deploy.deadline_miss"), 20);
+        assert_eq!(snap.counter("net.deadline_miss"), 20);
         assert_eq!(snap.counter("deploy.frames"), 20);
         assert_eq!(snap.gauge("deploy.miss_rate"), Some(1.0));
         assert!((snap.gauge("sim.airtime_s").unwrap() - report.airtime_s).abs() < 1e-9);
@@ -511,6 +516,35 @@ mod tests {
         assert_eq!(snap.counter("deploy.uplink.transfers"), 20);
         assert_eq!(snap.counter("deploy.uplink.timeouts"), 20);
         assert!(events.borrow().iter().any(|e| e.kind == "deploy_end"));
+    }
+
+    #[test]
+    fn net_deadline_miss_gates_stale_feature_fallback() {
+        use sl_telemetry::{MemorySink, Telemetry, TelemetryMode};
+        let ds = dataset(303);
+        let (mut cfg, mut trainer) = trained(Scheme::ImgRf, &ds);
+        // Marginal link: some frames arrive on time, the rest fall back
+        // to the last delivered (stale) feature. Every stale fallback
+        // must tick `net.deadline_miss` in lockstep with the report.
+        cfg.uplink = sl_channel::LinkConfig::paper_uplink().with_mean_snr_db(-12.0);
+        cfg.retransmission = sl_channel::RetransmissionPolicy::WholePayload { max_slots: 3 };
+        let mut deploy = StreamingDeployment::new(&cfg, ds.trace().frame_interval_s, 1);
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        let report = deploy.run_with(trainer.model_mut(), &ds, 0, 30, &mut tele);
+
+        let snap = tele.snapshot();
+        assert_eq!(
+            snap.counter("net.deadline_miss"),
+            report.deadline_misses as u64,
+            "net.deadline_miss must count exactly the stale-feature fallbacks"
+        );
+        assert_eq!(
+            snap.counter("net.deadline_miss"),
+            snap.counter("deploy.deadline_miss")
+        );
+        let stale_points = report.points.iter().filter(|p| p.stale_feature).count();
+        assert_eq!(stale_points, report.deadline_misses);
     }
 
     #[test]

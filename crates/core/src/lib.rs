@@ -67,4 +67,6 @@ pub use pooling::PoolingDim;
 pub use quantize::Quantizer;
 pub use scheme::Scheme;
 pub use shapes::{WiringError, WiringReport, WiringSpec};
-pub use trainer::{CurvePoint, PredictionPoint, SplitTrainer, StopReason, TrainOutcome};
+pub use trainer::{
+    subsample, update_ratio, CurvePoint, PredictionPoint, SplitTrainer, StopReason, TrainOutcome,
+};

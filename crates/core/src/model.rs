@@ -123,17 +123,24 @@ impl SplitModel {
     /// cut-layer activations to `R` bits (the exact values that would be
     /// transmitted), fuses with the RF history per the scheme and runs
     /// the BS half. Returns `[B, 1]` normalized power predictions.
+    ///
+    /// Composed from [`SplitModel::forward_ue`] and
+    /// [`SplitModel::forward_bs`] — the networked runtime calls the two
+    /// halves on opposite ends of a socket, this method chains them in
+    /// process.
     pub fn forward(&mut self, batch: &Batch) -> Tensor {
         let b = batch.batch_size();
         let l = batch.seq_len;
-        assert_eq!(
-            l, self.seq_len,
-            "SplitModel: batch L {l} != model L {}",
-            self.seq_len
-        );
-        self.last_batch_shape = Some((b, l));
+        let img_features = self.forward_ue(batch);
+        self.forward_bs(img_features.as_ref(), &batch.powers_norm, b, l)
+    }
 
-        let img_features = self.ue.as_mut().map(|ue| {
+    /// UE-side forward: runs the CNN + pooling over the batch images and
+    /// quantizes the cut-layer activations to `R` bits — exactly the
+    /// `[B·L, 1, ph, pw]` tensor a real UE would put on the air. `None`
+    /// for the RF-only scheme, which has no UE half.
+    pub fn forward_ue(&mut self, batch: &Batch) -> Option<Tensor> {
+        self.ue.as_mut().map(|ue| {
             let images = batch
                 .images
                 .as_ref()
@@ -142,9 +149,28 @@ impl SplitModel {
             let pooled = ue.forward(images); // [B·L, 1, ph, pw]
                                              // What actually crosses the link: R-bit-quantized activations.
             self.quantizer.quantize(&pooled)
-        });
+        })
+    }
 
-        let features = self.fuse(img_features.as_ref(), &batch.powers_norm, b, l);
+    /// BS-side forward from the (delivered) quantized cut activations:
+    /// fuses them with the normalized RF power history per the scheme and
+    /// runs the BS half. Returns `[B, 1]` normalized power predictions
+    /// and arms the backward routing for this `(B, L)`. `cut` must be
+    /// `Some` exactly when the scheme uses images.
+    pub fn forward_bs(
+        &mut self,
+        cut: Option<&Tensor>,
+        powers_norm: &Tensor,
+        b: usize,
+        l: usize,
+    ) -> Tensor {
+        assert_eq!(
+            l, self.seq_len,
+            "SplitModel: batch L {l} != model L {}",
+            self.seq_len
+        );
+        self.last_batch_shape = Some((b, l));
+        let features = self.fuse(cut, powers_norm, b, l);
         self.bs.forward(&features)
     }
 
@@ -183,17 +209,33 @@ impl SplitModel {
     /// in both halves and returns the cut-layer gradient tensor
     /// (`[B·L, 1, ph, pw]`) that the downlink would carry, or `None` for
     /// the RF-only scheme.
+    ///
+    /// Composed from [`SplitModel::backward_bs`] and
+    /// [`SplitModel::backward_ue`], mirroring the forward split.
     pub fn backward(&mut self, grad_pred: &Tensor) -> Option<Tensor> {
+        let cut = self.backward_bs(grad_pred)?;
+        self.backward_ue(&cut);
+        Some(cut)
+    }
+
+    /// BS-side backward: backprops the BS half from the prediction
+    /// gradient and returns the cut-layer gradient that the downlink
+    /// would carry (`None` for RF-only). Does *not* touch the UE half —
+    /// in the networked runtime the UE applies
+    /// [`SplitModel::backward_ue`] after the gradient crosses the link.
+    pub fn backward_bs(&mut self, grad_pred: &Tensor) -> Option<Tensor> {
         let (b, l) = self
             .last_batch_shape
             .take()
             // slm-lint: allow(no-expect) forward-before-backward is the Layer trait's documented calling contract
             .expect("SplitModel::backward called without a preceding forward");
         let grad_features = self.bs.backward(grad_pred); // [B, L, F]
+        if !self.scheme.uses_images() {
+            return None;
+        }
         let p = self.pooled_pixels();
         let f = self.scheme.feature_dim(p);
         let (ph, pw) = self.pooling_output();
-        let ue = self.ue.as_mut()?;
         // Extract the image-feature slice of each step's gradient. For
         // ImgOnly this is the whole row (and the copy below is layout-
         // preserving); for ImgRf it drops the trailing RF column.
@@ -203,10 +245,17 @@ impl SplitModel {
             let base = row * f;
             cut.data_mut()[row * p..(row + 1) * p].copy_from_slice(&src[base..base + p]);
         }
-        // Straight-through estimator: the quantizer's gradient is the
-        // identity, so the cut gradient feeds the pooling layer directly.
-        ue.backward(&cut);
         Some(cut)
+    }
+
+    /// UE-side backward from the delivered cut-layer gradient. The
+    /// straight-through estimator makes the quantizer's gradient the
+    /// identity, so the cut gradient feeds the pooling layer directly.
+    /// No-op for the RF-only scheme.
+    pub fn backward_ue(&mut self, cut_grad: &Tensor) {
+        if let Some(ue) = self.ue.as_mut() {
+            ue.backward(cut_grad);
+        }
     }
 
     fn pooling_output(&self) -> (usize, usize) {

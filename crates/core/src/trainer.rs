@@ -599,7 +599,9 @@ enum StepResult {
 
 /// `‖θ_new − θ_old‖ / ‖θ_old‖` across a parameter list (the classic
 /// update-ratio health signal; ~1e-3 is healthy, ≫1 is divergence).
-fn update_ratio(prev: &[Tensor], pairs: &[(&mut Tensor, &mut Tensor)]) -> f64 {
+/// Public so the networked runtime (`sl-net`) can feed the same
+/// [`HealthMonitor`] statistics from either side of the socket.
+pub fn update_ratio(prev: &[Tensor], pairs: &[(&mut Tensor, &mut Tensor)]) -> f64 {
     let mut delta_sq = 0.0f64;
     let mut norm_sq = 0.0f64;
     for (old, (new, _)) in prev.iter().zip(pairs) {
@@ -612,8 +614,10 @@ fn update_ratio(prev: &[Tensor], pairs: &[(&mut Tensor, &mut Tensor)]) -> f64 {
     delta_sq.sqrt() / (norm_sq.sqrt() + 1e-12)
 }
 
-/// Deterministic stride subsample of `indices` down to at most `cap`.
-fn subsample(indices: &[usize], cap: Option<usize>) -> Vec<usize> {
+/// Deterministic stride subsample of `indices` down to at most `cap` —
+/// the validation-set thinning used by every trainer (in-process and
+/// networked), public so both pick identical samples.
+pub fn subsample(indices: &[usize], cap: Option<usize>) -> Vec<usize> {
     match cap {
         Some(cap) if indices.len() > cap => {
             let stride = indices.len() as f64 / cap as f64;

@@ -9,7 +9,7 @@
 //! | rule id            | invariant                                                       |
 //! |--------------------|-----------------------------------------------------------------|
 //! | `no-unwrap`        | no `.unwrap()` / `.expect()` in non-test library code           |
-//! | `no-nondeterminism`| no ambient RNG/clock/thread calls (`rand::rng()`, `thread_rng()`, `Instant::now()`, `SystemTime::now()`, `thread::spawn()`, `available_parallelism()`) outside telemetry; sl-tensor's ComputePool carries inline waivers |
+//! | `no-nondeterminism`| no ambient RNG/clock/thread/socket calls (`rand::rng()`, `thread_rng()`, `Instant::now()`, `SystemTime::now()`, `thread::spawn()`, `available_parallelism()`, `TcpListener::bind()`, `TcpStream::connect()`, `UdpSocket::bind()`) outside telemetry; sl-tensor's ComputePool and sl-net's transport carry inline waivers |
 //! | `no-print`         | no `println!`/`eprintln!` outside binaries and telemetry sinks  |
 //! | `float-cmp`        | no `==`/`!=` against float literals                             |
 //! | `lossy-cast`       | no narrowing `as` casts inside the numerics crates              |

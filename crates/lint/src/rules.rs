@@ -7,9 +7,12 @@
 //!   documented contract panic carries an inline waiver instead.
 //! * `no-nondeterminism` — no `rand::rng()` / `thread_rng()` /
 //!   `Instant::now()` / `SystemTime::now()` / `thread::spawn()` /
-//!   `available_parallelism()` in library code outside `sl-telemetry`
-//!   (simulated time and seeded RNGs only; OS threads are sanctioned
-//!   solely inside `sl-tensor`'s ComputePool via inline waivers).
+//!   `available_parallelism()` / `TcpListener::bind()` /
+//!   `TcpStream::connect()` / `UdpSocket::bind()` in library code
+//!   outside `sl-telemetry` (simulated time and seeded RNGs only; OS
+//!   threads are sanctioned solely inside `sl-tensor`'s ComputePool and
+//!   `sl-net`'s server, and real sockets solely inside `sl-net`'s
+//!   framed transport — each via inline waivers).
 //! * `no-print` — no `println!` / `eprintln!` in library code outside
 //!   bins and the telemetry sinks.
 //! * `float-cmp` — no `==` / `!=` against float literals.
@@ -370,7 +373,8 @@ fn rule_no_nondeterminism(
                 t,
                 "no-nondeterminism",
                 "`thread::spawn` introduces scheduling nondeterminism — parallel \
-                 compute belongs to sl-tensor's ComputePool (waivered there)"
+                 compute belongs to sl-tensor's ComputePool and connection \
+                 handling to sl-net (waivered there)"
                     .to_string(),
             );
         } else if t.text == "available_parallelism" && is_punct(toks, i + 1, "(") {
@@ -382,6 +386,23 @@ fn rule_no_nondeterminism(
                 "`available_parallelism()` is host-dependent — results must never \
                  depend on it (pool sizing in sl-tensor carries a waiver)"
                     .to_string(),
+            );
+        } else if (t.text == "TcpListener" || t.text == "TcpStream" || t.text == "UdpSocket")
+            && is_punct(toks, i + 1, "::")
+            && (is_ident(toks, i + 2, "bind") || is_ident(toks, i + 2, "connect"))
+            && is_punct(toks, i + 3, "(")
+        {
+            let method = &toks[i + 2].text;
+            push(
+                out,
+                ctx,
+                t,
+                "no-nondeterminism",
+                format!(
+                    "`{}::{method}` performs real network I/O — sockets belong to \
+                     sl-net's framed transport (waivered there)",
+                    t.text
+                ),
             );
         }
     }
@@ -537,6 +558,28 @@ fn real() { y.unwrap() }
         assert!(rules(&r).iter().all(|&r| r == "no-nondeterminism"));
         // Telemetry is exempt.
         assert!(scan_lib("sl-telemetry", src).findings.is_empty());
+    }
+
+    #[test]
+    fn socket_patterns_fire_outside_sl_net() {
+        let src = "fn f() { let l = TcpListener::bind(\"a\"); \
+                   let s = TcpStream::connect(\"a\"); \
+                   let u = UdpSocket::bind(\"a\"); }";
+        let r = scan(src);
+        assert_eq!(rules(&r).len(), 3);
+        assert!(rules(&r).iter().all(|&r| r == "no-nondeterminism"));
+        assert!(r.findings[0].message.contains("sl-net"));
+        // No exemption by crate — sl-net itself carries inline waivers.
+        assert_eq!(scan_lib("sl-net", src).findings.len(), 3);
+    }
+
+    #[test]
+    fn socket_patterns_do_not_fire_on_lookalikes() {
+        // Only `bind`/`connect` called through the socket types count;
+        // local addresses, strings and other methods are fine.
+        let src = "fn f() { let a = TcpStream::from(x); stream.connect(); \
+                   let s = \"TcpListener::bind(\"; let bind = 1; }";
+        assert!(scan(src).findings.is_empty());
     }
 
     #[test]

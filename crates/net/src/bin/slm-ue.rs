@@ -1,0 +1,165 @@
+//! **slm-ue** — the UE side of the networked split-learning runtime:
+//! Fig. 3a over a real socket.
+//!
+//! Runs the same five configurations as the in-process `fig3a` bench,
+//! but with the BS half living in an `slm-bs` process reached over TCP
+//! (one session per configuration). At `SLM_THREADS=1` the resulting
+//! `results/fig3a_net/fig3a.csv` is **byte-identical** to
+//! `results/fig3a/fig3a.csv` — the headline determinism contract of the
+//! networked runtime (DESIGN.md §9), checked by `verify.sh`'s `net`
+//! stage with a literal `cmp`.
+//!
+//! ```sh
+//! cargo run --release -p sl-net --bin slm-bs -- \
+//!     --addr 127.0.0.1:0 --sessions 5 --port-file /tmp/bs.port &
+//! SLM_THREADS=1 cargo run --release -p sl-net --bin slm-ue -- \
+//!     --addr "$(cat /tmp/bs.port)"
+//! ```
+
+use std::process::ExitCode;
+
+use sl_bench::{
+    build_dataset, experiment_config, fig3a_configs, fig3a_curve_rows, fig3a_label, sparkline,
+    Experiment, FIG3A_CSV_HEADER,
+};
+use sl_net::{NetTrainer, RetryPolicy, UeClient};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?),
+            "--help" | "-h" => {
+                return Err("usage: slm-ue (--addr HOST:PORT | --addr-file PATH)".to_string())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.addr.is_none() && args.addr_file.is_none() {
+        return Err("slm-ue: one of --addr or --addr-file is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let path = args.addr_file.as_deref().unwrap_or_default();
+            match std::fs::read_to_string(path) {
+                Ok(s) => s.trim().to_string(),
+                Err(e) => {
+                    eprintln!("slm-ue: read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let mut exp = Experiment::start("fig3a_net");
+    let profile = exp.profile();
+    let dataset = build_dataset(profile);
+    exp.progress(&format!(
+        "Fig. 3a over the socket runtime — BS at {addr} ({:?} profile: {} train / {} val sequences)",
+        profile,
+        dataset.train_indices().len(),
+        dataset.val_indices().len()
+    ));
+
+    let retry = RetryPolicy::default();
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    for (scheme, pooling) in fig3a_configs() {
+        let wall = std::time::Instant::now();
+        let label = fig3a_label(scheme, pooling);
+        let cfg = experiment_config(profile, scheme, pooling);
+        exp.record_run(&label, &cfg);
+        // One BS session per configuration: connect, handshake, train,
+        // clean shutdown.
+        let client = match UeClient::connect(&addr, retry) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("slm-ue: connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let run = NetTrainer::new(cfg, &dataset, client)
+            .and_then(|mut t| t.train_with(&dataset, exp.telemetry()).map(|out| (t, out)))
+            .and_then(|(t, out)| t.finish().map(|_| out));
+        let out = match run {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("slm-ue: {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{label:<28} best {:>5.2} dB  final {:>5.2} dB  sim {:>7.2} s (air {:>6.2} s)  epochs {:>3}  stop {:?}  [wall {:.0} s]",
+            out.best_rmse_db(),
+            out.final_rmse_db,
+            out.elapsed_s(),
+            out.airtime_s,
+            out.epochs,
+            out.stop,
+            wall.elapsed().as_secs_f64(),
+        );
+        let curve_vals: Vec<f32> = out.curve.iter().map(|p| p.val_rmse_db).collect();
+        exp.progress(&format!("{label:<28} {}", sparkline(&curve_vals)));
+        fig3a_curve_rows(&label, &out, &mut rows);
+        outcomes.push((label, out));
+    }
+
+    exp.write_csv("fig3a.csv", FIG3A_CSV_HEADER, &rows);
+
+    // Same invariant the in-process fig3a bin asserts: the telemetry
+    // snapshot's simulated-time totals must agree with the trainers'
+    // SimClocks to float precision.
+    let snap = exp.telemetry().snapshot();
+    if exp.telemetry().is_enabled() {
+        let compute: f64 = outcomes.iter().map(|(_, o)| o.compute_s).sum();
+        let airtime: f64 = outcomes.iter().map(|(_, o)| o.airtime_s).sum();
+        assert!(
+            (snap.gauge("sim.compute_s").unwrap_or(0.0) - compute).abs() < 1e-9,
+            "telemetry compute time disagrees with SimClock"
+        );
+        assert!(
+            (snap.gauge("sim.airtime_s").unwrap_or(0.0) - airtime).abs() < 1e-9,
+            "telemetry airtime disagrees with SimClock"
+        );
+    }
+
+    // Record the link configuration in the run manifest so a regression
+    // report can tell networked runs from in-process ones.
+    exp.annotate_raw(
+        "net",
+        &format!(
+            "{{\"bs_addr\":\"{addr}\",\"protocol_version\":{},\"max_extra_attempts\":{},\
+             \"read_timeout_ms\":{},\"backoff_ms\":{},\"fault_model\":\"channel-slots\"}}",
+            sl_net::PROTOCOL_VERSION,
+            retry.max_extra_attempts,
+            retry.read_timeout.as_millis(),
+            retry.backoff.as_millis(),
+        ),
+    );
+    let dir = exp.finish();
+    println!("results: {}", dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,467 @@
+//! The BS side of the split-learning link: a multi-client TCP server
+//! whose per-session protocol loop is generic over any `Read + Write`
+//! stream (so tests can drive it without sockets).
+//!
+//! Handshake state machine (DESIGN.md §9):
+//!
+//! ```text
+//!         Hello(SessionSpec)
+//!   Idle ────────────────────▶ wiring check (sl_core::WiringSpec)
+//!                               │ ok: ConfigAck        │ err: Nack(WiringRejected)
+//!                               ▼                      ▼
+//!                            Training ◀─┐            closed
+//!     Activations/RfSamples ──▶ step ───┘ Gradients
+//!     EvalBatch ──────────────▶ forward ─┘ Predictions
+//!     Nack ───────────────────▶ resend cached reply
+//!     Heartbeat ──────────────▶ echo
+//!     Shutdown ───────────────▶ echo, close
+//! ```
+//!
+//! Every session rebuilds the *identical* model both trainers derive
+//! from the handshake seed, applies the same Adam/clip schedule to the
+//! BS half, and never panics on malformed input — bad frames come back
+//! as typed `Nack`s.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_core::{update_ratio, Scheme, SplitModel, WiringSpec};
+use sl_nn::{clip_global_norm, mse_loss, Adam, Optimizer};
+use sl_tensor::Tensor;
+
+use crate::client::Connection;
+use crate::wire::{
+    encode_config_ack, encode_nack, encode_predictions, unpack_activations, EvalRequest, MsgType,
+    NackCode, NetError, SessionSpec, StepReply, StepRequest, FLAG_WANT_RATIO,
+};
+
+/// What one session did, for operator reporting.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSummary {
+    /// Human-readable config label (empty before a handshake).
+    pub config: String,
+    /// Training steps applied.
+    pub steps: u64,
+    /// Validation forwards served.
+    pub evals: u64,
+    /// Heartbeats echoed.
+    pub heartbeats: u64,
+    /// Nacks sent (corrupted/invalid frames received).
+    pub nacks_sent: u64,
+    /// Nacks received (our replies corrupted in flight).
+    pub nacks_received: u64,
+    /// Cached replies resent on request.
+    pub resends: u64,
+    /// Frames received intact.
+    pub frames_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Whether the session ended with a clean Shutdown exchange.
+    pub clean_shutdown: bool,
+}
+
+/// Per-session training state, built after a validated handshake.
+struct Session {
+    spec: SessionSpec,
+    model: SplitModel,
+    opt_bs: Adam,
+    pooled: (usize, usize),
+}
+
+impl Session {
+    fn build(spec: SessionSpec) -> Result<(Session, Vec<u8>), String> {
+        let wiring = WiringSpec {
+            scheme: spec.scheme,
+            pooling: spec.pooling,
+            image_h: spec.image_h,
+            image_w: spec.image_w,
+            seq_len: spec.seq_len,
+            batch_size: spec.batch_size,
+            conv_channels: spec.conv_channels,
+            hidden_dim: spec.hidden_dim,
+            rnn_cell: spec.rnn_cell,
+            bs_feature_dim: None,
+        };
+        let report = wiring.check().map_err(|e| e.to_string())?;
+        // Identical init draws to the UE: same seed, same constructor
+        // argument order, same RNG stream.
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut model = SplitModel::with_cell(
+            spec.scheme,
+            spec.pooling,
+            spec.image_h,
+            spec.image_w,
+            spec.seq_len,
+            spec.conv_channels,
+            spec.hidden_dim,
+            spec.bit_depth,
+            spec.rnn_cell,
+            &mut rng,
+        );
+        let ack = encode_config_ack(
+            report.pooled_pixels,
+            report.feature_dim,
+            model.parameter_count() as u64,
+        );
+        let pooled = spec.pooling.output_size(spec.image_h, spec.image_w);
+        Ok((
+            Session {
+                opt_bs: Adam::new(spec.learning_rate, 0.9, 0.999, 1e-8),
+                spec,
+                model,
+                pooled,
+            },
+            ack,
+        ))
+    }
+
+    /// Decodes the request's cut activations (validating shape) and the
+    /// power history.
+    fn decode_inputs(
+        &self,
+        batch: usize,
+        seq_len: usize,
+        pooled_h: usize,
+        pooled_w: usize,
+        packed: &[u8],
+        powers: Vec<f32>,
+    ) -> Result<(Option<Tensor>, Tensor), String> {
+        if seq_len != self.spec.seq_len {
+            return Err(format!(
+                "sequence length {seq_len} != session L {}",
+                self.spec.seq_len
+            ));
+        }
+        let uses_images = self.spec.scheme.uses_images();
+        let cut = if uses_images {
+            let (ph, pw) = self.pooled;
+            if (pooled_h, pooled_w) != (ph, pw) {
+                return Err(format!(
+                    "pooled shape {pooled_h}x{pooled_w} != session {ph}x{pw}"
+                ));
+            }
+            let count = batch * seq_len * ph * pw;
+            let values = unpack_activations(packed, count, self.spec.bit_depth)
+                .map_err(|e| e.to_string())?;
+            Some(
+                Tensor::from_vec([batch * seq_len, 1, ph, pw], values)
+                    .map_err(|e| format!("cut tensor: {e}"))?,
+            )
+        } else {
+            if pooled_h != 0 || pooled_w != 0 || !packed.is_empty() {
+                return Err("RF-only session received image activations".into());
+            }
+            None
+        };
+        let powers =
+            Tensor::from_vec([batch, seq_len], powers).map_err(|e| format!("power tensor: {e}"))?;
+        Ok((cut, powers))
+    }
+
+    /// One BS-side training step — the same arithmetic, in the same
+    /// order, as the BS portion of `sl_core::SplitTrainer::step_inner`.
+    fn train_step(&mut self, req: &StepRequest, want_ratio: bool) -> Result<StepReply, String> {
+        if req.batch != self.spec.batch_size {
+            return Err(format!(
+                "step batch {} != session batch {}",
+                req.batch, self.spec.batch_size
+            ));
+        }
+        let (cut, powers) = self.decode_inputs(
+            req.batch,
+            req.seq_len,
+            req.pooled_h,
+            req.pooled_w,
+            &req.packed,
+            req.powers.clone(),
+        )?;
+        let targets = Tensor::from_vec([req.batch, 1], req.targets.clone())
+            .map_err(|e| format!("target tensor: {e}"))?;
+        let pred = self
+            .model
+            .forward_bs(cut.as_ref(), &powers, req.batch, req.seq_len);
+        let loss = mse_loss(&pred, &targets);
+        // The cut gradient ships *unclipped* — clipping applies to
+        // parameter gradients, and the UE half clips its own.
+        let cut_grad = self.model.backward_bs(&loss.grad);
+        let bs_norm = {
+            let mut pairs = self.model.bs_params_and_grads();
+            let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
+            clip_global_norm(&mut grads, self.spec.grad_clip)
+        };
+        let prev_bs: Option<Vec<Tensor>> = want_ratio.then(|| {
+            self.model
+                .bs_params_and_grads()
+                .iter()
+                .map(|(p, _)| (**p).clone())
+                .collect()
+        });
+        self.opt_bs.step(&mut self.model.bs_params_and_grads());
+        self.model.zero_grads();
+        let ratio = prev_bs.map(|prev| update_ratio(&prev, &self.model.bs_params_and_grads()));
+        Ok(StepReply {
+            loss: loss.loss,
+            bs_grad_norm: bs_norm,
+            update_ratio_bs: ratio,
+            cut_grad: cut_grad.map(|t| t.data().to_vec()).unwrap_or_default(),
+        })
+    }
+
+    /// One validation forward (no gradients, no update).
+    fn eval(&mut self, req: &EvalRequest) -> Result<Vec<u8>, String> {
+        let (cut, powers) = self.decode_inputs(
+            req.batch,
+            req.seq_len,
+            req.pooled_h,
+            req.pooled_w,
+            &req.packed,
+            req.powers.clone(),
+        )?;
+        let pred = self
+            .model
+            .forward_bs(cut.as_ref(), &powers, req.batch, req.seq_len);
+        Ok(encode_predictions(&pred))
+    }
+
+    fn label(&self) -> String {
+        if self.spec.scheme == Scheme::RfOnly {
+            self.spec.scheme.to_string()
+        } else {
+            format!("{}, {}", self.spec.scheme, self.spec.pooling)
+        }
+    }
+}
+
+/// Serves one complete session over any byte stream. `compute_lock`
+/// serializes model compute across concurrent sessions of a
+/// multi-client server (network I/O stays concurrent).
+///
+/// Returns the session summary; protocol-fatal conditions (desync,
+/// socket death) surface as `Err`.
+pub fn serve_session<S: Read + Write>(
+    stream: S,
+    compute_lock: &Mutex<()>,
+) -> Result<SessionSummary, NetError> {
+    let mut conn = Connection::new(stream);
+    let mut summary = SessionSummary::default();
+    let mut session: Option<Session> = None;
+    // The last substantive reply, cached so a Nack'd (corrupted) reply
+    // can be resent without recomputing — recomputing would double-apply
+    // the optimizer step.
+    let mut last_reply: Option<(MsgType, u8, Vec<u8>)> = None;
+
+    macro_rules! nack {
+        ($code:expr, $detail:expr) => {{
+            conn.send(MsgType::Nack, 0, &encode_nack($code, $detail))?;
+            summary.nacks_sent += 1;
+        }};
+    }
+
+    loop {
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(NetError::ChecksumMismatch { .. }) => {
+                // Corrupted in flight but frame-aligned: ask for a resend.
+                nack!(NackCode::ChecksumMismatch, "frame failed checksum");
+                continue;
+            }
+            Err(NetError::BadVersion(v)) => {
+                // Speak-once mismatch: tell the peer, then close — there
+                // is no point retrying a version disagreement.
+                nack!(
+                    NackCode::BadVersion,
+                    &format!("protocol version {v} not supported")
+                );
+                summary.frames_received = conn.metrics.frames_received;
+                summary.bytes_received = conn.metrics.bytes_received;
+                return Ok(summary);
+            }
+            Err(NetError::BadType(t)) => {
+                nack!(NackCode::BadType, &format!("unknown message type {t}"));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+
+        match frame.ty {
+            MsgType::Hello => {
+                if session.is_some() {
+                    nack!(NackCode::Protocol, "duplicate Hello");
+                    continue;
+                }
+                let spec = match SessionSpec::decode(&frame.payload) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        nack!(NackCode::Protocol, &format!("bad SessionSpec: {e}"));
+                        continue;
+                    }
+                };
+                // The wiring contract gates the session: not a single
+                // training byte flows over a miswired split.
+                match Session::build(spec) {
+                    Ok((s, ack)) => {
+                        summary.config = s.label();
+                        session = Some(s);
+                        conn.send(MsgType::ConfigAck, 0, &ack)?;
+                        last_reply = Some((MsgType::ConfigAck, 0, ack));
+                    }
+                    Err(detail) => {
+                        nack!(NackCode::WiringRejected, &detail);
+                        summary.frames_received = conn.metrics.frames_received;
+                        summary.bytes_received = conn.metrics.bytes_received;
+                        return Ok(summary);
+                    }
+                }
+            }
+            MsgType::Activations | MsgType::RfSamples => {
+                let Some(sess) = session.as_mut() else {
+                    nack!(NackCode::Protocol, "training step before handshake");
+                    continue;
+                };
+                let req = match StepRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        nack!(NackCode::Protocol, &format!("bad step request: {e}"));
+                        continue;
+                    }
+                };
+                let want_ratio = frame.flags & FLAG_WANT_RATIO != 0;
+                let reply = {
+                    let _guard = compute_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    sess.train_step(&req, want_ratio)
+                };
+                match reply {
+                    Ok(reply) => {
+                        summary.steps += 1;
+                        let (flags, payload) = reply.encode();
+                        conn.send(MsgType::Gradients, flags, &payload)?;
+                        last_reply = Some((MsgType::Gradients, flags, payload));
+                    }
+                    Err(detail) => nack!(NackCode::Protocol, &detail),
+                }
+            }
+            MsgType::EvalBatch => {
+                let Some(sess) = session.as_mut() else {
+                    nack!(NackCode::Protocol, "eval before handshake");
+                    continue;
+                };
+                let req = match EvalRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        nack!(NackCode::Protocol, &format!("bad eval request: {e}"));
+                        continue;
+                    }
+                };
+                let reply = {
+                    let _guard = compute_lock.lock().unwrap_or_else(|e| e.into_inner());
+                    sess.eval(&req)
+                };
+                match reply {
+                    Ok(payload) => {
+                        summary.evals += 1;
+                        conn.send(MsgType::Predictions, 0, &payload)?;
+                        last_reply = Some((MsgType::Predictions, 0, payload));
+                    }
+                    Err(detail) => nack!(NackCode::Protocol, &detail),
+                }
+            }
+            MsgType::Nack => {
+                // Our reply got corrupted in flight: resend the cached
+                // copy byte-for-byte.
+                summary.nacks_received += 1;
+                match &last_reply {
+                    Some((ty, flags, payload)) => {
+                        summary.resends += 1;
+                        conn.send(*ty, *flags, payload)?;
+                    }
+                    None => nack!(NackCode::Protocol, "nothing to resend"),
+                }
+            }
+            MsgType::Heartbeat => {
+                summary.heartbeats += 1;
+                conn.send(MsgType::Heartbeat, 0, &[])?;
+                last_reply = Some((MsgType::Heartbeat, 0, Vec::new()));
+            }
+            MsgType::Shutdown => {
+                conn.send(MsgType::Shutdown, 0, &[])?;
+                summary.clean_shutdown = true;
+                summary.frames_received = conn.metrics.frames_received;
+                summary.bytes_received = conn.metrics.bytes_received;
+                return Ok(summary);
+            }
+            MsgType::ConfigAck | MsgType::Gradients | MsgType::Predictions => {
+                nack!(
+                    NackCode::Protocol,
+                    &format!("{:?} is a BS->UE message", frame.ty)
+                );
+            }
+        }
+    }
+}
+
+/// A multi-client BS server: one OS thread per connection, model compute
+/// serialized through a shared lock.
+#[derive(Debug)]
+pub struct BsServer {
+    listener: TcpListener,
+}
+
+impl BsServer {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<BsServer> {
+        // slm-lint: allow(no-nondeterminism) sl-net's whole purpose is real socket I/O; determinism is preserved at the protocol layer (DESIGN.md §9)
+        let listener = TcpListener::bind(addr)?;
+        Ok(BsServer { listener })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and serves sessions until `max_sessions` have completed
+    /// (`None`: serve forever). Each connection runs on its own thread;
+    /// returns every finished session's outcome with its peer address.
+    pub fn run(
+        &self,
+        max_sessions: Option<usize>,
+    ) -> Vec<(SocketAddr, Result<SessionSummary, NetError>)> {
+        let compute_lock = Arc::new(Mutex::new(()));
+        let (tx, rx) = mpsc::channel();
+        let mut accepted = 0usize;
+        let mut handles = Vec::new();
+        for incoming in self.listener.incoming() {
+            let stream: TcpStream = match incoming {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            stream.set_nodelay(true).ok();
+            let peer = stream
+                .peer_addr()
+                .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
+            let lock = Arc::clone(&compute_lock);
+            let tx = tx.clone();
+            // slm-lint: allow(no-nondeterminism) connection handling is sl-net's concurrency domain; model compute stays serialized behind the session lock
+            handles.push(thread::spawn(move || {
+                let result = serve_session(stream, &lock);
+                tx.send((peer, result)).ok();
+            }));
+            accepted += 1;
+            if let Some(max) = max_sessions {
+                if accepted >= max {
+                    break;
+                }
+            }
+        }
+        for h in handles {
+            h.join().ok();
+        }
+        drop(tx);
+        rx.into_iter().collect()
+    }
+}

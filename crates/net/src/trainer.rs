@@ -1,0 +1,542 @@
+//! The UE side of the networked split-training loop.
+//!
+//! [`NetTrainer`] is `sl_core::SplitTrainer` with the BS half moved to
+//! the other end of a [`UeClient`] link: each SGD step runs the UE CNN
+//! locally, ships the bit-packed quantized cut activations to the BS,
+//! and applies the returned cut-layer gradient — the paper's Fig. 1
+//! loop over a real byte stream instead of a function call.
+//!
+//! **Determinism contract** (DESIGN.md §9): with `SLM_THREADS=1` a
+//! `NetTrainer` run produces the *byte-identical* learning curve of the
+//! in-process `SplitTrainer` under the same `ExperimentConfig`. The
+//! pieces that make that hold:
+//!
+//! * one RNG, owned here, seeded from `config.seed`, consumed in the
+//!   exact in-process order (model init → per-step channel draws →
+//!   batch sampling);
+//! * the BS rebuilds the identical model from the handshake seed and
+//!   applies the identical Adam/clip arithmetic (`f32` losses and
+//!   gradients cross the wire bit-exactly);
+//! * the channel simulator still decides each step's fate *before* any
+//!   bytes move: a voided step touches the socket not at all, and a
+//!   delivered step's extra slots are realized as that many injected
+//!   wire faults (corrupt frames → Nack → resend), so the fault layer
+//!   exercises real recovery paths without perturbing the numerics.
+
+use std::io::{Read, Write};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_channel::{RetransmissionPolicy, TransferSimulator};
+use sl_core::{
+    subsample, update_ratio, Batch, CurvePoint, ExperimentConfig, HealthAction, HealthConfig,
+    HealthMonitor, SimClock, SplitModel, StepStats, StopReason, TrainOutcome,
+};
+use sl_nn::{clip_global_norm, rmse, Adam, Optimizer};
+use sl_scene::SequenceDataset;
+use sl_telemetry::{EventBuilder, SimSpan, Stopwatch, Telemetry};
+use sl_tensor::Tensor;
+
+use crate::client::UeClient;
+use crate::fault::FaultPlan;
+use crate::wire::{pack_activations, EvalRequest, NetError, SessionSpec, StepRequest};
+
+/// Outcome of one networked SGD step (mirrors the in-process
+/// `StepResult`, which `sl_core` keeps private).
+enum NetStep {
+    Applied,
+    Voided,
+    HealthAborted,
+}
+
+/// Trains the UE half of one [`SplitModel`] against a remote BS session.
+pub struct NetTrainer<S: Read + Write> {
+    config: ExperimentConfig,
+    model: SplitModel,
+    opt_ue: Adam,
+    uplink: TransferSimulator,
+    downlink: TransferSimulator,
+    clock: SimClock,
+    rng: StdRng,
+    health: HealthMonitor,
+    client: UeClient<S>,
+    pooled: (usize, usize),
+}
+
+impl<S: Read + Write> NetTrainer<S> {
+    /// Builds the trainer and performs the config handshake: the BS
+    /// validates the wiring (via `sl_core::WiringSpec`) and rebuilds the
+    /// identical model before a single training byte flows. A rejection
+    /// surfaces as [`NetError::HandshakeRejected`].
+    pub fn new(
+        config: ExperimentConfig,
+        dataset: &SequenceDataset,
+        mut client: UeClient<S>,
+    ) -> Result<Self, NetError> {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let frame = &dataset.trace().frames[0];
+        let (h, w) = (frame.dims()[0], frame.dims()[1]);
+        let spec = SessionSpec {
+            scheme: config.scheme,
+            pooling: config.pooling,
+            image_h: h,
+            image_w: w,
+            seq_len: dataset.seq_len(),
+            batch_size: config.batch_size,
+            conv_channels: config.conv_channels,
+            hidden_dim: config.hidden_dim,
+            rnn_cell: config.rnn_cell,
+            bit_depth: config.bit_depth,
+            learning_rate: config.learning_rate,
+            grad_clip: config.grad_clip,
+            seed: config.seed,
+        };
+        let (pooled_pixels, feature_dim, _params) = client.handshake(&spec)?;
+        // Identical init draws to the BS (and to the in-process
+        // trainer): same seed, same constructor, same RNG stream.
+        let model = SplitModel::with_cell(
+            config.scheme,
+            config.pooling,
+            h,
+            w,
+            dataset.seq_len(),
+            config.conv_channels,
+            config.hidden_dim,
+            config.bit_depth,
+            config.rnn_cell,
+            &mut rng,
+        );
+        let pooled = config.pooling.output_size(h, w);
+        if pooled_pixels != model.pooled_pixels()
+            || feature_dim != config.scheme.feature_dim(model.pooled_pixels())
+        {
+            return Err(NetError::Protocol(format!(
+                "BS acked {pooled_pixels} pooled pixels / feature width {feature_dim}, \
+                 UE wired {} / {}",
+                model.pooled_pixels(),
+                config.scheme.feature_dim(model.pooled_pixels())
+            )));
+        }
+        let lr = config.learning_rate;
+        Ok(NetTrainer {
+            opt_ue: Adam::new(lr, 0.9, 0.999, 1e-8),
+            uplink: TransferSimulator::new(config.uplink.clone(), config.retransmission),
+            downlink: TransferSimulator::new(config.downlink.clone(), config.retransmission),
+            clock: SimClock::new(),
+            model,
+            config,
+            rng,
+            health: HealthMonitor::from_env(),
+            client,
+            pooled,
+        })
+    }
+
+    /// Replaces the `SLM_HEALTH`-derived watchdog configuration.
+    pub fn set_health_config(&mut self, cfg: HealthConfig) {
+        self.health = HealthMonitor::new(cfg);
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// The underlying client link (for metrics/fault counters).
+    pub fn client_mut(&mut self) -> &mut UeClient<S> {
+        &mut self.client
+    }
+
+    /// Sends the shutdown exchange and returns the client, ending the
+    /// BS session cleanly.
+    pub fn finish(mut self) -> Result<UeClient<S>, NetError> {
+        self.client.shutdown()?;
+        Ok(self.client)
+    }
+
+    /// Extra slots beyond the clean minimum for this payload — each one
+    /// was a simulated retransmission, realized on the wire as one
+    /// injected corrupt frame (→ Nack → resend).
+    fn excess_slots(sim: &TransferSimulator, payload_bits: u64, slots: u64) -> u64 {
+        let clean = match sim.policy() {
+            RetransmissionPolicy::WholePayload { .. } => 1,
+            RetransmissionPolicy::Segmented { segment_bits, .. } => {
+                payload_bits.div_ceil(segment_bits).max(1)
+            }
+        };
+        slots.saturating_sub(clean)
+    }
+
+    /// Runs the full training loop (telemetry-free).
+    pub fn train(&mut self, dataset: &SequenceDataset) -> Result<TrainOutcome, NetError> {
+        self.train_with(dataset, &mut Telemetry::disabled())
+    }
+
+    /// Runs the full training loop, recording the same metric and event
+    /// stream as `SplitTrainer::train_with` plus the link's `net.*`
+    /// counters at the end.
+    pub fn train_with(
+        &mut self,
+        dataset: &SequenceDataset,
+        tele: &mut Telemetry,
+    ) -> Result<TrainOutcome, NetError> {
+        let b = self.config.batch_size;
+        let steps_per_epoch = dataset.steps_per_epoch(b);
+        let mut curve = Vec::new();
+        let mut steps_applied = 0u64;
+        let mut steps_voided = 0u64;
+        let mut consecutive_voids = 0usize;
+        if tele.is_enabled() {
+            self.model.enable_profiling();
+        }
+
+        // Epoch-0 point: the untrained model.
+        let mut val = self.validate_with(dataset, tele)?;
+        curve.push(CurvePoint {
+            elapsed_s: self.clock.elapsed_s(),
+            epoch: 0,
+            val_rmse_db: val,
+        });
+
+        let mut stop = StopReason::EpochLimit;
+        let mut epochs = 0usize;
+        'outer: for epoch in 1..=self.config.max_epochs {
+            for _ in 0..steps_per_epoch {
+                match self.step(dataset, b, tele)? {
+                    NetStep::Applied => {
+                        steps_applied += 1;
+                        consecutive_voids = 0;
+                    }
+                    NetStep::Voided => {
+                        steps_voided += 1;
+                        consecutive_voids += 1;
+                        if consecutive_voids >= self.config.stall_limit {
+                            stop = StopReason::LinkStalled;
+                            epochs = epoch;
+                            break 'outer;
+                        }
+                    }
+                    NetStep::HealthAborted => {
+                        steps_applied += 1;
+                        stop = StopReason::HealthAborted;
+                        epochs = epoch;
+                        break 'outer;
+                    }
+                }
+            }
+            epochs = epoch;
+            val = self.validate_with(dataset, tele)?;
+            curve.push(CurvePoint {
+                elapsed_s: self.clock.elapsed_s(),
+                epoch,
+                val_rmse_db: val,
+            });
+            if tele.is_enabled() {
+                tele.gauge_set("train.val_rmse_db", val as f64);
+                tele.emit(
+                    EventBuilder::new("epoch")
+                        .u64("epoch", epoch as u64)
+                        .f64("val_rmse_db", val as f64)
+                        .f64("elapsed_s", self.clock.elapsed_s())
+                        .f64("compute_s", self.clock.compute_s())
+                        .f64("airtime_s", self.clock.airtime_s())
+                        .u64("steps_applied", steps_applied)
+                        .u64("steps_voided", steps_voided),
+                );
+            }
+            if val <= self.config.target_rmse_db {
+                stop = StopReason::TargetReached;
+                break;
+            }
+        }
+
+        if tele.is_enabled() {
+            self.model.publish_profiles(tele);
+            self.model.disable_profiling();
+            sl_tensor::ComputePool::global().publish_metrics(tele);
+            tele.add("train.steps.applied", steps_applied);
+            tele.add("train.steps.voided", steps_voided);
+            tele.gauge_add("sim.compute_s", self.clock.compute_s());
+            tele.gauge_add("sim.airtime_s", self.clock.airtime_s());
+            self.uplink.publish_metrics(tele, "train.uplink");
+            self.downlink.publish_metrics(tele, "train.downlink");
+            self.client.publish_metrics(tele);
+            tele.emit(
+                EventBuilder::new("train_end")
+                    .str("scheme", &self.config.scheme.to_string())
+                    .str("pooling", &self.config.pooling.to_string())
+                    .str("stop", &format!("{stop:?}"))
+                    .u64("epochs", epochs as u64)
+                    .u64("steps_applied", steps_applied)
+                    .u64("steps_voided", steps_voided)
+                    .f64("final_rmse_db", val as f64)
+                    .f64("compute_s", self.clock.compute_s())
+                    .f64("airtime_s", self.clock.airtime_s()),
+            );
+        }
+
+        Ok(TrainOutcome {
+            curve,
+            stop,
+            final_rmse_db: val,
+            epochs,
+            steps_applied,
+            steps_voided,
+            compute_s: self.clock.compute_s(),
+            airtime_s: self.clock.airtime_s(),
+        })
+    }
+
+    /// One networked SGD step with the in-process step's instrumentation
+    /// envelope.
+    fn step(
+        &mut self,
+        dataset: &SequenceDataset,
+        b: usize,
+        tele: &mut Telemetry,
+    ) -> Result<NetStep, NetError> {
+        let instrument = tele.is_enabled();
+        let host = instrument.then(Stopwatch::start);
+        let span = SimSpan::begin(self.clock.compute_s(), self.clock.airtime_s());
+
+        let result = self.step_inner(dataset, b, tele)?;
+
+        if instrument {
+            if let Some(host) = host {
+                host.observe(tele, "train.step");
+            }
+            span.observe(
+                tele,
+                "train.step",
+                self.clock.compute_s(),
+                self.clock.airtime_s(),
+            );
+        }
+        Ok(result)
+    }
+
+    fn step_inner(
+        &mut self,
+        dataset: &SequenceDataset,
+        b: usize,
+        tele: &mut Telemetry,
+    ) -> Result<NetStep, NetError> {
+        let cfg = &self.config;
+        let uses_images = cfg.scheme.uses_images();
+
+        // The simulated channel decides each transfer's fate *first*,
+        // drawing from the shared RNG in the exact in-process order. A
+        // voided step never touches the socket; a delivered step's extra
+        // slots become injected wire faults below.
+        self.clock
+            .add_compute(cfg.compute.ue_seconds(self.model.ue_step_flops(b)));
+
+        let mut uplink_plan = FaultPlan::clean();
+        if uses_images {
+            let ul_bits = self.model.uplink_payload_bits(b);
+            let out = self.uplink.transfer(ul_bits, &mut self.rng);
+            self.clock
+                .add_airtime(self.uplink.slots_to_seconds(out.slots()));
+            if !out.delivered() {
+                return Ok(NetStep::Voided);
+            }
+            uplink_plan =
+                FaultPlan::retransmissions(Self::excess_slots(&self.uplink, ul_bits, out.slots()));
+        }
+
+        self.clock
+            .add_compute(cfg.compute.bs_seconds(self.model.bs_step_flops(b)));
+
+        let mut downlink_plan = FaultPlan::clean();
+        if uses_images {
+            let dl_bits = self.model.downlink_payload_bits(b);
+            let out = self.downlink.transfer(dl_bits, &mut self.rng);
+            self.clock
+                .add_airtime(self.downlink.slots_to_seconds(out.slots()));
+            if !out.delivered() {
+                return Ok(NetStep::Voided);
+            }
+            downlink_plan = FaultPlan::retransmissions(Self::excess_slots(
+                &self.downlink,
+                dl_bits,
+                out.slots(),
+            ));
+        }
+
+        let instrument = tele.is_enabled();
+        let idx = dataset.sample_train_batch(b, &mut self.rng);
+        let batch = Batch::assemble(dataset, dataset.normalizer(), &idx, uses_images);
+        let l = batch.seq_len;
+
+        // UE forward: CNN + pool + quantize — the exact payload values.
+        let fwd = instrument.then(Stopwatch::start);
+        let cut = self.model.forward_ue(&batch);
+        if let Some(w) = fwd {
+            w.observe(tele, "train.model");
+        }
+
+        let (pooled_h, pooled_w) = if uses_images { self.pooled } else { (0, 0) };
+        let packed = match &cut {
+            Some(t) => pack_activations(t.data(), cfg.bit_depth)?,
+            None => Vec::new(),
+        };
+        let req = StepRequest {
+            batch: b,
+            seq_len: l,
+            pooled_h,
+            pooled_w,
+            packed,
+            powers: batch.powers_norm.data().to_vec(),
+            targets: batch.targets_norm.data().to_vec(),
+        };
+        // `wants_update_ratio` flips off only after a warn-mode trip
+        // inside `observe_step`, which happens after this point — so
+        // reading it here matches the in-process read below the clip.
+        let track_ratio = self.health.wants_update_ratio();
+        let reply = self
+            .client
+            .train_step(&req, track_ratio, uplink_plan, downlink_plan)?;
+
+        // UE backward from the delivered cut-layer gradient.
+        let bwd = instrument.then(Stopwatch::start);
+        if uses_images {
+            let (ph, pw) = self.pooled;
+            let cut_grad = Tensor::from_vec([b * l, 1, ph, pw], reply.cut_grad.clone())
+                .map_err(|e| NetError::Decode(format!("cut gradient: {e}")))?;
+            self.model.backward_ue(&cut_grad);
+        }
+        if let Some(w) = bwd {
+            w.observe(tele, "train.model");
+        }
+
+        let ue_norm = {
+            let mut pairs = self.model.ue_params_and_grads();
+            let mut grads: Vec<&mut Tensor> = pairs.iter_mut().map(|(_, g)| &mut **g).collect();
+            clip_global_norm(&mut grads, self.config.grad_clip)
+        };
+        let bs_norm = reply.bs_grad_norm;
+        if instrument {
+            if reply.loss.is_finite() {
+                tele.observe("train.loss", reply.loss.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.loss");
+            }
+            if ue_norm.is_finite() {
+                tele.observe("train.grad_norm.ue", ue_norm.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.grad");
+            }
+            if bs_norm.is_finite() {
+                tele.observe("train.grad_norm.bs", bs_norm.max(0.0) as f64);
+            } else {
+                tele.inc("train.nonfinite.grad");
+            }
+        }
+
+        let prev_ue: Option<Vec<Tensor>> = track_ratio.then(|| {
+            self.model
+                .ue_params_and_grads()
+                .iter()
+                .map(|(p, _)| (**p).clone())
+                .collect()
+        });
+        self.opt_ue.step(&mut self.model.ue_params_and_grads());
+        self.model.zero_grads();
+
+        if self.health.config().action != HealthAction::Off && !self.health.tripped() {
+            let ratio_ue = prev_ue
+                .map(|prev| update_ratio(&prev, &self.model.ue_params_and_grads()))
+                .unwrap_or(0.0);
+            let ratio_bs = reply.update_ratio_bs.unwrap_or(0.0);
+            let stats = StepStats {
+                loss: reply.loss as f64,
+                grad_norm_ue: ue_norm as f64,
+                grad_norm_bs: bs_norm as f64,
+                update_ratio_ue: ratio_ue,
+                update_ratio_bs: ratio_bs,
+            };
+            if let Some(verdict) = self.health.observe_step(stats) {
+                let action = self.health.config().action;
+                if tele.is_enabled() {
+                    tele.emit(
+                        EventBuilder::new("health.diverged")
+                            .str("metric", verdict.metric())
+                            .str("detail", &verdict.to_string())
+                            .str(
+                                "action",
+                                if action == HealthAction::Abort {
+                                    "abort"
+                                } else {
+                                    "warn"
+                                },
+                            )
+                            .u64("nonfinite_loss", self.health.nonfinite_loss())
+                            .u64("nonfinite_grad", self.health.nonfinite_grad()),
+                    );
+                }
+                tele.warn(&format!("health watchdog tripped: {verdict}"));
+                tele.warn(&self.health.report());
+                if action == HealthAction::Abort {
+                    return Ok(NetStep::HealthAborted);
+                }
+            }
+        }
+        Ok(NetStep::Applied)
+    }
+
+    /// Validation RMSE in dB over the (possibly subsampled) validation
+    /// set, with each chunk's forward crossing the link (always clean —
+    /// validation does not ride the simulated channel, matching the
+    /// in-process trainer).
+    pub fn validate(&mut self, dataset: &SequenceDataset) -> Result<f32, NetError> {
+        self.validate_with(dataset, &mut Telemetry::disabled())
+    }
+
+    fn validate_with(
+        &mut self,
+        dataset: &SequenceDataset,
+        tele: &mut Telemetry,
+    ) -> Result<f32, NetError> {
+        let indices = subsample(dataset.val_indices(), self.config.val_subsample);
+        assert!(!indices.is_empty(), "validate: no indices");
+        let normalizer = dataset.normalizer();
+        let uses_images = self.config.scheme.uses_images();
+        let mut preds = Vec::with_capacity(indices.len());
+        let mut targets = Vec::with_capacity(indices.len());
+        for chunk in indices.chunks(128) {
+            let batch = Batch::assemble(dataset, normalizer, chunk, uses_images);
+            let watch = tele.is_enabled().then(Stopwatch::start);
+            let cut = self.model.forward_ue(&batch);
+            let (pooled_h, pooled_w) = if uses_images { self.pooled } else { (0, 0) };
+            let packed = match &cut {
+                Some(t) => pack_activations(t.data(), self.config.bit_depth)?,
+                None => Vec::new(),
+            };
+            let req = EvalRequest {
+                batch: chunk.len(),
+                seq_len: batch.seq_len,
+                pooled_h,
+                pooled_w,
+                packed,
+                powers: batch.powers_norm.data().to_vec(),
+            };
+            let p = self.client.eval(&req)?;
+            if let Some(w) = watch {
+                w.observe(tele, "train.model");
+            }
+            if p.len() != chunk.len() {
+                return Err(NetError::Protocol(format!(
+                    "BS returned {} predictions for a {}-sample batch",
+                    p.len(),
+                    chunk.len()
+                )));
+            }
+            preds.extend_from_slice(&p);
+            targets.extend_from_slice(batch.targets_norm.data());
+        }
+        let r = rmse(&Tensor::from_slice(&preds), &Tensor::from_slice(&targets));
+        Ok(normalizer.rmse_to_db(r))
+    }
+}

@@ -1,0 +1,302 @@
+//! Loopback integration tests: `slm-bs`'s serving loop and the
+//! [`NetTrainer`] UE loop talking over real 127.0.0.1 sockets.
+//!
+//! The headline contract: the networked runtime reproduces the
+//! in-process `SplitTrainer` **byte-identically** — same learning
+//! curve bits, same simulated clock, same step counts — both over a
+//! clean link and over a lossy one whose retransmissions are realized
+//! as corrupted wire frames (Nack → resend recovery).
+
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sl_channel::LinkConfig;
+use sl_core::{ExperimentConfig, PoolingDim, Scheme, SplitTrainer};
+use sl_net::{
+    BsServer, FaultAction, FaultPlan, MsgType, NackCode, NetError, NetTrainer, RetryPolicy,
+    SessionSpec, SessionSummary, StepRequest, UeClient,
+};
+use sl_scene::{Scene, SceneConfig, SequenceDataset};
+
+fn dataset(seed: u64) -> SequenceDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scene = Scene::generate(SceneConfig::tiny(), &mut rng);
+    SequenceDataset::paper_windowing(scene.simulate(&mut rng))
+}
+
+type ServedSessions = Vec<(SocketAddr, Result<SessionSummary, NetError>)>;
+
+fn spawn_bs(sessions: usize) -> (SocketAddr, thread::JoinHandle<ServedSessions>) {
+    let server = BsServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = thread::spawn(move || server.run(Some(sessions)));
+    (addr, handle)
+}
+
+/// Trains the same config in-process and over the socket; returns both
+/// outcomes plus the client/server link counters.
+fn train_both(
+    cfg: ExperimentConfig,
+    ds: &SequenceDataset,
+) -> (
+    sl_core::TrainOutcome,
+    sl_core::TrainOutcome,
+    sl_net::NetMetrics,
+    sl_net::FaultCounters,
+    SessionSummary,
+) {
+    let mut inproc = SplitTrainer::new(cfg.clone(), ds);
+    let a = inproc.train(ds);
+
+    let (addr, server) = spawn_bs(1);
+    let client = UeClient::connect(addr, RetryPolicy::default()).expect("connect");
+    let mut net = NetTrainer::new(cfg, ds, client).expect("handshake");
+    let b = net.train(ds).expect("networked training");
+    let metrics = net.client_mut().metrics();
+    let faults = net.client_mut().fault_counters();
+    net.finish().expect("clean shutdown");
+
+    let mut served = server.join().expect("server thread");
+    assert_eq!(served.len(), 1);
+    let summary = served.pop().unwrap().1.expect("session ok");
+    assert!(summary.clean_shutdown);
+    (a, b, metrics, faults, summary)
+}
+
+fn assert_byte_identical(a: &sl_core::TrainOutcome, b: &sl_core::TrainOutcome) {
+    assert_eq!(a.curve.len(), b.curve.len(), "curve lengths differ");
+    for (pa, pb) in a.curve.iter().zip(&b.curve) {
+        assert_eq!(pa.epoch, pb.epoch);
+        assert_eq!(
+            pa.elapsed_s.to_bits(),
+            pb.elapsed_s.to_bits(),
+            "elapsed_s diverged at epoch {}: {} vs {}",
+            pa.epoch,
+            pa.elapsed_s,
+            pb.elapsed_s
+        );
+        assert_eq!(
+            pa.val_rmse_db.to_bits(),
+            pb.val_rmse_db.to_bits(),
+            "val_rmse_db diverged at epoch {}: {} vs {}",
+            pa.epoch,
+            pa.val_rmse_db,
+            pb.val_rmse_db
+        );
+    }
+    assert_eq!(a.stop, b.stop);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.steps_applied, b.steps_applied);
+    assert_eq!(a.steps_voided, b.steps_voided);
+    assert_eq!(a.final_rmse_db.to_bits(), b.final_rmse_db.to_bits());
+    assert_eq!(a.compute_s.to_bits(), b.compute_s.to_bits());
+    assert_eq!(a.airtime_s.to_bits(), b.airtime_s.to_bits());
+}
+
+#[test]
+fn imgrf_loopback_is_byte_identical_to_in_process() {
+    let ds = dataset(90);
+    let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(4, 4));
+    let (a, b, metrics, _faults, summary) = train_both(cfg, &ds);
+    assert_byte_identical(&a, &b);
+    assert_eq!(summary.steps, b.steps_applied);
+    assert!(metrics.handshakes == 1);
+    assert!(metrics.frames_sent > 0 && metrics.frames_received > 0);
+}
+
+#[test]
+fn rf_only_loopback_is_byte_identical_to_in_process() {
+    let ds = dataset(91);
+    let cfg = ExperimentConfig::quick(Scheme::RfOnly, PoolingDim::new(4, 4));
+    let (a, b, _metrics, faults, summary) = train_both(cfg, &ds);
+    assert_byte_identical(&a, &b);
+    assert_eq!(summary.steps, b.steps_applied);
+    // RF-only rides no simulated channel: the wire stays fault-free.
+    assert_eq!(faults.corrupted, 0);
+}
+
+#[test]
+fn lossy_uplink_realizes_retransmissions_as_wire_faults() {
+    let ds = dataset(92);
+    let mut cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(4, 4));
+    // ~0.73 per-slot decode probability for the quick 4096-bit payload:
+    // plenty of retransmissions, but every payload still delivers.
+    cfg.uplink = LinkConfig::paper_uplink().with_mean_snr_db(-5.0);
+    let (a, b, metrics, faults, summary) = train_both(cfg, &ds);
+    // Byte identity holds *through* the fault/Nack/resend machinery.
+    assert_byte_identical(&a, &b);
+    assert!(
+        faults.corrupted > 0,
+        "lossy link injected no wire faults: {faults:?}"
+    );
+    assert!(
+        metrics.retries > 0 && metrics.nacks_received > 0,
+        "corrupted uplink frames must be Nack'd and resent: {metrics:?}"
+    );
+    assert_eq!(summary.nacks_sent, metrics.nacks_received);
+    assert_eq!(
+        summary.resends, 0,
+        "uplink faults resend requests, not replies"
+    );
+}
+
+/// A handshaken RF-only session for driving the client directly.
+fn rf_spec() -> SessionSpec {
+    SessionSpec {
+        scheme: Scheme::RfOnly,
+        pooling: PoolingDim::new(4, 4),
+        image_h: 16,
+        image_w: 16,
+        seq_len: 4,
+        batch_size: 8,
+        conv_channels: 2,
+        hidden_dim: 8,
+        rnn_cell: sl_core::RnnCell::Lstm,
+        bit_depth: 8,
+        learning_rate: 5e-3,
+        grad_clip: 5.0,
+        seed: 7,
+    }
+}
+
+fn rf_step_request() -> StepRequest {
+    StepRequest {
+        batch: 8,
+        seq_len: 4,
+        pooled_h: 0,
+        pooled_w: 0,
+        packed: Vec::new(),
+        powers: (0..32).map(|i| (i as f32) / 32.0).collect(),
+        targets: (0..8).map(|i| (i as f32) / 8.0 - 0.5).collect(),
+    }
+}
+
+#[test]
+fn dropped_request_times_out_and_is_retried() {
+    let (addr, server) = spawn_bs(1);
+    let retry = RetryPolicy {
+        max_extra_attempts: 4,
+        read_timeout: Duration::from_millis(150),
+        backoff: Duration::from_millis(5),
+    };
+    let mut client = UeClient::connect(addr, retry).expect("connect");
+    client.handshake(&rf_spec()).expect("handshake");
+
+    // Swallow the first request frame entirely: the BS never sees it,
+    // the read deadline expires, and the client must resend.
+    let plan = FaultPlan::from_actions(vec![FaultAction::Drop]);
+    let reply = client
+        .train_step(&rf_step_request(), false, plan, FaultPlan::clean())
+        .expect("step recovers after timeout");
+    assert!(reply.loss.is_finite());
+    let m = client.metrics();
+    assert_eq!(m.timeouts, 1, "exactly one read deadline expired: {m:?}");
+    assert!(m.retries >= 1, "the dropped frame was resent: {m:?}");
+
+    client.shutdown().expect("shutdown");
+    let served = server.join().expect("server thread");
+    let summary = served[0].1.as_ref().expect("session ok");
+    // The server saw one request, served one step — the drop happened
+    // before its doorstep.
+    assert_eq!(summary.steps, 1);
+}
+
+#[test]
+fn corrupted_reply_is_nacked_and_resent_without_recomputing() {
+    let (addr, server) = spawn_bs(1);
+    let mut client = UeClient::connect(addr, RetryPolicy::default()).expect("connect");
+    client.handshake(&rf_spec()).expect("handshake");
+
+    // Corrupt the *reply* in flight: the client Nacks, the server
+    // resends the cached frame instead of double-applying the step.
+    let plan = FaultPlan::from_actions(vec![FaultAction::Corrupt]);
+    let first = client
+        .train_step(&rf_step_request(), false, FaultPlan::clean(), plan)
+        .expect("step recovers after reply corruption");
+    assert!(first.loss.is_finite());
+    let m = client.metrics();
+    assert!(m.nacks_sent >= 1, "corrupted reply must be Nack'd: {m:?}");
+
+    client.shutdown().expect("shutdown");
+    let served = server.join().expect("server thread");
+    let summary = served[0].1.as_ref().expect("session ok");
+    assert_eq!(summary.steps, 1, "the Adam step must not be re-applied");
+    assert_eq!(summary.resends, 1);
+    assert_eq!(summary.nacks_received, 1);
+}
+
+#[test]
+fn miswired_handshake_is_rejected_with_the_shape_trace() {
+    let (addr, server) = spawn_bs(1);
+    let mut client = UeClient::connect(addr, RetryPolicy::default()).expect("connect");
+    let mut spec = rf_spec();
+    spec.scheme = Scheme::ImgRf;
+    spec.pooling = PoolingDim::new(3, 3); // does not tile 16x16
+    match client.handshake(&spec) {
+        Err(NetError::HandshakeRejected(detail)) => {
+            assert!(detail.contains("does not tile"), "{detail}");
+        }
+        other => panic!("expected a wiring rejection, got {other:?}"),
+    }
+    let served = server.join().expect("server thread");
+    let summary = served[0].1.as_ref().expect("session closed cleanly");
+    assert_eq!(summary.steps, 0);
+    assert!(!summary.clean_shutdown);
+}
+
+#[test]
+fn training_bytes_before_handshake_are_refused() {
+    let (addr, server) = spawn_bs(1);
+    let mut client = UeClient::connect(addr, RetryPolicy::default()).expect("connect");
+    let err = client
+        .train_step(
+            &rf_step_request(),
+            false,
+            FaultPlan::clean(),
+            FaultPlan::clean(),
+        )
+        .expect_err("step without handshake must fail");
+    match err {
+        NetError::Nack { code, .. } => assert_eq!(code, NackCode::Protocol),
+        other => panic!("expected a protocol Nack, got {other}"),
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn version_mismatch_is_nacked_and_closed() {
+    use sl_net::wire::{fnv1a_64, HEADER_LEN, MAGIC};
+    use std::io::{Read, Write};
+
+    let (addr, server) = spawn_bs(1);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    // Hand-roll a Heartbeat frame claiming protocol version 2.
+    let mut frame = Vec::with_capacity(HEADER_LEN + 8);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&2u16.to_le_bytes()); // bad version
+    frame.push(MsgType::Heartbeat as u8);
+    frame.push(0); // flags
+    frame.extend_from_slice(&0u32.to_le_bytes()); // empty payload
+    let sum = fnv1a_64(&frame);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    stream.write_all(&frame).expect("send bad-version frame");
+
+    // The server Nacks with BadVersion and closes the connection.
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("read until close");
+    let decoded = sl_net::decode_frame(&reply).expect("reply decodes");
+    assert_eq!(decoded.ty, MsgType::Nack);
+    let (code, detail) = sl_net::wire::decode_nack(&decoded.payload).expect("nack payload");
+    assert_eq!(code, NackCode::BadVersion);
+    assert!(detail.contains("version 2"), "{detail}");
+
+    let served = server.join().expect("server thread");
+    let summary = served[0].1.as_ref().expect("session closed cleanly");
+    assert!(!summary.clean_shutdown);
+}

@@ -1,0 +1,173 @@
+//! Property-based fuzzing of the wire codec: every frame and payload
+//! round-trips bit-exactly, and no mutation of a valid frame — or raw
+//! garbage — ever panics the decoder (typed errors only).
+
+use proptest::prelude::*;
+
+use sl_core::{PoolingDim, Scheme};
+use sl_net::wire::{
+    decode_frame, encode_frame, pack_activations, unpack_activations, MsgType, SessionSpec,
+    StepReply, StepRequest, FLAG_WANT_RATIO,
+};
+use sl_net::{FaultPlan, NetError};
+
+fn any_msg_type() -> impl Strategy<Value = MsgType> {
+    (1u8..=10).prop_map(|b| MsgType::from_u8(b).expect("1..=10 are all valid types"))
+}
+
+fn any_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frames_roundtrip_bit_exactly(ty in any_msg_type(), flags in 0u8..=3, payload in any_payload()) {
+        let bytes = encode_frame(ty, flags, &payload);
+        let frame = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(frame.ty, ty);
+        prop_assert_eq!(frame.flags, flags);
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes_and_never_panics(
+        ty in any_msg_type(),
+        payload in any_payload(),
+        pos in 0usize..1000,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(ty, 0, &payload);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        // Whatever byte was hit — magic, version, type, length, payload
+        // or checksum — the decoder reports a typed error. (A length
+        // corruption makes the buffer the wrong size for its header;
+        // everything else fails the checksum or field validation.)
+        prop_assert!(decode_frame(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics(ty in any_msg_type(), payload in any_payload(), keep in 0usize..300) {
+        let bytes = encode_frame(ty, 0, &payload);
+        let keep = keep.min(bytes.len().saturating_sub(1));
+        prop_assert!(decode_frame(&bytes[..keep]).is_err());
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        // Random bytes essentially never carry a valid FNV trailer; what
+        // matters is that the decoder returns instead of panicking.
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn activation_packing_roundtrips_every_grid_level(
+        bit_depth in 1usize..=24,
+        levels in proptest::collection::vec(0u32..=0xFF_FFFF, 1..64),
+    ) {
+        let max = (1u32 << bit_depth) - 1;
+        let values: Vec<f32> = levels.iter().map(|&k| (k % (max + 1)) as f32 / max as f32).collect();
+        let packed = pack_activations(&values, bit_depth).expect("grid values pack");
+        prop_assert_eq!(packed.len(), (values.len() * bit_depth).div_ceil(8));
+        let back = unpack_activations(&packed, values.len(), bit_depth).expect("unpack");
+        for (a, b) in values.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn off_grid_activations_are_typed_errors(bit_depth in 1usize..=12, noise in 0.00004f32..0.49) {
+        // Halfway between grid points is never representable.
+        let max = (1u32 << bit_depth) - 1;
+        let q = (0.5 + noise) / max as f32;
+        let r = pack_activations(&[q], bit_depth);
+        prop_assert!(
+            matches!(r, Err(NetError::Decode(_))),
+            "expected a typed Decode error for off-grid {}, got {:?}", q, r
+        );
+    }
+
+    #[test]
+    fn step_request_roundtrips(
+        b in 1usize..9,
+        l in 1usize..5,
+        ph in 1usize..5,
+        pw in 1usize..5,
+        bit_depth in 1usize..=16,
+        raw in proptest::collection::vec(0u32..=0xFFFF, 1..64),
+    ) {
+        let max = (1u32 << bit_depth) - 1;
+        let count = b * l * ph * pw;
+        let values: Vec<f32> = (0..count).map(|i| (raw[i % raw.len()] % (max + 1)) as f32 / max as f32).collect();
+        let req = StepRequest {
+            batch: b,
+            seq_len: l,
+            pooled_h: ph,
+            pooled_w: pw,
+            packed: pack_activations(&values, bit_depth).expect("pack"),
+            powers: (0..b * l).map(|i| i as f32 * 0.125 - 1.0).collect(),
+            targets: (0..b).map(|i| i as f32 * 0.25).collect(),
+        };
+        prop_assert_eq!(req.msg_type(), MsgType::Activations);
+        let back = StepRequest::decode(&req.encode()).expect("decode");
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn step_reply_roundtrips_with_and_without_ratio(
+        loss in 0.0f32..10.0,
+        norm in 0.0f32..100.0,
+        ratio in 0.0f64..1.0,
+        with_ratio in 0u8..2,
+        grad in proptest::collection::vec(-1.0f32..1.0, 0..64),
+    ) {
+        let reply = StepReply {
+            loss,
+            bs_grad_norm: norm,
+            update_ratio_bs: (with_ratio == 1).then_some(ratio),
+            cut_grad: grad,
+        };
+        let (flags, payload) = reply.encode();
+        prop_assert_eq!(flags & FLAG_WANT_RATIO != 0, with_ratio == 1);
+        let back = StepReply::decode(flags, &payload).expect("decode");
+        prop_assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn session_spec_roundtrips(
+        scheme in 0u8..3,
+        cell in 0u8..2,
+        bit_depth in 1usize..=24,
+        dims in (1usize..64, 1usize..64, 1usize..8, 1usize..128),
+        widths in (1usize..16, 1usize..64),
+        seed in 0u64..u64::MAX,
+    ) {
+        let (image_h, image_w, seq_len, batch_size) = dims;
+        let (conv_channels, hidden_dim) = widths;
+        let spec = SessionSpec {
+            scheme: [Scheme::RfOnly, Scheme::ImgOnly, Scheme::ImgRf][scheme as usize],
+            pooling: PoolingDim::new(1 + image_h % 8, 1 + image_w % 8),
+            image_h,
+            image_w,
+            seq_len,
+            batch_size,
+            conv_channels,
+            hidden_dim,
+            rnn_cell: [sl_core::RnnCell::Lstm, sl_core::RnnCell::Gru][cell as usize],
+            bit_depth,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            seed,
+        };
+        let back = SessionSpec::decode(&spec.encode()).expect("decode");
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn retransmission_plans_have_one_fault_per_extra_slot(extra in 0u64..64) {
+        let plan = FaultPlan::retransmissions(extra);
+        prop_assert_eq!(plan.len() as u64, extra);
+    }
+}

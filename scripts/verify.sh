@@ -80,6 +80,27 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     stage report cargo run --release -q -p sl-bench --bin slm-report -- \
         --check results/fig3a
 
+    # Networked runtime: the same five smoke configurations over a real
+    # loopback socket (slm-bs serving one session per configuration)
+    # must reproduce the in-process figure CSV byte-for-byte — the
+    # sl-net determinism contract (DESIGN.md §9). The port file doubles
+    # as the server's readiness signal.
+    mkdir -p results/fig3a_net
+    rm -f results/fig3a_net/bs.port
+    env SLM_THREADS=1 cargo run --release -q -p sl-net --bin slm-bs -- \
+        --addr 127.0.0.1:0 --sessions 5 --port-file results/fig3a_net/bs.port &
+    bs_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s results/fig3a_net/bs.port ]] && break
+        sleep 0.1
+    done
+    stage net-smoke env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+        cargo run --release -q -p sl-net --bin slm-ue -- \
+        --addr-file results/fig3a_net/bs.port
+    stage net-bitwise cmp results/fig3a/fig3a.csv results/fig3a_net/fig3a.csv
+    wait "$bs_pid" 2>/dev/null || true
+    rm -f results/fig3a_net/bs.port
+
     # Kernel micro-benchmarks: record ref/serial/pooled throughput into
     # results/BENCH_kernels.json, then gate the determinism contract
     # (throughput itself is host-dependent and never gated).

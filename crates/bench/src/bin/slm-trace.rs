@@ -1,0 +1,118 @@
+//! `slm-trace` — merge span journals, validate trace well-formedness,
+//! and export Chrome trace-event JSON for Perfetto.
+//!
+//! ```sh
+//! slm-trace results/fig3a/fig3a.jsonl          # check + latency table
+//! slm-trace --out trace.json ue.jsonl bs.jsonl # merged Perfetto export
+//! ```
+//!
+//! Inputs are JSONL journals written with `SLM_TRACE=on`; span events
+//! from every file are merged into one set, so pointing it at both the
+//! UE-side and BS-side journals of a networked run yields a single
+//! timeline with the server spans stitched under the client's traces.
+//! The merged set always goes through [`check_spans`] — orphan parents,
+//! windows escaping their parent, or non-monotone simulated time exit
+//! non-zero — and `--out` writes a deterministic Chrome trace-event
+//! file that <https://ui.perfetto.dev> loads directly.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sl_telemetry::{
+    check_spans, chrome_trace_json, latency_breakdown, spans_from_jsonl, SpanRecord,
+};
+
+const USAGE: &str = "usage: slm-trace [--out FILE] <journal.jsonl>...";
+
+fn main() -> ExitCode {
+    let mut out_path: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => return usage_error("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other:?}"));
+            }
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    if inputs.is_empty() {
+        return usage_error("no journal files given");
+    }
+
+    let mut spans: Vec<SpanRecord> = Vec::new();
+    for path in &inputs {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("slm-trace: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let found = spans_from_jsonl(&text);
+        eprintln!("slm-trace: {}: {} span(s)", path.display(), found.len());
+        spans.extend(found);
+    }
+    if spans.is_empty() {
+        eprintln!(
+            "slm-trace: no spans in {} journal file(s) (was the run made with SLM_TRACE=on?)",
+            inputs.len()
+        );
+        return ExitCode::from(1);
+    }
+
+    let stats = match check_spans(&spans) {
+        Ok(s) => s,
+        Err(errors) => {
+            eprintln!("slm-trace: merged span set is malformed:");
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "slm-trace: {} span(s), {} trace(s), {} root(s) — well-formed",
+        stats.spans, stats.traces, stats.roots
+    );
+    println!();
+    println!("| span | count | total sim ms | mean µs | max µs |");
+    println!("|---|---:|---:|---:|---:|");
+    for row in latency_breakdown(&spans) {
+        println!(
+            "| {} | {} | {:.3} | {:.1} | {} |",
+            row.name,
+            row.count,
+            row.total_us as f64 / 1e3,
+            row.mean_us(),
+            row.max_us
+        );
+    }
+
+    if let Some(path) = out_path {
+        let json = chrome_trace_json(&spans);
+        if let Err(e) = fs::write(&path, json + "\n") {
+            eprintln!("slm-trace: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "slm-trace: wrote {} (load it at https://ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("slm-trace: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -286,6 +286,7 @@ impl Experiment {
             .map(PathBuf::from)
             .unwrap_or_else(|_| dir.clone());
         let mut telemetry = Telemetry::from_settings(mode, &journal_dir, name);
+        telemetry.set_tracing(sl_telemetry::trace_env_enabled());
         let profile = profile.unwrap_or_else(|| Profile::from_env_logged(&mut telemetry));
         telemetry.emit(
             EventBuilder::new("run_start")

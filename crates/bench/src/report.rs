@@ -24,7 +24,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use sl_telemetry::json::{self, JsonArray, JsonObject, JsonValue};
-use sl_telemetry::Snapshot;
+use sl_telemetry::{check_spans, latency_breakdown, spans_from_jsonl, Snapshot, SpanRecord};
 
 use crate::fnv1a_64;
 
@@ -60,6 +60,9 @@ pub struct RunData {
     pub snapshot: Snapshot,
     /// `health.*` events found in the journal.
     pub health_events: Vec<HealthEvent>,
+    /// `trace.span` records found in the journal (empty unless the run
+    /// was made with `SLM_TRACE=on`).
+    pub spans: Vec<SpanRecord>,
 }
 
 impl RunData {
@@ -119,7 +122,11 @@ pub fn load_run(dir: &Path) -> Result<RunData, String> {
     let snapshot =
         Snapshot::from_json(&snap_text).map_err(|e| format!("{}: {e}", snap_path.display()))?;
 
-    let health_events = load_health_events(&dir.join(format!("{name}.jsonl")));
+    let journal_path = dir.join(format!("{name}.jsonl"));
+    let health_events = load_health_events(&journal_path);
+    let spans = fs::read_to_string(&journal_path)
+        .map(|t| spans_from_jsonl(&t))
+        .unwrap_or_default();
 
     Ok(RunData {
         dir: dir.to_path_buf(),
@@ -130,6 +137,7 @@ pub fn load_run(dir: &Path) -> Result<RunData, String> {
         wall_s,
         snapshot,
         health_events,
+        spans,
     })
 }
 
@@ -460,6 +468,60 @@ pub fn render_markdown(run: &RunData) -> String {
             }
             None => {
                 let _ = writeln!(out, "No `train.model.host_s` samples to compare against.");
+            }
+        }
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Trace");
+    let _ = writeln!(out);
+    if run.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "No spans in the journal (run with `SLM_TRACE=on` and \
+             `SLM_TELEMETRY=jsonl` to record the timeline)."
+        );
+    } else {
+        match check_spans(&run.spans) {
+            Ok(stats) => {
+                let _ = writeln!(
+                    out,
+                    "{} span(s) across {} trace(s) ({} step root(s)); latency \
+                     breakdown by simulated time:",
+                    stats.spans, stats.traces, stats.roots
+                );
+                let _ = writeln!(out);
+                let _ = writeln!(out, "| span | count | total sim ms | mean µs | max µs |");
+                let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+                for r in latency_breakdown(&run.spans) {
+                    let _ = writeln!(
+                        out,
+                        "| {} | {} | {:.3} | {:.1} | {} |",
+                        r.name,
+                        r.count,
+                        r.total_us as f64 / 1e3,
+                        r.mean_us(),
+                        r.max_us
+                    );
+                }
+                let _ = writeln!(out);
+                let _ = writeln!(
+                    out,
+                    "Export a Perfetto timeline with `slm-trace --out trace.json \
+                     {}`.",
+                    run.dir.join(format!("{}.jsonl", run.name)).display()
+                );
+            }
+            Err(errors) => {
+                let _ = writeln!(
+                    out,
+                    "**Malformed span set** — {} error(s) from the well-formedness \
+                     check:",
+                    errors.len()
+                );
+                for e in errors.iter().take(10) {
+                    let _ = writeln!(out, "- {e}");
+                }
             }
         }
     }

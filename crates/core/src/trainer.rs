@@ -23,7 +23,7 @@ use rand::SeedableRng;
 use sl_channel::TransferSimulator;
 use sl_nn::{clip_global_norm, mse_loss, rmse, Adam, Optimizer};
 use sl_scene::SequenceDataset;
-use sl_telemetry::{EventBuilder, SimSpan, Stopwatch, Telemetry};
+use sl_telemetry::{sim_us, EventBuilder, SimSpan, Stopwatch, Telemetry, Tracer, Value};
 use sl_tensor::Tensor;
 
 use crate::batch::Batch;
@@ -31,6 +31,7 @@ use crate::clock::SimClock;
 use crate::config::ExperimentConfig;
 use crate::health::{HealthAction, HealthConfig, HealthMonitor, StepStats};
 use crate::model::SplitModel;
+use crate::scheme::Scheme;
 
 /// One learning-curve sample (taken after each validation pass).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +129,8 @@ pub struct SplitTrainer {
     clock: SimClock,
     rng: StdRng,
     health: HealthMonitor,
+    tracer: Option<Tracer>,
+    steps_seen: u64,
 }
 
 impl SplitTrainer {
@@ -166,6 +169,18 @@ impl SplitTrainer {
             config,
             rng,
             health: HealthMonitor::from_env(),
+            tracer: None,
+            steps_seen: 0,
+        }
+    }
+
+    /// The config label used for span/session attribution (matches the
+    /// networked trainer and the BS server).
+    fn session_label(&self) -> String {
+        if self.config.scheme == Scheme::RfOnly {
+            self.config.scheme.to_string()
+        } else {
+            format!("{}, {}", self.config.scheme, self.config.pooling)
         }
     }
 
@@ -231,6 +246,17 @@ impl SplitTrainer {
             // forward/backward below lands in `nn.{ue,bs}.layer.*`.
             self.model.enable_profiling();
         }
+        if tele.trace_enabled() && self.tracer.is_none() {
+            // Deterministic trace id: derived from the run's identity,
+            // never from wall-clock or ambient randomness (DESIGN.md §9).
+            self.tracer = Some(Tracer::for_run(
+                &format!(
+                    "{}|{}|seed={}",
+                    self.config.scheme, self.config.pooling, self.config.seed
+                ),
+                "ue",
+            ));
+        }
 
         // Epoch-0 point: the untrained model.
         let mut val = self.validate_with(dataset, tele);
@@ -288,6 +314,13 @@ impl SplitTrainer {
                         .u64("steps_voided", steps_voided),
                 );
             }
+            // Flush the epoch's spans to the journal as we go so a
+            // crashed run still leaves a usable partial trace.
+            if tele.trace_enabled() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.drain_into(tele);
+                }
+            }
             if val <= self.config.target_rmse_db {
                 stop = StopReason::TargetReached;
                 break;
@@ -320,6 +353,11 @@ impl SplitTrainer {
                     .f64("compute_s", self.clock.compute_s())
                     .f64("airtime_s", self.clock.airtime_s()),
             );
+        }
+        if tele.trace_enabled() {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.drain_into(tele);
+            }
         }
 
         TrainOutcome {
@@ -362,13 +400,21 @@ impl SplitTrainer {
         b: usize,
         tele: &mut Telemetry,
     ) -> StepResult {
+        let label = self.session_label();
         let cfg = &self.config;
         let uses_images = cfg.scheme.uses_images();
+        self.steps_seen += 1;
+        let seq = self.steps_seen;
 
-        // UE forward compute happens regardless of link fate.
+        // UE forward compute happens regardless of link fate. The
+        // simulated timestamps `t0..t4` bracket the step's windows for
+        // tracing.
+        let t0 = sim_us(self.clock.elapsed_s());
         self.clock
             .add_compute(cfg.compute.ue_seconds(self.model.ue_step_flops(b)));
+        let t1 = sim_us(self.clock.elapsed_s());
 
+        let mut ul_stats: Option<(u64, u64)> = None;
         if uses_images {
             // Uplink: quantized activations.
             let ul_bits = self.model.uplink_payload_bits(b);
@@ -376,14 +422,43 @@ impl SplitTrainer {
             self.clock
                 .add_airtime(self.uplink.slots_to_seconds(out.slots()));
             if !out.delivered() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    let tv = sim_us(self.clock.elapsed_s());
+                    let root = tr.begin("train.step", "step", t0);
+                    tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+                    tr.record(
+                        "uplink.transfer",
+                        "link",
+                        t1,
+                        tv - t1,
+                        vec![
+                            ("bits".into(), Value::U64(ul_bits)),
+                            ("slots".into(), Value::U64(out.slots())),
+                            ("delivered".into(), Value::Bool(false)),
+                        ],
+                    );
+                    tr.end_with(
+                        root,
+                        tv,
+                        vec![
+                            ("step".into(), Value::U64(seq)),
+                            ("voided".into(), Value::Bool(true)),
+                            ("session".into(), Value::Str(label)),
+                        ],
+                    );
+                }
                 return StepResult::Voided;
             }
+            ul_stats = Some((ul_bits, out.slots()));
         }
+        let t2 = sim_us(self.clock.elapsed_s());
 
         // BS compute: forward + loss + backward.
         self.clock
             .add_compute(cfg.compute.bs_seconds(self.model.bs_step_flops(b)));
+        let t3 = sim_us(self.clock.elapsed_s());
 
+        let mut dl_stats: Option<(u64, u64)> = None;
         if uses_images {
             // Downlink: cut-layer gradients.
             let dl_bits = self.model.downlink_payload_bits(b);
@@ -391,8 +466,90 @@ impl SplitTrainer {
             self.clock
                 .add_airtime(self.downlink.slots_to_seconds(out.slots()));
             if !out.delivered() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    let tv = sim_us(self.clock.elapsed_s());
+                    let root = tr.begin("train.step", "step", t0);
+                    tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+                    if let Some((bits, slots)) = ul_stats {
+                        tr.record(
+                            "uplink.transfer",
+                            "link",
+                            t1,
+                            t2 - t1,
+                            vec![
+                                ("bits".into(), Value::U64(bits)),
+                                ("slots".into(), Value::U64(slots)),
+                            ],
+                        );
+                    }
+                    tr.record("bs.compute", "bs", t2, t3 - t2, Vec::new());
+                    tr.record(
+                        "downlink.transfer",
+                        "link",
+                        t3,
+                        tv - t3,
+                        vec![
+                            ("bits".into(), Value::U64(dl_bits)),
+                            ("slots".into(), Value::U64(out.slots())),
+                            ("delivered".into(), Value::Bool(false)),
+                        ],
+                    );
+                    tr.end_with(
+                        root,
+                        tv,
+                        vec![
+                            ("step".into(), Value::U64(seq)),
+                            ("voided".into(), Value::Bool(true)),
+                            ("session".into(), Value::Str(label)),
+                        ],
+                    );
+                }
                 return StepResult::Voided;
             }
+            dl_stats = Some((dl_bits, out.slots()));
+        }
+        let t4 = sim_us(self.clock.elapsed_s());
+
+        // Record the delivered step's window spans (every window is
+        // already charged; the numerics below are instantaneous on the
+        // simulated clock, so they appear as zero-width markers at t4).
+        let mut open_root = None;
+        if let Some(tr) = self.tracer.as_mut() {
+            let root = tr.begin("train.step", "step", t0);
+            tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+            tr.record(
+                "quantize.pack",
+                "ue",
+                t1,
+                0,
+                vec![("bit_depth".into(), Value::U64(cfg.bit_depth as u64))],
+            );
+            if let Some((bits, slots)) = ul_stats {
+                tr.record(
+                    "uplink.transfer",
+                    "link",
+                    t1,
+                    t2 - t1,
+                    vec![
+                        ("bits".into(), Value::U64(bits)),
+                        ("slots".into(), Value::U64(slots)),
+                    ],
+                );
+            }
+            tr.record("bs.compute", "bs", t2, t3 - t2, Vec::new());
+            if let Some((bits, slots)) = dl_stats {
+                tr.record(
+                    "downlink.transfer",
+                    "link",
+                    t3,
+                    t4 - t3,
+                    vec![
+                        ("bits".into(), Value::U64(bits)),
+                        ("slots".into(), Value::U64(slots)),
+                    ],
+                );
+            }
+            open_root = Some(root);
         }
 
         // The actual numerics (instantaneous with respect to the
@@ -463,6 +620,22 @@ impl SplitTrainer {
         self.opt_ue.step(&mut self.model.ue_params_and_grads());
         self.opt_bs.step(&mut self.model.bs_params_and_grads());
         self.model.zero_grads();
+
+        if let (Some(tr), Some(root)) = (self.tracer.as_mut(), open_root) {
+            tr.record("model.forward", "ue", t4, 0, Vec::new());
+            tr.record("model.backward", "ue", t4, 0, Vec::new());
+            tr.record("opt.apply", "ue", t4, 0, Vec::new());
+            tr.end_with(
+                root,
+                t4,
+                vec![
+                    ("step".into(), Value::U64(seq)),
+                    ("loss".into(), Value::F64(f64::from(loss.loss))),
+                    ("voided".into(), Value::Bool(false)),
+                    ("session".into(), Value::Str(label)),
+                ],
+            );
+        }
 
         if self.health.config().action != HealthAction::Off && !self.health.tripped() {
             let ratio_ue = prev_ue

@@ -1,8 +1,11 @@
 //! **slm-bs** — the BS side of the networked split-learning runtime.
 //!
 //! Binds a TCP listener, serves UE sessions (one thread per connection,
-//! model compute serialized behind a shared lock) and prints one summary
-//! line per finished session.
+//! model compute serialized behind a shared lock) and journals one
+//! summary line per finished session. With `SLM_TELEMETRY=jsonl` the
+//! journal also receives the server-side spans of traced sessions
+//! (`SLM_TRACE=on` on the UE side), which `slm-trace` merges with the
+//! UE journal into one Perfetto timeline.
 //!
 //! ```sh
 //! cargo run --release -p sl-net --bin slm-bs -- \
@@ -16,6 +19,7 @@
 use std::process::ExitCode;
 
 use sl_net::BsServer;
+use sl_telemetry::Telemetry;
 
 struct Args {
     addr: String,
@@ -62,26 +66,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let mut tele = Telemetry::from_env("slm_bs");
     let server = match BsServer::bind(&args.addr) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("slm-bs: bind {}: {e}", args.addr);
+            tele.warn(&format!("slm-bs: bind {}: {e}", args.addr));
             return ExitCode::FAILURE;
         }
     };
     let local = match server.local_addr() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("slm-bs: local_addr: {e}");
+            tele.warn(&format!("slm-bs: local_addr: {e}"));
             return ExitCode::FAILURE;
         }
     };
-    println!("slm-bs: listening on {local}");
+    tele.progress(&format!("slm-bs: listening on {local}"));
     if let Some(path) = &args.port_file {
         // The file is the readiness signal: write it only after the
         // listener is live so a polling harness can't race the bind.
         if let Err(e) = std::fs::write(path, local.to_string()) {
-            eprintln!("slm-bs: write {path}: {e}");
+            tele.warn(&format!("slm-bs: write {path}: {e}"));
             return ExitCode::FAILURE;
         }
     }
@@ -89,30 +94,38 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     for (peer, outcome) in server.run(args.sessions) {
         match outcome {
-            Ok(s) => println!(
-                "slm-bs: {peer} [{}] steps {} evals {} heartbeats {} \
-                 nacks sent/recv {}/{} resends {} frames {} bytes {}{}",
-                if s.config.is_empty() {
-                    "no handshake"
-                } else {
-                    &s.config
-                },
-                s.steps,
-                s.evals,
-                s.heartbeats,
-                s.nacks_sent,
-                s.nacks_received,
-                s.resends,
-                s.frames_received,
-                s.bytes_received,
-                if s.clean_shutdown { "" } else { " (unclean)" },
-            ),
+            Ok(s) => {
+                tele.progress(&format!(
+                    "slm-bs: {peer} [{}] steps {} evals {} heartbeats {} \
+                     nacks sent/recv {}/{} resends {} frames {} bytes {}{}",
+                    if s.config.is_empty() {
+                        "no handshake"
+                    } else {
+                        &s.config
+                    },
+                    s.steps,
+                    s.evals,
+                    s.heartbeats,
+                    s.nacks_sent,
+                    s.nacks_received,
+                    s.resends,
+                    s.frames_received,
+                    s.bytes_received,
+                    if s.clean_shutdown { "" } else { " (unclean)" },
+                ));
+                // Traced sessions carry their server-side spans; journal
+                // them so `slm-trace` can stitch UE + BS timelines.
+                for span in &s.spans {
+                    tele.emit(span.to_event());
+                }
+            }
             Err(e) => {
                 failures += 1;
-                eprintln!("slm-bs: {peer}: session failed: {e}");
+                tele.warn(&format!("slm-bs: {peer}: session failed: {e}"));
             }
         }
     }
+    tele.flush();
     if failures > 0 {
         ExitCode::FAILURE
     } else {

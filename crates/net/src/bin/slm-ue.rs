@@ -97,7 +97,8 @@ fn main() -> ExitCode {
         let client = match UeClient::connect(&addr, retry) {
             Ok(c) => c,
             Err(e) => {
-                eprintln!("slm-ue: connect {addr}: {e}");
+                exp.telemetry()
+                    .warn(&format!("slm-ue: connect {addr}: {e}"));
                 return ExitCode::FAILURE;
             }
         };
@@ -107,7 +108,7 @@ fn main() -> ExitCode {
         let out = match run {
             Ok(out) => out,
             Err(e) => {
-                eprintln!("slm-ue: {label}: {e}");
+                exp.telemetry().warn(&format!("slm-ue: {label}: {e}"));
                 return ExitCode::FAILURE;
             }
         };

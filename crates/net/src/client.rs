@@ -6,14 +6,34 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use sl_telemetry::Telemetry;
+use sl_telemetry::{Telemetry, Tracer, Value};
 
 use crate::fault::{FaultCounters, FaultPlan, Faulty};
 use crate::wire::{
     decode_config_ack, decode_frame, decode_nack, encode_frame, parse_header, Frame, MsgType,
-    NackCode, NetError, SessionSpec, StepReply, StepRequest, FLAG_WANT_RATIO, HEADER_LEN,
-    TRAILER_LEN,
+    NackCode, NetError, SessionSpec, StepReply, StepRequest, TraceContext, FLAG_WANT_RATIO,
+    HEADER_LEN, TRAILER_LEN,
 };
+
+/// Tracing context for one traced training exchange: the wire context
+/// to prepend to the request, plus where the retry/Nack/timeout spans
+/// this exchange may generate should hang in the UE's trace. The link
+/// windows were already charged to the `SimClock` before the real
+/// bytes move, so recovery spans are zero-width markers at the step's
+/// simulated end, parented to the step's root span (they describe the
+/// exchange as a whole; the `window` attribute says which direction
+/// misbehaved).
+#[derive(Debug)]
+pub struct StepTrace<'a> {
+    /// The UE-side tracer recording this step.
+    pub tracer: &'a mut Tracer,
+    /// Context prepended to the request frame (FLAG_TRACE).
+    pub ctx: TraceContext,
+    /// Span id of the step's root `train.step` span.
+    pub root: u64,
+    /// Simulated end of the step window, microseconds.
+    pub end_us: u64,
+}
 
 /// Bounds on the client's persistence. The *base* retry budget for one
 /// exchange is the armed fault plan's length (every planned fault earns
@@ -200,7 +220,14 @@ impl<S: Read + Write> UeClient<S> {
     /// a rejection surfaces as [`NetError::HandshakeRejected`] carrying
     /// the BS's per-layer trace.
     pub fn handshake(&mut self, spec: &SessionSpec) -> Result<(usize, usize, u64), NetError> {
-        let reply = self.request(MsgType::Hello, 0, &spec.encode(), MsgType::ConfigAck, 0)?;
+        let reply = self.request(
+            MsgType::Hello,
+            0,
+            &spec.encode(),
+            MsgType::ConfigAck,
+            0,
+            None,
+        )?;
         let ack = decode_config_ack(&reply.payload)?;
         self.conn.metrics.handshakes += 1;
         Ok(ack)
@@ -209,22 +236,43 @@ impl<S: Read + Write> UeClient<S> {
     /// Runs one training step across the link: the request crosses the
     /// uplink under `uplink_plan`, the gradient reply crosses the
     /// downlink under `downlink_plan` (both usually derived from the
-    /// channel simulator's slot counts).
+    /// channel simulator's slot counts). When `trace` is given, the
+    /// request frame carries the step's [`TraceContext`] (FLAG_TRACE)
+    /// so the BS can stitch its spans under the UE's trace, and any
+    /// retry/Nack/timeout recovery is recorded as zero-width spans in
+    /// the UE's tracer.
     pub fn train_step(
         &mut self,
         req: &StepRequest,
         want_ratio: bool,
         uplink_plan: FaultPlan,
         downlink_plan: FaultPlan,
+        mut trace: Option<StepTrace<'_>>,
     ) -> Result<StepReply, NetError> {
         let ty = req.msg_type();
-        let flags = if want_ratio { FLAG_WANT_RATIO } else { 0 };
+        let mut flags = if want_ratio { FLAG_WANT_RATIO } else { 0 };
         let plan_budget = uplink_plan.len() + downlink_plan.len();
         self.conn.faults().arm_write(uplink_plan, Some(ty as u8));
         self.conn
             .faults()
             .arm_read(downlink_plan, Some(MsgType::Gradients as u8));
-        let reply = self.request(ty, flags, &req.encode(), MsgType::Gradients, plan_budget)?;
+        let encoded = req.encode();
+        let payload = match &trace {
+            Some(t) => {
+                let (flag, with_ctx) = t.ctx.prepend(&encoded);
+                flags |= flag;
+                with_ctx
+            }
+            None => encoded,
+        };
+        let reply = self.request(
+            ty,
+            flags,
+            &payload,
+            MsgType::Gradients,
+            plan_budget,
+            trace.as_mut(),
+        )?;
         StepReply::decode(reply.flags, &reply.payload)
     }
 
@@ -237,27 +285,30 @@ impl<S: Read + Write> UeClient<S> {
             &req.encode(),
             MsgType::Predictions,
             0,
+            None,
         )?;
         crate::wire::decode_predictions(&reply.payload)
     }
 
     /// Liveness probe.
     pub fn heartbeat(&mut self) -> Result<(), NetError> {
-        self.request(MsgType::Heartbeat, 0, &[], MsgType::Heartbeat, 0)
+        self.request(MsgType::Heartbeat, 0, &[], MsgType::Heartbeat, 0, None)
             .map(|_| ())
     }
 
     /// Clean shutdown: tells the BS the session is over and waits for
     /// the echo.
     pub fn shutdown(&mut self) -> Result<(), NetError> {
-        self.request(MsgType::Shutdown, 0, &[], MsgType::Shutdown, 0)
+        self.request(MsgType::Shutdown, 0, &[], MsgType::Shutdown, 0, None)
             .map(|_| ())
     }
 
     /// One reliable exchange: send the request, await the expected reply
     /// type, resending on Nack or timeout and Nack-ing corrupted replies
     /// so the BS resends. Bounded by `plan_budget` (one retry per
-    /// planned fault) plus the policy's extra attempts.
+    /// planned fault) plus the policy's extra attempts. Recovery events
+    /// are recorded into `trace` (when given) as zero-width spans
+    /// parented to the transfer window they belong to.
     fn request(
         &mut self,
         ty: MsgType,
@@ -265,6 +316,7 @@ impl<S: Read + Write> UeClient<S> {
         payload: &[u8],
         expect: MsgType,
         plan_budget: usize,
+        mut trace: Option<&mut StepTrace<'_>>,
     ) -> Result<Frame, NetError> {
         // Every planned fault earns exactly one recovery round; the
         // policy's extra attempts absorb unplanned trouble. Every
@@ -295,6 +347,19 @@ impl<S: Read + Write> UeClient<S> {
                                     });
                                 }
                                 resends += 1;
+                                if let Some(t) = trace.as_deref_mut() {
+                                    t.tracer.record_under(
+                                        t.root,
+                                        "net.retry",
+                                        "net",
+                                        t.end_us,
+                                        0,
+                                        vec![
+                                            ("attempt".into(), Value::U64(resends as u64)),
+                                            ("window".into(), Value::Str("uplink".into())),
+                                        ],
+                                    );
+                                }
                                 continue 'resend;
                             }
                             NackCode::WiringRejected => {
@@ -328,6 +393,19 @@ impl<S: Read + Write> UeClient<S> {
                             ),
                         )?;
                         self.conn.metrics.nacks_sent += 1;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.tracer.record_under(
+                                t.root,
+                                "net.nack_sent",
+                                "net",
+                                t.end_us,
+                                0,
+                                vec![
+                                    ("attempt".into(), Value::U64(failures as u64)),
+                                    ("window".into(), Value::Str("downlink".into())),
+                                ],
+                            );
+                        }
                         continue;
                     }
                     Err(NetError::Timeout) => {
@@ -345,6 +423,16 @@ impl<S: Read + Write> UeClient<S> {
                             std::thread::sleep(self.retry.backoff * failures as u32);
                         }
                         resends += 1;
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.tracer.record_under(
+                                t.root,
+                                "net.timeout",
+                                "net",
+                                t.end_us,
+                                0,
+                                vec![("attempt".into(), Value::U64(resends as u64))],
+                            );
+                        }
                         continue 'resend;
                     }
                     Err(e) => return Err(e),

@@ -31,11 +31,11 @@ pub mod server;
 pub mod trainer;
 pub mod wire;
 
-pub use client::{Connection, NetMetrics, RetryPolicy, UeClient};
+pub use client::{Connection, NetMetrics, RetryPolicy, StepTrace, UeClient};
 pub use fault::{FaultAction, FaultCounters, FaultPlan, Faulty};
 pub use server::{serve_session, BsServer, SessionSummary};
 pub use trainer::NetTrainer;
 pub use wire::{
     decode_frame, encode_frame, EvalRequest, Frame, MsgType, NackCode, NetError, SessionSpec,
-    StepReply, StepRequest, FLAG_WANT_RATIO, PROTOCOL_VERSION,
+    StepReply, StepRequest, TraceContext, FLAG_TRACE, FLAG_WANT_RATIO, PROTOCOL_VERSION,
 };

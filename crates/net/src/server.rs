@@ -34,10 +34,12 @@ use sl_core::{update_ratio, Scheme, SplitModel, WiringSpec};
 use sl_nn::{clip_global_norm, mse_loss, Adam, Optimizer};
 use sl_tensor::Tensor;
 
+use sl_telemetry::{SpanRecord, Tracer, Value, BS_SPAN_NAMESPACE};
+
 use crate::client::Connection;
 use crate::wire::{
     encode_config_ack, encode_nack, encode_predictions, unpack_activations, EvalRequest, MsgType,
-    NackCode, NetError, SessionSpec, StepReply, StepRequest, FLAG_WANT_RATIO,
+    NackCode, NetError, SessionSpec, StepReply, StepRequest, TraceContext, FLAG_WANT_RATIO,
 };
 
 /// What one session did, for operator reporting.
@@ -63,6 +65,11 @@ pub struct SessionSummary {
     pub bytes_received: u64,
     /// Whether the session ended with a clean Shutdown exchange.
     pub clean_shutdown: bool,
+    /// BS-side spans recorded under the UE's trace id (empty unless the
+    /// handshake carried a nonzero `SessionSpec::trace_id`). Span ids
+    /// live in [`BS_SPAN_NAMESPACE`] so they never collide with the
+    /// UE-side counter.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// Per-session training state, built after a validated handshake.
@@ -254,6 +261,13 @@ pub fn serve_session<S: Read + Write>(
     // can be resent without recomputing — recomputing would double-apply
     // the optimizer step.
     let mut last_reply: Option<(MsgType, u8, Vec<u8>)> = None;
+    // BS-side tracing: created at handshake when the UE announces a
+    // trace id; spans stitch under the UE's trace via the per-step
+    // wire context. `last_end_us` is the latest simulated instant the
+    // UE has told us about — recovery spans (which arrive without a
+    // readable context) anchor there.
+    let mut tracer: Option<Tracer> = None;
+    let mut last_end_us: u64 = 0;
 
     macro_rules! nack {
         ($code:expr, $detail:expr) => {{
@@ -268,6 +282,16 @@ pub fn serve_session<S: Read + Write>(
             Err(NetError::ChecksumMismatch { .. }) => {
                 // Corrupted in flight but frame-aligned: ask for a resend.
                 nack!(NackCode::ChecksumMismatch, "frame failed checksum");
+                if let Some(t) = tracer.as_mut() {
+                    t.record_under(
+                        0,
+                        "bs.nack_sent",
+                        "net",
+                        last_end_us,
+                        0,
+                        vec![("count".into(), Value::U64(summary.nacks_sent))],
+                    );
+                }
                 continue;
             }
             Err(NetError::BadVersion(v)) => {
@@ -306,6 +330,13 @@ pub fn serve_session<S: Read + Write>(
                 match Session::build(spec) {
                     Ok((s, ack)) => {
                         summary.config = s.label();
+                        if s.spec.trace_id != 0 {
+                            tracer = Some(Tracer::with_namespace(
+                                s.spec.trace_id,
+                                "bs",
+                                BS_SPAN_NAMESPACE,
+                            ));
+                        }
                         session = Some(s);
                         conn.send(MsgType::ConfigAck, 0, &ack)?;
                         last_reply = Some((MsgType::ConfigAck, 0, ack));
@@ -323,7 +354,19 @@ pub fn serve_session<S: Read + Write>(
                     nack!(NackCode::Protocol, "training step before handshake");
                     continue;
                 };
-                let req = match StepRequest::decode(&frame.payload) {
+                // Peel the optional trace context off the payload before
+                // the step request proper.
+                let (ctx, body) = match TraceContext::strip(frame.flags, &frame.payload) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        nack!(NackCode::Protocol, &format!("bad trace context: {e}"));
+                        continue;
+                    }
+                };
+                if let Some(c) = ctx {
+                    last_end_us = c.sim_anchor_us.saturating_add(c.sim_dur_us);
+                }
+                let req = match StepRequest::decode(body) {
                     Ok(r) => r,
                     Err(e) => {
                         nack!(NackCode::Protocol, &format!("bad step request: {e}"));
@@ -338,6 +381,22 @@ pub fn serve_session<S: Read + Write>(
                 match reply {
                     Ok(reply) => {
                         summary.steps += 1;
+                        // Stitch the BS compute under the UE's per-step
+                        // `bs.compute` span via the wire context.
+                        if let (Some(t), Some(c)) = (tracer.as_mut(), ctx) {
+                            t.record_under(
+                                c.parent_span,
+                                "bs.step",
+                                "bs",
+                                c.sim_anchor_us,
+                                c.sim_dur_us,
+                                vec![
+                                    ("session".into(), Value::Str(sess.label())),
+                                    ("step".into(), Value::U64(summary.steps)),
+                                    ("loss".into(), Value::F64(f64::from(reply.loss))),
+                                ],
+                            );
+                        }
                         let (flags, payload) = reply.encode();
                         conn.send(MsgType::Gradients, flags, &payload)?;
                         last_reply = Some((MsgType::Gradients, flags, payload));
@@ -378,6 +437,16 @@ pub fn serve_session<S: Read + Write>(
                     Some((ty, flags, payload)) => {
                         summary.resends += 1;
                         conn.send(*ty, *flags, payload)?;
+                        if let Some(t) = tracer.as_mut() {
+                            t.record_under(
+                                0,
+                                "bs.resend",
+                                "net",
+                                last_end_us,
+                                0,
+                                vec![("count".into(), Value::U64(summary.resends))],
+                            );
+                        }
                     }
                     None => nack!(NackCode::Protocol, "nothing to resend"),
                 }
@@ -392,6 +461,9 @@ pub fn serve_session<S: Read + Write>(
                 summary.clean_shutdown = true;
                 summary.frames_received = conn.metrics.frames_received;
                 summary.bytes_received = conn.metrics.bytes_received;
+                if let Some(t) = tracer.as_mut() {
+                    summary.spans = t.drain();
+                }
                 return Ok(summary);
             }
             MsgType::ConfigAck | MsgType::Gradients | MsgType::Predictions => {

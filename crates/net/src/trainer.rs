@@ -31,16 +31,20 @@ use rand::SeedableRng;
 use sl_channel::{RetransmissionPolicy, TransferSimulator};
 use sl_core::{
     subsample, update_ratio, Batch, CurvePoint, ExperimentConfig, HealthAction, HealthConfig,
-    HealthMonitor, SimClock, SplitModel, StepStats, StopReason, TrainOutcome,
+    HealthMonitor, Scheme, SimClock, SplitModel, StepStats, StopReason, TrainOutcome,
 };
 use sl_nn::{clip_global_norm, rmse, Adam, Optimizer};
 use sl_scene::SequenceDataset;
-use sl_telemetry::{EventBuilder, SimSpan, Stopwatch, Telemetry};
+use sl_telemetry::{
+    sim_us, trace_env_enabled, EventBuilder, SimSpan, Stopwatch, Telemetry, Tracer, Value,
+};
 use sl_tensor::Tensor;
 
-use crate::client::UeClient;
+use crate::client::{StepTrace, UeClient};
 use crate::fault::FaultPlan;
-use crate::wire::{pack_activations, EvalRequest, NetError, SessionSpec, StepRequest};
+use crate::wire::{
+    pack_activations, EvalRequest, NetError, SessionSpec, StepRequest, TraceContext,
+};
 
 /// Outcome of one networked SGD step (mirrors the in-process
 /// `StepResult`, which `sl_core` keeps private).
@@ -62,6 +66,8 @@ pub struct NetTrainer<S: Read + Write> {
     health: HealthMonitor,
     client: UeClient<S>,
     pooled: (usize, usize),
+    tracer: Option<Tracer>,
+    steps_seen: u64,
 }
 
 impl<S: Read + Write> NetTrainer<S> {
@@ -69,12 +75,36 @@ impl<S: Read + Write> NetTrainer<S> {
     /// validates the wiring (via `sl_core::WiringSpec`) and rebuilds the
     /// identical model before a single training byte flows. A rejection
     /// surfaces as [`NetError::HandshakeRejected`].
+    ///
+    /// Tracing follows `SLM_TRACE` (the handshake announces the trace
+    /// id, so the decision is made here, not at `train_with` time); use
+    /// [`NetTrainer::new_traced`] to control it explicitly.
     pub fn new(
         config: ExperimentConfig,
         dataset: &SequenceDataset,
+        client: UeClient<S>,
+    ) -> Result<Self, NetError> {
+        let traced = trace_env_enabled();
+        Self::new_traced(config, dataset, client, traced)
+    }
+
+    /// [`NetTrainer::new`] with tracing decided by the caller instead of
+    /// the `SLM_TRACE` environment variable.
+    pub fn new_traced(
+        config: ExperimentConfig,
+        dataset: &SequenceDataset,
         mut client: UeClient<S>,
+        traced: bool,
     ) -> Result<Self, NetError> {
         config.validate();
+        // Deterministic trace id: derived from the run's identity, never
+        // from wall-clock or ambient randomness (DESIGN.md §9).
+        let tracer = traced.then(|| {
+            Tracer::for_run(
+                &format!("{}|{}|seed={}", config.scheme, config.pooling, config.seed),
+                "ue",
+            )
+        });
         let mut rng = StdRng::seed_from_u64(config.seed);
         let frame = &dataset.trace().frames[0];
         let (h, w) = (frame.dims()[0], frame.dims()[1]);
@@ -92,6 +122,7 @@ impl<S: Read + Write> NetTrainer<S> {
             learning_rate: config.learning_rate,
             grad_clip: config.grad_clip,
             seed: config.seed,
+            trace_id: tracer.as_ref().map_or(0, Tracer::trace_id),
         };
         let (pooled_pixels, feature_dim, _params) = client.handshake(&spec)?;
         // Identical init draws to the BS (and to the in-process
@@ -131,6 +162,8 @@ impl<S: Read + Write> NetTrainer<S> {
             health: HealthMonitor::from_env(),
             client,
             pooled,
+            tracer,
+            steps_seen: 0,
         })
     }
 
@@ -154,6 +187,16 @@ impl<S: Read + Write> NetTrainer<S> {
     pub fn finish(mut self) -> Result<UeClient<S>, NetError> {
         self.client.shutdown()?;
         Ok(self.client)
+    }
+
+    /// The config label used for span/session attribution (matches the
+    /// BS server's `Session::label`).
+    fn session_label(&self) -> String {
+        if self.config.scheme == Scheme::RfOnly {
+            self.config.scheme.to_string()
+        } else {
+            format!("{}, {}", self.config.scheme, self.config.pooling)
+        }
     }
 
     /// Extra slots beyond the clean minimum for this payload — each one
@@ -246,6 +289,13 @@ impl<S: Read + Write> NetTrainer<S> {
                         .u64("steps_voided", steps_voided),
                 );
             }
+            // Flush the epoch's spans to the journal as we go so a
+            // crashed run still leaves a usable partial trace.
+            if tele.trace_enabled() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.drain_into(tele);
+                }
+            }
             if val <= self.config.target_rmse_db {
                 stop = StopReason::TargetReached;
                 break;
@@ -275,6 +325,11 @@ impl<S: Read + Write> NetTrainer<S> {
                     .f64("compute_s", self.clock.compute_s())
                     .f64("airtime_s", self.clock.airtime_s()),
             );
+        }
+        if tele.trace_enabled() {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.drain_into(tele);
+            }
         }
 
         Ok(TrainOutcome {
@@ -323,46 +378,171 @@ impl<S: Read + Write> NetTrainer<S> {
         b: usize,
         tele: &mut Telemetry,
     ) -> Result<NetStep, NetError> {
+        let label = self.session_label();
         let cfg = &self.config;
         let uses_images = cfg.scheme.uses_images();
+        self.steps_seen += 1;
+        let seq = self.steps_seen;
 
         // The simulated channel decides each transfer's fate *first*,
         // drawing from the shared RNG in the exact in-process order. A
         // voided step never touches the socket; a delivered step's extra
-        // slots become injected wire faults below.
+        // slots become injected wire faults below. The simulated
+        // timestamps `t0..t4` bracket the step's windows for tracing.
+        let t0 = sim_us(self.clock.elapsed_s());
         self.clock
             .add_compute(cfg.compute.ue_seconds(self.model.ue_step_flops(b)));
+        let t1 = sim_us(self.clock.elapsed_s());
 
         let mut uplink_plan = FaultPlan::clean();
+        // (payload bits, slots, excess slots) when the window exists.
+        let mut ul_stats: Option<(u64, u64, u64)> = None;
         if uses_images {
             let ul_bits = self.model.uplink_payload_bits(b);
             let out = self.uplink.transfer(ul_bits, &mut self.rng);
             self.clock
                 .add_airtime(self.uplink.slots_to_seconds(out.slots()));
             if !out.delivered() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    let tv = sim_us(self.clock.elapsed_s());
+                    let root = tr.begin("train.step", "step", t0);
+                    tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+                    tr.record(
+                        "uplink.transfer",
+                        "link",
+                        t1,
+                        tv - t1,
+                        vec![
+                            ("bits".into(), Value::U64(ul_bits)),
+                            ("slots".into(), Value::U64(out.slots())),
+                            ("delivered".into(), Value::Bool(false)),
+                        ],
+                    );
+                    tr.end_with(
+                        root,
+                        tv,
+                        vec![
+                            ("step".into(), Value::U64(seq)),
+                            ("voided".into(), Value::Bool(true)),
+                            ("session".into(), Value::Str(label)),
+                        ],
+                    );
+                }
                 return Ok(NetStep::Voided);
             }
-            uplink_plan =
-                FaultPlan::retransmissions(Self::excess_slots(&self.uplink, ul_bits, out.slots()));
+            let excess = Self::excess_slots(&self.uplink, ul_bits, out.slots());
+            ul_stats = Some((ul_bits, out.slots(), excess));
+            uplink_plan = FaultPlan::retransmissions(excess);
         }
+        let t2 = sim_us(self.clock.elapsed_s());
 
         self.clock
             .add_compute(cfg.compute.bs_seconds(self.model.bs_step_flops(b)));
+        let t3 = sim_us(self.clock.elapsed_s());
 
         let mut downlink_plan = FaultPlan::clean();
+        let mut dl_stats: Option<(u64, u64, u64)> = None;
         if uses_images {
             let dl_bits = self.model.downlink_payload_bits(b);
             let out = self.downlink.transfer(dl_bits, &mut self.rng);
             self.clock
                 .add_airtime(self.downlink.slots_to_seconds(out.slots()));
             if !out.delivered() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    let tv = sim_us(self.clock.elapsed_s());
+                    let root = tr.begin("train.step", "step", t0);
+                    tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+                    if let Some((bits, slots, excess)) = ul_stats {
+                        tr.record(
+                            "uplink.transfer",
+                            "link",
+                            t1,
+                            t2 - t1,
+                            vec![
+                                ("bits".into(), Value::U64(bits)),
+                                ("slots".into(), Value::U64(slots)),
+                                ("excess".into(), Value::U64(excess)),
+                            ],
+                        );
+                    }
+                    tr.record("bs.compute", "bs", t2, t3 - t2, Vec::new());
+                    tr.record(
+                        "downlink.transfer",
+                        "link",
+                        t3,
+                        tv - t3,
+                        vec![
+                            ("bits".into(), Value::U64(dl_bits)),
+                            ("slots".into(), Value::U64(out.slots())),
+                            ("delivered".into(), Value::Bool(false)),
+                        ],
+                    );
+                    tr.end_with(
+                        root,
+                        tv,
+                        vec![
+                            ("step".into(), Value::U64(seq)),
+                            ("voided".into(), Value::Bool(true)),
+                            ("session".into(), Value::Str(label)),
+                        ],
+                    );
+                }
                 return Ok(NetStep::Voided);
             }
-            downlink_plan = FaultPlan::retransmissions(Self::excess_slots(
-                &self.downlink,
-                dl_bits,
-                out.slots(),
-            ));
+            let excess = Self::excess_slots(&self.downlink, dl_bits, out.slots());
+            dl_stats = Some((dl_bits, out.slots(), excess));
+            downlink_plan = FaultPlan::retransmissions(excess);
+        }
+        let t4 = sim_us(self.clock.elapsed_s());
+
+        // Record the delivered step's window spans now — every window is
+        // already charged — and allocate the `bs.compute` span id the
+        // wire context points the BS at.
+        let mut open_root: Option<(sl_telemetry::OpenSpan, TraceContext)> = None;
+        if let Some(tr) = self.tracer.as_mut() {
+            let root = tr.begin("train.step", "step", t0);
+            tr.record("ue.forward", "ue", t0, t1 - t0, Vec::new());
+            tr.record(
+                "quantize.pack",
+                "ue",
+                t1,
+                0,
+                vec![("bit_depth".into(), Value::U64(cfg.bit_depth as u64))],
+            );
+            if let Some((bits, slots, excess)) = ul_stats {
+                tr.record(
+                    "uplink.transfer",
+                    "link",
+                    t1,
+                    t2 - t1,
+                    vec![
+                        ("bits".into(), Value::U64(bits)),
+                        ("slots".into(), Value::U64(slots)),
+                        ("excess".into(), Value::U64(excess)),
+                    ],
+                );
+            }
+            let bs_id = tr.record("bs.compute", "bs", t2, t3 - t2, Vec::new());
+            if let Some((bits, slots, excess)) = dl_stats {
+                tr.record(
+                    "downlink.transfer",
+                    "link",
+                    t3,
+                    t4 - t3,
+                    vec![
+                        ("bits".into(), Value::U64(bits)),
+                        ("slots".into(), Value::U64(slots)),
+                        ("excess".into(), Value::U64(excess)),
+                    ],
+                );
+            }
+            let ctx = TraceContext {
+                trace_id: tr.trace_id(),
+                parent_span: bs_id,
+                sim_anchor_us: t2,
+                sim_dur_us: t3 - t2,
+            };
+            open_root = Some((root, ctx));
         }
 
         let instrument = tele.is_enabled();
@@ -395,9 +575,19 @@ impl<S: Read + Write> NetTrainer<S> {
         // inside `observe_step`, which happens after this point — so
         // reading it here matches the in-process read below the clip.
         let track_ratio = self.health.wants_update_ratio();
+        let tracer = self.tracer.as_mut();
+        let trace = match (tracer, &open_root) {
+            (Some(tr), Some((root, ctx))) => Some(StepTrace {
+                tracer: tr,
+                ctx: *ctx,
+                root: root.id(),
+                end_us: t4,
+            }),
+            _ => None,
+        };
         let reply = self
             .client
-            .train_step(&req, track_ratio, uplink_plan, downlink_plan)?;
+            .train_step(&req, track_ratio, uplink_plan, downlink_plan, trace)?;
 
         // UE backward from the delivered cut-layer gradient.
         let bwd = instrument.then(Stopwatch::start);
@@ -444,6 +634,21 @@ impl<S: Read + Write> NetTrainer<S> {
         });
         self.opt_ue.step(&mut self.model.ue_params_and_grads());
         self.model.zero_grads();
+
+        if let (Some(tr), Some((root, _ctx))) = (self.tracer.as_mut(), open_root) {
+            tr.record("ue.backward", "ue", t4, 0, Vec::new());
+            tr.record("opt.apply", "ue", t4, 0, Vec::new());
+            tr.end_with(
+                root,
+                t4,
+                vec![
+                    ("step".into(), Value::U64(seq)),
+                    ("loss".into(), Value::F64(f64::from(reply.loss))),
+                    ("voided".into(), Value::Bool(false)),
+                    ("session".into(), Value::Str(label)),
+                ],
+            );
+        }
 
         if self.health.config().action != HealthAction::Off && !self.health.tripped() {
             let ratio_ue = prev_ue

@@ -6,14 +6,24 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------
 //!      0     4  magic  b"SLNF"
-//!      4     2  protocol version, u16 LE (currently 1)
+//!      4     2  protocol version, u16 LE (currently 2)
 //!      6     1  message type (MsgType)
 //!      7     1  flags (bit 0: FLAG_WANT_RATIO on step requests,
-//!               "ratio present" on gradient replies)
+//!               "ratio present" on gradient replies; bit 1:
+//!               FLAG_TRACE — the payload starts with a 32-byte
+//!               TraceContext prefix)
 //!      8     4  payload length, u32 LE
 //!     12     N  payload
 //!   12+N     8  FNV-1a 64 checksum over header+payload, u64 LE
 //! ```
+//!
+//! Version 2 added distributed-tracing support: the [`SessionSpec`]
+//! carries the UE's trace id, and any frame may prepend a
+//! [`TraceContext`] to its payload behind [`FLAG_TRACE`]. The prefix
+//! lives *inside* the payload, so it is counted by the length field,
+//! covered by the FNV trailer (corruption of the trace field is caught
+//! exactly like any payload corruption), and invisible to the fault
+//! injector's frame arithmetic.
 //!
 //! The 12-byte header is always intact on the wire — the fault injector
 //! ([`crate::Faulty`]) only flips payload/checksum bytes — so a receiver
@@ -36,8 +46,10 @@ use sl_tensor::Tensor;
 
 /// Protocol magic, first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SLNF";
-/// Protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol version this build speaks. Version 2 added the trace-id
+/// handshake field and the [`FLAG_TRACE`] payload prefix; version-1
+/// peers are rejected with a [`NackCode::BadVersion`] Nack at decode.
+pub const PROTOCOL_VERSION: u16 = 2;
 /// Frame header length in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Checksum trailer length in bytes.
@@ -48,6 +60,10 @@ pub const MAX_PAYLOAD: u32 = 64 << 20;
 /// Step requests carry this flag when the UE wants the BS-side update
 /// ratio computed; gradient replies carry it when the ratio is present.
 pub const FLAG_WANT_RATIO: u8 = 0b0000_0001;
+
+/// The payload starts with a [`TraceContext::WIRE_LEN`]-byte
+/// [`TraceContext`] prefix (distributed tracing, protocol version 2).
+pub const FLAG_TRACE: u8 = 0b0000_0010;
 
 /// Message types. The numbering is part of the wire contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +323,78 @@ pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
 }
 
 // ---------------------------------------------------------------------------
+// Trace context (FLAG_TRACE payload prefix)
+// ---------------------------------------------------------------------------
+
+/// Distributed-tracing context carried as a fixed-size payload prefix
+/// behind [`FLAG_TRACE`]: which trace the frame belongs to, which UE
+/// span the receiver's work should be parented under, and the simulated
+/// window the receiver's spans must land in (the receiver has no
+/// `SimClock` of its own — simulated time is UE-owned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id of the originating run (never 0 when tracing).
+    pub trace_id: u64,
+    /// UE span id the receiver parents its spans under.
+    pub parent_span: u64,
+    /// Simulated start of the receiver's window, microseconds.
+    pub sim_anchor_us: u64,
+    /// Simulated duration of the receiver's window, microseconds.
+    pub sim_dur_us: u64,
+}
+
+impl TraceContext {
+    /// Encoded size of the payload prefix.
+    pub const WIRE_LEN: usize = 32;
+
+    /// Fixed-layout little-endian encoding.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.parent_span.to_le_bytes());
+        out[16..24].copy_from_slice(&self.sim_anchor_us.to_le_bytes());
+        out[24..32].copy_from_slice(&self.sim_dur_us.to_le_bytes());
+        out
+    }
+
+    /// Returns the payload with this context prepended, plus the flag
+    /// bit the frame must carry.
+    pub fn prepend(&self, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut out = Vec::with_capacity(Self::WIRE_LEN + payload.len());
+        out.extend_from_slice(&self.encode());
+        out.extend_from_slice(payload);
+        (FLAG_TRACE, out)
+    }
+
+    /// Splits a received payload according to `flags`: the context (when
+    /// [`FLAG_TRACE`] is set) and the remaining message payload.
+    pub fn strip(flags: u8, payload: &[u8]) -> Result<(Option<TraceContext>, &[u8]), NetError> {
+        if flags & FLAG_TRACE == 0 {
+            return Ok((None, payload));
+        }
+        if payload.len() < Self::WIRE_LEN {
+            return Err(NetError::Decode(format!(
+                "FLAG_TRACE set but payload is {} bytes (< {} context bytes)",
+                payload.len(),
+                Self::WIRE_LEN
+            )));
+        }
+        let u64_at = |off: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&payload[off..off + 8]);
+            u64::from_le_bytes(b)
+        };
+        let ctx = TraceContext {
+            trace_id: u64_at(0),
+            parent_span: u64_at(8),
+            sim_anchor_us: u64_at(16),
+            sim_dur_us: u64_at(24),
+        };
+        Ok((Some(ctx), &payload[Self::WIRE_LEN..]))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Payload primitives
 // ---------------------------------------------------------------------------
 
@@ -525,6 +613,9 @@ pub struct SessionSpec {
     /// Model-init seed; both halves draw identical initial parameters
     /// from it.
     pub seed: u64,
+    /// Distributed-tracing id for this run; `0` means tracing is off
+    /// and the BS records no spans for the session.
+    pub trace_id: u64,
 }
 
 impl SessionSpec {
@@ -552,6 +643,7 @@ impl SessionSpec {
         e.f32(self.learning_rate);
         e.f32(self.grad_clip);
         e.u64(self.seed);
+        e.u64(self.trace_id);
         e.finish()
     }
 
@@ -589,6 +681,7 @@ impl SessionSpec {
             learning_rate: d.f32()?,
             grad_clip: d.f32()?,
             seed: d.u64()?,
+            trace_id: d.u64()?,
         };
         d.expect_empty()?;
         Ok(spec)
@@ -959,16 +1052,16 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_typed_and_checked_after_checksum() {
-        // Hand-roll a version-2 frame with a correct checksum.
+        // Hand-roll a version-99 frame with a correct checksum.
         let mut raw = Vec::new();
         raw.extend_from_slice(&MAGIC);
-        raw.extend_from_slice(&2u16.to_le_bytes());
+        raw.extend_from_slice(&99u16.to_le_bytes());
         raw.push(MsgType::Hello as u8);
         raw.push(0);
         raw.extend_from_slice(&0u32.to_le_bytes());
         let sum = fnv1a_64(&raw);
         raw.extend_from_slice(&sum.to_le_bytes());
-        assert!(matches!(decode_frame(&raw), Err(NetError::BadVersion(2))));
+        assert!(matches!(decode_frame(&raw), Err(NetError::BadVersion(99))));
     }
 
     #[test]
@@ -1007,9 +1100,40 @@ mod tests {
             learning_rate: 1e-3,
             grad_clip: 5.0,
             seed: 0xdead_beef,
+            trace_id: 0x0123_4567_89ab_cdef,
         };
         let decoded = SessionSpec::decode(&spec.encode()).unwrap();
         assert_eq!(decoded, spec);
+    }
+
+    #[test]
+    fn trace_context_prepend_strip_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: u64::MAX - 7,
+            parent_span: (1 << 63) | 42,
+            sim_anchor_us: 1_250_000,
+            sim_dur_us: 310,
+        };
+        let body = b"inner payload".to_vec();
+        let (flags, payload) = ctx.prepend(&body);
+        assert_eq!(flags, FLAG_TRACE);
+        assert_eq!(payload.len(), TraceContext::WIRE_LEN + body.len());
+        let (got, rest) = TraceContext::strip(flags, &payload).unwrap();
+        assert_eq!(got, Some(ctx));
+        assert_eq!(rest, &body[..]);
+        // Without the flag the payload passes through untouched.
+        let (none, all) = TraceContext::strip(0, &payload).unwrap();
+        assert!(none.is_none());
+        assert_eq!(all, &payload[..]);
+    }
+
+    #[test]
+    fn trace_flag_without_context_bytes_is_a_typed_error() {
+        let short = [0u8; TraceContext::WIRE_LEN - 1];
+        assert!(matches!(
+            TraceContext::strip(FLAG_TRACE, &short),
+            Err(NetError::Decode(_))
+        ));
     }
 
     #[test]

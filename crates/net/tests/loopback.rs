@@ -144,6 +144,87 @@ fn lossy_uplink_realizes_retransmissions_as_wire_faults() {
     );
 }
 
+#[test]
+fn bs_spans_stitch_under_the_ue_trace_across_a_lossy_link() {
+    use sl_telemetry::{
+        check_spans, MemorySink, SpanRecord, Telemetry, TelemetryMode, BS_SPAN_NAMESPACE,
+    };
+
+    let ds = dataset(93);
+    let mut cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(4, 4));
+    // Lossy enough for plenty of Nack/resend recovery, but every payload
+    // still delivers.
+    cfg.uplink = LinkConfig::paper_uplink().with_mean_snr_db(-5.0);
+
+    let (addr, server) = spawn_bs(1);
+    let client = UeClient::connect(addr, RetryPolicy::default()).expect("connect");
+    let mut net = NetTrainer::new_traced(cfg, &ds, client, true).expect("handshake");
+    let (sink, events) = MemorySink::new();
+    let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+    tele.set_tracing(true);
+    let out = net.train_with(&ds, &mut tele).expect("networked training");
+    let metrics = net.client_mut().metrics();
+    net.finish().expect("clean shutdown");
+
+    let mut served = server.join().expect("server thread");
+    let summary = served.pop().unwrap().1.expect("session ok");
+    assert!(summary.clean_shutdown);
+
+    // UE-side spans come back out of the journal sink.
+    let ue_spans: Vec<SpanRecord> = events
+        .borrow()
+        .iter()
+        .filter_map(SpanRecord::from_event)
+        .collect();
+    assert!(!ue_spans.is_empty(), "traced run journaled no spans");
+    let trace_id = ue_spans[0].trace_id;
+    assert_ne!(trace_id, 0);
+    assert!(ue_spans.iter().all(|s| s.trace_id == trace_id));
+    assert_eq!(
+        ue_spans.iter().filter(|s| s.name == "train.step").count() as u64,
+        out.steps_applied + out.steps_voided,
+        "one root span per attempted step"
+    );
+
+    // The lossy uplink produced real recovery spans.
+    assert!(metrics.retries > 0, "lossy link produced no retries");
+    assert!(
+        ue_spans.iter().any(|s| s.name == "net.retry"),
+        "retries must be visible in the trace"
+    );
+
+    // BS-side spans stitch under the UE's trace id, in the BS id
+    // namespace, each parented to a UE-side `bs.compute` span.
+    assert!(!summary.spans.is_empty(), "BS recorded no spans");
+    let bs_compute_ids: Vec<u64> = ue_spans
+        .iter()
+        .filter(|s| s.name == "bs.compute")
+        .map(|s| s.span_id)
+        .collect();
+    for s in &summary.spans {
+        assert_eq!(s.trace_id, trace_id, "BS span outside the UE trace");
+        assert_ne!(s.span_id & BS_SPAN_NAMESPACE, 0);
+        if s.name == "bs.step" {
+            assert!(
+                bs_compute_ids.contains(&s.parent_id),
+                "bs.step parent {:016x} is not a UE bs.compute span",
+                s.parent_id
+            );
+        }
+    }
+    assert_eq!(
+        summary.spans.iter().filter(|s| s.name == "bs.step").count() as u64,
+        summary.steps,
+        "one bs.step span per applied step"
+    );
+
+    // The merged two-sided trace is well-formed.
+    let mut merged = ue_spans;
+    merged.extend(summary.spans.iter().cloned());
+    let stats = check_spans(&merged).expect("merged trace is well-formed");
+    assert_eq!(stats.traces, 1);
+}
+
 /// A handshaken RF-only session for driving the client directly.
 fn rf_spec() -> SessionSpec {
     SessionSpec {
@@ -160,6 +241,7 @@ fn rf_spec() -> SessionSpec {
         learning_rate: 5e-3,
         grad_clip: 5.0,
         seed: 7,
+        trace_id: 0,
     }
 }
 
@@ -190,7 +272,7 @@ fn dropped_request_times_out_and_is_retried() {
     // the read deadline expires, and the client must resend.
     let plan = FaultPlan::from_actions(vec![FaultAction::Drop]);
     let reply = client
-        .train_step(&rf_step_request(), false, plan, FaultPlan::clean())
+        .train_step(&rf_step_request(), false, plan, FaultPlan::clean(), None)
         .expect("step recovers after timeout");
     assert!(reply.loss.is_finite());
     let m = client.metrics();
@@ -215,7 +297,7 @@ fn corrupted_reply_is_nacked_and_resent_without_recomputing() {
     // resends the cached frame instead of double-applying the step.
     let plan = FaultPlan::from_actions(vec![FaultAction::Corrupt]);
     let first = client
-        .train_step(&rf_step_request(), false, FaultPlan::clean(), plan)
+        .train_step(&rf_step_request(), false, FaultPlan::clean(), plan, None)
         .expect("step recovers after reply corruption");
     assert!(first.loss.is_finite());
     let m = client.metrics();
@@ -258,6 +340,7 @@ fn training_bytes_before_handshake_are_refused() {
             false,
             FaultPlan::clean(),
             FaultPlan::clean(),
+            None,
         )
         .expect_err("step without handshake must fail");
     match err {
@@ -276,10 +359,10 @@ fn version_mismatch_is_nacked_and_closed() {
     let (addr, server) = spawn_bs(1);
     let mut stream = TcpStream::connect(addr).expect("connect");
 
-    // Hand-roll a Heartbeat frame claiming protocol version 2.
+    // Hand-roll a Heartbeat frame claiming protocol version 99.
     let mut frame = Vec::with_capacity(HEADER_LEN + 8);
     frame.extend_from_slice(&MAGIC);
-    frame.extend_from_slice(&2u16.to_le_bytes()); // bad version
+    frame.extend_from_slice(&99u16.to_le_bytes()); // bad version
     frame.push(MsgType::Heartbeat as u8);
     frame.push(0); // flags
     frame.extend_from_slice(&0u32.to_le_bytes()); // empty payload
@@ -294,7 +377,7 @@ fn version_mismatch_is_nacked_and_closed() {
     assert_eq!(decoded.ty, MsgType::Nack);
     let (code, detail) = sl_net::wire::decode_nack(&decoded.payload).expect("nack payload");
     assert_eq!(code, NackCode::BadVersion);
-    assert!(detail.contains("version 2"), "{detail}");
+    assert!(detail.contains("version 99"), "{detail}");
 
     let served = server.join().expect("server thread");
     let summary = served[0].1.as_ref().expect("session closed cleanly");

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use sl_core::{PoolingDim, Scheme};
 use sl_net::wire::{
     decode_frame, encode_frame, pack_activations, unpack_activations, MsgType, SessionSpec,
-    StepReply, StepRequest, FLAG_WANT_RATIO,
+    StepReply, StepRequest, TraceContext, FLAG_TRACE, FLAG_WANT_RATIO,
 };
 use sl_net::{FaultPlan, NetError};
 
@@ -143,6 +143,7 @@ proptest! {
         dims in (1usize..64, 1usize..64, 1usize..8, 1usize..128),
         widths in (1usize..16, 1usize..64),
         seed in 0u64..u64::MAX,
+        trace_id in 0u64..u64::MAX,
     ) {
         let (image_h, image_w, seq_len, batch_size) = dims;
         let (conv_channels, hidden_dim) = widths;
@@ -160,9 +161,68 @@ proptest! {
             learning_rate: 1e-3,
             grad_clip: 5.0,
             seed,
+            trace_id,
         };
         let back = SessionSpec::decode(&spec.encode()).expect("decode");
         prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn trace_context_rides_any_frame_bit_exactly(
+        ty in any_msg_type(),
+        want_ratio in proptest::prelude::prop::bool::ANY,
+        payload in any_payload(),
+        ids in (1u64..u64::MAX, 1u64..u64::MAX),
+        window in (0u64..1 << 40, 0u64..1 << 30),
+    ) {
+        let ctx = TraceContext {
+            trace_id: ids.0,
+            parent_span: ids.1,
+            sim_anchor_us: window.0,
+            sim_dur_us: window.1,
+        };
+        let (flag, with_ctx) = ctx.prepend(&payload);
+        prop_assert_eq!(flag, FLAG_TRACE);
+        let base = if want_ratio { FLAG_WANT_RATIO } else { 0 };
+        let bytes = encode_frame(ty, base | flag, &with_ctx);
+        let frame = decode_frame(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(frame.flags & FLAG_WANT_RATIO != 0, want_ratio);
+        let (back, body) = TraceContext::strip(frame.flags, &frame.payload).expect("strip");
+        prop_assert_eq!(back, Some(ctx));
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn untraced_frames_strip_to_no_context(payload in any_payload()) {
+        let bytes = encode_frame(MsgType::Activations, FLAG_WANT_RATIO, &payload);
+        let frame = decode_frame(&bytes).expect("decodes");
+        let (ctx, body) = TraceContext::strip(frame.flags, &frame.payload).expect("strip");
+        prop_assert_eq!(ctx, None);
+        prop_assert_eq!(body, &payload[..]);
+    }
+
+    #[test]
+    fn corrupted_trace_prefix_is_caught_by_the_checksum(
+        payload in any_payload(),
+        pos in 0usize..32,
+        flip in 1u8..=255,
+    ) {
+        // Flip one bit inside the 32-byte trace-context prefix: the FNV
+        // trailer covers it, so the frame must fail checksum (never
+        // deliver a silently-wrong trace id).
+        let ctx = TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            parent_span: (1 << 63) | 7,
+            sim_anchor_us: 1_000_000,
+            sim_dur_us: 2_500,
+        };
+        let (flag, with_ctx) = ctx.prepend(&payload);
+        let mut bytes = encode_frame(MsgType::Activations, flag, &with_ctx);
+        bytes[sl_net::wire::HEADER_LEN + pos] ^= flip;
+        prop_assert!(
+            matches!(decode_frame(&bytes), Err(NetError::ChecksumMismatch { .. })),
+            "corrupt trace prefix must fail the checksum"
+        );
     }
 
     #[test]

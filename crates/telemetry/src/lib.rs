@@ -32,12 +32,17 @@ mod metrics;
 mod profiler;
 mod snapshot;
 mod timer;
+pub mod trace;
 
 pub use events::{Event, EventBuilder, JsonlSink, MemorySink, NullSink, Sink, StderrSink, Value};
 pub use metrics::{Histogram, MetricsRegistry, BUCKETS_PER_OCTAVE};
 pub use profiler::{LayerProfile, Profiler};
 pub use snapshot::Snapshot;
 pub use timer::{SimSpan, Stopwatch};
+pub use trace::{
+    check_spans, chrome_trace_json, latency_breakdown, sim_us, spans_from_jsonl, trace_env_enabled,
+    LatencyRow, OpenSpan, SpanRecord, TraceStats, Tracer, BS_SPAN_NAMESPACE,
+};
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -72,6 +77,7 @@ pub struct Telemetry {
     registry: MetricsRegistry,
     sink: Box<dyn Sink>,
     events_path: Option<PathBuf>,
+    tracing: bool,
 }
 
 impl Telemetry {
@@ -93,6 +99,7 @@ impl Telemetry {
             registry: MetricsRegistry::new(),
             sink,
             events_path: None,
+            tracing: false,
         }
     }
 
@@ -111,7 +118,9 @@ impl Telemetry {
         let dir = std::env::var("SLM_TELEMETRY_PATH")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
-        Telemetry::from_settings(raw.as_deref(), &dir, stream)
+        let mut tele = Telemetry::from_settings(raw.as_deref(), &dir, stream);
+        tele.set_tracing(trace::trace_env_enabled());
+        tele
     }
 
     /// [`Telemetry::from_env`] with the environment made explicit (so it
@@ -164,6 +173,18 @@ impl Telemetry {
     /// instrumentation on this.
     pub fn is_enabled(&self) -> bool {
         self.mode != TelemetryMode::Off
+    }
+
+    /// Requests (or drops) span tracing. [`Telemetry::from_env`] reads
+    /// the request from `SLM_TRACE`; tests set it directly.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// `true` when span tracing was requested *and* events have
+    /// somewhere to go — trainers create a [`Tracer`] only then.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracing && self.is_enabled()
     }
 
     /// The JSONL journal path, when journaling to a file.

@@ -69,10 +69,16 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     # or simulated-time regressions against the last same-config entry.
     # The smoke run executes twice — single-threaded and on a 4-thread
     # pool — and the figure CSV must come out byte-identical: training
-    # results never depend on SLM_THREADS.
+    # results never depend on SLM_THREADS. The 1t run records the span
+    # timeline (SLM_TRACE=on) and the 4t run stays untraced, so the same
+    # cmp also proves tracing never perturbs the numerics.
     stage smoke-1t env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+        SLM_TRACE=on \
         cargo run --release -q -p sl-bench --bin fig3a
     cp results/fig3a/fig3a.csv results/fig3a/fig3a_1t.csv 2>/dev/null || true
+    # Span well-formedness + the Perfetto export of the traced run.
+    stage trace cargo run --release -q -p sl-bench --bin slm-trace -- \
+        --out results/fig3a/trace.json results/fig3a/fig3a.jsonl
     stage smoke-4t env SLM_THREADS=4 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
         cargo run --release -q -p sl-bench --bin fig3a
     stage smoke-bitwise cmp results/fig3a/fig3a_1t.csv results/fig3a/fig3a.csv
@@ -84,22 +90,44 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     # loopback socket (slm-bs serving one session per configuration)
     # must reproduce the in-process figure CSV byte-for-byte — the
     # sl-net determinism contract (DESIGN.md §9). The port file doubles
-    # as the server's readiness signal.
-    mkdir -p results/fig3a_net
-    rm -f results/fig3a_net/bs.port
-    env SLM_THREADS=1 cargo run --release -q -p sl-net --bin slm-bs -- \
-        --addr 127.0.0.1:0 --sessions 5 --port-file results/fig3a_net/bs.port &
-    bs_pid=$!
-    for _ in $(seq 1 100); do
-        [[ -s results/fig3a_net/bs.port ]] && break
-        sleep 0.1
-    done
-    stage net-smoke env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
-        cargo run --release -q -p sl-net --bin slm-ue -- \
-        --addr-file results/fig3a_net/bs.port
+    # as the server's readiness signal. Both sides run traced: slm-trace
+    # merges the UE and BS journals into one Perfetto timeline, checking
+    # that the server spans stitch under the client trace ids. The block
+    # runs twice and the merged exports must be byte-identical — span
+    # ids, timestamps and track numbering are all deterministic at
+    # SLM_THREADS=1.
+    net_traced_run() {
+        local tag="$1"
+        mkdir -p results/fig3a_net
+        rm -f results/fig3a_net/bs.port results/fig3a_net/slm_bs.jsonl \
+            results/fig3a_net/fig3a_net.jsonl
+        env SLM_THREADS=1 SLM_TELEMETRY=jsonl SLM_TRACE=on \
+            SLM_TELEMETRY_PATH=results/fig3a_net \
+            cargo run --release -q -p sl-net --bin slm-bs -- \
+            --addr 127.0.0.1:0 --sessions 5 --port-file results/fig3a_net/bs.port &
+        bs_pid=$!
+        for _ in $(seq 1 100); do
+            [[ -s results/fig3a_net/bs.port ]] && break
+            sleep 0.1
+        done
+        stage "net-smoke-$tag" env SLM_THREADS=1 SLM_PROFILE=smoke \
+            SLM_TELEMETRY=jsonl SLM_TRACE=on \
+            cargo run --release -q -p sl-net --bin slm-ue -- \
+            --addr-file results/fig3a_net/bs.port
+        if [[ "$overall" -ne 0 ]]; then
+            kill "$bs_pid" 2>/dev/null || true
+        fi
+        wait "$bs_pid" 2>/dev/null || true
+        rm -f results/fig3a_net/bs.port
+        stage "net-trace-$tag" cargo run --release -q -p sl-bench --bin slm-trace -- \
+            --out "results/fig3a_net/trace_$tag.json" \
+            results/fig3a_net/fig3a_net.jsonl results/fig3a_net/slm_bs.jsonl
+    }
+    net_traced_run run1
     stage net-bitwise cmp results/fig3a/fig3a.csv results/fig3a_net/fig3a.csv
-    wait "$bs_pid" 2>/dev/null || true
-    rm -f results/fig3a_net/bs.port
+    net_traced_run run2
+    stage net-trace-bitwise cmp results/fig3a_net/trace_run1.json \
+        results/fig3a_net/trace_run2.json
 
     # Kernel micro-benchmarks: record ref/serial/pooled throughput into
     # results/BENCH_kernels.json, then gate the determinism contract

@@ -418,8 +418,9 @@ impl Experiment {
 
     /// Closes the experiment: journals `run_end`, writes
     /// `manifest.json`, and — when telemetry is enabled — writes the
-    /// final metrics `snapshot.json`; flushes the sink. Returns the
-    /// manifest path.
+    /// final metrics `snapshot.json` plus the sampled time-series
+    /// (`series.jsonl` / `series.bin`, when any points were recorded);
+    /// flushes the sink. Returns the manifest path.
     pub fn finish(mut self) -> PathBuf {
         let snapshot = self.telemetry.snapshot();
         self.telemetry.emit(
@@ -436,6 +437,21 @@ impl Experiment {
             let snap_path = self.dir.join("snapshot.json");
             // slm-lint: allow(no-expect) the metrics snapshot is a primary experiment artifact; abort loudly if unwritable
             fs::write(&snap_path, snapshot.to_json() + "\n").expect("snapshot is writable");
+        }
+        if self.telemetry.is_enabled() && !self.telemetry.series().is_empty() {
+            // Sampled time-series: JSONL (the determinism gate `cmp`s
+            // it byte-for-byte across runs) plus the delta-encoded
+            // binary twin.
+            self.telemetry
+                .series()
+                .write_jsonl(&self.dir.join("series.jsonl"))
+                // slm-lint: allow(no-expect) the series is a primary experiment artifact; abort loudly if unwritable
+                .expect("series.jsonl is writable");
+            self.telemetry
+                .series()
+                .write_binary(&self.dir.join("series.bin"))
+                // slm-lint: allow(no-expect) the series is a primary experiment artifact; abort loudly if unwritable
+                .expect("series.bin is writable");
         }
         self.telemetry.flush();
         manifest_path

@@ -24,7 +24,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use sl_telemetry::json::{self, JsonArray, JsonObject, JsonValue};
-use sl_telemetry::{check_spans, latency_breakdown, spans_from_jsonl, Snapshot, SpanRecord};
+use sl_telemetry::{
+    check_spans, latency_breakdown, spans_from_jsonl, SeriesStore, Snapshot, SpanRecord,
+};
 
 use crate::fnv1a_64;
 
@@ -63,6 +65,9 @@ pub struct RunData {
     /// `trace.span` records found in the journal (empty unless the run
     /// was made with `SLM_TRACE=on`).
     pub spans: Vec<SpanRecord>,
+    /// Sampled time-series (`series.jsonl`), absent for runs made
+    /// before the series store existed or with telemetry off.
+    pub series: Option<SeriesStore>,
 }
 
 impl RunData {
@@ -127,6 +132,11 @@ pub fn load_run(dir: &Path) -> Result<RunData, String> {
     let spans = fs::read_to_string(&journal_path)
         .map(|t| spans_from_jsonl(&t))
         .unwrap_or_default();
+    // Best-effort like the journal: a missing or malformed series file
+    // just means no Time-series section.
+    let series = fs::read_to_string(dir.join("series.jsonl"))
+        .ok()
+        .and_then(|t| SeriesStore::from_jsonl(&t).ok());
 
     Ok(RunData {
         dir: dir.to_path_buf(),
@@ -138,6 +148,7 @@ pub fn load_run(dir: &Path) -> Result<RunData, String> {
         snapshot,
         health_events,
         spans,
+        series,
     })
 }
 
@@ -603,7 +614,59 @@ pub fn render_markdown(run: &RunData) -> String {
         run.snapshot.counter("train.nonfinite.loss"),
         run.snapshot.counter("train.nonfinite.grad")
     );
+    let _ = writeln!(out);
+
+    let _ = writeln!(out, "## Time-series");
+    let _ = writeln!(out);
+    match run.series.as_ref().filter(|s| !s.is_empty()) {
+        Some(store) => {
+            let _ = writeln!(
+                out,
+                "| metric | samples | dropped | min | max | last | trend |"
+            );
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---|");
+            for name in store.names() {
+                let Some(series) = store.get(name) else {
+                    continue;
+                };
+                let values: Vec<f32> = series.iter().map(|(_, v)| v as f32).collect();
+                let stride = values.len().div_ceil(40).max(1);
+                let trend: Vec<f32> = values.iter().copied().step_by(stride).collect();
+                let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"));
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} | {} | `{}` |",
+                    name,
+                    series.len(),
+                    series.dropped(),
+                    fmt(series.min_value()),
+                    fmt(series.max_value()),
+                    fmt(series.last().map(|(_, v)| v)),
+                    crate::sparkline(&trend),
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "No sampled series (`series.jsonl` missing — runs with telemetry \
+                 enabled sample every `SLM_SAMPLE_EVERY` steps on the simulated \
+                 clock)."
+            );
+        }
+    }
     out
+}
+
+/// Last sampled `train.loss` value; NaN when the run carries no series
+/// (pre-series runs, telemetry off) so the regression gate knows to
+/// skip it.
+pub fn final_loss(run: &RunData) -> f64 {
+    run.series
+        .as_ref()
+        .and_then(|s| s.get("train.loss"))
+        .and_then(|s| s.last())
+        .map_or(f64::NAN, |(_, v)| v)
 }
 
 /// One `BENCH_<exp>.json` trajectory entry.
@@ -636,6 +699,9 @@ pub struct BenchEntry {
     pub lint_allowlist: u64,
     /// Inline lint waivers in effect.
     pub lint_waived: u64,
+    /// Last sampled `train.loss` value (NaN when the run carries no
+    /// series; serialized as JSON `null` and never gated then).
+    pub final_loss: f64,
 }
 
 impl BenchEntry {
@@ -654,6 +720,7 @@ impl BenchEntry {
             .u64("lint_findings", self.lint_findings)
             .u64("lint_allowlist", self.lint_allowlist)
             .u64("lint_waived", self.lint_waived)
+            .f64("final_loss", self.final_loss)
             .finish()
     }
 
@@ -690,6 +757,12 @@ impl BenchEntry {
             lint_findings: u("lint_findings").unwrap_or(0),
             lint_allowlist: u("lint_allowlist").unwrap_or(0),
             lint_waived: u("lint_waived").unwrap_or(0),
+            // Likewise the series field: missing or null means "no
+            // series recorded", which NaN encodes.
+            final_loss: v
+                .get("final_loss")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(f64::NAN),
         })
     }
 }
@@ -712,6 +785,7 @@ pub fn entry_from_run(run: &RunData, timestamp_s: u64) -> BenchEntry {
         lint_findings: lint.findings,
         lint_allowlist: lint.allowlist_len,
         lint_waived: lint.waived,
+        final_loss: final_loss(run),
     }
 }
 
@@ -771,6 +845,9 @@ pub struct CheckConfig {
     /// clock is deterministic given the config, so drift means the
     /// compute/airtime model changed).
     pub tol_time_rel: f64,
+    /// Allowed relative increase of the final sampled training loss
+    /// (only gated when both entries carry a series).
+    pub tol_loss_rel: f64,
 }
 
 impl Default for CheckConfig {
@@ -778,6 +855,7 @@ impl Default for CheckConfig {
         CheckConfig {
             tol_rmse_rel: 0.30,
             tol_time_rel: 0.25,
+            tol_loss_rel: 0.30,
         }
     }
 }
@@ -852,6 +930,19 @@ pub fn check(entry: &BenchEntry, history: &[BenchEntry], cfg: &CheckConfig) -> C
             entry.sim_elapsed_s,
             base.sim_elapsed_s,
             100.0 * cfg.tol_time_rel
+        ));
+    }
+    // Series final values are gateable only when both runs sampled one
+    // (NaN marks "no series"); pre-series baselines never fail this.
+    if entry.final_loss.is_finite()
+        && base.final_loss.is_finite()
+        && entry.final_loss > base.final_loss * (1.0 + cfg.tol_loss_rel) + 1e-6
+    {
+        failures.push(format!(
+            "final training loss regressed: {:.4} vs baseline {:.4} (tol +{:.0}%)",
+            entry.final_loss,
+            base.final_loss,
+            100.0 * cfg.tol_loss_rel
         ));
     }
     let baseline = Box::new(base.clone());
@@ -1141,6 +1232,7 @@ mod tests {
             lint_findings: 0,
             lint_allowlist: 0,
             lint_waived: 0,
+            final_loss: 0.5,
         }
     }
 
@@ -1234,6 +1326,46 @@ mod tests {
         assert_eq!(back.lint_findings, 0);
         assert_eq!(back.lint_waived, 0);
         assert_eq!(back.profile, "smoke");
+    }
+
+    #[test]
+    fn bench_entry_final_loss_nan_serializes_as_null_and_reloads() {
+        let mut e = entry("smoke", "abc", 3.0, 10.0);
+        e.final_loss = f64::NAN;
+        let text = e.to_json();
+        assert!(text.contains("\"final_loss\":null"), "{text}");
+        let back = BenchEntry::from_json(&json::parse(&text).unwrap()).unwrap();
+        assert!(back.final_loss.is_nan());
+        // Pre-series entries (no final_loss key at all) also load as NaN.
+        let v = json::parse(&entry("smoke", "abc", 3.0, 10.0).to_json()).unwrap();
+        let mut obj = v.as_obj().unwrap().clone();
+        obj.remove("final_loss");
+        let old = BenchEntry::from_json(&JsonValue::Obj(obj)).unwrap();
+        assert!(old.final_loss.is_nan());
+    }
+
+    #[test]
+    fn check_gates_final_loss_only_when_both_runs_sampled_one() {
+        let cfg = CheckConfig::default();
+        let base = entry("smoke", "abc", 4.0, 10.0); // final_loss 0.5
+        let hist = vec![base];
+        // 2x the baseline's final loss fails the gate.
+        let mut worse = entry("smoke", "abc", 4.0, 10.0);
+        worse.final_loss = 1.0;
+        let out = check(&worse, &hist, &cfg);
+        match out {
+            CheckOutcome::Fail { failures, .. } => {
+                assert!(failures[0].contains("final training loss"), "{failures:?}");
+            }
+            o => panic!("expected failure, got {o:?}"),
+        }
+        // A pre-series entry on either side is never gated.
+        let mut no_series = entry("smoke", "abc", 4.0, 10.0);
+        no_series.final_loss = f64::NAN;
+        assert!(check(&no_series, &hist, &cfg).passed());
+        let mut old_hist = hist.clone();
+        old_hist[0].final_loss = f64::NAN;
+        assert!(check(&worse, &old_hist, &cfg).passed());
     }
 
     #[test]

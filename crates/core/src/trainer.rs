@@ -303,6 +303,10 @@ impl SplitTrainer {
             });
             if tele.is_enabled() {
                 tele.gauge_set("train.val_rmse_db", val as f64);
+                // Every epoch lands in the series (no step-cadence
+                // gating): validation points are rare and each one is a
+                // curve point worth keeping.
+                tele.series_point("train.val_rmse_db", self.clock.elapsed_s(), f64::from(val));
                 tele.emit(
                     EventBuilder::new("epoch")
                         .u64("epoch", epoch as u64)
@@ -597,6 +601,16 @@ impl SplitTrainer {
                 tele.observe("train.grad_norm.bs", bs_norm.max(0.0) as f64);
             } else {
                 tele.inc("train.nonfinite.grad");
+            }
+            // Time-series sampling keys on the step counter and stamps
+            // the *simulated* clock, so two runs emit byte-identical
+            // series regardless of wall clock or SLM_THREADS.
+            if tele.should_sample(seq) && loss.loss.is_finite() {
+                tele.series_point(
+                    "train.loss",
+                    self.clock.elapsed_s(),
+                    f64::from(loss.loss.max(0.0)),
+                );
             }
         }
 

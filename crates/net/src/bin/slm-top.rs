@@ -1,0 +1,279 @@
+//! **slm-top** — live fleet view for the networked split-learning
+//! runtime.
+//!
+//! Two data sources, one table:
+//!
+//! * `--addr HOST:PORT` polls a running `slm-bs --metrics-port`
+//!   endpoint and renders per-session rows (steps, steps/sec from the
+//!   scrape-to-scrape delta, eval/nack/resend counters, loss EMA,
+//!   health) plus a fleet-aggregate row.
+//! * `--series PATH` tails a `series.jsonl` written by a traced run and
+//!   renders one row per metric (samples, dropped, min/max/last, trend
+//!   sparkline) — works fully offline, after the run has exited.
+//!
+//! `--once` prints a single frame and exits (harness/CI mode);
+//! otherwise the view refreshes every `--interval-ms` (default 1000).
+//! `--raw` (with `--addr`) validates the scrape, then prints the
+//! exposition text verbatim instead of the table — what verify.sh's
+//! `live-metrics` stage greps.
+//!
+//! ```sh
+//! slm-top --addr "$(cat results/fig3a_net/bs.metrics)" --once
+//! slm-top --series results/fig3a_net/series.jsonl --once
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sl_bench::sparkline;
+use sl_net::{parse_exposition, scrape_metrics};
+use sl_telemetry::SeriesStore;
+
+struct Args {
+    addr: Option<String>,
+    series: Option<String>,
+    once: bool,
+    raw: bool,
+    interval_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        series: None,
+        once: false,
+        raw: false,
+        interval_ms: 1000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--series" => args.series = Some(value("--series")?),
+            "--once" => args.once = true,
+            "--raw" => args.raw = true,
+            "--interval-ms" => {
+                args.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?;
+                if args.interval_ms == 0 {
+                    return Err("--interval-ms must be positive".to_string());
+                }
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: slm-top (--addr HOST:PORT | --series PATH) [--once] [--raw] \
+                     [--interval-ms N]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    match (&args.addr, &args.series) {
+        (Some(_), Some(_)) => Err("--addr and --series are mutually exclusive".to_string()),
+        (None, None) => Err("one of --addr or --series is required".to_string()),
+        (None, Some(_)) if args.raw => Err("--raw requires --addr".to_string()),
+        _ => Ok(args),
+    }
+}
+
+/// One session row assembled from `net.session.<id>.*` metrics.
+struct SessionRow {
+    id: u64,
+    steps: u64,
+    evals: u64,
+    nacks_sent: u64,
+    nacks_received: u64,
+    resends: u64,
+    frames: u64,
+    loss_ema: Option<f64>,
+    status: &'static str,
+}
+
+fn metric(map: &BTreeMap<String, f64>, name: &str) -> f64 {
+    map.get(name).copied().unwrap_or(0.0)
+}
+
+fn session_rows(map: &BTreeMap<String, f64>) -> Vec<SessionRow> {
+    let mut rows = Vec::new();
+    for key in map.keys() {
+        let Some(rest) = key.strip_prefix("net.session.") else {
+            continue;
+        };
+        let Some(id_str) = rest.strip_suffix(".steps") else {
+            continue;
+        };
+        let Ok(id) = id_str.parse::<u64>() else {
+            continue;
+        };
+        let get = |field: &str| metric(map, &format!("net.session.{id}.{field}"));
+        let status = if get("up") >= 1.0 {
+            "active"
+        } else if get("clean_shutdown") >= 1.0 {
+            "done"
+        } else {
+            "unclean"
+        };
+        rows.push(SessionRow {
+            id,
+            steps: get("steps") as u64,
+            evals: get("evals") as u64,
+            nacks_sent: get("nacks.sent") as u64,
+            nacks_received: get("nacks.received") as u64,
+            resends: get("resends") as u64,
+            frames: get("frames.received") as u64,
+            loss_ema: map.get(&format!("net.session.{id}.loss_ema")).copied(),
+            status,
+        });
+    }
+    rows
+}
+
+fn fmt_loss(l: Option<f64>) -> String {
+    match l {
+        Some(v) => format!("{v:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Render one frame of the live (endpoint-backed) view. `prev` holds
+/// the previous scrape and its age so per-session steps/sec can be
+/// derived from the counter delta.
+fn render_live(
+    map: &BTreeMap<String, f64>,
+    prev: Option<&(BTreeMap<String, f64>, Duration)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "slm-bs fleet: {} active / {} total sessions\n\n",
+        metric(map, "net.sessions.active") as u64,
+        metric(map, "net.sessions.total") as u64,
+    ));
+    out.push_str(&format!(
+        "{:>4} {:>8} {:>9} {:>6} {:>9} {:>8} {:>8} {:>10} {:>8}\n",
+        "id", "steps", "steps/s", "evals", "nacks s/r", "resends", "frames", "loss_ema", "status"
+    ));
+    for row in session_rows(map) {
+        let rate = prev
+            .and_then(|(old, dt)| {
+                let before = metric(old, &format!("net.session.{}.steps", row.id));
+                let secs = dt.as_secs_f64();
+                (secs > 0.0).then(|| (row.steps as f64 - before).max(0.0) / secs)
+            })
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.1}"));
+        out.push_str(&format!(
+            "{:>4} {:>8} {:>9} {:>6} {:>9} {:>8} {:>8} {:>10} {:>8}\n",
+            row.id,
+            row.steps,
+            rate,
+            row.evals,
+            format!("{}/{}", row.nacks_sent, row.nacks_received),
+            row.resends,
+            row.frames,
+            fmt_loss(row.loss_ema),
+            row.status,
+        ));
+    }
+    out.push_str(&format!(
+        "\nfleet: steps {} evals {} nacks s/r {}/{} resends {} frames {} bytes {}\n",
+        metric(map, "net.steps") as u64,
+        metric(map, "net.evals") as u64,
+        metric(map, "net.nacks.sent") as u64,
+        metric(map, "net.nacks.received") as u64,
+        metric(map, "net.resends") as u64,
+        metric(map, "net.frames.received") as u64,
+        metric(map, "net.bytes.received") as u64,
+    ));
+    out
+}
+
+/// Render the offline (series-file) view: one row per metric.
+fn render_series(store: &SeriesStore) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>7} {:>7} {:>12} {:>12} {:>12}  trend\n",
+        "metric", "n", "dropped", "min", "max", "last"
+    ));
+    for name in store.names() {
+        let Some(series) = store.get(name) else {
+            continue;
+        };
+        let values: Vec<f32> = series.iter().map(|(_, v)| v as f32).collect();
+        // Downsample by stride so the sparkline stays readable.
+        let stride = values.len().div_ceil(40).max(1);
+        let trend: Vec<f32> = values.iter().copied().step_by(stride).collect();
+        let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"));
+        out.push_str(&format!(
+            "{:<24} {:>7} {:>7} {:>12} {:>12} {:>12}  {}\n",
+            name,
+            series.len(),
+            series.dropped(),
+            fmt(series.min_value()),
+            fmt(series.max_value()),
+            fmt(series.last().map(|(_, v)| v)),
+            sparkline(&trend),
+        ));
+    }
+    out
+}
+
+fn run_live(addr: &str, once: bool, raw: bool, interval: Duration) -> Result<(), String> {
+    let mut prev: Option<(BTreeMap<String, f64>, Duration)> = None;
+    loop {
+        let text = scrape_metrics(addr).map_err(|e| format!("scrape {addr}: {e}"))?;
+        // Parse even in --raw mode: a scrape that does not parse is an
+        // error, not output.
+        let map = parse_exposition(&text).map_err(|e| format!("scrape {addr}: {e}"))?;
+        if once {
+            print!("{}", if raw { text } else { render_live(&map, None) });
+            return Ok(());
+        }
+        // Clear screen + home, top(1)-style.
+        if raw {
+            print!("\x1b[2J\x1b[H{text}");
+        } else {
+            print!("\x1b[2J\x1b[H{}", render_live(&map, prev.as_ref()));
+        }
+        prev = Some((map, interval));
+        std::thread::sleep(interval);
+    }
+}
+
+fn run_series(path: &str, once: bool, interval: Duration) -> Result<(), String> {
+    loop {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let store = SeriesStore::from_jsonl(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        if once {
+            print!("{}", render_series(&store));
+            return Ok(());
+        }
+        print!("\x1b[2J\x1b[H{}", render_series(&store));
+        std::thread::sleep(interval);
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let interval = Duration::from_millis(args.interval_ms);
+    let result = match (&args.addr, &args.series) {
+        (Some(addr), _) => run_live(addr, args.once, args.raw, interval),
+        (_, Some(path)) => run_series(path, args.once, interval),
+        _ => unreachable!("parse_args enforces one source"),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("slm-top: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Live metrics: per-session state shared with a plaintext scrape
+//! endpoint, so a long-running `slm-bs` is observable *while* training
+//! is in flight instead of only at exit.
+//!
+//! The hub ([`LiveMetrics`]) keeps one small bare-named
+//! [`MetricsRegistry`] per session, updated by the protocol loop after
+//! every handled frame. A scrape folds them — in ascending session-id
+//! order, the scoped-registry merge rules of DESIGN.md §11 — into one
+//! [`Snapshot`] with `net.session.<id>.*` namespaces plus summed
+//! `net.*` aggregates, rendered as Prometheus-style `name value` lines.
+//!
+//! The endpoint ([`spawn_metrics_endpoint`]) is a read-only observer on
+//! the existing std-only TCP stack: scrapes take the session map lock
+//! only long enough to copy the registries and never touch model
+//! compute, so polling cannot perturb training (and the exposition text
+//! carries no host timestamps).
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use sl_telemetry::{MetricsRegistry, Snapshot};
+
+use crate::server::SessionSummary;
+
+/// Per-session live state: the session's bare-named metrics plus
+/// whether its connection is still being served.
+#[derive(Debug, Default)]
+struct SessionState {
+    registry: MetricsRegistry,
+    active: bool,
+}
+
+/// The shared hub: session id → live metrics. One instance per server,
+/// updated by the per-connection protocol loops and read by scrapes.
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    sessions: Mutex<BTreeMap<u64, SessionState>>,
+}
+
+impl LiveMetrics {
+    /// An empty hub.
+    pub fn new() -> Self {
+        LiveMetrics::default()
+    }
+
+    /// Rebuilds session `id`'s registry from its protocol-loop summary.
+    /// Called after every handled frame: cheap (a dozen map inserts)
+    /// relative to a training step, and never under the compute lock.
+    pub fn update(&self, id: u64, summary: &SessionSummary, active: bool) {
+        let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let state = sessions.entry(id).or_default();
+        let r = &mut state.registry;
+        *r = MetricsRegistry::new();
+        r.add("steps", summary.steps);
+        r.add("evals", summary.evals);
+        r.add("heartbeats", summary.heartbeats);
+        r.add("nacks.sent", summary.nacks_sent);
+        r.add("nacks.received", summary.nacks_received);
+        r.add("resends", summary.resends);
+        r.add("frames.received", summary.frames_received);
+        r.add("bytes.received", summary.bytes_received);
+        r.gauge_set("up", if active { 1.0 } else { 0.0 });
+        r.gauge_set(
+            "clean_shutdown",
+            if summary.clean_shutdown { 1.0 } else { 0.0 },
+        );
+        if summary.loss_ema.is_finite() && summary.steps > 0 {
+            r.gauge_set("loss_ema", summary.loss_ema);
+        }
+        state.active = active;
+    }
+
+    /// Marks session `id` finished, folding in its final summary when
+    /// the session ended cleanly enough to produce one.
+    pub fn finish(&self, id: u64, summary: Option<&SessionSummary>) {
+        match summary {
+            Some(s) => self.update(id, s, false),
+            None => {
+                let mut sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+                sessions.entry(id).or_default().active = false;
+            }
+        }
+    }
+
+    /// A point-in-time view: per-session metrics under
+    /// `net.session.<id>.*`, counter sums under `net.*`, and
+    /// `net.sessions.{active,total}` gauges. Sessions merge in ascending
+    /// id order (the fixed merge order of DESIGN.md §11).
+    pub fn snapshot(&self) -> Snapshot {
+        let sessions = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = Snapshot::empty();
+        let mut active = 0u64;
+        for (id, state) in sessions.iter() {
+            if state.active {
+                active += 1;
+            }
+            let sub = state.registry.snapshot();
+            for (k, v) in &sub.counters {
+                snap.counters.insert(format!("net.session.{id}.{k}"), *v);
+                *snap.counters.entry(format!("net.{k}")).or_insert(0) += v;
+            }
+            for (k, v) in &sub.gauges {
+                snap.gauges.insert(format!("net.session.{id}.{k}"), *v);
+            }
+        }
+        snap.gauges
+            .insert("net.sessions.active".to_string(), active as f64);
+        snap.gauges
+            .insert("net.sessions.total".to_string(), sessions.len() as f64);
+        snap
+    }
+
+    /// Renders the snapshot as plaintext exposition: one `name value`
+    /// per line, `#`-prefixed comments, names in sorted order.
+    pub fn exposition(&self) -> String {
+        render_exposition(&self.snapshot())
+    }
+}
+
+/// Renders a [`Snapshot`]'s counters and gauges as scrape text (see
+/// [`LiveMetrics::exposition`]; histograms are an end-of-run artifact
+/// and stay out of the live view).
+pub fn render_exposition(snap: &Snapshot) -> String {
+    let mut out = String::from("# slm-bs live metrics\n");
+    for (k, v) in &snap.counters {
+        out.push_str(&format!("{k} {v}\n"));
+    }
+    for (k, v) in &snap.gauges {
+        out.push_str(&format!("{k} {v}\n"));
+    }
+    out
+}
+
+/// Parses scrape text back into `name -> value` pairs. Comment lines
+/// and blanks are skipped; a malformed sample line is an `Err` (the
+/// verify gate asserts the exposition parses).
+pub fn parse_exposition(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("exposition line without value: {line:?}"))?;
+        let v: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("exposition line with bad value: {line:?}"))?;
+        out.insert(name.to_string(), v);
+    }
+    Ok(out)
+}
+
+/// Binds `addr` (port 0 for ephemeral) and serves scrapes of `live` on
+/// a detached thread, one short-lived connection per scrape. Returns
+/// the resolved local address. The endpoint is an observer: it holds no
+/// training state and a wedged scraper cannot block the accept loop
+/// longer than the per-connection read timeout.
+pub fn spawn_metrics_endpoint(addr: &str, live: Arc<LiveMetrics>) -> io::Result<SocketAddr> {
+    // slm-lint: allow(no-nondeterminism) the metrics endpoint is real socket I/O by design; it only reads snapshots and never feeds training state (DESIGN.md §11)
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    // slm-lint: allow(no-nondeterminism) scrape serving is sl-net's concurrency domain; the thread only copies read-only snapshots
+    thread::spawn(move || {
+        for incoming in listener.incoming() {
+            let Ok(mut stream) = incoming else { continue };
+            serve_one_scrape(&mut stream, &live).ok();
+        }
+    });
+    Ok(local)
+}
+
+/// Reads one (best-effort) HTTP request and answers with the exposition
+/// body. Any plain-TCP client that just reads to EOF works too.
+fn serve_one_scrape(stream: &mut TcpStream, live: &LiveMetrics) -> io::Result<()> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                request.extend_from_slice(&buf[..n]);
+                let done = request.windows(4).any(|w| w == b"\r\n\r\n")
+                    || request.windows(2).any(|w| w == b"\n\n");
+                if done || request.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            // Timeout or reset: answer anyway; the reply either lands
+            // or the write fails harmlessly.
+            Err(_) => break,
+        }
+    }
+    let body = live.exposition();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Scrapes a metrics endpoint once, returning the exposition body
+/// (headers stripped). The client half of [`spawn_metrics_endpoint`],
+/// used by `slm-top` and the verify gate.
+pub fn scrape_metrics(addr: &str) -> io::Result<String> {
+    // slm-lint: allow(no-nondeterminism) scraping the live endpoint is real socket I/O by design; it observes training without feeding it (DESIGN.md §11)
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "scrape body is not UTF-8"))?;
+    Ok(match text.split_once("\r\n\r\n") {
+        Some((_, body)) => body.to_string(),
+        None => text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(steps: u64, loss_ema: f64) -> SessionSummary {
+        SessionSummary {
+            steps,
+            evals: 2,
+            nacks_sent: 1,
+            frames_received: steps + 3,
+            bytes_received: 100 * steps,
+            loss_ema,
+            ..SessionSummary::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_namespaces_sessions_and_sums_aggregates() {
+        let live = LiveMetrics::new();
+        live.update(0, &summary(10, 2.5), true);
+        live.update(1, &summary(4, 3.5), true);
+        live.finish(1, Some(&summary(4, 3.5)));
+        let snap = live.snapshot();
+        assert_eq!(snap.counter("net.session.0.steps"), 10);
+        assert_eq!(snap.counter("net.session.1.steps"), 4);
+        assert_eq!(snap.counter("net.steps"), 14);
+        assert_eq!(snap.counter("net.frames.received"), 20);
+        assert_eq!(snap.gauge("net.session.0.up"), Some(1.0));
+        assert_eq!(snap.gauge("net.session.1.up"), Some(0.0));
+        assert_eq!(snap.gauge("net.sessions.active"), Some(1.0));
+        assert_eq!(snap.gauge("net.sessions.total"), Some(2.0));
+        assert_eq!(snap.gauge("net.session.1.loss_ema"), Some(3.5));
+    }
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let live = LiveMetrics::new();
+        live.update(0, &summary(10, 2.5), true);
+        let text = live.exposition();
+        assert!(text.contains("net.frames.received 13\n"));
+        assert!(text.contains("net.session.0.steps 10\n"));
+        let parsed = parse_exposition(&text).unwrap();
+        assert_eq!(parsed["net.session.0.steps"], 10.0);
+        assert_eq!(parsed["net.session.0.loss_ema"], 2.5);
+        assert_eq!(parsed["net.sessions.active"], 1.0);
+        // Exposition is deterministic for a fixed hub state.
+        assert_eq!(live.exposition(), text);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("# only comments\n\n").unwrap().is_empty());
+        assert!(parse_exposition("net.steps\n").is_err());
+        assert!(parse_exposition("net.steps ten\n").is_err());
+    }
+
+    #[test]
+    fn endpoint_serves_scrapes_over_tcp() {
+        let live = Arc::new(LiveMetrics::new());
+        live.update(0, &summary(7, 1.5), true);
+        let addr = spawn_metrics_endpoint("127.0.0.1:0", Arc::clone(&live)).unwrap();
+        let body = scrape_metrics(&addr.to_string()).unwrap();
+        let parsed = parse_exposition(&body).unwrap();
+        assert_eq!(parsed["net.session.0.steps"], 7.0);
+        // Updates between scrapes are visible.
+        live.update(0, &summary(9, 1.25), true);
+        let parsed = parse_exposition(&scrape_metrics(&addr.to_string()).unwrap()).unwrap();
+        assert_eq!(parsed["net.session.0.steps"], 9.0);
+    }
+
+    #[test]
+    fn non_finite_loss_ema_is_omitted() {
+        let live = LiveMetrics::new();
+        live.update(0, &summary(3, f64::NAN), true);
+        assert_eq!(live.snapshot().gauge("net.session.0.loss_ema"), None);
+    }
+}

@@ -24,7 +24,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Mutex};
 use std::thread;
 
 use rand::rngs::StdRng;
@@ -37,6 +37,7 @@ use sl_tensor::Tensor;
 use sl_telemetry::{SpanRecord, Tracer, Value, BS_SPAN_NAMESPACE};
 
 use crate::client::Connection;
+use crate::live::LiveMetrics;
 use crate::wire::{
     encode_config_ack, encode_nack, encode_predictions, unpack_activations, EvalRequest, MsgType,
     NackCode, NetError, SessionSpec, StepReply, StepRequest, TraceContext, FLAG_WANT_RATIO,
@@ -65,6 +66,10 @@ pub struct SessionSummary {
     pub bytes_received: u64,
     /// Whether the session ended with a clean Shutdown exchange.
     pub clean_shutdown: bool,
+    /// Exponential moving average of the per-step training loss
+    /// (α = 0.1; 0.0 until the first step) — the live-view health
+    /// signal published as the `loss_ema` session gauge.
+    pub loss_ema: f64,
     /// BS-side spans recorded under the UE's trace id (empty unless the
     /// handshake carried a nonzero `SessionSpec::trace_id`). Span ids
     /// live in [`BS_SPAN_NAMESPACE`] so they never collide with the
@@ -254,6 +259,18 @@ pub fn serve_session<S: Read + Write>(
     stream: S,
     compute_lock: &Mutex<()>,
 ) -> Result<SessionSummary, NetError> {
+    serve_session_observed(stream, compute_lock, None)
+}
+
+/// [`serve_session`] with an optional live-metrics observer: after
+/// every handled frame the running [`SessionSummary`] is published to
+/// `live` under the given session id, so a scrape sees steps, nacks and
+/// the loss EMA move while training is in flight.
+pub fn serve_session_observed<S: Read + Write>(
+    stream: S,
+    compute_lock: &Mutex<()>,
+    live: Option<(&LiveMetrics, u64)>,
+) -> Result<SessionSummary, NetError> {
     let mut conn = Connection::new(stream);
     let mut summary = SessionSummary::default();
     let mut session: Option<Session> = None;
@@ -381,6 +398,14 @@ pub fn serve_session<S: Read + Write>(
                 match reply {
                     Ok(reply) => {
                         summary.steps += 1;
+                        let loss = f64::from(reply.loss);
+                        if loss.is_finite() {
+                            summary.loss_ema = if summary.steps == 1 {
+                                loss
+                            } else {
+                                0.9 * summary.loss_ema + 0.1 * loss
+                            };
+                        }
                         // Stitch the BS compute under the UE's per-step
                         // `bs.compute` span via the wire context.
                         if let (Some(t), Some(c)) = (tracer.as_mut(), ctx) {
@@ -473,6 +498,14 @@ pub fn serve_session<S: Read + Write>(
                 );
             }
         }
+
+        // Keep transport totals current and publish the running summary
+        // to the live view so scrapes observe training in flight.
+        summary.frames_received = conn.metrics.frames_received;
+        summary.bytes_received = conn.metrics.bytes_received;
+        if let Some((hub, id)) = live {
+            hub.update(id, &summary, true);
+        }
     }
 }
 
@@ -503,37 +536,69 @@ impl BsServer {
         &self,
         max_sessions: Option<usize>,
     ) -> Vec<(SocketAddr, Result<SessionSummary, NetError>)> {
-        let compute_lock = Arc::new(Mutex::new(()));
+        let mut out = Vec::new();
+        self.serve(max_sessions, None, |_id, peer, result| {
+            out.push((peer, result));
+        });
+        out
+    }
+
+    /// The streaming form of [`BsServer::run`]: accepts and serves
+    /// sessions, invoking `on_session` *as each session finishes* (in
+    /// completion order) rather than collecting everything until the
+    /// accept loop ends. A journaling caller can therefore flush
+    /// per-session state the moment it exists — a dying server never
+    /// holds hours of summaries only in memory.
+    ///
+    /// Session ids are the accept order (0-based); with `live` given,
+    /// every session publishes its running summary under that id while
+    /// it is in flight, and its final state when it completes.
+    pub fn serve<F>(&self, max_sessions: Option<usize>, live: Option<&LiveMetrics>, on_session: F)
+    where
+        F: FnMut(u64, SocketAddr, Result<SessionSummary, NetError>),
+    {
+        let mut on_session = on_session;
+        let compute_lock = Mutex::new(());
         let (tx, rx) = mpsc::channel();
-        let mut accepted = 0usize;
-        let mut handles = Vec::new();
-        for incoming in self.listener.incoming() {
-            let stream: TcpStream = match incoming {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            stream.set_nodelay(true).ok();
-            let peer = stream
-                .peer_addr()
-                .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
-            let lock = Arc::clone(&compute_lock);
-            let tx = tx.clone();
+        thread::scope(|scope| {
+            let lock = &compute_lock;
+            let accept_tx = tx;
             // slm-lint: allow(no-nondeterminism) connection handling is sl-net's concurrency domain; model compute stays serialized behind the session lock
-            handles.push(thread::spawn(move || {
-                let result = serve_session(stream, &lock);
-                tx.send((peer, result)).ok();
-            }));
-            accepted += 1;
-            if let Some(max) = max_sessions {
-                if accepted >= max {
-                    break;
+            scope.spawn(move || {
+                let mut accepted = 0u64;
+                for incoming in self.listener.incoming() {
+                    let stream: TcpStream = match incoming {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    stream.set_nodelay(true).ok();
+                    let peer = stream
+                        .peer_addr()
+                        .unwrap_or_else(|_| SocketAddr::from(([0, 0, 0, 0], 0)));
+                    let id = accepted;
+                    let tx = accept_tx.clone();
+                    // slm-lint: allow(no-nondeterminism) connection handling is sl-net's concurrency domain; model compute stays serialized behind the session lock
+                    scope.spawn(move || {
+                        let result =
+                            serve_session_observed(stream, lock, live.map(|hub| (hub, id)));
+                        if let Some(hub) = live {
+                            hub.finish(id, result.as_ref().ok());
+                        }
+                        tx.send((id, peer, result)).ok();
+                    });
+                    accepted += 1;
+                    if let Some(max) = max_sessions {
+                        if accepted >= max as u64 {
+                            break;
+                        }
+                    }
                 }
+                // Dropping the accept loop's sender (and its clones as
+                // sessions finish) ends the result stream below.
+            });
+            for (id, peer, result) in rx {
+                on_session(id, peer, result);
             }
-        }
-        for h in handles {
-            h.join().ok();
-        }
-        drop(tx);
-        rx.into_iter().collect()
+        });
     }
 }

@@ -278,6 +278,10 @@ impl<S: Read + Write> NetTrainer<S> {
             });
             if tele.is_enabled() {
                 tele.gauge_set("train.val_rmse_db", val as f64);
+                // Every epoch lands in the series (no step-cadence
+                // gating): validation points are rare and each one is a
+                // curve point worth keeping.
+                tele.series_point("train.val_rmse_db", self.clock.elapsed_s(), f64::from(val));
                 tele.emit(
                     EventBuilder::new("epoch")
                         .u64("epoch", epoch as u64)
@@ -622,6 +626,20 @@ impl<S: Read + Write> NetTrainer<S> {
                 tele.observe("train.grad_norm.bs", bs_norm.max(0.0) as f64);
             } else {
                 tele.inc("train.nonfinite.grad");
+            }
+            // Time-series sampling keys on the step counter and stamps
+            // the *simulated* clock, so two runs emit byte-identical
+            // series regardless of wall clock or SLM_THREADS. The
+            // networked trainer also samples its cumulative link
+            // counters — the live view of retry pressure.
+            if tele.should_sample(seq) {
+                let now = self.clock.elapsed_s();
+                if reply.loss.is_finite() {
+                    tele.series_point("train.loss", now, f64::from(reply.loss.max(0.0)));
+                }
+                let m = self.client.metrics();
+                tele.series_point("net.frames.sent", now, m.frames_sent as f64);
+                tele.series_point("net.retries", now, m.retries as f64);
             }
         }
 

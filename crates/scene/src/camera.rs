@@ -110,8 +110,14 @@ impl DepthCamera {
             }
         }
 
-        let data: Vec<f32> = depth.iter().map(|&d| self.normalize_depth(d)).collect();
-        Tensor::from_vec([h, w], data).expect("render buffer sized by construction")
+        // Fill a pre-shaped tensor instead of round-tripping through the
+        // fallible constructor: the buffer is h*w by construction, so
+        // there is no length-mismatch path to handle.
+        let mut img = Tensor::zeros([h, w]);
+        for (px, &d) in img.data_mut().iter_mut().zip(&depth) {
+            *px = self.normalize_depth(d);
+        }
+        img
     }
 }
 

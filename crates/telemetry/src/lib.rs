@@ -30,6 +30,7 @@ mod events;
 pub mod json;
 mod metrics;
 mod profiler;
+mod series;
 mod snapshot;
 mod timer;
 pub mod trace;
@@ -37,6 +38,7 @@ pub mod trace;
 pub use events::{Event, EventBuilder, JsonlSink, MemorySink, NullSink, Sink, StderrSink, Value};
 pub use metrics::{Histogram, MetricsRegistry, BUCKETS_PER_OCTAVE};
 pub use profiler::{LayerProfile, Profiler};
+pub use series::{Series, SeriesStore, DEFAULT_SERIES_CAPACITY};
 pub use snapshot::Snapshot;
 pub use timer::{SimSpan, Stopwatch};
 pub use trace::{
@@ -70,14 +72,38 @@ impl TelemetryMode {
     }
 }
 
+/// Default sampling cadence: one time-series sample every 8 training
+/// steps (overridden by `SLM_SAMPLE_EVERY`).
+pub const DEFAULT_SAMPLE_EVERY: u64 = 8;
+
+/// Parses an `SLM_SAMPLE_EVERY` value: a positive step count. `None`
+/// (unset) selects the default; an unparseable or zero value is an
+/// `Err` carrying it so the caller can warn.
+pub fn parse_sample_every(value: Option<&str>) -> Result<u64, String> {
+    match value {
+        None => Ok(DEFAULT_SAMPLE_EVERY),
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(s.to_string()),
+        },
+    }
+}
+
 /// The telemetry handle: one metrics registry plus one event sink.
 pub struct Telemetry {
     mode: TelemetryMode,
     origin: Instant,
     registry: MetricsRegistry,
+    series: SeriesStore,
+    sample_every: u64,
     sink: Box<dyn Sink>,
     events_path: Option<PathBuf>,
     tracing: bool,
+    /// Warn rate-limiting: the last warned message plus how many exact
+    /// repeats arrived since it was printed. Flushed (as one collapsed
+    /// event with a `repeats` count) at the next sample-window boundary,
+    /// at the next different warning, or at `flush()`.
+    pending_warn: Option<(String, u64)>,
 }
 
 impl Telemetry {
@@ -97,9 +123,12 @@ impl Telemetry {
             mode,
             origin: Instant::now(),
             registry: MetricsRegistry::new(),
+            series: SeriesStore::default(),
+            sample_every: DEFAULT_SAMPLE_EVERY,
             sink,
             events_path: None,
             tracing: false,
+            pending_warn: None,
         }
     }
 
@@ -120,6 +149,14 @@ impl Telemetry {
             .unwrap_or_else(|_| PathBuf::from("results/telemetry"));
         let mut tele = Telemetry::from_settings(raw.as_deref(), &dir, stream);
         tele.set_tracing(trace::trace_env_enabled());
+        let every = std::env::var("SLM_SAMPLE_EVERY").ok();
+        match parse_sample_every(every.as_deref()) {
+            Ok(n) => tele.set_sample_every(n),
+            Err(bad) => tele.warn(&format!(
+                "unrecognized SLM_SAMPLE_EVERY value {bad:?} (expected a positive \
+                 step count); using {DEFAULT_SAMPLE_EVERY}"
+            )),
+        }
         tele
     }
 
@@ -251,6 +288,74 @@ impl Telemetry {
         self.registry.snapshot()
     }
 
+    // ---- time series (no-ops when off) -----------------------------------
+
+    /// The sampling cadence in training steps (`SLM_SAMPLE_EVERY`).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Sets the sampling cadence (clamped to ≥ 1 step).
+    pub fn set_sample_every(&mut self, every: u64) {
+        self.sample_every = every.max(1);
+    }
+
+    /// `true` when 1-based step `step` falls on the sampling cadence.
+    /// Keyed to the deterministic step counter — never wall clock — so
+    /// two runs of the same config sample identical steps at any thread
+    /// count.
+    pub fn should_sample(&self, step: u64) -> bool {
+        self.is_enabled() && step.is_multiple_of(self.sample_every)
+    }
+
+    /// Appends one `(sim_time_s, value)` sample to time series `name`.
+    /// Also a sample-window boundary: any rate-limited warning repeats
+    /// collapse into their summary event here.
+    pub fn series_point(&mut self, name: &str, sim_time_s: f64, value: f64) {
+        if self.is_enabled() {
+            self.flush_pending_warn();
+            self.series.push(name, sim_time_s, value);
+        }
+    }
+
+    /// Read access to the time-series store.
+    pub fn series(&self) -> &SeriesStore {
+        &self.series
+    }
+
+    // ---- scoped registries -----------------------------------------------
+
+    /// A detached registry recording under its own namespace — e.g.
+    /// `net.session.3` for one BS session. The scope records bare metric
+    /// names ("steps", "loss_ema"); [`Telemetry::absorb`] later folds
+    /// them into this handle as `<prefix>.<name>` (and optionally into a
+    /// fleet-wide aggregate namespace). The scope inherits this handle's
+    /// enabled/disabled state, so instrumentation stays free when
+    /// telemetry is off.
+    pub fn scoped(&self, prefix: &str) -> ScopedMetrics {
+        ScopedMetrics {
+            prefix: prefix.to_string(),
+            enabled: self.is_enabled(),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// Folds a scoped registry into this handle: every metric lands
+    /// under `<scope.prefix>.<name>`, and — when `aggregate` is given —
+    /// also under `<aggregate>.<name>` (counters sum, gauges last-write,
+    /// histograms bucket-merge). Callers absorbing several scopes must
+    /// do so in one fixed order (ascending session id) so gauge
+    /// last-write stays deterministic.
+    pub fn absorb(&mut self, scope: &ScopedMetrics, aggregate: Option<&str>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.registry.merge_prefixed(&scope.prefix, &scope.registry);
+        if let Some(agg) = aggregate {
+            self.registry.merge_prefixed(agg, &scope.registry);
+        }
+    }
+
     // ---- event journal ---------------------------------------------------
 
     /// Emits a structured event (timestamped now).
@@ -270,14 +375,102 @@ impl Telemetry {
     /// Emits a warning. Warnings are always printed to stderr — even in
     /// `off` mode — because they signal misconfiguration; they enter the
     /// journal like any other event when a sink is active.
+    ///
+    /// Repeats are rate-limited: the same message warned again before
+    /// the next sample-window boundary (the next [`series_point`],
+    /// different warning, or [`flush`]) is counted, not re-printed — a
+    /// lossy link retrying every step collapses to one `warn` event
+    /// plus one summary event carrying the `repeats` count.
+    ///
+    /// [`series_point`]: Telemetry::series_point
+    /// [`flush`]: Telemetry::flush
     pub fn warn(&mut self, msg: &str) {
+        if let Some((pending, repeats)) = &mut self.pending_warn {
+            if pending == msg {
+                *repeats += 1;
+                return;
+            }
+        }
+        self.flush_pending_warn();
         eprintln!("[sl][warn] {msg}");
         self.emit(EventBuilder::new("warn").str("msg", msg));
+        self.pending_warn = Some((msg.to_string(), 0));
     }
 
-    /// Flushes the event sink.
+    /// Emits the collapsed repeat count for the pending warning, if any
+    /// repeats accumulated since it was printed.
+    fn flush_pending_warn(&mut self) {
+        if let Some((msg, repeats)) = self.pending_warn.take() {
+            if repeats > 0 {
+                eprintln!("[sl][warn] {msg} (repeated {repeats} more times)");
+                self.emit(
+                    EventBuilder::new("warn.repeated")
+                        .str("msg", &msg)
+                        .u64("repeats", repeats),
+                );
+            }
+        }
+    }
+
+    /// Flushes the event sink (and any pending rate-limited warning).
     pub fn flush(&mut self) {
+        self.flush_pending_warn();
         self.sink.flush();
+    }
+}
+
+/// A per-scope metrics namespace handed out by [`Telemetry::scoped`]:
+/// plain owned data (no sink, no clock), so a server can keep one per
+/// session and fold them into the parent in a fixed order afterwards.
+#[derive(Debug, Clone)]
+pub struct ScopedMetrics {
+    prefix: String,
+    enabled: bool,
+    registry: MetricsRegistry,
+}
+
+impl ScopedMetrics {
+    /// The scope's namespace prefix (e.g. `net.session.3`).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Increments counter `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            self.registry.add(name, n);
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        if self.enabled {
+            self.registry.gauge_set(name, v);
+        }
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        if self.enabled {
+            self.registry.observe(name, v);
+        }
+    }
+
+    /// Merges a standalone histogram into histogram `name`.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if self.enabled {
+            self.registry.merge_histogram(name, h);
+        }
+    }
+
+    /// Read access to the scope's (bare-named) metrics.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 }
 
@@ -358,6 +551,105 @@ mod tests {
         assert!(path.ends_with("stream.jsonl"));
         assert!(path.exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sample_every_parsing() {
+        assert_eq!(parse_sample_every(None), Ok(DEFAULT_SAMPLE_EVERY));
+        assert_eq!(parse_sample_every(Some("1")), Ok(1));
+        assert_eq!(parse_sample_every(Some("64")), Ok(64));
+        assert_eq!(parse_sample_every(Some("0")), Err("0".to_string()));
+        assert_eq!(parse_sample_every(Some("-3")), Err("-3".to_string()));
+        assert_eq!(parse_sample_every(Some("fast")), Err("fast".to_string()));
+    }
+
+    #[test]
+    fn sampling_cadence_is_step_keyed() {
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        tele.set_sample_every(4);
+        let sampled: Vec<u64> = (1..=10).filter(|&s| tele.should_sample(s)).collect();
+        assert_eq!(sampled, vec![4, 8]);
+        tele.set_sample_every(0); // clamps to 1: every step
+        assert!((1..=10).all(|s| tele.should_sample(s)));
+        // Disabled handles never sample and record no points.
+        let mut off = Telemetry::disabled();
+        assert!(!off.should_sample(4));
+        off.series_point("train.loss", 0.5, 3.5);
+        assert!(off.series().is_empty());
+    }
+
+    #[test]
+    fn series_points_are_recorded_in_sim_time() {
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Summary, Box::new(sink));
+        tele.series_point("train.loss", 0.125, 3.5);
+        tele.series_point("train.loss", 0.25, 3.25);
+        let s = tele.series().get("train.loss").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((0.25, 3.25)));
+    }
+
+    #[test]
+    fn scoped_registries_absorb_per_session_and_aggregate() {
+        let (sink, _events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Summary, Box::new(sink));
+        // Fixed merge order: ascending session id.
+        for (id, steps, ema) in [(0u64, 10u64, 2.5f64), (1, 4, 3.5)] {
+            let mut scope = tele.scoped(&format!("net.session.{id}"));
+            scope.add("steps", steps);
+            scope.gauge_set("loss_ema", ema);
+            scope.observe("latency", 0.5);
+            tele.absorb(&scope, Some("net.fleet"));
+        }
+        let s = tele.snapshot();
+        assert_eq!(s.counter("net.session.0.steps"), 10);
+        assert_eq!(s.counter("net.session.1.steps"), 4);
+        assert_eq!(s.counter("net.fleet.steps"), 14); // counters sum
+        assert_eq!(s.gauge("net.fleet.loss_ema"), Some(3.5)); // last write
+        assert_eq!(s.histograms["net.fleet.latency"].count(), 2); // merge
+    }
+
+    #[test]
+    fn scoped_registry_is_inert_when_disabled() {
+        let mut tele = Telemetry::disabled();
+        let mut scope = tele.scoped("net.session.0");
+        scope.inc("steps");
+        scope.gauge_set("loss_ema", 1.0);
+        assert!(scope.registry().is_empty());
+        tele.absorb(&scope, Some("net.fleet"));
+        assert!(tele.snapshot().is_empty());
+    }
+
+    #[test]
+    fn repeated_warns_collapse_to_one_event_with_repeats() {
+        let (sink, events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        tele.warn("retry storm");
+        tele.warn("retry storm");
+        tele.warn("retry storm");
+        // Window boundary: a series sample flushes the repeats.
+        tele.series_point("train.loss", 0.5, 3.5);
+        tele.warn("something else");
+        tele.flush();
+        let evs = events.borrow();
+        let kinds: Vec<&str> = evs.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["warn", "warn.repeated", "warn"]);
+        assert_eq!(evs[0].message(), Some("retry storm"));
+        assert_eq!(evs[1].message(), Some("retry storm"));
+        assert_eq!(evs[2].message(), Some("something else"));
+    }
+
+    #[test]
+    fn single_warns_never_gain_a_repeat_event() {
+        let (sink, events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        tele.warn("a");
+        tele.warn("b"); // different message flushes "a" with 0 repeats
+        tele.flush();
+        let evs = events.borrow();
+        let kinds: Vec<&str> = evs.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["warn", "warn"]);
     }
 
     #[test]

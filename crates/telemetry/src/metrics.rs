@@ -328,6 +328,38 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value (it is the later registry), histograms bucket-merge.
+    /// Merging registries in one fixed order is the scoped-registry
+    /// aggregation path (DESIGN.md §11), and the counter/histogram part
+    /// is order-insensitive by construction.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_set(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.merge_histogram(k, h);
+        }
+    }
+
+    /// [`MetricsRegistry::merge_from`] with every metric name rewritten
+    /// to `<prefix>.<name>` — how a scoped registry's bare names land
+    /// under its namespace in the parent.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(&format!("{prefix}.{k}"), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_set(&format!("{prefix}.{k}"), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.merge_histogram(&format!("{prefix}.{k}"), h);
+        }
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -485,6 +517,40 @@ mod tests {
         r.observe("loss", 4.0);
         assert_eq!(r.histogram("loss").unwrap().count(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn merge_from_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("steps", 3);
+        a.gauge_set("rate", 0.25);
+        a.observe("loss", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.add("steps", 2);
+        b.gauge_set("rate", 0.75);
+        b.observe("loss", 4.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("steps"), 5);
+        assert_eq!(a.gauge("rate"), Some(0.75)); // later registry wins
+        assert_eq!(a.histogram("loss").unwrap().count(), 2);
+        assert_eq!(a.histogram("loss").unwrap().max(), Some(4.0));
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_every_metric() {
+        let mut scope = MetricsRegistry::new();
+        scope.add("steps", 7);
+        scope.gauge_set("loss_ema", 2.5);
+        scope.observe("latency", 0.125);
+        let mut parent = MetricsRegistry::new();
+        parent.merge_prefixed("net.session.0", &scope);
+        assert_eq!(parent.counter("net.session.0.steps"), 7);
+        assert_eq!(parent.gauge("net.session.0.loss_ema"), Some(2.5));
+        assert_eq!(
+            parent.histogram("net.session.0.latency").unwrap().count(),
+            1
+        );
+        assert_eq!(parent.counter("steps"), 0);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Deterministic time-series store: fixed-capacity ring buffers of
+//! `(sim_time, value)` samples per metric.
+//!
+//! The store is the live half of the observability stack: where the
+//! [`crate::MetricsRegistry`] keeps end-of-run totals, the series store
+//! keeps a bounded time-resolved record of how each metric evolved. Two
+//! properties make it reproducible:
+//!
+//! * **Simulated-time axis.** Sample timestamps are the trainer's
+//!   [`SimClock`](../sl_core) seconds, never host wall clock, so two
+//!   runs of the same config produce identical `(t, v)` pairs at any
+//!   thread count.
+//! * **Step-keyed cadence.** Callers sample on a step-count cadence
+//!   (`Telemetry::should_sample`, `SLM_SAMPLE_EVERY`) — a property of
+//!   the deterministic training loop, not of elapsed host time.
+//!
+//! Exports are a one-line-per-metric `series.jsonl` (byte-stable:
+//! `verify.sh` literally `cmp`s two runs) and a delta-encoded compact
+//! binary (`series.bin`): consecutive samples XOR their `f64` bit
+//! patterns and LEB128-encode the difference, which collapses the
+//! slowly-varying high bits of neighbouring floats to a few bytes.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::Path;
+
+use crate::json::{self, JsonArray, JsonObject, JsonValue};
+
+/// Default ring capacity per metric: enough for every step of a smoke
+/// or quick run at the default cadence, bounded for long-running
+/// servers.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+/// Magic prefix of the compact binary export.
+const BINARY_MAGIC: &[u8; 4] = b"SLS1";
+
+/// One metric's ring buffer of `(sim_time_s, value)` samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    samples: VecDeque<(f64, f64)>,
+    dropped: u64,
+}
+
+impl Series {
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted by the ring (oldest-first) since the start.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Smallest retained value.
+    pub fn min_value(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Largest retained value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+}
+
+/// A set of named [`Series`] rings sharing one capacity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStore {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+}
+
+impl SeriesStore {
+    /// An empty store; each metric retains at most `capacity` samples
+    /// (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        SeriesStore {
+            capacity: capacity.max(1),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Per-metric ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one sample to metric `name`, evicting the oldest sample
+    /// once the ring is full. Timestamps and values must be finite —
+    /// the time axis is simulated seconds and non-finite training
+    /// values are counted separately (`train.nonfinite.*`), never
+    /// sampled.
+    pub fn push(&mut self, name: &str, sim_time_s: f64, value: f64) {
+        assert!(
+            sim_time_s.is_finite() && value.is_finite(),
+            "SeriesStore: bad sample ({sim_time_s}, {value})"
+        );
+        let s = self.series.entry(name.to_string()).or_default();
+        if s.samples.len() == self.capacity {
+            s.samples.pop_front();
+            s.dropped += 1;
+        }
+        s.samples.push_back((sim_time_s, value));
+    }
+
+    /// `true` when no metric has any sample.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Metric names, sorted (BTreeMap order).
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// The series for `name`, `None` when never sampled.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    /// Serializes the store as JSONL: one line per metric, metrics in
+    /// sorted order, no host timestamps — byte-identical across runs of
+    /// the same config.
+    ///
+    /// ```json
+    /// {"metric":"train.loss","dropped":0,"samples":[[0.125,3.5],...]}
+    /// ```
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, s) in &self.series {
+            let mut samples = JsonArray::new();
+            for (t, v) in s.iter() {
+                let mut pair = String::from("[");
+                json::push_f64(t, &mut pair);
+                pair.push(',');
+                json::push_f64(v, &mut pair);
+                pair.push(']');
+                samples.push_raw(&pair);
+            }
+            out.push_str(
+                &JsonObject::new()
+                    .str("metric", name)
+                    .u64("dropped", s.dropped)
+                    .raw("samples", &samples.finish())
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a store serialized by [`SeriesStore::to_jsonl`]. The
+    /// result has `capacity` = max(retained length, 1) per the whole
+    /// store — enough for tools (`slm-top --series`) that only read.
+    pub fn from_jsonl(text: &str) -> Result<SeriesStore, String> {
+        let mut cap = 1;
+        let mut series = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("series line {}: {e}", lineno + 1))?;
+            let name = v
+                .get("metric")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("series line {}: no metric name", lineno + 1))?
+                .to_string();
+            let dropped = v.get("dropped").and_then(JsonValue::as_u64).unwrap_or(0);
+            let mut s = Series {
+                samples: VecDeque::new(),
+                dropped,
+            };
+            let samples = v
+                .get("samples")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| format!("series line {}: no samples array", lineno + 1))?;
+            for pair in samples {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("series {name:?}: bad sample pair"))?;
+                let t = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| format!("series {name:?}: bad timestamp"))?;
+                let val = pair[1]
+                    .as_f64()
+                    .ok_or_else(|| format!("series {name:?}: bad value"))?;
+                s.samples.push_back((t, val));
+            }
+            cap = cap.max(s.samples.len());
+            series.insert(name, s);
+        }
+        Ok(SeriesStore {
+            capacity: cap,
+            series,
+        })
+    }
+
+    /// Serializes the store as a compact delta-encoded binary.
+    ///
+    /// Layout (all integers little-endian): magic `SLS1`, `u32` metric
+    /// count, then per metric (sorted order): `u32` name length + UTF-8
+    /// name, `u64` dropped, `u32` sample count, first sample as two raw
+    /// `f64` bit patterns, and each later sample as two LEB128 varints
+    /// holding the XOR of its `f64` bits with the previous sample's.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&(self.series.len() as u32).to_le_bytes());
+        for (name, s) in &self.series {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&s.dropped.to_le_bytes());
+            out.extend_from_slice(&(s.samples.len() as u32).to_le_bytes());
+            let mut prev = (0u64, 0u64);
+            for (i, (t, v)) in s.iter().enumerate() {
+                let bits = (t.to_bits(), v.to_bits());
+                if i == 0 {
+                    out.extend_from_slice(&bits.0.to_le_bytes());
+                    out.extend_from_slice(&bits.1.to_le_bytes());
+                } else {
+                    push_leb128(bits.0 ^ prev.0, &mut out);
+                    push_leb128(bits.1 ^ prev.1, &mut out);
+                }
+                prev = bits;
+            }
+        }
+        out
+    }
+
+    /// Parses a store serialized by [`SeriesStore::to_binary`] —
+    /// the exact inverse (bit-exact samples).
+    pub fn from_binary(bytes: &[u8]) -> Result<SeriesStore, String> {
+        let mut r = BinReader { bytes, pos: 0 };
+        if r.take(4)? != BINARY_MAGIC {
+            return Err("series binary: bad magic".into());
+        }
+        let num_series = r.u32()? as usize;
+        let mut cap = 1;
+        let mut series = BTreeMap::new();
+        for _ in 0..num_series {
+            let name_len = r.u32()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| "series binary: bad metric name".to_string())?
+                .to_string();
+            let dropped = r.u64()?;
+            let count = r.u32()? as usize;
+            let mut s = Series {
+                samples: VecDeque::with_capacity(count),
+                dropped,
+            };
+            let mut prev = (0u64, 0u64);
+            for i in 0..count {
+                let bits = if i == 0 {
+                    (r.u64()?, r.u64()?)
+                } else {
+                    (r.leb128()? ^ prev.0, r.leb128()? ^ prev.1)
+                };
+                s.samples
+                    .push_back((f64::from_bits(bits.0), f64::from_bits(bits.1)));
+                prev = bits;
+            }
+            cap = cap.max(s.samples.len());
+            series.insert(name, s);
+        }
+        if r.pos != bytes.len() {
+            return Err("series binary: trailing bytes".into());
+        }
+        Ok(SeriesStore {
+            capacity: cap,
+            series,
+        })
+    }
+
+    /// Writes the JSONL export to `path`.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes the binary export to `path`.
+    pub fn write_binary(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_binary())
+    }
+}
+
+impl Default for SeriesStore {
+    fn default() -> Self {
+        SeriesStore::new(DEFAULT_SERIES_CAPACITY)
+    }
+}
+
+/// Appends `v` as an unsigned LEB128 varint.
+fn push_leb128(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| "series binary: truncated".to_string())?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn leb128(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.take(1)?[0];
+            if shift >= 63 && byte > 1 {
+                return Err("series binary: varint overflow".into());
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> SeriesStore {
+        let mut s = SeriesStore::new(8);
+        for i in 0..5 {
+            s.push("train.loss", 0.125 * i as f64, 3.5 - 0.25 * i as f64);
+        }
+        s.push("net.retries", 0.5, 2.0);
+        s
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut s = SeriesStore::new(3);
+        for i in 0..5 {
+            s.push("m", i as f64, (10 + i) as f64);
+        }
+        let m = s.get("m").unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dropped(), 2);
+        let kept: Vec<(f64, f64)> = m.iter().collect();
+        assert_eq!(kept, vec![(2.0, 12.0), (3.0, 13.0), (4.0, 14.0)]);
+        assert_eq!(m.last(), Some((4.0, 14.0)));
+        assert_eq!(m.min_value(), Some(12.0));
+        assert_eq!(m.max_value(), Some(14.0));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut s = SeriesStore::new(0);
+        s.push("m", 0.0, 1.0);
+        s.push("m", 1.0, 2.0);
+        assert_eq!(s.get("m").unwrap().len(), 1);
+        assert_eq!(s.get("m").unwrap().dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_is_sorted_and_round_trips() {
+        let s = sample_store();
+        let text = s.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // BTreeMap order: net.* before train.*.
+        assert!(lines[0].starts_with("{\"metric\":\"net.retries\""));
+        assert!(lines[1].starts_with("{\"metric\":\"train.loss\""));
+        let back = SeriesStore::from_jsonl(&text).unwrap();
+        assert_eq!(back.series, s.series);
+        // Empty stores serialize to nothing and parse back empty.
+        assert_eq!(SeriesStore::new(4).to_jsonl(), "");
+        assert!(SeriesStore::from_jsonl("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        assert!(SeriesStore::from_jsonl("not json").is_err());
+        assert!(SeriesStore::from_jsonl("{\"metric\":\"m\"}").is_err());
+        assert!(SeriesStore::from_jsonl("{\"samples\":[[0,1]]}").is_err());
+        assert!(SeriesStore::from_jsonl("{\"metric\":\"m\",\"samples\":[[0]]}").is_err());
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let mut s = sample_store();
+        // Awkward values: denormals-adjacent, negatives, huge exponents.
+        s.push("edge", 1e-300, -1e300);
+        s.push("edge", 2e-300, -0.0);
+        let bytes = s.to_binary();
+        let back = SeriesStore::from_binary(&bytes).unwrap();
+        assert_eq!(back.series, s.series);
+        // Deterministic: same store, same bytes.
+        assert_eq!(s.to_binary(), bytes);
+    }
+
+    #[test]
+    fn binary_delta_is_compact_for_smooth_series() {
+        let mut s = SeriesStore::new(1024);
+        for i in 0..1000 {
+            s.push("m", i as f64, 3.5);
+        }
+        // Constant values XOR to zero (1 byte each); raw encoding would
+        // be 16 bytes per sample.
+        assert!(s.to_binary().len() < 1000 * 10);
+    }
+
+    #[test]
+    fn binary_rejects_malformed_input() {
+        assert!(SeriesStore::from_binary(b"").is_err());
+        assert!(SeriesStore::from_binary(b"BAD!").is_err());
+        let mut ok = sample_store().to_binary();
+        ok.push(0); // trailing byte
+        assert!(SeriesStore::from_binary(&ok).is_err());
+        let truncated = &sample_store().to_binary()[..10];
+        assert!(SeriesStore::from_binary(truncated).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample")]
+    fn rejects_non_finite_samples() {
+        SeriesStore::new(4).push("m", 0.0, f64::NAN);
+    }
+}

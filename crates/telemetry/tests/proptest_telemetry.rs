@@ -5,7 +5,9 @@
 
 use proptest::prelude::*;
 
-use sl_telemetry::{Histogram, MetricsRegistry, BUCKETS_PER_OCTAVE};
+use sl_telemetry::{
+    Histogram, MetricsRegistry, SeriesStore, Snapshot, Telemetry, TelemetryMode, BUCKETS_PER_OCTAVE,
+};
 
 /// Positive, finite values spanning the histogram's tracked range.
 fn any_values() -> impl Strategy<Value = Vec<f64>> {
@@ -88,6 +90,78 @@ proptest! {
         let tol = (1.0f64 / BUCKETS_PER_OCTAVE as f64).exp2() - 1.0;
         let rel = (est - truth).abs() / truth;
         prop_assert!(rel <= tol + 1e-9, "q={q}: est {est} vs true {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn scoped_aggregation_is_order_insensitive_at_bucket_level(
+        sessions in proptest::collection::vec(any_values(), 1..6),
+        order_seed in 0usize..720,
+    ) {
+        // Absorb the same per-session scoped registries into two parents
+        // in different orders: the aggregate histogram's buckets (and
+        // counters) must not depend on the merge order.
+        let scopes: Vec<_> = sessions
+            .iter()
+            .enumerate()
+            .map(|(id, values)| {
+                let tele = Telemetry::summary();
+                let mut scope = tele.scoped(&format!("net.session.{id}"));
+                scope.add("steps", values.len() as u64);
+                for &v in values {
+                    scope.observe("latency", v);
+                }
+                scope
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..scopes.len()).collect();
+        // A deterministic non-identity permutation derived from the seed.
+        let mut shuffled = order.clone();
+        let mut seed = order_seed;
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, seed % (i + 1));
+            seed /= i + 1;
+        }
+        order.sort_unstable();
+
+        let absorb_in = |order: &[usize]| {
+            let (sink, _events) = sl_telemetry::MemorySink::new();
+            let mut tele = Telemetry::with_sink(TelemetryMode::Summary, Box::new(sink));
+            for &i in order {
+                tele.absorb(&scopes[i], Some("net.fleet"));
+            }
+            tele.snapshot()
+        };
+        let fwd = absorb_in(&order);
+        let rev = absorb_in(&shuffled);
+        prop_assert_eq!(fwd.counters.clone(), rev.counters.clone());
+        let ha = &fwd.histograms["net.fleet.latency"];
+        let hb = &rev.histograms["net.fleet.latency"];
+        prop_assert_eq!(ha.count(), hb.count());
+        prop_assert_eq!(ha.min(), hb.min());
+        prop_assert_eq!(ha.max(), hb.max());
+        prop_assert_eq!(ha.nonzero_buckets(), hb.nonzero_buckets());
+
+        // And the aggregated snapshot round-trips through its JSON form.
+        let back = Snapshot::from_json(&fwd.to_json()).unwrap();
+        prop_assert_eq!(back, fwd);
+    }
+
+    #[test]
+    fn series_exports_round_trip(
+        samples in proptest::collection::vec((0.0f64..1e6, -1e6f64..1e6), 0..300),
+        capacity in 1usize..64,
+    ) {
+        let mut store = SeriesStore::new(capacity);
+        for (i, &(t, v)) in samples.iter().enumerate() {
+            store.push(if i % 3 == 0 { "a" } else { "b" }, t, v);
+        }
+        // The compact binary is bit-exact.
+        let bin = SeriesStore::from_binary(&store.to_binary()).unwrap();
+        prop_assert_eq!(bin.to_jsonl(), store.to_jsonl());
+        // JSONL re-parses to the same sample stream (shortest-roundtrip
+        // float formatting is lossless).
+        let text = SeriesStore::from_jsonl(&store.to_jsonl()).unwrap();
+        prop_assert_eq!(text.to_jsonl(), store.to_jsonl());
     }
 
     #[test]

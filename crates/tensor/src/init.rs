@@ -26,7 +26,7 @@ pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -
             data.push(mean + std * (r * theta.sin()) as f32);
         }
     }
-    Tensor::from_vec(shape, data).expect("randn buffer sized by construction")
+    Tensor::from_parts(shape, data)
 }
 
 /// Uniform samples in `[lo, hi)`.
@@ -35,7 +35,7 @@ pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) ->
     let shape = shape.into();
     let n = shape.numel();
     let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
-    Tensor::from_vec(shape, data).expect("uniform buffer sized by construction")
+    Tensor::from_parts(shape, data)
 }
 
 /// Xavier/Glorot uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.

@@ -71,18 +71,23 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     # pool — and the figure CSV must come out byte-identical: training
     # results never depend on SLM_THREADS. The 1t run records the span
     # timeline (SLM_TRACE=on) and the 4t run stays untraced, so the same
-    # cmp also proves tracing never perturbs the numerics.
+    # cmp also proves tracing never perturbs the numerics. The sampled
+    # time-series rides the same gate: series.jsonl is keyed to step
+    # counts and the simulated clock, so both runs must emit it
+    # byte-for-byte identical too.
     stage smoke-1t env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
         SLM_TRACE=on \
         cargo run --release -q -p sl-bench --bin fig3a
     cp results/fig3a/fig3a.csv results/fig3a/fig3a_1t.csv 2>/dev/null || true
+    cp results/fig3a/series.jsonl results/fig3a/series_1t.jsonl 2>/dev/null || true
     # Span well-formedness + the Perfetto export of the traced run.
     stage trace cargo run --release -q -p sl-bench --bin slm-trace -- \
         --out results/fig3a/trace.json results/fig3a/fig3a.jsonl
     stage smoke-4t env SLM_THREADS=4 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
         cargo run --release -q -p sl-bench --bin fig3a
     stage smoke-bitwise cmp results/fig3a/fig3a_1t.csv results/fig3a/fig3a.csv
-    rm -f results/fig3a/fig3a_1t.csv
+    stage series-bitwise cmp results/fig3a/series_1t.jsonl results/fig3a/series.jsonl
+    rm -f results/fig3a/fig3a_1t.csv results/fig3a/series_1t.jsonl
     stage report cargo run --release -q -p sl-bench --bin slm-report -- \
         --check results/fig3a
 
@@ -99,35 +104,68 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     net_traced_run() {
         local tag="$1"
         mkdir -p results/fig3a_net
-        rm -f results/fig3a_net/bs.port results/fig3a_net/slm_bs.jsonl \
-            results/fig3a_net/fig3a_net.jsonl
+        rm -f results/fig3a_net/bs.port results/fig3a_net/bs.metrics \
+            results/fig3a_net/slm_bs.jsonl results/fig3a_net/fig3a_net.jsonl \
+            results/fig3a_net/series.jsonl results/fig3a_net/series.bin \
+            results/fig3a_net/slm_bs.snapshot.json
         env SLM_THREADS=1 SLM_TELEMETRY=jsonl SLM_TRACE=on \
             SLM_TELEMETRY_PATH=results/fig3a_net \
             cargo run --release -q -p sl-net --bin slm-bs -- \
-            --addr 127.0.0.1:0 --sessions 5 --port-file results/fig3a_net/bs.port &
+            --addr 127.0.0.1:0 --sessions 5 --port-file results/fig3a_net/bs.port \
+            --metrics-port 0 --metrics-port-file results/fig3a_net/bs.metrics &
         bs_pid=$!
         for _ in $(seq 1 100); do
             [[ -s results/fig3a_net/bs.port ]] && break
             sleep 0.1
         done
-        stage "net-smoke-$tag" env SLM_THREADS=1 SLM_PROFILE=smoke \
-            SLM_TELEMETRY=jsonl SLM_TRACE=on \
+        # The UE runs in the background so the live endpoint can be
+        # scraped while training is in flight: slm-top --raw validates
+        # that the exposition parses, then the grep asserts it carries
+        # both aggregate (net.frames.*) and per-session metrics.
+        env SLM_THREADS=1 SLM_PROFILE=smoke SLM_TELEMETRY=jsonl SLM_TRACE=on \
             cargo run --release -q -p sl-net --bin slm-ue -- \
-            --addr-file results/fig3a_net/bs.port
+            --addr-file results/fig3a_net/bs.port &
+        ue_pid=$!
+        if [[ "$tag" == run1 ]]; then
+            scrape=""
+            for _ in $(seq 1 150); do
+                if [[ -s results/fig3a_net/bs.metrics ]]; then
+                    scrape="$(cargo run --release -q -p sl-net --bin slm-top -- \
+                        --addr "$(cat results/fig3a_net/bs.metrics)" --once --raw \
+                        2>/dev/null || true)"
+                    grep -q "net\.frames" <<<"$scrape" \
+                        && grep -q "net\.session\." <<<"$scrape" && break
+                fi
+                kill -0 "$ue_pid" 2>/dev/null || break
+                sleep 0.1
+            done
+            live_metrics_seen() {
+                grep -q "net\.frames" <<<"$scrape" \
+                    && grep -q "net\.session\." <<<"$scrape"
+            }
+            stage live-metrics live_metrics_seen
+        fi
+        stage "net-smoke-$tag" wait "$ue_pid"
         if [[ "$overall" -ne 0 ]]; then
             kill "$bs_pid" 2>/dev/null || true
         fi
         wait "$bs_pid" 2>/dev/null || true
-        rm -f results/fig3a_net/bs.port
+        rm -f results/fig3a_net/bs.port results/fig3a_net/bs.metrics
         stage "net-trace-$tag" cargo run --release -q -p sl-bench --bin slm-trace -- \
             --out "results/fig3a_net/trace_$tag.json" \
             results/fig3a_net/fig3a_net.jsonl results/fig3a_net/slm_bs.jsonl
     }
     net_traced_run run1
     stage net-bitwise cmp results/fig3a/fig3a.csv results/fig3a_net/fig3a.csv
+    cp results/fig3a_net/series.jsonl results/fig3a_net/series_run1.jsonl 2>/dev/null || true
     net_traced_run run2
     stage net-trace-bitwise cmp results/fig3a_net/trace_run1.json \
         results/fig3a_net/trace_run2.json
+    # Two traced runs of the same config must sample identical series —
+    # wall clock and socket timing never leak into the store.
+    stage net-series-bitwise cmp results/fig3a_net/series_run1.jsonl \
+        results/fig3a_net/series.jsonl
+    rm -f results/fig3a_net/series_run1.jsonl
 
     # Kernel micro-benchmarks: record ref/serial/pooled throughput into
     # results/BENCH_kernels.json, then gate the determinism contract

@@ -358,6 +358,21 @@ pub struct LintSummary {
     pub findings: u64,
     /// Per-rule counts over active + allowlisted findings, sorted by id.
     pub rule_counts: Vec<(String, u64)>,
+    /// Per-pass finding counts for the semantic passes (`keys`,
+    /// `knobs`, `protocol`, `determinism`), sorted by pass name; empty
+    /// for token-rule-only runs.
+    pub passes: Vec<(String, u64)>,
+}
+
+impl LintSummary {
+    /// Finding count of one semantic pass (0 when the pass didn't run).
+    pub fn pass_count(&self, pass: &str) -> u64 {
+        self.passes
+            .iter()
+            .find(|(p, _)| p == pass)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
 }
 
 /// Where a run's lint summary lives: `lint.json` next to the run
@@ -372,15 +387,18 @@ pub fn load_lint_summary(path: &Path) -> Option<LintSummary> {
     let text = fs::read_to_string(path).ok()?;
     let v = json::parse(&text).ok()?;
     let u = |k: &str| v.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
-    let rule_counts = v
-        .get("rule_counts")
-        .and_then(JsonValue::as_obj)
-        .map(|m| {
-            m.iter()
-                .map(|(rule, n)| (rule.clone(), n.as_u64().unwrap_or(0)))
-                .collect()
-        })
-        .unwrap_or_default();
+    let counts = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_obj)
+            .map(|m| {
+                m.iter()
+                    .map(|(name, n)| (name.clone(), n.as_u64().unwrap_or(0)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let rule_counts = counts("rule_counts");
+    let passes = counts("passes");
     Some(LintSummary {
         clean: v.get("clean").and_then(JsonValue::as_bool).unwrap_or(false),
         files_scanned: u("files_scanned"),
@@ -393,6 +411,7 @@ pub fn load_lint_summary(path: &Path) -> Option<LintSummary> {
             .map(|a| a.len() as u64)
             .unwrap_or(0),
         rule_counts,
+        passes,
     })
 }
 
@@ -570,6 +589,15 @@ pub fn render_markdown(run: &RunData) -> String {
                  shrink), {} allowlisted, {} waived",
                 l.files_scanned, l.allowlist_len, l.allowlisted, l.waived
             );
+            if !l.passes.is_empty() {
+                let passes = l
+                    .passes
+                    .iter()
+                    .map(|(p, n)| format!("{p}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "- semantic passes (findings): {passes}");
+            }
             if !l.rule_counts.is_empty() {
                 let _ = writeln!(out);
                 let _ = writeln!(out, "| rule | findings (incl. allowlisted) |");
@@ -699,6 +727,14 @@ pub struct BenchEntry {
     pub lint_allowlist: u64,
     /// Inline lint waivers in effect.
     pub lint_waived: u64,
+    /// `--keys` pass findings (telemetry key-namespace drift).
+    pub lint_keys: u64,
+    /// `--knobs` pass findings (SLM_* env-knob table drift).
+    pub lint_knobs: u64,
+    /// `--protocol` pass findings (MsgType coverage + model check).
+    pub lint_protocol: u64,
+    /// `--determinism` pass findings (kernel accumulator heuristics).
+    pub lint_determinism: u64,
     /// Last sampled `train.loss` value (NaN when the run carries no
     /// series; serialized as JSON `null` and never gated then).
     pub final_loss: f64,
@@ -720,6 +756,10 @@ impl BenchEntry {
             .u64("lint_findings", self.lint_findings)
             .u64("lint_allowlist", self.lint_allowlist)
             .u64("lint_waived", self.lint_waived)
+            .u64("lint_keys", self.lint_keys)
+            .u64("lint_knobs", self.lint_knobs)
+            .u64("lint_protocol", self.lint_protocol)
+            .u64("lint_determinism", self.lint_determinism)
             .f64("final_loss", self.final_loss)
             .finish()
     }
@@ -757,6 +797,11 @@ impl BenchEntry {
             lint_findings: u("lint_findings").unwrap_or(0),
             lint_allowlist: u("lint_allowlist").unwrap_or(0),
             lint_waived: u("lint_waived").unwrap_or(0),
+            // Per-pass semantic counts arrived later still.
+            lint_keys: u("lint_keys").unwrap_or(0),
+            lint_knobs: u("lint_knobs").unwrap_or(0),
+            lint_protocol: u("lint_protocol").unwrap_or(0),
+            lint_determinism: u("lint_determinism").unwrap_or(0),
             // Likewise the series field: missing or null means "no
             // series recorded", which NaN encodes.
             final_loss: v
@@ -785,6 +830,10 @@ pub fn entry_from_run(run: &RunData, timestamp_s: u64) -> BenchEntry {
         lint_findings: lint.findings,
         lint_allowlist: lint.allowlist_len,
         lint_waived: lint.waived,
+        lint_keys: lint.pass_count("keys"),
+        lint_knobs: lint.pass_count("knobs"),
+        lint_protocol: lint.pass_count("protocol"),
+        lint_determinism: lint.pass_count("determinism"),
         final_loss: final_loss(run),
     }
 }
@@ -1232,6 +1281,10 @@ mod tests {
             lint_findings: 0,
             lint_allowlist: 0,
             lint_waived: 0,
+            lint_keys: 0,
+            lint_knobs: 0,
+            lint_protocol: 0,
+            lint_determinism: 0,
             final_loss: 0.5,
         }
     }

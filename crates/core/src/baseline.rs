@@ -106,15 +106,15 @@ impl LinearRfBaseline {
 /// impossible here thanks to the ridge term.
 fn solve(n: usize, a: &mut [f64], b: &mut [f64]) -> Vec<f64> {
     for col in 0..n {
-        // Pivot.
-        let pivot_row = (col..n)
-            .max_by(|&r1, &r2| {
-                a[r1 * n + col]
-                    .abs()
-                    .partial_cmp(&a[r2 * n + col].abs())
-                    .expect("finite matrix entries")
-            })
-            .expect("non-empty column range");
+        // Pivot: the largest |entry| in the column, found by direct
+        // scan (total_cmp-free and infallible; `col < n` keeps the
+        // range non-empty).
+        let mut pivot_row = col;
+        for r in col + 1..n {
+            if a[r * n + col].abs() > a[pivot_row * n + col].abs() {
+                pivot_row = r;
+            }
+        }
         assert!(
             a[pivot_row * n + col].abs() > 1e-12,
             "solve: singular system at column {col}"

@@ -63,14 +63,9 @@ impl Batch {
         }
 
         Batch {
-            images: with_images.then(|| {
-                Tensor::from_vec([b * l, 1, h, w], image_data)
-                    .expect("Batch: image buffer sized by construction")
-            }),
-            powers_norm: Tensor::from_vec([b, l], powers)
-                .expect("Batch: power buffer sized by construction"),
-            targets_norm: Tensor::from_vec([b, 1], targets)
-                .expect("Batch: target buffer sized by construction"),
+            images: with_images.then(|| Tensor::from_parts([b * l, 1, h, w], image_data)),
+            powers_norm: Tensor::from_parts([b, l], powers),
+            targets_norm: Tensor::from_parts([b, 1], targets),
             indices: indices.to_vec(),
             seq_len: l,
         }

@@ -35,6 +35,74 @@ pub fn waived_site(v: Option<u32>) -> u32 {
     v.unwrap()
 }
 
+// ---- seeded violations for the semantic passes ------------------------
+// One per pass, again pinned by the golden tests to exact lines.
+
+/// `--protocol`: `Orphan` decodes nowhere, no handler arm names it, and
+/// the enum lacks a `const ALL` annotation.
+pub enum ProtoMsg {
+    Hello = 1,
+    Data = 2,
+    Orphan = 3,
+}
+
+impl ProtoMsg {
+    pub fn from_u8(b: u8) -> Option<ProtoMsg> {
+        match b {
+            1 => Some(ProtoMsg::Hello),
+            2 => Some(ProtoMsg::Data),
+            _ => None,
+        }
+    }
+}
+
+pub fn handler_site(m: ProtoMsg) -> u32 {
+    match m {
+        ProtoMsg::Hello => 1,
+        ProtoMsg::Data => 2,
+        _ => 0,
+    }
+}
+
+/// Minimal publish surface so `--keys` harvests the orphan below.
+pub struct Tele;
+impl Tele {
+    pub fn inc(&mut self, _key: &str) {}
+}
+
+/// `--keys`: published but declared nowhere.
+pub fn orphan_key_site(t: &mut Tele) {
+    t.inc("bogus.orphan.key");
+}
+
+/// `--knobs`: an `SLM_*` read missing from the knob table.
+pub fn undeclared_knob_site() -> Option<String> {
+    std::env::var("SLM_BOGUS").ok()
+}
+
+/// `--determinism`: two accumulators per output element.
+pub fn split_accumulator_site(xs: &[f32]) -> f32 {
+    let mut acc_lo = 0.0f32;
+    let mut acc_hi = 0.0f32;
+    for k in 0..xs.len() {
+        if k % 2 == 0 {
+            acc_lo += xs[k];
+        } else {
+            acc_hi += xs[k];
+        }
+    }
+    acc_lo + acc_hi
+}
+
+/// `--determinism`: non-ascending reduction order over `k`.
+pub fn reversed_k_site(xs: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    for k in (0..xs.len()).rev() {
+        total += xs[k];
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,20 +1,29 @@
-//! `slm-lint` — static analyzer + offline shape-contract checker CLI.
+//! `slm-lint` — static analyzer + offline contract checkers CLI.
 //!
 //! ```text
 //! slm-lint [--root PATH] [--json] [--json-out PATH]
-//!          [--shapes] [--miswire] [--update-allowlist]
+//!          [--shapes] [--miswire] [--keys] [--knobs] [--protocol]
+//!          [--determinism] [--semantic] [--update-allowlist]
 //! ```
 //!
 //! Default run: lint every workspace crate under `--root` (default `.`),
 //! print findings rustc-style and exit non-zero if any survive the
-//! allowlist. `--shapes` additionally validates the UE→pool→payload→BS
-//! wiring of every experiment profile without allocating a tensor;
-//! `--miswire` injects a deliberately wrong BS input width and *must*
-//! exit non-zero with a per-layer trace (checker self-test).
-//! `--update-allowlist` rewrites `crates/lint/allowlist.txt` to exactly
-//! cover the current findings (initial capture / post burn-down).
+//! allowlist. The semantic passes ride on the item-level index:
+//! `--keys` (telemetry key-namespace contract), `--knobs` (`SLM_*`
+//! env-knob table), `--protocol` (MsgType decode/handler coverage plus
+//! the bounded protocol model checker and its seeded-mutation
+//! self-test) and `--determinism` (kernel accumulator-order
+//! heuristics); `--semantic` enables all four. `--shapes` additionally
+//! validates the UE→pool→payload→BS wiring of every experiment profile
+//! without allocating a tensor; `--miswire` injects a deliberately
+//! wrong BS input width and *must* exit non-zero with a per-layer trace
+//! (checker self-test). `--update-allowlist` rewrites
+//! `crates/lint/allowlist.txt` to exactly cover the current findings
+//! (initial capture / post burn-down).
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = internal/IO/usage error.
 
-use sl_lint::{Allowlist, LintConfig};
+use sl_lint::{Allowlist, Finding, LintConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -24,6 +33,10 @@ struct Args {
     json_out: Option<PathBuf>,
     shapes: bool,
     miswire: bool,
+    keys: bool,
+    knobs: bool,
+    protocol: bool,
+    determinism: bool,
     update_allowlist: bool,
     lint: bool,
 }
@@ -35,6 +48,10 @@ fn parse_args() -> Result<Args, String> {
         json_out: None,
         shapes: false,
         miswire: false,
+        keys: false,
+        knobs: false,
+        protocol: false,
+        determinism: false,
         update_allowlist: false,
         lint: true,
     };
@@ -63,12 +80,24 @@ fn parse_args() -> Result<Args, String> {
                 args.shapes = true;
                 args.lint = false;
             }
+            "--keys" => args.keys = true,
+            "--knobs" => args.knobs = true,
+            "--protocol" => args.protocol = true,
+            "--determinism" => args.determinism = true,
+            "--semantic" => {
+                args.keys = true;
+                args.knobs = true;
+                args.protocol = true;
+                args.determinism = true;
+            }
             "--update-allowlist" => args.update_allowlist = true,
             "--help" | "-h" => {
                 println!(
-                    "slm-lint: workspace static analyzer + shape-contract checker\n\n\
+                    "slm-lint: workspace static analyzer + offline contract checkers\n\n\
                      USAGE: slm-lint [--root PATH] [--json] [--json-out PATH]\n\
-                            [--shapes] [--shapes-only] [--miswire] [--update-allowlist]"
+                            [--shapes] [--shapes-only] [--miswire]\n\
+                            [--keys] [--knobs] [--protocol] [--determinism] [--semantic]\n\
+                            [--update-allowlist]"
                 );
                 std::process::exit(0);
             }
@@ -93,42 +122,68 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let semantic_requested = args.keys || args.knobs || args.protocol || args.determinism;
 
-    if args.lint {
-        match sl_lint::run(&args.root, &config) {
-            Ok(report) => {
-                if args.json {
-                    println!("{}", report.to_json());
-                } else {
-                    for f in &report.findings {
-                        println!("{f}");
-                    }
-                    println!(
-                        "slm-lint: {} file(s) scanned, {} finding(s), {} allowlisted, {} waived \
-                         (allowlist size {})",
-                        report.files_scanned,
-                        report.findings.len(),
-                        report.allowlisted.len(),
-                        report.waived.len(),
-                        report.allowlist_len,
-                    );
+    if args.lint || semantic_requested {
+        let mut report = if args.lint {
+            match sl_lint::run(&args.root, &config) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("slm-lint: {e}");
+                    return ExitCode::from(2);
                 }
-                if let Some(path) = &args.json_out {
-                    if let Some(dir) = path.parent() {
-                        let _ = std::fs::create_dir_all(dir);
-                    }
-                    if let Err(e) = std::fs::write(path, report.to_json()) {
-                        eprintln!("slm-lint: cannot write {}: {e}", path.display());
-                        return ExitCode::from(2);
-                    }
-                }
-                failed |= !report.clean();
             }
-            Err(e) => {
-                eprintln!("slm-lint: {e}");
+        } else {
+            empty_report()
+        };
+
+        if semantic_requested {
+            match run_semantic(&args, &config, &mut report) {
+                Ok(()) => {}
+                Err(e) => {
+                    eprintln!("slm-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+
+        if args.json {
+            println!("{}", report.to_json());
+        } else {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            let passes = report
+                .passes
+                .iter()
+                .map(|(p, n)| format!("{p}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!(
+                "slm-lint: {} file(s) scanned, {} finding(s), {} allowlisted, {} waived \
+                 (allowlist size {}){}",
+                report.files_scanned,
+                report.findings.len(),
+                report.allowlisted.len(),
+                report.waived.len(),
+                report.allowlist_len,
+                if passes.is_empty() {
+                    String::new()
+                } else {
+                    format!("; passes: {passes}")
+                },
+            );
+        }
+        if let Some(path) = &args.json_out {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("slm-lint: cannot write {}: {e}", path.display());
                 return ExitCode::from(2);
             }
         }
+        failed |= !report.clean();
     }
 
     if args.shapes {
@@ -168,6 +223,173 @@ fn update_allowlist(args: &Args, config: &LintConfig) -> ExitCode {
         collected.findings.len()
     );
     ExitCode::SUCCESS
+}
+
+/// A report shell for `--shapes-only`-style runs that still want the
+/// semantic passes merged in.
+fn empty_report() -> sl_lint::LintReport {
+    sl_lint::LintReport {
+        findings: Vec::new(),
+        allowlisted: Vec::new(),
+        waived: Vec::new(),
+        rule_counts: std::collections::BTreeMap::new(),
+        allowlist_len: 0,
+        files_scanned: 0,
+        passes: std::collections::BTreeMap::new(),
+    }
+}
+
+/// Runs the requested semantic passes over one shared item-level index
+/// and merges their findings (and per-pass counts) into `report`.
+/// `Err` = internal failure (exit 2); findings themselves flow through
+/// the report (exit 1).
+fn run_semantic(
+    args: &Args,
+    config: &LintConfig,
+    report: &mut sl_lint::LintReport,
+) -> Result<(), String> {
+    let files = sl_lint::build_index(&args.root, config)
+        .map_err(|e| format!("cannot index workspace: {e}"))?;
+    let mut merge = |pass: &str, findings: Vec<Finding>| {
+        report.passes.insert(pass.to_string(), findings.len());
+        for f in &findings {
+            *report.rule_counts.entry(f.rule.clone()).or_insert(0) += 1;
+        }
+        report.findings.extend(findings);
+    };
+
+    if args.keys {
+        merge(
+            "keys",
+            sl_lint::keys::check_keys(&files, &semantic::key_specs()?),
+        );
+    }
+    if args.knobs {
+        let mut docs = Vec::new();
+        for name in ["README.md", "DESIGN.md"] {
+            let text = std::fs::read_to_string(args.root.join(name)).unwrap_or_default();
+            docs.push((name.to_string(), text));
+        }
+        merge(
+            "knobs",
+            sl_lint::knobs::check_knobs(&files, &semantic::knob_specs()?, &docs),
+        );
+    }
+    if args.protocol {
+        let spec = sl_lint::protocol::ProtocolSpec::workspace_default();
+        let mut findings = sl_lint::protocol::check_protocol(&files, &spec);
+        findings.extend(model_findings());
+        merge("protocol", findings);
+    }
+    if args.determinism {
+        merge(
+            "determinism",
+            sl_lint::index::check_determinism(&files, &config.determinism_kernel_crates),
+        );
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(())
+}
+
+/// The bounded protocol model check plus its non-vacuity self-test: the
+/// faithful model must prove every invariant, and the seeded
+/// recompute-on-nack mutation must be caught.
+fn model_findings() -> Vec<Finding> {
+    use sl_lint::model::{check, ModelConfig, Mutation};
+    let model_file = "crates/lint/src/model.rs".to_string();
+    let mut out = Vec::new();
+
+    let faithful = check(&ModelConfig::default());
+    for v in &faithful.violations {
+        out.push(Finding {
+            rule: "protocol-model".to_string(),
+            file: model_file.clone(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "invariant '{}' violated: {} (trace: {})",
+                v.invariant,
+                v.message,
+                v.trace.join(" -> ")
+            ),
+        });
+    }
+    if !faithful.done_reachable {
+        out.push(Finding {
+            rule: "protocol-model".to_string(),
+            file: model_file.clone(),
+            line: 0,
+            col: 0,
+            message: "clean shutdown (Done) is unreachable in the faithful model".to_string(),
+        });
+    }
+
+    let mutant = check(&ModelConfig {
+        mutation: Mutation::RecomputeOnNack,
+        ..ModelConfig::default()
+    });
+    if mutant.violations.is_empty() {
+        out.push(Finding {
+            rule: "protocol-model-selftest".to_string(),
+            file: model_file.clone(),
+            line: 0,
+            col: 0,
+            message: "seeded mutation (server recomputes instead of resending its cached reply) \
+                      was not caught — the no-double-apply invariant is vacuous"
+                .to_string(),
+        });
+    }
+    eprintln!(
+        "slm-lint --protocol: model checked {} state(s) / {} transition(s); \
+         mutation self-test {}",
+        faithful.states,
+        faithful.transitions,
+        if mutant.violations.is_empty() {
+            "FAILED"
+        } else {
+            "caught the seeded bug"
+        }
+    );
+    out
+}
+
+/// Declared-contract providers for the `--keys` / `--knobs` passes: the
+/// tables live in `sl_telemetry::registry` (pulled in by the `semantic`
+/// feature) so the contract ships with the crate it governs.
+#[cfg(feature = "semantic")]
+mod semantic {
+    use sl_lint::keys::KeySpec;
+    use sl_lint::knobs::KnobSpec;
+
+    pub fn key_specs() -> Result<Vec<KeySpec>, String> {
+        Ok(sl_telemetry::registry::KEYS
+            .iter()
+            .map(|k| KeySpec::new(k.pattern, k.readers))
+            .collect())
+    }
+
+    pub fn knob_specs() -> Result<Vec<KnobSpec>, String> {
+        Ok(sl_telemetry::registry::KNOBS
+            .iter()
+            .map(|k| KnobSpec::new(k.name, k.default, k.parse, k.doc))
+            .collect())
+    }
+}
+
+#[cfg(not(feature = "semantic"))]
+mod semantic {
+    use sl_lint::keys::KeySpec;
+    use sl_lint::knobs::KnobSpec;
+
+    pub fn key_specs() -> Result<Vec<KeySpec>, String> {
+        Err("built without the `semantic` feature; --keys unavailable".into())
+    }
+
+    pub fn knob_specs() -> Result<Vec<KnobSpec>, String> {
+        Err("built without the `semantic` feature; --knobs unavailable".into())
+    }
 }
 
 /// The offline shape-contract pass: validate every experiment profile's

@@ -61,6 +61,26 @@ pub struct Comment {
     pub text: String,
 }
 
+/// A string literal with its contents preserved. `Tok::text` stays empty
+/// for `Str` tokens (the token rules never look inside literals); the
+/// semantic index correlates a `StrLit` with its `Str` token by
+/// `(line, col)` when it needs call-site context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line of the opening delimiter.
+    pub line: u32,
+    /// 1-based column of the opening delimiter (the `r`/`b` prefix when
+    /// present).
+    pub col: u32,
+    /// Literal body, delimiters stripped, escapes left verbatim (the
+    /// harvest passes only match key/knob-shaped text, which never
+    /// contains escapes).
+    pub text: String,
+    /// `true` for byte strings (`b"…"`, `br"…"`) — never harvested as
+    /// telemetry keys or env knobs.
+    pub byte: bool,
+}
+
 /// The lexer output: code tokens and comments, in source order.
 #[derive(Debug, Default)]
 pub struct LexOutput {
@@ -68,6 +88,8 @@ pub struct LexOutput {
     pub tokens: Vec<Tok>,
     /// Comments, for waiver extraction.
     pub comments: Vec<Comment>,
+    /// String-literal contents, in source order, for the semantic index.
+    pub strings: Vec<StrLit>,
 }
 
 struct Cursor<'a> {
@@ -180,7 +202,13 @@ pub fn lex(src: &str) -> LexOutput {
             }
             '"' => {
                 cur.bump();
-                skip_string_body(&mut cur);
+                let body = skip_string_body(&mut cur);
+                out.strings.push(StrLit {
+                    line,
+                    col,
+                    text: body,
+                    byte: false,
+                });
                 out.tokens.push(literal(TokKind::Str, line, col));
             }
             '\'' => {
@@ -254,30 +282,38 @@ fn literal(kind: TokKind, line: u32, col: u32) -> Tok {
     }
 }
 
-/// Consumes a (non-raw) string body after the opening `"`.
-fn skip_string_body(cur: &mut Cursor) {
+/// Consumes a (non-raw) string body after the opening `"`, returning the
+/// body with escapes left verbatim.
+fn skip_string_body(cur: &mut Cursor) -> String {
+    let mut body = String::new();
     while let Some(c) = cur.bump() {
         match c {
             '\\' => {
-                cur.bump(); // whatever is escaped, including `"` and `\`
+                body.push('\\');
+                if let Some(e) = cur.bump() {
+                    body.push(e); // whatever is escaped, incl. `"` and `\`
+                }
             }
-            '"' => return,
-            _ => {}
+            '"' => return body,
+            _ => body.push(c),
         }
     }
+    body
 }
 
 /// Consumes a raw-string body after `r`/`br`, starting at the `#`s or
-/// the quote. Returns `false` if this is not a raw string opener (cursor
-/// may have consumed `#`s — only called when lookahead confirmed).
-fn skip_raw_string(cur: &mut Cursor) {
+/// the quote, returning the body. Only called when lookahead confirmed a
+/// raw string opener (cursor may have consumed `#`s — defensive on
+/// malformed input).
+fn skip_raw_string(cur: &mut Cursor) -> String {
+    let mut body = String::new();
     let mut hashes = 0usize;
     while cur.peek() == Some('#') {
         cur.bump();
         hashes += 1;
     }
     if cur.peek() != Some('"') {
-        return; // raw ident handled by caller lookahead; defensive
+        return body; // raw ident handled by caller lookahead; defensive
     }
     cur.bump();
     loop {
@@ -289,11 +325,15 @@ fn skip_raw_string(cur: &mut Cursor) {
                     seen += 1;
                 }
                 if seen == hashes {
-                    return;
+                    return body;
+                }
+                body.push('"');
+                for _ in 0..seen {
+                    body.push('#');
                 }
             }
-            Some(_) => {}
-            None => return,
+            Some(c) => body.push(c),
+            None => return body,
         }
     }
 }
@@ -362,7 +402,13 @@ fn try_lex_prefixed(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) 
     match (first, next) {
         ('r', Some('"')) => {
             cur.bump(); // r
-            skip_raw_string(cur);
+            let body = skip_raw_string(cur);
+            out.strings.push(StrLit {
+                line,
+                col,
+                text: body,
+                byte: false,
+            });
             out.tokens.push(literal(TokKind::Str, line, col));
             true
         }
@@ -371,7 +417,13 @@ fn try_lex_prefixed(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) 
             let after_hash = rest.chars().nth(1);
             if matches!(after_hash, Some('"') | Some('#')) {
                 cur.bump(); // r
-                skip_raw_string(cur);
+                let body = skip_raw_string(cur);
+                out.strings.push(StrLit {
+                    line,
+                    col,
+                    text: body,
+                    byte: false,
+                });
                 out.tokens.push(literal(TokKind::Str, line, col));
                 true
             } else {
@@ -385,7 +437,13 @@ fn try_lex_prefixed(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) 
         ('b', Some('"')) => {
             cur.bump(); // b
             cur.bump(); // "
-            skip_string_body(cur);
+            let body = skip_string_body(cur);
+            out.strings.push(StrLit {
+                line,
+                col,
+                text: body,
+                byte: true,
+            });
             out.tokens.push(literal(TokKind::Str, line, col));
             true
         }
@@ -399,7 +457,13 @@ fn try_lex_prefixed(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) 
         ('b', Some('r')) if matches!(rest.chars().nth(1), Some('"') | Some('#')) => {
             cur.bump(); // b
             cur.bump(); // r
-            skip_raw_string(cur);
+            let body = skip_raw_string(cur);
+            out.strings.push(StrLit {
+                line,
+                col,
+                text: body,
+                byte: true,
+            });
             out.tokens.push(literal(TokKind::Str, line, col));
             true
         }
@@ -659,5 +723,71 @@ mod tests {
         lex("/* unterminated");
         lex("r#\"unterminated");
         lex("'");
+    }
+
+    #[test]
+    fn string_contents_are_captured_with_positions() {
+        let out = lex("tele.inc(\"net.frames.sent\");\nlet p = \"a.b\";");
+        let lits: Vec<_> = out
+            .strings
+            .iter()
+            .map(|s| (s.text.as_str(), s.line, s.byte))
+            .collect();
+        assert_eq!(lits, vec![("net.frames.sent", 1, false), ("a.b", 2, false)]);
+        // Each StrLit lines up with a Str token at the same (line, col).
+        let str_toks: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| (t.line, t.col))
+            .collect();
+        let lit_pos: Vec<_> = out.strings.iter().map(|s| (s.line, s.col)).collect();
+        assert_eq!(str_toks, lit_pos);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_string_contents_are_flagged_byte() {
+        let src = r##"let a = b"SLM_FAKE"; let b2 = br#"train.loss"#; let c = r#"net.x"#;"##;
+        let out = lex(src);
+        let lits: Vec<_> = out
+            .strings
+            .iter()
+            .map(|s| (s.text.as_str(), s.byte))
+            .collect();
+        assert_eq!(
+            lits,
+            vec![("SLM_FAKE", true), ("train.loss", true), ("net.x", false)]
+        );
+    }
+
+    #[test]
+    fn raw_string_inner_quote_hash_runs_survive() {
+        // A shorter `"#` run inside an `r##"…"##` string is body text.
+        let src = "let s = r##\"a\"#b\"##;";
+        let out = lex(src);
+        assert_eq!(out.strings.len(), 1);
+        assert_eq!(out.strings[0].text, "a\"#b");
+    }
+
+    #[test]
+    fn multiline_strings_capture_key_shaped_text_verbatim() {
+        // Multi-line literal containing env-knob- and metric-key-shaped
+        // text: it must come back as ONE literal (never re-lexed as
+        // code), so the harvest passes can see — and reject — it whole.
+        let src = "let doc = \"SLM_THREADS=4\ntrain.loss goes here\";\nf();";
+        let out = lex(src);
+        assert_eq!(out.strings.len(), 1);
+        assert!(out.strings[0].text.contains("SLM_THREADS"));
+        assert!(out.strings[0].text.contains("train.loss"));
+        assert!(!idents(src).contains(&"SLM_THREADS".to_string()));
+        assert!(idents(src).contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_literal() {
+        let out = lex(r#"let s = "a\"b\\"; g()"#);
+        assert_eq!(out.strings.len(), 1);
+        assert_eq!(out.strings[0].text, r#"a\"b\\"#);
+        assert!(idents(r#"let s = "a\"b\\"; g()"#).contains(&"g".to_string()));
     }
 }

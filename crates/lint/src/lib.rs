@@ -33,11 +33,17 @@
 
 pub mod allowlist;
 pub mod deps;
+pub mod index;
+pub mod keys;
+pub mod knobs;
 pub mod lexer;
+pub mod model;
+pub mod protocol;
 pub mod rules;
 pub mod workspace;
 
 pub use allowlist::Allowlist;
+pub use index::FileIndex;
 pub use rules::{scan_file, FileContext, ScanResult};
 pub use workspace::TargetKind;
 
@@ -101,6 +107,9 @@ pub struct LintConfig {
     pub lossy_cast_crates: BTreeSet<String>,
     /// External (non-workspace) dependencies every manifest may declare.
     pub allowed_external_deps: BTreeSet<String>,
+    /// Crates whose kernels the `--determinism` heuristics guard
+    /// (split accumulators, reversed k loops).
+    pub determinism_kernel_crates: BTreeSet<String>,
 }
 
 impl Default for LintConfig {
@@ -111,6 +120,7 @@ impl Default for LintConfig {
             print_exempt: set(&["sl-telemetry"]),
             lossy_cast_crates: set(&["sl-tensor", "sl-nn"]),
             allowed_external_deps: set(&["rand", "proptest", "criterion"]),
+            determinism_kernel_crates: set(&["sl-tensor"]),
         }
     }
 }
@@ -142,6 +152,10 @@ pub struct LintReport {
     pub allowlist_len: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Per-pass finding counts for the semantic passes the binary ran
+    /// (`keys`, `knobs`, `protocol`, `determinism`, `shapes`). Empty for
+    /// token-rule-only runs.
+    pub passes: BTreeMap<String, usize>,
 }
 
 impl LintReport {
@@ -158,14 +172,20 @@ impl LintReport {
             .iter()
             .map(|(rule, n)| format!("\"{}\":{}", escape_json(rule), n))
             .collect();
+        let passes: Vec<String> = self
+            .passes
+            .iter()
+            .map(|(pass, n)| format!("\"{}\":{}", escape_json(pass), n))
+            .collect();
         format!(
-            "{{\"clean\":{},\"files_scanned\":{},\"allowlist_len\":{},\"allowlisted\":{},\"waived\":{},\"rule_counts\":{{{}}},\"findings\":[{}]}}",
+            "{{\"clean\":{},\"files_scanned\":{},\"allowlist_len\":{},\"allowlisted\":{},\"waived\":{},\"rule_counts\":{{{}}},\"passes\":{{{}}},\"findings\":[{}]}}",
             self.clean(),
             self.files_scanned,
             self.allowlist_len,
             self.allowlisted.len(),
             self.waived.len(),
             counts.join(","),
+            passes.join(","),
             findings.join(",")
         )
     }
@@ -229,7 +249,27 @@ pub fn run(root: &Path, config: &LintConfig) -> io::Result<LintReport> {
         rule_counts,
         allowlist_len: allowlist.len(),
         files_scanned: collected.files_scanned,
+        passes: BTreeMap::new(),
     })
+}
+
+/// Builds the item-level semantic index over every workspace package
+/// under `root`: string literals with call context, fn/enum/const facts
+/// and `Enum::Variant` path refs, all with file:line provenance. The
+/// `--keys`, `--knobs`, `--protocol` and `--determinism` passes consume
+/// this instead of re-lexing per pass.
+pub fn build_index(root: &Path, _config: &LintConfig) -> io::Result<Vec<FileIndex>> {
+    let mut out = Vec::new();
+    for pkg in workspace::discover(root)? {
+        for file in workspace::rust_sources(&pkg)? {
+            let src = fs::read_to_string(&file)?;
+            let rel = relative(root, &file);
+            let target = workspace::classify(&pkg.root, &file);
+            out.push(index::index_file(&src, &rel, &pkg.name, target));
+        }
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(out)
 }
 
 /// Loads `crates/lint/allowlist.txt` under `root`; absent file = empty
@@ -321,10 +361,12 @@ mod tests {
             rule_counts: BTreeMap::new(),
             allowlist_len: 4,
             files_scanned: 10,
+            passes: [("keys".to_string(), 2)].into_iter().collect(),
         };
         let json = report.to_json();
         assert!(json.contains("\"clean\":true"));
         assert!(json.contains("\"allowlist_len\":4"));
         assert!(json.contains("\"files_scanned\":10"));
+        assert!(json.contains("\"passes\":{\"keys\":2}"));
     }
 }

@@ -105,7 +105,7 @@ pub fn scan_file(src: &str, ctx: &FileContext, config: &LintConfig) -> ScanResul
 
 /// Marks every token inside a `#[cfg(test)]` item or a `mod tests {}`
 /// block.
-fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; toks.len()];
     let mut i = 0;
     while i < toks.len() {
@@ -197,7 +197,12 @@ fn mark_item(toks: &[Tok], mut start: usize, mask: &mut [bool]) -> usize {
 }
 
 /// Index of the bracket matching `toks[open]`, honoring nesting.
-fn matching_bracket(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+pub(crate) fn matching_bracket(
+    toks: &[Tok],
+    open: usize,
+    open_s: &str,
+    close_s: &str,
+) -> Option<usize> {
     if !is_punct(toks, open, open_s) {
         return None;
     }
@@ -217,12 +222,12 @@ fn matching_bracket(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> O
     None
 }
 
-fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
+pub(crate) fn is_punct(toks: &[Tok], i: usize, s: &str) -> bool {
     toks.get(i)
         .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
 }
 
-fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
+pub(crate) fn is_ident(toks: &[Tok], i: usize, s: &str) -> bool {
     toks.get(i)
         .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
 }

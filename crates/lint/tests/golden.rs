@@ -77,3 +77,82 @@ fn findings_render_rustc_style() {
         .iter()
         .any(|r| r.starts_with("Cargo.toml:12:1: deps-policy:")));
 }
+
+// ---- semantic passes: one seeded violation each, pinned to file:line --
+
+fn fixture_index() -> Vec<sl_lint::FileIndex> {
+    sl_lint::build_index(fixture_root(), &fixture_config()).unwrap()
+}
+
+#[test]
+fn orphan_key_is_pinned_to_its_publish_site() {
+    let specs = vec![sl_lint::keys::KeySpec::new("telemetry.good.key", &[])];
+    let findings = sl_lint::keys::check_keys(&fixture_index(), &specs);
+    let orphan = findings
+        .iter()
+        .find(|f| f.rule == "key-undeclared")
+        .expect("seeded orphan key must be reported");
+    assert_eq!((orphan.file.as_str(), orphan.line), ("src/lib.rs", 75));
+    assert!(orphan.message.contains("bogus.orphan.key"), "{orphan}");
+    // The synthetic declaration is also dead — nothing publishes it.
+    assert!(findings.iter().any(|f| f.rule == "key-dead"));
+}
+
+#[test]
+fn undeclared_knob_is_pinned_to_its_env_read() {
+    let findings = sl_lint::knobs::check_knobs(&fixture_index(), &[], &[]);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule.as_str(), f.file.as_str(), f.line),
+        ("knob-undeclared", "src/lib.rs", 80)
+    );
+    assert!(f.message.contains("SLM_BOGUS"), "{f}");
+}
+
+#[test]
+fn unhandled_msg_type_is_pinned_to_its_variant() {
+    let spec = sl_lint::protocol::ProtocolSpec {
+        enum_file: "src/lib.rs".to_string(),
+        enum_name: "ProtoMsg".to_string(),
+        decode_fn: "from_u8".to_string(),
+        groups: vec![("handler".to_string(), vec!["src/lib.rs".to_string()])],
+    };
+    let findings = sl_lint::protocol::check_protocol(&fixture_index(), &spec);
+    let pins: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+    // `Orphan` is declared on line 46; Hello/Data are fully covered.
+    assert!(pins.contains(&("protocol-decode", 46)), "{findings:?}");
+    assert!(pins.contains(&("protocol-handler", 46)), "{findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "protocol-annotation" && f.message.contains("lacks")),
+        "{findings:?}"
+    );
+    assert!(
+        !pins
+            .iter()
+            .any(|(r, l)| *r != "protocol-annotation" && (*l == 44 || *l == 45)),
+        "covered variants must not be reported: {findings:?}"
+    );
+}
+
+#[test]
+fn double_accumulator_and_reversed_k_are_pinned() {
+    let mut config = fixture_config();
+    config.determinism_kernel_crates.insert("bad-crate".into());
+    let files = sl_lint::build_index(fixture_root(), &config).unwrap();
+    let findings = sl_lint::index::check_determinism(&files, &config.determinism_kernel_crates);
+    let pins: Vec<(&str, &str, u32)> = findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.file.as_str(), f.line))
+        .collect();
+    assert_eq!(
+        pins,
+        vec![
+            ("det-split-acc", "src/lib.rs", 94),
+            ("det-rev-k", "src/lib.rs", 100),
+        ],
+        "{findings:?}"
+    );
+}

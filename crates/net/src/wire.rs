@@ -94,6 +94,23 @@ pub enum MsgType {
 }
 
 impl MsgType {
+    /// Every wire message type, in wire-byte order. `slm-lint
+    /// --protocol` checks this list against the enum declaration, so a
+    /// new variant that skips the decode table or a handler match is
+    /// caught before it ships.
+    pub const ALL: [MsgType; 10] = [
+        MsgType::Hello,
+        MsgType::ConfigAck,
+        MsgType::RfSamples,
+        MsgType::Activations,
+        MsgType::Gradients,
+        MsgType::EvalBatch,
+        MsgType::Predictions,
+        MsgType::Heartbeat,
+        MsgType::Shutdown,
+        MsgType::Nack,
+    ];
+
     /// Decodes a wire byte.
     pub fn from_u8(b: u8) -> Option<MsgType> {
         Some(match b {
@@ -1018,6 +1035,16 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn msg_type_all_roundtrips_through_the_wire_byte() {
+        for (i, ty) in MsgType::ALL.iter().enumerate() {
+            assert_eq!(*ty as u8, i as u8 + 1, "ALL must stay in wire-byte order");
+            assert_eq!(MsgType::from_u8(*ty as u8), Some(*ty));
+        }
+        assert_eq!(MsgType::from_u8(0), None);
+        assert_eq!(MsgType::from_u8(MsgType::ALL.len() as u8 + 1), None);
+    }
 
     #[test]
     fn frame_roundtrip() {

@@ -96,7 +96,7 @@ pub fn jacobi_eigen(n: usize, a: &[f64]) -> EigenDecomposition {
             (val, vec)
         })
         .collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("eigenvalues are finite"));
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
     EigenDecomposition {
         values: pairs.iter().map(|(val, _)| *val).collect(),
         vectors: pairs.into_iter().map(|(_, vec)| vec).collect(),

@@ -30,6 +30,7 @@ mod events;
 pub mod json;
 mod metrics;
 mod profiler;
+pub mod registry;
 mod series;
 mod snapshot;
 mod timer;

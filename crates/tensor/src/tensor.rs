@@ -94,9 +94,10 @@ impl Tensor {
     }
 
     /// Builds a tensor from a buffer whose length is correct by
-    /// construction (kernel outputs sized as `shape.numel()` up front).
+    /// construction (kernel outputs and batch assemblers that size the
+    /// buffer as `shape.numel()` up front).
     /// Checked in debug builds only; fallible callers use [`Tensor::from_vec`].
-    pub(crate) fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+    pub fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
         let shape = shape.into();
         debug_assert_eq!(
             shape.numel(),

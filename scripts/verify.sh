@@ -38,10 +38,19 @@ stage clippy cargo clippy --workspace --all-targets -- -D warnings
 # Static analysis: workspace rules (unwrap/nondeterminism/print/float-eq/
 # lossy-cast/deps policy, ratcheted by crates/lint/allowlist.txt) plus the
 # offline shape-contract check of every experiment profile's wiring.
-# Writes results/lint.json so slm-report can track the allowlist burn-down.
 if [[ "$overall" -eq 0 ]]; then
-    stage lint cargo run -q -p sl-lint --bin slm-lint -- \
-        --shapes --json-out results/lint.json
+    stage lint cargo run -q -p sl-lint --bin slm-lint -- --shapes
+fi
+
+# Semantic contract passes on the item-level index: telemetry key
+# namespace (--keys), SLM_* env-knob table (--knobs), MsgType coverage +
+# bounded protocol model check with its seeded-mutation self-test
+# (--protocol) and kernel accumulator-order heuristics (--determinism).
+# Writes results/lint.json (with per-pass counts) so slm-report can
+# track the allowlist burn-down and the semantic surface.
+if [[ "$overall" -eq 0 ]]; then
+    stage lint-semantic cargo run -q -p sl-lint --bin slm-lint -- \
+        --semantic --json-out results/lint.json
 fi
 
 if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then

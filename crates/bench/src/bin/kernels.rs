@@ -1,16 +1,22 @@
 //! `kernels` — compute-backend micro-benchmark recorder.
 //!
-//! Measures the paper-shaped hot-path kernels at three tiers:
+//! Measures the paper-shaped hot-path kernels at four tiers:
 //!
 //! * **ref** — the pre-backend scalar loops (naive i-k-j matmul, direct
 //!   seven-loop convolution), reimplemented here as the fixed baseline;
-//! * **serial** — the tiled backend on an explicit one-thread
-//!   [`ComputePool`];
-//! * **pooled** — the tiled backend on the process-wide pool
-//!   (`SLM_THREADS` wide).
+//! * **serial** — the blocked (`pooled`) backend on an explicit
+//!   one-thread [`ComputePool`];
+//! * **pooled** — the blocked backend on the process-wide pool
+//!   (`SLM_THREADS` wide);
+//! * **simd** — the `std::arch` vector backend on one thread (falls
+//!   back to the blocked kernels per call on hosts without AVX2/NEON).
+//!
+//! Tiers pin their backend explicitly, so the numbers mean the same
+//! thing regardless of the ambient `SLM_BACKEND` selection.
 //!
 //! Each workload also asserts the backend's determinism contract: the
-//! pooled output must be **bitwise identical** to the serial one. The
+//! pooled and simd outputs must be **bitwise identical** to the serial
+//! one. The
 //! resulting [`KernelsEntry`] batch is appended to
 //! `results/BENCH_kernels.json` and can be rendered / gated with
 //! `slm-report --kernels [--check]`. Throughputs are recorded for the
@@ -32,7 +38,10 @@ use rand::SeedableRng;
 use sl_bench::report::{
     append_kernels_trajectory, check_kernels, kernels_bench_path, render_kernels, KernelsEntry,
 };
-use sl_tensor::{conv2d_backward_in, conv2d_in, matmul_in, randn, ComputePool, Padding, Tensor};
+use sl_tensor::{
+    backend_for, conv2d_backward_with, conv2d_with, matmul_with, randn, Backend, BackendKind,
+    ComputePool, Padding, Tensor,
+};
 
 /// Fixed data seed so successive runs measure identical workloads.
 const SEED: u64 = 0x6b65_726e;
@@ -168,16 +177,23 @@ fn measure_matmul(
     let b = randn([k, n], 0.0, 1.0, &mut rng);
     let flops = 2.0 * (m * k * n) as f64;
 
+    let blocked = backend_for(BackendKind::Pooled);
+    let simd = backend_for(BackendKind::Simd);
     let ref_gflops = time_gflops(flops, || {
         std::hint::black_box(ref_matmul(a.data(), b.data(), m, k, n));
     });
     let serial_gflops = time_gflops(flops, || {
-        std::hint::black_box(matmul_in(serial, &a, &b));
+        std::hint::black_box(matmul_with(serial, blocked, &a, &b));
     });
     let pooled_gflops = time_gflops(flops, || {
-        std::hint::black_box(matmul_in(pooled, &a, &b));
+        std::hint::black_box(matmul_with(pooled, blocked, &a, &b));
     });
-    let eq = bitwise_equal(&matmul_in(serial, &a, &b), &matmul_in(pooled, &a, &b));
+    let simd_gflops = time_gflops(flops, || {
+        std::hint::black_box(matmul_with(serial, simd, &a, &b));
+    });
+    let want = matmul_with(serial, blocked, &a, &b);
+    let eq = bitwise_equal(&want, &matmul_with(pooled, blocked, &a, &b))
+        && bitwise_equal(&want, &matmul_with(serial, simd, &a, &b));
     eprintln!("kernels: matmul {m}x{k}x{n} ({label})");
     KernelsEntry {
         timestamp_s: now_s,
@@ -187,6 +203,7 @@ fn measure_matmul(
         ref_gflops,
         serial_gflops,
         pooled_gflops,
+        simd_gflops,
         bitwise_equal: eq,
     }
 }
@@ -277,19 +294,23 @@ fn conv_workload() -> (Tensor, Tensor, Tensor, f64) {
 fn measure_conv_fwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> KernelsEntry {
     let (x, w, b, flops) = conv_workload();
     let pad = Padding::Same;
+    let blocked = backend_for(BackendKind::Pooled);
+    let simd: &dyn Backend = backend_for(BackendKind::Simd);
     let ref_gflops = time_gflops(flops, || {
         std::hint::black_box(ref_conv2d(&x, &w, &b, pad));
     });
     let serial_gflops = time_gflops(flops, || {
-        std::hint::black_box(conv2d_in(serial, &x, &w, &b, pad));
+        std::hint::black_box(conv2d_with(serial, blocked, &x, &w, &b, pad));
     });
     let pooled_gflops = time_gflops(flops, || {
-        std::hint::black_box(conv2d_in(pooled, &x, &w, &b, pad));
+        std::hint::black_box(conv2d_with(pooled, blocked, &x, &w, &b, pad));
     });
-    let eq = bitwise_equal(
-        &conv2d_in(serial, &x, &w, &b, pad),
-        &conv2d_in(pooled, &x, &w, &b, pad),
-    );
+    let simd_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_with(serial, simd, &x, &w, &b, pad));
+    });
+    let want = conv2d_with(serial, blocked, &x, &w, &b, pad);
+    let eq = bitwise_equal(&want, &conv2d_with(pooled, blocked, &x, &w, &b, pad))
+        && bitwise_equal(&want, &conv2d_with(serial, simd, &x, &w, &b, pad));
     eprintln!("kernels: conv2d_fwd 4x1x40x40 * 8x1x3x3 same");
     KernelsEntry {
         timestamp_s: now_s,
@@ -299,6 +320,7 @@ fn measure_conv_fwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> K
         ref_gflops,
         serial_gflops,
         pooled_gflops,
+        simd_gflops,
         bitwise_equal: eq,
     }
 }
@@ -306,7 +328,9 @@ fn measure_conv_fwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> K
 fn measure_conv_bwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> KernelsEntry {
     let (x, w, b, fwd_flops) = conv_workload();
     let pad = Padding::Same;
-    let g = conv2d_in(serial, &x, &w, &b, pad);
+    let blocked = backend_for(BackendKind::Pooled);
+    let simd: &dyn Backend = backend_for(BackendKind::Simd);
+    let g = conv2d_with(serial, blocked, &x, &w, &b, pad);
     // grad_input + grad_weight are each one forward-sized GEMM.
     let flops = 2.0 * fwd_flops;
 
@@ -314,16 +338,23 @@ fn measure_conv_bwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> K
         std::hint::black_box(ref_conv2d_backward(&x, &w, &g, pad));
     });
     let serial_gflops = time_gflops(flops, || {
-        std::hint::black_box(conv2d_backward_in(serial, &x, &w, &g, pad));
+        std::hint::black_box(conv2d_backward_with(serial, blocked, &x, &w, &g, pad));
     });
     let pooled_gflops = time_gflops(flops, || {
-        std::hint::black_box(conv2d_backward_in(pooled, &x, &w, &g, pad));
+        std::hint::black_box(conv2d_backward_with(pooled, blocked, &x, &w, &g, pad));
     });
-    let gs = conv2d_backward_in(serial, &x, &w, &g, pad);
-    let gp = conv2d_backward_in(pooled, &x, &w, &g, pad);
+    let simd_gflops = time_gflops(flops, || {
+        std::hint::black_box(conv2d_backward_with(serial, simd, &x, &w, &g, pad));
+    });
+    let gs = conv2d_backward_with(serial, blocked, &x, &w, &g, pad);
+    let gp = conv2d_backward_with(pooled, blocked, &x, &w, &g, pad);
+    let gv = conv2d_backward_with(serial, simd, &x, &w, &g, pad);
     let eq = bitwise_equal(&gs.grad_input, &gp.grad_input)
         && bitwise_equal(&gs.grad_weight, &gp.grad_weight)
-        && bitwise_equal(&gs.grad_bias, &gp.grad_bias);
+        && bitwise_equal(&gs.grad_bias, &gp.grad_bias)
+        && bitwise_equal(&gs.grad_input, &gv.grad_input)
+        && bitwise_equal(&gs.grad_weight, &gv.grad_weight)
+        && bitwise_equal(&gs.grad_bias, &gv.grad_bias);
     eprintln!("kernels: conv2d_bwd 4x1x40x40 * 8x1x3x3 same");
     KernelsEntry {
         timestamp_s: now_s,
@@ -333,6 +364,7 @@ fn measure_conv_bwd(now_s: u64, serial: &ComputePool, pooled: &ComputePool) -> K
         ref_gflops,
         serial_gflops,
         pooled_gflops,
+        simd_gflops,
         bitwise_equal: eq,
     }
 }

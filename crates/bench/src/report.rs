@@ -1029,8 +1029,12 @@ pub struct KernelsEntry {
     pub serial_gflops: f64,
     /// Throughput of the backend at `threads` participants, GFLOP/s.
     pub pooled_gflops: f64,
-    /// Whether the pooled output was bitwise identical to the serial
-    /// output — the backend's determinism contract, gated by
+    /// Throughput of the SIMD backend at one thread, GFLOP/s. NaN for
+    /// entries recorded before the SIMD tier existed (serialized as
+    /// JSON `null` then, like `final_loss`).
+    pub simd_gflops: f64,
+    /// Whether every measured tier's output was bitwise identical to
+    /// the serial output — the backend's determinism contract, gated by
     /// [`check_kernels`].
     pub bitwise_equal: bool,
 }
@@ -1051,6 +1055,12 @@ impl KernelsEntry {
         self.pooled_gflops / self.ref_gflops
     }
 
+    /// simd / serial: what explicit vectorization buys over the blocked
+    /// scalar kernels at one thread (NaN for pre-SIMD entries).
+    pub fn simd_speedup(&self) -> f64 {
+        self.simd_gflops / self.serial_gflops
+    }
+
     fn to_json(&self) -> String {
         JsonObject::new()
             .u64("timestamp_s", self.timestamp_s)
@@ -1060,6 +1070,7 @@ impl KernelsEntry {
             .f64("ref_gflops", self.ref_gflops)
             .f64("serial_gflops", self.serial_gflops)
             .f64("pooled_gflops", self.pooled_gflops)
+            .f64("simd_gflops", self.simd_gflops)
             .bool("bitwise_equal", self.bitwise_equal)
             .finish()
     }
@@ -1089,6 +1100,11 @@ impl KernelsEntry {
             ref_gflops: f("ref_gflops")?,
             serial_gflops: f("serial_gflops")?,
             pooled_gflops: f("pooled_gflops")?,
+            // The SIMD tier arrived later; NaN marks pre-SIMD entries.
+            simd_gflops: v
+                .get("simd_gflops")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(f64::NAN),
             bitwise_equal: v
                 .get("bitwise_equal")
                 .and_then(JsonValue::as_bool)
@@ -1161,21 +1177,34 @@ pub fn render_kernels(batch: &[KernelsEntry]) -> String {
     let _ = writeln!(
         out,
         "| kernel | shape | threads | ref GF/s | serial GF/s | pooled GF/s \
-         | tile× | pool× | total× | bitwise |"
+         | simd GF/s | tile× | pool× | simd× | total× | bitwise |"
     );
-    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---|");
+    let _ = writeln!(
+        out,
+        "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|"
+    );
+    // Pre-SIMD entries carry NaN in the simd column; render a dash.
+    let simd_cell = |v: f64| {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.2}")
+        }
+    };
     for e in batch {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {} |",
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {} | {:.2} | {} |",
             e.kernel,
             e.shape,
             e.threads,
             e.ref_gflops,
             e.serial_gflops,
             e.pooled_gflops,
+            simd_cell(e.simd_gflops),
             e.tile_speedup(),
             e.pool_speedup(),
+            simd_cell(e.simd_speedup()),
             e.total_speedup(),
             if e.bitwise_equal { "ok" } else { "MISMATCH" }
         );
@@ -1208,6 +1237,14 @@ pub fn check_kernels(batch: &[KernelsEntry]) -> Vec<String> {
             if !v.is_finite() || v <= 0.0 {
                 failures.push(format!("{label}: {tier} throughput is {v} GFLOP/s"));
             }
+        }
+        // The SIMD tier arrived later: NaN marks a pre-SIMD entry and is
+        // not gated, but a measured tier must have actually run.
+        if !e.simd_gflops.is_nan() && (!e.simd_gflops.is_finite() || e.simd_gflops <= 0.0) {
+            failures.push(format!(
+                "{label}: simd throughput is {} GFLOP/s",
+                e.simd_gflops
+            ));
         }
     }
     failures
@@ -1298,6 +1335,7 @@ mod tests {
             ref_gflops: 1.0,
             serial_gflops: 2.0,
             pooled_gflops: 4.0,
+            simd_gflops: 6.0,
             bitwise_equal: bitwise,
         }
     }
@@ -1310,6 +1348,26 @@ mod tests {
         assert_eq!(back.tile_speedup(), 2.0);
         assert_eq!(back.pool_speedup(), 2.0);
         assert_eq!(back.total_speedup(), 4.0);
+        assert_eq!(back.simd_speedup(), 3.0);
+    }
+
+    #[test]
+    fn pre_simd_kernels_entries_load_as_nan_and_are_not_gated() {
+        let e = kentry("matmul", 7, true);
+        let v = json::parse(&e.to_json()).unwrap();
+        let mut obj = v.as_obj().unwrap().clone();
+        obj.remove("simd_gflops");
+        let old = KernelsEntry::from_json(&JsonValue::Obj(obj)).unwrap();
+        assert!(old.simd_gflops.is_nan());
+        assert!(check_kernels(std::slice::from_ref(&old)).is_empty());
+        // NaN serializes as null and reloads as NaN.
+        assert!(old.to_json().contains("\"simd_gflops\":null"));
+        // A measured-but-dead simd tier still fails the gate.
+        let mut dead = kentry("matmul", 7, true);
+        dead.simd_gflops = 0.0;
+        let failures = check_kernels(&[dead]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("simd throughput"), "{failures:?}");
     }
 
     #[test]

@@ -115,3 +115,29 @@ mod tests {
         println!("prints are fine in tests");
     }
 }
+
+// ---- later seeded violations, appended after the tests mod so every
+// ---- pinned line above stays stable.
+
+/// `unsafe-containment`: `unsafe` outside the sanctioned SIMD module.
+pub fn unsafe_site(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+/// `--determinism`: a fused multiply-add intrinsic rounds once.
+pub fn fused_madd_site(a: f32, b: f32, c: f32) -> f32 {
+    _mm_fmadd_ss_like(a, b, c)
+}
+
+fn _mm_fmadd_ss_like(a: f32, b: f32, c: f32) -> f32 {
+    a.mul_add(b, c)
+}
+
+/// `--determinism`: a horizontal lane reduction reassociates the sum.
+pub fn lane_reduce_site(v: [f32; 4]) -> f32 {
+    _mm_hadd_ps_like(v)
+}
+
+fn _mm_hadd_ps_like(v: [f32; 4]) -> f32 {
+    ((v[0] + v[1]) + v[2]) + v[3]
+}

@@ -86,7 +86,21 @@ pub struct FnItem {
     pub add_pairs: Vec<(String, String, u32, u32)>,
     /// `for` loop headers in the body.
     pub loops: Vec<ForLoop>,
+    /// Calls whose callee name looks like a fused-multiply or
+    /// lane-reduction SIMD intrinsic (see [`FUSED_PATTERNS`] /
+    /// [`REDUCE_PATTERNS`]), with the call position.
+    pub intrinsics: Vec<(String, u32, u32)>,
 }
+
+/// Callee-name fragments of fused multiply-add/-sub intrinsics
+/// (`_mm*_fmadd_*`, `vfmaq_*`, …): fusing rounds once where the scalar
+/// reference rounds twice, so these break bitwise backend equality.
+pub const FUSED_PATTERNS: [&str; 4] = ["fmadd", "fmsub", "vfma", "vfms"];
+
+/// Callee-name fragments of horizontal/lane-reduction intrinsics
+/// (`_mm*_hadd_*`, `vaddvq_*`, `_mm512_reduce_add_*`, …): cross-lane
+/// sums reassociate the reduction, breaking ascending-`k` order.
+pub const REDUCE_PATTERNS: [&str; 3] = ["hadd", "addv", "reduce_add"];
 
 /// An `enum` declaration with its variants.
 #[derive(Debug, Clone)]
@@ -282,10 +296,15 @@ fn index_fns(toks: &[Tok], in_test: &[bool]) -> Vec<FnItem> {
             let name = toks[i + 1].text.clone();
             let line = toks[i].line;
             // Body: first `{` before a terminating `;` (trait method
-            // declarations have none).
+            // declarations have none). Bracket groups are skipped whole
+            // so array types like `[f32; 4]` don't read as terminators.
             let mut j = i + 2;
             let mut body: Option<(usize, usize)> = None;
             while j < toks.len() {
+                if is_punct(toks, j, "[") {
+                    j = matching_bracket(toks, j, "[", "]").map_or(toks.len(), |c| c + 1);
+                    continue;
+                }
                 if is_punct(toks, j, ";") {
                     break;
                 }
@@ -307,6 +326,7 @@ fn index_fns(toks: &[Tok], in_test: &[bool]) -> Vec<FnItem> {
                 accumulators: scan_accumulators(toks, open, close),
                 add_pairs: scan_add_pairs(toks, open, close),
                 loops: scan_loops(toks, open, close),
+                intrinsics: scan_intrinsics(toks, open, close),
             });
             i = close + 1;
             continue;
@@ -415,6 +435,31 @@ fn scan_loops(toks: &[Tok], open: usize, close: usize) -> Vec<ForLoop> {
             });
         }
         j = k + 1;
+    }
+    out
+}
+
+/// Calls (ident directly followed by `(`, excluding `fn` definitions)
+/// whose callee name contains a fused-multiply or lane-reduction
+/// intrinsic fragment.
+fn scan_intrinsics(toks: &[Tok], open: usize, close: usize) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    for j in open..close {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident || !is_punct(toks, j + 1, "(") {
+            continue;
+        }
+        if j >= 1 && is_ident(toks, j - 1, "fn") {
+            continue;
+        }
+        let name = t.text.as_str();
+        if FUSED_PATTERNS
+            .iter()
+            .chain(REDUCE_PATTERNS.iter())
+            .any(|p| name.contains(p))
+        {
+            out.push((t.text.clone(), t.line, t.col));
+        }
     }
     out
 }
@@ -559,6 +604,13 @@ fn index_path_refs(toks: &[Tok], in_test: &[bool]) -> Vec<PathRef> {
 /// - `det-rev-k` — a `for` loop whose binder is `k`-named iterates
 ///   `.rev()`: non-ascending reduction order breaks bitwise equality
 ///   with the serial kernels.
+/// - `det-fused-madd` — a call to a fused multiply-add/-sub intrinsic
+///   ([`FUSED_PATTERNS`]): FMA rounds the product and sum once, where
+///   the scalar reference rounds twice, so fused kernels cannot be
+///   bitwise-equal to the scalar backend.
+/// - `det-lane-reduce` — a call to a horizontal/lane-reduction
+///   intrinsic ([`REDUCE_PATTERNS`]): cross-lane adds reassociate the
+///   sum; SIMD lanes must map to *distinct output elements* instead.
 pub fn check_determinism(
     files: &[FileIndex],
     kernel_crates: &std::collections::BTreeSet<String>,
@@ -593,6 +645,33 @@ pub fn check_determinism(
                         });
                     }
                 }
+            }
+            for (name, line, col) in &item.intrinsics {
+                let fused = FUSED_PATTERNS.iter().any(|p| name.contains(p));
+                let (rule, why) = if fused {
+                    (
+                        "det-fused-madd",
+                        "a fused multiply-add rounds once where the scalar \
+                         reference rounds twice",
+                    )
+                } else {
+                    (
+                        "det-lane-reduce",
+                        "a horizontal lane reduction reassociates the sum; \
+                         lanes must map to distinct output elements",
+                    )
+                };
+                out.push(crate::Finding {
+                    rule: rule.to_string(),
+                    file: f.path.clone(),
+                    line: *line,
+                    col: *col,
+                    message: format!(
+                        "fn {} calls `{name}`: {why}, breaking bitwise equality \
+                         across backends",
+                        item.name
+                    ),
+                });
             }
             for lp in &item.loops {
                 if lp.rev && lp.binder.starts_with('k') {
@@ -781,6 +860,29 @@ mod tests {
         // The real gemm micro-kernel shape: one `acc` array, ascending
         // k, per-output-element slots — no findings.
         let src = "pub fn micro(a: &[f32], b: &[f32], c: &mut [f32]) {\n  let mut acc = [0.0f32; 4];\n  for k in 0..a.len() { for j in 0..4 { acc[j] += a[k] * b[k * 4 + j]; } }\n  for j in 0..4 { c[j] = acc[j]; }\n}";
+        assert!(det(src).is_empty(), "{:?}", det(src));
+    }
+
+    #[test]
+    fn fused_and_reducing_intrinsics_are_flagged() {
+        let src = "pub fn fused(a: V, b: V, c: V) -> V {\n  _mm256_fmadd_ps(a, b, c)\n}\n\
+                   pub fn reduce(v: V) -> f32 {\n  vaddvq_f32(v)\n}";
+        let findings = det(src);
+        let pins: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(
+            pins,
+            vec![("det-fused-madd", 2), ("det-lane-reduce", 5)],
+            "{findings:?}"
+        );
+        assert!(findings[0].message.contains("_mm256_fmadd_ps"));
+    }
+
+    #[test]
+    fn plain_simd_adds_and_defs_are_not_intrinsic_findings() {
+        // The sanctioned kernel idiom — separate mul/add, per-element
+        // lanes — plus a *definition* whose name merely looks fused.
+        let src = "pub fn kernel(a: V, b: V, acc: V) -> V {\n  _mm256_add_ps(acc, _mm256_mul_ps(a, b))\n}\n\
+                   fn my_fmadd_helper(x: f32) -> f32 { x }";
         assert!(det(src).is_empty(), "{:?}", det(src));
     }
 

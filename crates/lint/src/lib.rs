@@ -13,6 +13,7 @@
 //! | `no-print`         | no `println!`/`eprintln!` outside binaries and telemetry sinks  |
 //! | `float-cmp`        | no `==`/`!=` against float literals                             |
 //! | `lossy-cast`       | no narrowing `as` casts inside the numerics crates              |
+//! | `unsafe-containment`| `unsafe` only inside `crates/tensor/src/simd/` (or waived)     |
 //! | `deps-policy`      | external dependencies limited to the allowed set                |
 //! | `bad-waiver`       | malformed `// slm-lint: allow(...)` comment                     |
 //! | `stale-allowlist`  | allowlist entry with no matching finding (burn-down ratchet)    |
@@ -108,8 +109,11 @@ pub struct LintConfig {
     /// External (non-workspace) dependencies every manifest may declare.
     pub allowed_external_deps: BTreeSet<String>,
     /// Crates whose kernels the `--determinism` heuristics guard
-    /// (split accumulators, reversed k loops).
+    /// (split accumulators, reversed k loops, fused/reducing intrinsics).
     pub determinism_kernel_crates: BTreeSet<String>,
+    /// Path prefixes (repo-relative, `/`-separated) where `unsafe` is
+    /// sanctioned; everywhere else library `unsafe` is a finding.
+    pub unsafe_allowed_paths: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -121,6 +125,7 @@ impl Default for LintConfig {
             lossy_cast_crates: set(&["sl-tensor", "sl-nn"]),
             allowed_external_deps: set(&["rand", "proptest", "criterion"]),
             determinism_kernel_crates: set(&["sl-tensor"]),
+            unsafe_allowed_paths: vec!["crates/tensor/src/simd/".to_string()],
         }
     }
 }
@@ -350,6 +355,10 @@ mod tests {
         for dep in ["rand", "proptest", "criterion"] {
             assert!(c.allowed_external_deps.contains(dep));
         }
+        assert_eq!(
+            c.unsafe_allowed_paths,
+            vec!["crates/tensor/src/simd/".to_string()]
+        );
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! * `float-cmp` — no `==` / `!=` against float literals.
 //! * `lossy-cast` — no lossy `as` casts (`as f32`, narrowing integer
 //!   targets) in the numeric-kernel crates.
+//! * `unsafe-containment` — no `unsafe` in library code outside the
+//!   sanctioned path prefixes (`LintConfig::unsafe_allowed_paths`,
+//!   default `crates/tensor/src/simd/` — the explicitly-vectorized
+//!   microkernels); the ComputePool's scoped pointer plumbing carries
+//!   inline waivers.
 //! * `bad-waiver` — a malformed `slm-lint: allow(..)` comment (missing
 //!   rule id or reason).
 //!
@@ -84,6 +89,7 @@ pub fn scan_file(src: &str, ctx: &FileContext, config: &LintConfig) -> ScanResul
         if config.lossy_cast_crates.contains(ctx.crate_name) {
             rule_lossy_cast(toks, &in_test, ctx, &mut raw);
         }
+        rule_unsafe_containment(toks, &in_test, ctx, config, &mut raw);
     }
 
     let mut result = ScanResult::default();
@@ -491,6 +497,37 @@ fn rule_lossy_cast(toks: &[Tok], in_test: &[bool], ctx: &FileContext, out: &mut 
     }
 }
 
+fn rule_unsafe_containment(
+    toks: &[Tok],
+    in_test: &[bool],
+    ctx: &FileContext,
+    config: &LintConfig,
+    out: &mut Vec<Finding>,
+) {
+    if config
+        .unsafe_allowed_paths
+        .iter()
+        .any(|p| ctx.path.starts_with(p.as_str()))
+    {
+        return;
+    }
+    for (i, masked) in in_test.iter().enumerate() {
+        if *masked || !is_ident(toks, i, "unsafe") {
+            continue;
+        }
+        push(
+            out,
+            ctx,
+            &toks[i],
+            "unsafe-containment",
+            "`unsafe` outside the sanctioned SIMD module — raw-pointer and \
+             intrinsic code belongs under crates/tensor/src/simd/, or carries \
+             a documented waiver"
+                .into(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod rule_tests {
     use super::*;
@@ -617,6 +654,38 @@ fn real() { y.unwrap() }
         let r = scan_lib("sl-tensor", src);
         assert_eq!(rules(&r), vec!["lossy-cast", "lossy-cast"]);
         assert!(scan_lib("sl-core", src).findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_outside_sanctioned_paths() {
+        let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n\
+                   unsafe impl Send for X {}";
+        let r = scan(src);
+        assert_eq!(rules(&r), vec!["unsafe-containment", "unsafe-containment"]);
+    }
+
+    #[test]
+    fn unsafe_exempt_under_allowed_path_and_in_tests() {
+        let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let ctx = FileContext {
+            crate_name: "sl-tensor",
+            target: TargetKind::Lib,
+            path: "crates/tensor/src/simd/avx2.rs",
+        };
+        assert!(scan_file(src, &ctx, &LintConfig::default())
+            .findings
+            .is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t(p: *const u8) { unsafe { *p }; } }";
+        assert!(scan(in_test).findings.is_empty());
+    }
+
+    #[test]
+    fn unsafe_waiver_suppresses_the_site() {
+        let src = "// slm-lint: allow(unsafe-containment) pool pointer contract\n\
+                   unsafe impl Send for X {}";
+        let r = scan(src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waived.len(), 1);
     }
 
     #[test]

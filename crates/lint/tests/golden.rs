@@ -35,6 +35,7 @@ fn every_rule_fires_exactly_once_at_its_seeded_location() {
         lib("float-cmp", 23, 7),
         lib("lossy-cast", 27, 7),
         lib("bad-waiver", 30, 1),
+        lib("unsafe-containment", 124, 5),
     ];
     assert_eq!(got, expected, "findings:\n{:#?}", collected.findings);
 }
@@ -57,7 +58,7 @@ fn run_reports_the_fixture_as_dirty() {
     // The fixture has no allowlist, so every finding stays active.
     let report = run(fixture_root(), &fixture_config()).unwrap();
     assert!(!report.clean());
-    assert_eq!(report.findings.len(), 8);
+    assert_eq!(report.findings.len(), 9);
     assert_eq!(report.allowlist_len, 0);
     assert_eq!(report.rule_counts["no-unwrap"], 1);
     assert_eq!(report.rule_counts["deps-policy"], 1);
@@ -152,6 +153,8 @@ fn double_accumulator_and_reversed_k_are_pinned() {
         vec![
             ("det-split-acc", "src/lib.rs", 94),
             ("det-rev-k", "src/lib.rs", 100),
+            ("det-fused-madd", "src/lib.rs", 129),
+            ("det-lane-reduce", "src/lib.rs", 138),
         ],
         "{findings:?}"
     );

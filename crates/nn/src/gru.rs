@@ -109,7 +109,7 @@ impl Gru {
             let base = (b * l + t) * x;
             out.extend_from_slice(&input.data()[base..base + x]);
         }
-        Tensor::from_vec([n, x], out).expect("step_input buffer sized by construction")
+        Tensor::from_parts([n, x], out)
     }
 
     /// Slices gate block `g` (0 = r, 1 = z, 2 = n) out of a `[N, 3H]`
@@ -171,8 +171,11 @@ impl Layer for Gru {
         let mut dh = grad_out.clone();
         let mut grad_input = Tensor::zeros([n, l, self.input_dim]);
 
-        for t in (0..l).rev() {
-            let step = self.cache.pop().expect("cache length matches loop bound");
+        for (t, step) in std::mem::take(&mut self.cache)
+            .into_iter()
+            .enumerate()
+            .rev()
+        {
             // h' = z ⊙ h_prev + (1 − z) ⊙ n
             let dz = dh.mul(&step.h_prev.sub(&step.n));
             let dn = dh.mul(&step.z.map(|v| 1.0 - v));

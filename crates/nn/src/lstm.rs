@@ -93,7 +93,7 @@ impl Lstm {
             let base = (b * l + t) * x;
             out.extend_from_slice(&input.data()[base..base + x]);
         }
-        Tensor::from_vec([n, x], out).expect("step_input buffer sized by construction")
+        Tensor::from_parts([n, x], out)
     }
 
     /// Splits the pre-activation `[N, 4H]` into activated gates.
@@ -208,8 +208,11 @@ impl Layer for Lstm {
         let mut dc = Tensor::zeros([n, h_dim]);
         let mut grad_input = Tensor::zeros([n, l, self.input_dim]);
 
-        for t in (0..l).rev() {
-            let step = self.cache.pop().expect("cache length matches loop bound");
+        for (t, step) in std::mem::take(&mut self.cache)
+            .into_iter()
+            .enumerate()
+            .rev()
+        {
             // h = o ⊙ tanh(c)
             let d_o = dh.mul(&step.tanh_c);
             let d_tanh_c = dh.mul(&step.o);

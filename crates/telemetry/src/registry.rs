@@ -220,6 +220,11 @@ pub const KEYS: &[KeyDecl] = &[
         &[],
         "per-kernel host time histogram",
     ),
+    key(
+        "tensor.backend",
+        &[],
+        "selected compute backend (0 = scalar, 1 = pooled, 2 = simd)",
+    ),
     // -- per-layer profiler (sl-telemetry::Profiler via sl-nn) ----------
     key(
         "nn.ue.layer.*",
@@ -271,6 +276,12 @@ pub const KNOBS: &[KnobDecl] = &[
         name: "SLM_PROFILE",
         default: "quick",
         parse: "smoke | quick | full",
+        doc: "README.md § Environment knobs",
+    },
+    KnobDecl {
+        name: "SLM_BACKEND",
+        default: "auto (SIMD when the host supports it, else pooled)",
+        parse: "auto | scalar | pooled | simd",
         doc: "README.md § Environment knobs",
     },
 ];

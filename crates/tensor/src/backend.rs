@@ -1,0 +1,454 @@
+//! Runtime-selectable compute backends: the serial-microkernel seam
+//! beneath the pooled GEMM / convolution entry points.
+//!
+//! A [`Backend`] supplies the *serial* microkernels that one pool job
+//! executes on its disjoint output chunk; the [`crate::pool::ComputePool`]
+//! partitioning above it is backend-independent. Three implementations
+//! exist:
+//!
+//! * [`BackendKind::Scalar`] — textbook loops, one accumulator per
+//!   output element in ascending-`k` order. The auditable reference.
+//! * [`BackendKind::Pooled`] — the cache-blocked register-tiled kernels
+//!   in [`crate::gemm`] (the previous default path).
+//! * [`BackendKind::Simd`] — explicitly vectorized `std::arch` kernels
+//!   (AVX2 on `x86_64` behind runtime feature detection, NEON on
+//!   `aarch64`), falling back to the blocked kernels per call when the
+//!   host lacks the features.
+//!
+//! # Determinism across backends
+//!
+//! Every backend computes each output element with **one** accumulator
+//! whose `k` products are added in ascending-`k` order, and each
+//! `multiply` / `add` is an exactly-rounded IEEE-754 operation (the SIMD
+//! kernels never use fused multiply-add). Vector lane width therefore
+//! changes *which output elements are resident together*, never any
+//! element's accumulation order — results are bitwise identical across
+//! `{scalar, pooled, simd}` at every thread count.
+//!
+//! # Selection
+//!
+//! The process-wide backend ([`global_backend`]) is chosen once from the
+//! `SLM_BACKEND` environment knob: `auto` (default) picks `simd` when
+//! the host supports it and `pooled` otherwise; explicit `scalar` /
+//! `pooled` / `simd` force a backend. Requesting `simd` on an
+//! unsupported host, or an unrecognized value, warns through
+//! `sl_telemetry` and falls back instead of failing — mirroring the
+//! `SLM_THREADS` parsing contract.
+
+use std::sync::OnceLock;
+
+use sl_telemetry::Telemetry;
+
+use crate::gemm;
+use crate::simd;
+
+/// The selectable backend implementations, in fallback order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Naive reference loops.
+    Scalar,
+    /// Cache-blocked register-tiled scalar kernels ([`crate::gemm`]).
+    Pooled,
+    /// Explicit `std::arch` vector kernels with per-call fallback.
+    Simd,
+}
+
+impl BackendKind {
+    /// All backends, in [`BackendKind::index`] order.
+    pub const ALL: [BackendKind; 3] = [BackendKind::Scalar, BackendKind::Pooled, BackendKind::Simd];
+
+    /// The knob value spelling (`SLM_BACKEND=<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Pooled => "pooled",
+            BackendKind::Simd => "simd",
+        }
+    }
+
+    /// Stable numeric id, published as the `tensor.backend` gauge.
+    pub fn index(self) -> usize {
+        match self {
+            BackendKind::Scalar => 0,
+            BackendKind::Pooled => 1,
+            BackendKind::Simd => 2,
+        }
+    }
+}
+
+/// Serial microkernels executed by one pool job on its disjoint output
+/// chunk. Implementations must preserve the determinism contract in the
+/// module docs: one accumulator per output element, ascending-`k`
+/// mul-then-add order.
+pub trait Backend: Sync {
+    /// Which implementation this is.
+    fn kind(&self) -> BackendKind;
+
+    /// `out[m×n] = a[m×k] · b[k×n]`.
+    fn ab(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize);
+
+    /// Rows `i0..i0 + out.len()/n` of `aᵀ · b` for `a: [k×am]`,
+    /// `b: [k×n]` (with `k = a.len() / am`).
+    fn at_b(&self, out: &mut [f32], a: &[f32], b: &[f32], i0: usize, am: usize, n: usize);
+
+    /// `out[m×n] = a[m×k] · b[n×k]ᵀ`.
+    fn a_bt(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize);
+
+    /// Elementwise `dst[i] += src[i]` (used for ascending-order partial
+    /// reductions; per-element a single exactly-rounded add, so the
+    /// result never depends on lane width).
+    fn add_assign(&self, dst: &mut [f32], src: &[f32]);
+}
+
+/// `a.len() / am` guarded against the degenerate `am == 0` (which only
+/// occurs alongside an empty `out`).
+fn derived_k(a: &[f32], am: usize) -> usize {
+    a.len().checked_div(am).unwrap_or(0)
+}
+
+fn scalar_add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (o, &v) in dst.iter_mut().zip(src) {
+        *o += v;
+    }
+}
+
+/// Textbook reference loops: the accumulation order every other backend
+/// must reproduce bit for bit.
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Scalar
+    }
+
+    fn ab(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn at_b(&self, out: &mut [f32], a: &[f32], b: &[f32], i0: usize, am: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let k = derived_k(a, am);
+        let rows = out.len() / n;
+        for r in 0..rows {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[kk * am + i0 + r] * b[kk * n + j];
+                }
+                out[r * n + j] = acc;
+            }
+        }
+    }
+
+    fn a_bt(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
+        scalar_add_assign(dst, src);
+    }
+}
+
+/// The cache-blocked register-tiled kernels from [`crate::gemm`].
+pub struct PooledBackend;
+
+impl Backend for PooledBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Pooled
+    }
+
+    fn ab(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        gemm::serial_ab(out, a, b, m, k, n);
+    }
+
+    fn at_b(&self, out: &mut [f32], a: &[f32], b: &[f32], i0: usize, am: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
+        gemm::serial_at_b(out, a, b, i0, derived_k(a, am), am, n);
+    }
+
+    fn a_bt(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        gemm::serial_a_bt(out, a, b, m, k, n);
+    }
+
+    fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
+        scalar_add_assign(dst, src);
+    }
+}
+
+/// Explicit `std::arch` vector kernels (see [`crate::simd`]). Safe to
+/// construct on any host: each call re-checks the feature and falls back
+/// to the blocked kernels when unsupported.
+pub struct SimdBackend;
+
+impl Backend for SimdBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simd
+    }
+
+    fn ab(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        simd::ab(out, a, b, m, k, n);
+    }
+
+    fn at_b(&self, out: &mut [f32], a: &[f32], b: &[f32], i0: usize, am: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
+        simd::at_b(out, a, b, i0, derived_k(a, am), am, n);
+    }
+
+    fn a_bt(&self, out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        simd::a_bt(out, a, b, m, k, n);
+    }
+
+    fn add_assign(&self, dst: &mut [f32], src: &[f32]) {
+        simd::add_assign(dst, src);
+    }
+}
+
+/// The static instance behind each [`BackendKind`].
+pub fn backend_for(kind: BackendKind) -> &'static dyn Backend {
+    match kind {
+        BackendKind::Scalar => &ScalarBackend,
+        BackendKind::Pooled => &PooledBackend,
+        BackendKind::Simd => &SimdBackend,
+    }
+}
+
+/// Resolves a raw `SLM_BACKEND` value against host SIMD support.
+///
+/// Pure so the fallback policy is unit-testable without touching the
+/// process environment: returns the chosen backend plus an optional
+/// warning to emit. `None` / `auto` pick `simd` when `simd_supported`
+/// and `pooled` otherwise; `simd` on an unsupported host falls back to
+/// `pooled` with a warning; unrecognized values warn and use the
+/// auto-detected choice.
+pub fn resolve_backend(raw: Option<&str>, simd_supported: bool) -> (BackendKind, Option<String>) {
+    let auto = if simd_supported {
+        BackendKind::Simd
+    } else {
+        BackendKind::Pooled
+    };
+    let Some(raw) = raw else {
+        return (auto, None);
+    };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => (auto, None),
+        "scalar" => (BackendKind::Scalar, None),
+        "pooled" => (BackendKind::Pooled, None),
+        "simd" | "simd-pooled" => {
+            if simd_supported {
+                (BackendKind::Simd, None)
+            } else {
+                (
+                    BackendKind::Pooled,
+                    Some(format!(
+                        "SLM_BACKEND={raw} requested but this host lacks the required \
+                         vector features (AVX2/NEON); falling back to pooled"
+                    )),
+                )
+            }
+        }
+        _ => (
+            auto,
+            Some(format!(
+                "unusable SLM_BACKEND value {raw:?} (expected auto | scalar | pooled | simd); \
+                 using {} (auto-detected)",
+                auto.name()
+            )),
+        ),
+    }
+}
+
+/// The process-wide backend choice, resolved once from `SLM_BACKEND`
+/// (mirroring [`crate::pool::ComputePool::global`] for `SLM_THREADS`).
+pub fn global_backend_kind() -> BackendKind {
+    static KIND: OnceLock<BackendKind> = OnceLock::new();
+    *KIND.get_or_init(|| {
+        let raw = std::env::var("SLM_BACKEND").ok();
+        let (kind, warning) = resolve_backend(raw.as_deref(), simd::supported());
+        if let Some(msg) = warning {
+            Telemetry::disabled().warn(&msg);
+        }
+        kind
+    })
+}
+
+/// The process-wide backend instance (see [`global_backend_kind`]).
+pub fn global_backend() -> &'static dyn Backend {
+    backend_for(global_backend_kind())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn all_backends_agree_bitwise_on_every_kernel() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 16, 64),
+            (5, 3, 65),
+            (7, 33, 17),
+            (64, 96, 96), // the GRU-gate bench shape
+            (3, 0, 5),
+        ] {
+            let a = fill(m * k, 11);
+            let b = fill(k * n, 23);
+            let at = fill(k * m, 31); // for at_b: A is k×m
+            let bt = fill(n * k, 37); // for a_bt: B is n×k
+            let scalar = backend_for(BackendKind::Scalar);
+            let mut want_ab = vec![0.0f32; m * n];
+            scalar.ab(&mut want_ab, &a, &b, m, k, n);
+            let mut want_atb = vec![0.0f32; m * n];
+            scalar.at_b(&mut want_atb, &at, &b, 0, m, n);
+            let mut want_abt = vec![0.0f32; m * n];
+            scalar.a_bt(&mut want_abt, &a, &bt, m, k, n);
+            for kind in [BackendKind::Pooled, BackendKind::Simd] {
+                let be = backend_for(kind);
+                assert_eq!(be.kind(), kind);
+                let mut out = vec![f32::NAN; m * n];
+                be.ab(&mut out, &a, &b, m, k, n);
+                assert_eq!(bits(&out), bits(&want_ab), "{kind:?} ab {m}x{k}x{n}");
+                let mut out = vec![f32::NAN; m * n];
+                be.at_b(&mut out, &at, &b, 0, m, n);
+                assert_eq!(bits(&out), bits(&want_atb), "{kind:?} at_b {m}x{k}x{n}");
+                let mut out = vec![f32::NAN; m * n];
+                be.a_bt(&mut out, &a, &bt, m, k, n);
+                assert_eq!(bits(&out), bits(&want_abt), "{kind:?} a_bt {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_row_offsets_agree_across_backends() {
+        // A chunked at_b call (i0 > 0, out covering a row range) must
+        // match the corresponding rows of the full product, bitwise.
+        let (k, am, n) = (19usize, 23usize, 41usize);
+        let a = fill(k * am, 3);
+        let b = fill(k * n, 5);
+        let scalar = backend_for(BackendKind::Scalar);
+        let mut full = vec![0.0f32; am * n];
+        scalar.at_b(&mut full, &a, &b, 0, am, n);
+        for kind in BackendKind::ALL {
+            let be = backend_for(kind);
+            let (i0, rows) = (7usize, 9usize);
+            let mut out = vec![f32::NAN; rows * n];
+            be.at_b(&mut out, &a, &b, i0, am, n);
+            assert_eq!(bits(&out), bits(&full[i0 * n..(i0 + rows) * n]), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn add_assign_agrees_across_backends() {
+        for len in [0usize, 1, 7, 8, 9, 64, 129] {
+            let src = fill(len, 17);
+            let base = fill(len, 29);
+            let mut want = base.clone();
+            scalar_add_assign(&mut want, &src);
+            for kind in BackendKind::ALL {
+                let mut dst = base.clone();
+                backend_for(kind).add_assign(&mut dst, &src);
+                assert_eq!(bits(&dst), bits(&want), "{kind:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_simd_when_supported() {
+        assert_eq!(resolve_backend(None, true), (BackendKind::Simd, None));
+        assert_eq!(resolve_backend(None, false), (BackendKind::Pooled, None));
+        assert_eq!(
+            resolve_backend(Some("auto"), true),
+            (BackendKind::Simd, None)
+        );
+        assert_eq!(
+            resolve_backend(Some("scalar"), true),
+            (BackendKind::Scalar, None)
+        );
+        assert_eq!(
+            resolve_backend(Some("Pooled"), true),
+            (BackendKind::Pooled, None)
+        );
+        assert_eq!(
+            resolve_backend(Some(" simd "), true),
+            (BackendKind::Simd, None)
+        );
+        assert_eq!(
+            resolve_backend(Some("simd-pooled"), true),
+            (BackendKind::Simd, None)
+        );
+    }
+
+    #[test]
+    fn forcing_simd_without_support_warns_and_falls_back_to_pooled() {
+        let (kind, warning) = resolve_backend(Some("simd"), false);
+        assert_eq!(kind, BackendKind::Pooled);
+        let msg = warning.expect("unsupported simd request must warn");
+        assert!(msg.contains("SLM_BACKEND=simd"), "{msg}");
+        assert!(msg.contains("falling back to pooled"), "{msg}");
+    }
+
+    #[test]
+    fn garbage_value_warns_and_uses_auto_detection() {
+        for simd_ok in [true, false] {
+            let auto = if simd_ok {
+                BackendKind::Simd
+            } else {
+                BackendKind::Pooled
+            };
+            let (kind, warning) = resolve_backend(Some("garbage"), simd_ok);
+            assert_eq!(kind, auto);
+            let msg = warning.expect("unknown value must warn");
+            assert!(msg.contains("\"garbage\""), "{msg}");
+            assert!(msg.contains(auto.name()), "{msg}");
+        }
+    }
+
+    #[test]
+    fn names_and_indices_are_stable() {
+        for (i, kind) in BackendKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(backend_for(kind).kind(), kind);
+        }
+        assert_eq!(BackendKind::Simd.name(), "simd");
+    }
+}

@@ -10,8 +10,9 @@
 //!
 //! # im2col + GEMM
 //!
-//! Both passes lower convolution onto the cache-blocked GEMM microkernels
-//! in [`crate::gemm`]. Per image, the input is unrolled into a column
+//! Both passes lower convolution onto the serial GEMM microkernels of
+//! the selected [`Backend`] (`SLM_BACKEND`; `*_with` variants take an
+//! explicit one). Per image, the input is unrolled into a column
 //! matrix `Col: [K × H_out·W_out]` with `K = C_in·kh·kw` (zero rows for
 //! padding taps); the weight tensor `[C_out, C_in, kh, kw]` is already a
 //! row-major `[C_out × K]` matrix, so:
@@ -37,7 +38,7 @@
 //! non-finite blowups propagate to the training-health watchdog instead
 //! of being silently masked.
 
-use crate::gemm;
+use crate::backend::{global_backend, Backend};
 use crate::pool::{ComputePool, KernelKind};
 use crate::tensor::Tensor;
 
@@ -223,9 +224,21 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, padding: Padding) 
     conv2d_in(ComputePool::global(), input, weight, bias, padding)
 }
 
-/// [`conv2d`] on an explicit pool.
+/// [`conv2d`] on an explicit pool and the process-wide backend.
 pub fn conv2d_in(
     pool: &ComputePool,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    padding: Padding,
+) -> Tensor {
+    conv2d_with(pool, global_backend(), input, weight, bias, padding)
+}
+
+/// [`conv2d`] on an explicit pool and backend.
+pub fn conv2d_with(
+    pool: &ComputePool,
+    backend: &dyn Backend,
     input: &Tensor,
     weight: &Tensor,
     bias: &Tensor,
@@ -260,7 +273,7 @@ pub fn conv2d_in(
         pool.run_chunks(&mut out, c_out * p_sz, |img, chunk| {
             let mut col = vec![0.0f32; k_sz * p_sz];
             im2col(&mut col, &x[img * x_per..(img + 1) * x_per], gm);
-            gemm::serial_ab(chunk, wt, &col, c_out, k_sz, p_sz);
+            backend.ab(chunk, wt, &col, c_out, k_sz, p_sz);
             for (orow, &bias_co) in chunk.chunks_exact_mut(p_sz).zip(b) {
                 for o in orow {
                     *o += bias_co;
@@ -296,9 +309,21 @@ pub fn conv2d_backward(
     conv2d_backward_in(ComputePool::global(), input, weight, grad_out, padding)
 }
 
-/// [`conv2d_backward`] on an explicit pool.
+/// [`conv2d_backward`] on an explicit pool and the process-wide backend.
 pub fn conv2d_backward_in(
     pool: &ComputePool,
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    padding: Padding,
+) -> Conv2dGrads {
+    conv2d_backward_with(pool, global_backend(), input, weight, grad_out, padding)
+}
+
+/// [`conv2d_backward`] on an explicit pool and backend.
+pub fn conv2d_backward_with(
+    pool: &ComputePool,
+    backend: &dyn Backend,
     input: &Tensor,
     weight: &Tensor,
     grad_out: &Tensor,
@@ -357,10 +382,10 @@ pub fn conv2d_backward_in(
             let mut col = vec![0.0f32; k_sz * p_sz];
             im2col(&mut col, &x[img * x_per..(img + 1) * x_per], gm);
             // ∂W_n = G_n · Col_nᵀ : [C_out × P] · [K × P]ᵀ → [C_out × K].
-            gemm::serial_a_bt(gw_n, g_n, &col, c_out, p_sz, k_sz);
+            backend.a_bt(gw_n, g_n, &col, c_out, p_sz, k_sz);
             // ∂Col_n = Wᵀ · G_n : [C_out × K]ᵀ · [C_out × P] → [K × P].
             let mut dcol = vec![0.0f32; k_sz * p_sz];
-            gemm::serial_at_b(&mut dcol, wt, g_n, 0, c_out, k_sz, p_sz);
+            backend.at_b(&mut dcol, wt, g_n, 0, k_sz, p_sz);
             col2im_add(gx_n, &dcol, gm);
         });
     }
@@ -370,9 +395,9 @@ pub fn conv2d_backward_in(
     for img in 0..n {
         let chunk = &parts[img * (x_per + w_len)..(img + 1) * (x_per + w_len)];
         gx[img * x_per..(img + 1) * x_per].copy_from_slice(&chunk[..x_per]);
-        for (o, &v) in gw.iter_mut().zip(&chunk[x_per..]) {
-            *o += v;
-        }
+        // Ascending image order; per element one exactly-rounded add per
+        // image, so the reduction is backend- and lane-width-independent.
+        backend.add_assign(&mut gw, &chunk[x_per..]);
     }
     pool.record_kernel(timer);
 
@@ -519,6 +544,54 @@ mod tests {
                 assert_eq!(got_bwd.grad_input, want_bwd.grad_input);
                 assert_eq!(got_bwd.grad_weight, want_bwd.grad_weight);
                 assert_eq!(got_bwd.grad_bias, want_bwd.grad_bias);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_backends_agree_bitwise_both_passes() {
+        use crate::backend::{backend_for, BackendKind};
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f32 / 500.0 - 1.0
+        };
+        let input = Tensor::from_fn([3, 2, 9, 7], |_| next());
+        let weight = Tensor::from_fn([4, 2, 3, 3], |_| next());
+        let bias = Tensor::from_fn([4], |_| next());
+        let serial = ComputePool::new(1);
+        let four = ComputePool::new(4);
+        for padding in [Padding::Same, Padding::Valid] {
+            let want = conv2d_with(
+                &serial,
+                backend_for(BackendKind::Scalar),
+                &input,
+                &weight,
+                &bias,
+                padding,
+            );
+            let grad_out = Tensor::from_fn(want.dims(), |_| next());
+            let want_bwd = conv2d_backward_with(
+                &serial,
+                backend_for(BackendKind::Scalar),
+                &input,
+                &weight,
+                &grad_out,
+                padding,
+            );
+            for kind in BackendKind::ALL {
+                for pool in [&serial, &four] {
+                    let be = backend_for(kind);
+                    let got = conv2d_with(pool, be, &input, &weight, &bias, padding);
+                    assert_eq!(got, want, "forward {kind:?}");
+                    let got_bwd =
+                        conv2d_backward_with(pool, be, &input, &weight, &grad_out, padding);
+                    assert_eq!(got_bwd.grad_input, want_bwd.grad_input, "{kind:?}");
+                    assert_eq!(got_bwd.grad_weight, want_bwd.grad_weight, "{kind:?}");
+                    assert_eq!(got_bwd.grad_bias, want_bwd.grad_bias, "{kind:?}");
+                }
             }
         }
     }

@@ -21,6 +21,7 @@
 //!   count derives from the output row count only, so the partitioning
 //!   is thread-count independent (see `crate::pool`).
 
+use crate::backend::Backend;
 use crate::pool::ComputePool;
 
 /// Output rows processed together by the microkernel (the register
@@ -39,9 +40,11 @@ pub(crate) const JB: usize = 8;
 /// job amortizes dispatch.
 pub(crate) const ROWS_PER_JOB: usize = 16;
 
-/// `out[m×n] = a[m×k] · b[k×n]`, rows partitioned over the pool.
+/// `out[m×n] = a[m×k] · b[k×n]`, rows partitioned over the pool, each
+/// job running `backend`'s serial microkernel on its disjoint chunk.
 pub(crate) fn gemm_ab(
     pool: &ComputePool,
+    backend: &dyn Backend,
     out: &mut [f32],
     a: &[f32],
     b: &[f32],
@@ -55,33 +58,36 @@ pub(crate) fn gemm_ab(
     pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
         let i0 = job * ROWS_PER_JOB;
         let rows = chunk.len() / n;
-        serial_ab(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+        backend.ab(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
     });
 }
 
 /// `out[m×n] = aᵀ · b` for `a: [k×am]`, `b: [k×n]`, taking `out` rows
 /// `0..m` from `a` columns `0..m` (`m == am` for the public entry),
-/// partitioned over the pool.
+/// partitioned over the pool. `k` is implied by `a.len() / am`.
 pub(crate) fn gemm_at_b(
     pool: &ComputePool,
+    backend: &dyn Backend,
     out: &mut [f32],
     a: &[f32],
     b: &[f32],
-    k: usize,
     am: usize,
     n: usize,
 ) {
+    debug_assert_eq!(a.len() % am.max(1), 0);
+    debug_assert_eq!(b.len() * am, a.len() * n);
     if n == 0 {
         return;
     }
     pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
-        serial_at_b(chunk, a, b, job * ROWS_PER_JOB, k, am, n);
+        backend.at_b(chunk, a, b, job * ROWS_PER_JOB, am, n);
     });
 }
 
 /// `out[m×n] = a[m×k] · b[n×k]ᵀ`, rows partitioned over the pool.
 pub(crate) fn gemm_a_bt(
     pool: &ComputePool,
+    backend: &dyn Backend,
     out: &mut [f32],
     a: &[f32],
     b: &[f32],
@@ -94,7 +100,7 @@ pub(crate) fn gemm_a_bt(
     pool.run_chunks(out, ROWS_PER_JOB * n, |job, chunk| {
         let i0 = job * ROWS_PER_JOB;
         let rows = chunk.len() / n;
-        serial_a_bt(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
+        backend.a_bt(chunk, &a[i0 * k..(i0 + rows) * k], b, rows, k, n);
     });
 }
 
@@ -304,6 +310,7 @@ mod tests {
 
     #[test]
     fn pooled_gemm_bitwise_equals_serial() {
+        use crate::backend::{backend_for, BackendKind};
         let (m, k, n) = (67usize, 19usize, 31usize);
         let a = fill(m * k, 41);
         let b = fill(k * n, 43);
@@ -311,13 +318,15 @@ mod tests {
         serial_ab(&mut serial, &a, &b, m, k, n);
         for threads in [1usize, 2, 3, 8] {
             let pool = ComputePool::new(threads);
-            let mut out = vec![f32::NAN; m * n];
-            gemm_ab(&pool, &mut out, &a, &b, k, n);
-            assert_eq!(
-                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "threads={threads}"
-            );
+            for kind in BackendKind::ALL {
+                let mut out = vec![f32::NAN; m * n];
+                gemm_ab(&pool, backend_for(kind), &mut out, &a, &b, k, n);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "threads={threads} backend={kind:?}"
+                );
+            }
         }
     }
 

@@ -31,6 +31,15 @@
 //! determinism lint story intact. Each kernel also has a `*_in` variant
 //! taking an explicit pool (used by equivalence tests and benches).
 //!
+//! The serial microkernel each pool job runs is swappable behind the
+//! [`Backend`] trait (`SLM_BACKEND`: `auto` | `scalar` | `pooled` |
+//! `simd`): `scalar` is the naive reference, `pooled` the cache-blocked
+//! tiles, and `simd` explicitly vectorized AVX2/NEON kernels with
+//! runtime feature detection. All three keep the per-element
+//! ascending-order contract, so results are also **bitwise identical
+//! across backends** (see `crate::backend`); `*_with` variants take an
+//! explicit backend.
+//!
 //! The split-learning stack built on top of this crate is deterministic:
 //! every random initializer takes an explicit `rand::Rng`, so seeding the
 //! caller's RNG reproduces training bit-for-bit regardless of `SLM_THREADS`.
@@ -49,6 +58,7 @@
 //! assert_eq!(one_pixel.item(), 7.5);
 //! ```
 
+mod backend;
 mod conv;
 mod gemm;
 mod init;
@@ -56,15 +66,24 @@ mod linalg;
 mod pool;
 mod pooling;
 mod shape;
+mod simd;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, conv2d_backward_in, conv2d_in, Conv2dGrads, Padding};
+pub use backend::{
+    backend_for, global_backend, global_backend_kind, resolve_backend, Backend, BackendKind,
+    PooledBackend, ScalarBackend, SimdBackend,
+};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_backward_in, conv2d_backward_with, conv2d_in, conv2d_with,
+    Conv2dGrads, Padding,
+};
 pub use init::{he_normal, randn, uniform, xavier_uniform};
 pub use linalg::{
-    matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in, matmul_in, matvec, outer,
-    transpose,
+    matmul, matmul_a_bt, matmul_a_bt_in, matmul_a_bt_with, matmul_at_b, matmul_at_b_in,
+    matmul_at_b_with, matmul_in, matmul_with, matvec, outer, transpose,
 };
 pub use pool::{ComputePool, KernelKind, MAX_THREADS};
 pub use pooling::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward};
 pub use shape::{broadcastable, Shape};
+pub use simd::supported as simd_supported;
 pub use tensor::{Tensor, TensorError};

@@ -6,12 +6,14 @@
 //! fusing the transpose into the kernel avoids materializing transposed
 //! copies on every SGD step.
 //!
-//! All three route through the cache-blocked kernels in [`crate::gemm`]
-//! and partition output rows over a [`ComputePool`]: `matmul(a, b)` uses
-//! the process-wide pool (`SLM_THREADS`), and each has a `*_in` variant
-//! taking an explicit pool for tests and benches. Results are bitwise
-//! identical at every thread count — see the determinism contract in
-//! `crate::gemm`.
+//! All three partition output rows over a [`ComputePool`] and run a
+//! [`Backend`]'s serial microkernel per job: `matmul(a, b)` uses the
+//! process-wide pool (`SLM_THREADS`) and backend (`SLM_BACKEND`), each
+//! has a `*_in` variant taking an explicit pool, and a `*_with` variant
+//! additionally taking an explicit backend (equivalence tests and
+//! benches). Results are bitwise identical at every thread count *and*
+//! across backends — see the determinism contracts in `crate::gemm` and
+//! `crate::backend`.
 //!
 //! Deliberately absent: the old `if a == 0.0 { continue }` zero-skip
 //! branches. They made sparse-ish inputs marginally cheaper but silently
@@ -19,6 +21,7 @@
 //! accumulator), masking exactly the non-finite blowups the training
 //! health watchdog exists to catch.
 
+use crate::backend::{global_backend, Backend};
 use crate::gemm;
 use crate::pool::{ComputePool, KernelKind};
 use crate::tensor::Tensor;
@@ -42,8 +45,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     matmul_in(ComputePool::global(), a, b)
 }
 
-/// [`matmul`] on an explicit pool.
+/// [`matmul`] on an explicit pool and the process-wide backend.
 pub fn matmul_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(pool, global_backend(), a, b)
+}
+
+/// [`matmul`] on an explicit pool and backend.
+pub fn matmul_with(pool: &ComputePool, backend: &dyn Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2(a, "matmul");
     let (kb, n) = dims2(b, "matmul");
     assert_eq!(
@@ -55,7 +63,7 @@ pub fn matmul_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     );
     let timer = pool.start_kernel(KernelKind::Matmul);
     let mut out = vec![0.0f32; m * n];
-    gemm::gemm_ab(pool, &mut out, a.data(), b.data(), ka, n);
+    gemm::gemm_ab(pool, backend, &mut out, a.data(), b.data(), ka, n);
     pool.record_kernel(timer);
     Tensor::from_parts([m, n], out)
 }
@@ -68,8 +76,18 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     matmul_at_b_in(ComputePool::global(), a, b)
 }
 
-/// [`matmul_at_b`] on an explicit pool.
+/// [`matmul_at_b`] on an explicit pool and the process-wide backend.
 pub fn matmul_at_b_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_at_b_with(pool, global_backend(), a, b)
+}
+
+/// [`matmul_at_b`] on an explicit pool and backend.
+pub fn matmul_at_b_with(
+    pool: &ComputePool,
+    backend: &dyn Backend,
+    a: &Tensor,
+    b: &Tensor,
+) -> Tensor {
     let (ka, m) = dims2(a, "matmul_at_b");
     let (kb, n) = dims2(b, "matmul_at_b");
     assert_eq!(
@@ -81,7 +99,7 @@ pub fn matmul_at_b_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     );
     let timer = pool.start_kernel(KernelKind::MatmulAtB);
     let mut out = vec![0.0f32; m * n];
-    gemm::gemm_at_b(pool, &mut out, a.data(), b.data(), ka, m, n);
+    gemm::gemm_at_b(pool, backend, &mut out, a.data(), b.data(), m, n);
     pool.record_kernel(timer);
     Tensor::from_parts([m, n], out)
 }
@@ -94,8 +112,18 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     matmul_a_bt_in(ComputePool::global(), a, b)
 }
 
-/// [`matmul_a_bt`] on an explicit pool.
+/// [`matmul_a_bt`] on an explicit pool and the process-wide backend.
 pub fn matmul_a_bt_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_a_bt_with(pool, global_backend(), a, b)
+}
+
+/// [`matmul_a_bt`] on an explicit pool and backend.
+pub fn matmul_a_bt_with(
+    pool: &ComputePool,
+    backend: &dyn Backend,
+    a: &Tensor,
+    b: &Tensor,
+) -> Tensor {
     let (m, ka) = dims2(a, "matmul_a_bt");
     let (n, kb) = dims2(b, "matmul_a_bt");
     assert_eq!(
@@ -107,7 +135,7 @@ pub fn matmul_a_bt_in(pool: &ComputePool, a: &Tensor, b: &Tensor) -> Tensor {
     );
     let timer = pool.start_kernel(KernelKind::MatmulABt);
     let mut out = vec![0.0f32; m * n];
-    gemm::gemm_a_bt(pool, &mut out, a.data(), b.data(), ka, n);
+    gemm::gemm_a_bt(pool, backend, &mut out, a.data(), b.data(), ka, n);
     pool.record_kernel(timer);
     Tensor::from_parts([m, n], out)
 }
@@ -262,5 +290,26 @@ mod tests {
         let want = matmul_in(&serial, &a, &b);
         assert_eq!(matmul(&a, &b), want);
         assert_eq!(matmul_in(&four, &a, &b), want);
+    }
+
+    #[test]
+    fn explicit_backends_agree_with_global() {
+        use crate::backend::{backend_for, BackendKind};
+        let data =
+            |len: usize, f: fn(f32) -> f32| (0..len).map(|i| f(i as f32)).collect::<Vec<_>>();
+        let a = t([6, 11], &data(66, f32::sin));
+        let b = t([11, 17], &data(187, f32::cos));
+        let at = t([11, 6], &data(66, f32::cos)); // [k, m] operand for at_b
+        let bt = t([17, 11], &data(187, f32::sin)); // [n, k] operand for a_bt
+        let serial = ComputePool::new(1);
+        let want = matmul(&a, &b);
+        let want_atb = matmul_at_b(&at, &b);
+        let want_abt = matmul_a_bt(&a, &bt);
+        for kind in BackendKind::ALL {
+            let be = backend_for(kind);
+            assert_eq!(matmul_with(&serial, be, &a, &b), want, "{kind:?}");
+            assert_eq!(matmul_at_b_with(&serial, be, &at, &b), want_atb, "{kind:?}");
+            assert_eq!(matmul_a_bt_with(&serial, be, &a, &bt), want_abt, "{kind:?}");
+        }
     }
 }

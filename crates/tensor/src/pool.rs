@@ -46,7 +46,9 @@ struct TaskPtr(*const (dyn Fn(usize) + Sync));
 // SAFETY: the pointee is `Sync` (shared calls from several workers are
 // fine) and the pointer itself is only a capability to reach it; see the
 // lifetime argument on [`TaskPtr`].
+// slm-lint: allow(unsafe-containment) pool task-pointer plumbing, justified by the SAFETY note above
 unsafe impl Send for TaskPtr {}
+// slm-lint: allow(unsafe-containment) pool task-pointer plumbing, justified by the SAFETY note above
 unsafe impl Sync for TaskPtr {}
 
 /// Shared state of one `run` call: the job body, an atomic job cursor,
@@ -79,6 +81,7 @@ impl CallShared {
         // SAFETY: see [`TaskPtr`] — `run` keeps the body alive until
         // `remaining` hits zero, and a claim `< n_jobs` precedes every
         // dereference.
+        // slm-lint: allow(unsafe-containment) scoped deref under the TaskPtr lifetime contract
         let task = unsafe { &*self.task.0 };
         let mut ran = false;
         loop {
@@ -130,7 +133,9 @@ impl BufPtr {
 
 // SAFETY: jobs address disjoint ranges of the buffer (enforced by the
 // chunk arithmetic in `run_chunks`), so shared access never aliases.
+// slm-lint: allow(unsafe-containment) disjoint-chunk buffer sharing, justified by the SAFETY note above
 unsafe impl Send for BufPtr {}
+// slm-lint: allow(unsafe-containment) disjoint-chunk buffer sharing, justified by the SAFETY note above
 unsafe impl Sync for BufPtr {}
 
 /// Per-kernel-family host-time accounting (atomics so kernels can record
@@ -279,6 +284,7 @@ impl ComputePool {
         // SAFETY: pure lifetime erasure (same fat-pointer layout); the
         // invariants on [`TaskPtr`] keep every dereference inside the
         // borrow of `body`.
+        // slm-lint: allow(unsafe-containment) lifetime erasure scoped to this call, see SAFETY note
         let task = TaskPtr(unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(&body)
         });
@@ -333,6 +339,7 @@ impl ComputePool {
             // SAFETY: [lo, hi) ranges of distinct jobs are disjoint by
             // construction and within the buffer; `out` is mutably
             // borrowed for the whole call.
+            // slm-lint: allow(unsafe-containment) disjoint per-job slices, see SAFETY note
             let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
             body(job, chunk);
         });
@@ -366,10 +373,15 @@ impl ComputePool {
     }
 
     /// Publishes the pool and per-kernel counters as telemetry gauges:
-    /// `tensor.pool.{threads,jobs,steal_idle_s}` and
+    /// `tensor.pool.{threads,jobs,steal_idle_s}`, the selected
+    /// `tensor.backend` (its [`crate::backend::BackendKind::index`]) and
     /// `tensor.kernel.<name>.{calls,host_s}`.
     pub fn publish_metrics(&self, tele: &mut Telemetry) {
         tele.gauge_set("tensor.pool.threads", self.threads as f64);
+        tele.gauge_set(
+            "tensor.backend",
+            crate::backend::global_backend_kind().index() as f64,
+        );
         tele.gauge_set("tensor.pool.jobs", self.jobs_dispatched() as f64);
         tele.gauge_set("tensor.pool.steal_idle_s", self.steal_idle_s());
         for kind in KernelKind::ALL {

@@ -1,0 +1,285 @@
+//! AVX2 f32 GEMM microkernels.
+//!
+//! Structure: a broadcast kernel computes `R`-row × 16-column register
+//! tiles — eight 8-lane accumulators live in `ymm` registers across the
+//! whole `k` loop, each lane owning one output element. Per `kk` the
+//! kernel loads two 8-lane slices of a `B` row, broadcasts one `A`
+//! element per row, and issues `mul` then `add` per accumulator —
+//! exactly the scalar kernels' per-element operation sequence in the
+//! same ascending-`kk` order, so results are bitwise identical (see the
+//! module docs in [`crate::simd`]). **No fused multiply-add** (`vfmadd`
+//! rounds once where the scalar path rounds twice) and **no horizontal
+//! adds** (cross-lane reduction would reorder the sum).
+//!
+//! Every public kernel here requires AVX2, enforced by the caller's
+//! runtime `is_x86_feature_detected!` check — the `#[target_feature]`
+//! attribute makes the calls `unsafe` from ordinary code.
+
+use core::arch::x86_64::{
+    _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+    _mm256_storeu_ps,
+};
+
+/// Rows per register tile (matches `gemm::MR`).
+const MR: usize = 4;
+
+/// Columns per register tile: two 8-lane vectors.
+const NR: usize = 16;
+
+/// One GEMM problem with a strided `A` view, shared by the `A·B` and
+/// `Aᵀ·B` entry points: `A(r, kk) = a[base + r·ars + kk·aks]` and
+/// `B(kk, j) = b[kk·bs + j]`; the output has `n` columns.
+#[derive(Clone, Copy)]
+struct Gemm<'x> {
+    a: &'x [f32],
+    base: usize,
+    /// `A` row stride.
+    ars: usize,
+    /// `A` k stride.
+    aks: usize,
+    b: &'x [f32],
+    /// `B` row stride (≥ the widest column tile touched).
+    bs: usize,
+    k: usize,
+    /// Output row stride / logical column count.
+    n: usize,
+}
+
+impl Gemm<'_> {
+    #[inline]
+    fn a_at(&self, r: usize, kk: usize) -> f32 {
+        self.a[self.base + r * self.ars + kk * self.aks]
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]`.
+///
+/// # Safety
+/// AVX2 must be available (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub(crate) fn ab(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let g = Gemm {
+        a,
+        base: 0,
+        ars: k,
+        aks: 1,
+        b,
+        bs: n,
+        k,
+        n,
+    };
+    drive(g, out, m);
+}
+
+/// Rows `i0..i0 + out.len()/n` of `aᵀ · b` (`a: [k×am]`, `b: [k×n]`).
+///
+/// # Safety
+/// AVX2 must be available (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub(crate) fn at_b(out: &mut [f32], a: &[f32], b: &[f32], i0: usize, am: usize, n: usize) {
+    let k = a.len().checked_div(am).unwrap_or(0);
+    debug_assert_eq!(a.len(), k * am);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len() % n.max(1), 0);
+    let g = Gemm {
+        a,
+        base: i0,
+        ars: 1,
+        aks: am,
+        b,
+        bs: n,
+        k,
+        n,
+    };
+    let rows = out.len().checked_div(n).unwrap_or(0);
+    drive(g, out, rows);
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ` via transposed 16-column `B` panels:
+/// pack `panel[kk·16 + c] = b[(j0+c)·k + kk]` (pure data movement), then
+/// run the same broadcast kernel over the panel. Ragged columns (< 16)
+/// take plain ascending-`k` dot products.
+///
+/// # Safety
+/// AVX2 must be available (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub(crate) fn a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let mut panel = vec![0.0f32; k * NR];
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        for c in 0..NR {
+            let src = &b[(j0 + c) * k..(j0 + c + 1) * k];
+            for (kk, &v) in src.iter().enumerate() {
+                panel[kk * NR + c] = v;
+            }
+        }
+        let g = Gemm {
+            a,
+            base: 0,
+            ars: k,
+            aks: 1,
+            b: &panel,
+            bs: NR,
+            k,
+            n,
+        };
+        cols16(g, out, m, j0, 0);
+        j0 += NR;
+    }
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        for j in j0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+/// Elementwise `dst[i] += src[i]`, 8 lanes at a time.
+///
+/// # Safety
+/// AVX2 must be available (`is_x86_feature_detected!("avx2")`).
+#[target_feature(enable = "avx2")]
+pub(crate) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let len = dst.len();
+    let mut i = 0;
+    while i + 8 <= len {
+        // SAFETY: `i + 8 <= len` for both equal-length slices.
+        unsafe {
+            let dp = dst.as_mut_ptr().add(i);
+            let d = _mm256_loadu_ps(dp);
+            let s = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(dp, _mm256_add_ps(d, s));
+        }
+        i += 8;
+    }
+    while i < len {
+        dst[i] += src[i];
+        i += 1;
+    }
+}
+
+/// Full column sweep for one strided GEMM: 16-wide tiles, then one
+/// 8-wide step, then a scalar column tail — all per-element ascending-`k`.
+#[target_feature(enable = "avx2")]
+fn drive(g: Gemm, out: &mut [f32], m: usize) {
+    let n = g.n;
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        cols16(g, out, m, j0, j0);
+        j0 += NR;
+    }
+    if j0 + 8 <= n {
+        cols8(g, out, m, j0, j0);
+        j0 += 8;
+    }
+    if j0 < n {
+        for r in 0..m {
+            for j in j0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..g.k {
+                    acc += g.a_at(r, kk) * g.b[kk * g.bs + j];
+                }
+                out[r * n + j] = acc;
+            }
+        }
+    }
+}
+
+/// All row blocks of one 16-column stripe (`j0_out` in the output,
+/// `j0_b` in `B` — they differ only for packed panels).
+#[target_feature(enable = "avx2")]
+fn cols16(g: Gemm, out: &mut [f32], m: usize, j0_out: usize, j0_b: usize) {
+    let mut r0 = 0;
+    while r0 < m {
+        match MR.min(m - r0) {
+            4 => tile16::<4>(g, out, r0, j0_out, j0_b),
+            3 => tile16::<3>(g, out, r0, j0_out, j0_b),
+            2 => tile16::<2>(g, out, r0, j0_out, j0_b),
+            _ => tile16::<1>(g, out, r0, j0_out, j0_b),
+        }
+        r0 += MR;
+    }
+}
+
+/// All row blocks of one 8-column stripe.
+#[target_feature(enable = "avx2")]
+fn cols8(g: Gemm, out: &mut [f32], m: usize, j0_out: usize, j0_b: usize) {
+    let mut r0 = 0;
+    while r0 < m {
+        match MR.min(m - r0) {
+            4 => tile8::<4>(g, out, r0, j0_out, j0_b),
+            3 => tile8::<3>(g, out, r0, j0_out, j0_b),
+            2 => tile8::<2>(g, out, r0, j0_out, j0_b),
+            _ => tile8::<1>(g, out, r0, j0_out, j0_b),
+        }
+        r0 += MR;
+    }
+}
+
+/// One `R`-row × 16-column register tile. `2R` accumulators stay
+/// register-resident across the whole `k` loop; each lane is one output
+/// element accumulated in ascending `kk` with `mul` then `add`.
+#[target_feature(enable = "avx2")]
+fn tile16<const R: usize>(g: Gemm, out: &mut [f32], r0: usize, j0_out: usize, j0_b: usize) {
+    debug_assert!(j0_b + NR <= g.bs && g.k * g.bs <= g.b.len());
+    debug_assert!(j0_out + NR <= g.n && (r0 + R) * g.n <= out.len());
+    let mut acc = [[_mm256_setzero_ps(); 2]; R];
+    let bp = g.b.as_ptr();
+    for kk in 0..g.k {
+        // SAFETY: `kk·bs + j0_b + 16 ≤ b.len()` by the tile geometry
+        // debug-asserted above.
+        let (b0, b1) = unsafe {
+            let p = bp.add(kk * g.bs + j0_b);
+            (_mm256_loadu_ps(p), _mm256_loadu_ps(p.add(8)))
+        };
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(g.a_at(r0 + r, kk));
+            acc_r[0] = _mm256_add_ps(acc_r[0], _mm256_mul_ps(av, b0));
+            acc_r[1] = _mm256_add_ps(acc_r[1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        // SAFETY: rows `r0..r0+R` at columns `j0_out..j0_out+16` are in
+        // bounds per the debug-asserted tile geometry.
+        unsafe {
+            let p = out.as_mut_ptr().add((r0 + r) * g.n + j0_out);
+            _mm256_storeu_ps(p, acc_r[0]);
+            _mm256_storeu_ps(p.add(8), acc_r[1]);
+        }
+    }
+}
+
+/// One `R`-row × 8-column register tile (the narrower column step).
+#[target_feature(enable = "avx2")]
+fn tile8<const R: usize>(g: Gemm, out: &mut [f32], r0: usize, j0_out: usize, j0_b: usize) {
+    debug_assert!(j0_b + 8 <= g.bs && g.k * g.bs <= g.b.len());
+    debug_assert!(j0_out + 8 <= g.n && (r0 + R) * g.n <= out.len());
+    let mut acc = [_mm256_setzero_ps(); R];
+    let bp = g.b.as_ptr();
+    for kk in 0..g.k {
+        // SAFETY: `kk·bs + j0_b + 8 ≤ b.len()` by the tile geometry
+        // debug-asserted above.
+        let bv = unsafe { _mm256_loadu_ps(bp.add(kk * g.bs + j0_b)) };
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(g.a_at(r0 + r, kk));
+            *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(av, bv));
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        // SAFETY: rows `r0..r0+R` at columns `j0_out..j0_out+8` are in
+        // bounds per the debug-asserted tile geometry.
+        unsafe { _mm256_storeu_ps(out.as_mut_ptr().add((r0 + r) * g.n + j0_out), *acc_r) };
+    }
+}

@@ -1,0 +1,230 @@
+//! Explicitly vectorized `std::arch` microkernels with runtime feature
+//! detection — the [`crate::backend::BackendKind::Simd`] implementation.
+//!
+//! Dispatch: `x86_64` checks AVX2 per call via
+//! `is_x86_feature_detected!` (the check is a cached flag load, not a
+//! `cpuid`), `aarch64` uses baseline NEON unconditionally, and any other
+//! target — or an `x86_64` host without AVX2 — falls back to the blocked
+//! scalar kernels in [`crate::gemm`]. The fallback makes
+//! `SimdBackend` safe to construct everywhere; the global selection in
+//! [`crate::backend`] additionally warns and prefers `pooled` when the
+//! features are missing, so the per-call fallback is a correctness
+//! backstop, not the expected path.
+//!
+//! # Why the vector kernels are bitwise-equal to the scalar ones
+//!
+//! Each SIMD lane owns one output element. A lane performs exactly the
+//! scalar kernel's operation sequence — for each ascending `kk`, one
+//! exactly-rounded `multiply` then one exactly-rounded `add` into that
+//! element's single accumulator. The kernels never use fused
+//! multiply-add (one rounding where the scalar path rounds twice) and
+//! never reduce across lanes (which would reorder the sum). Lane width
+//! therefore only changes how many output elements progress through `kk`
+//! together — the per-element arithmetic, and hence every output bit, is
+//! identical to the scalar reference.
+//!
+//! The `a_bt` kernel packs transposed `B` panels into a scratch buffer
+//! before the same broadcast-kernel runs; packing is pure data movement
+//! and cannot change any accumulation order.
+//!
+//! This module (plus its arch submodules) is the only sanctioned home
+//! for `unsafe` vector intrinsics in the workspace — the `slm-lint`
+//! `unsafe-containment` rule fails any `unsafe` outside
+//! `crates/tensor/src/simd/` that lacks an explicit waiver.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Whether this host has the vector features the explicit kernels need
+/// (AVX2 on `x86_64`, baseline NEON on `aarch64`). Re-exported as
+/// `sl_tensor::simd_supported` so callers and tests can predict the
+/// `SLM_BACKEND=auto` choice.
+pub fn supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[k×n]`.
+pub(crate) fn ab(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::ab(out, a, b, m, k, n)
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability verified at runtime just above.
+            unsafe { avx2::ab(out, a, b, m, k, n) };
+            return;
+        }
+        crate::gemm::serial_ab(out, a, b, m, k, n)
+    }
+}
+
+/// Rows `i0..i0 + out.len()/n` of `aᵀ · b` (`a: [k×am]`, `b: [k×n]`).
+pub(crate) fn at_b(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    k: usize,
+    am: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::at_b(out, a, b, i0, k, am, n)
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability verified at runtime just above.
+            unsafe { avx2::at_b(out, a, b, i0, am, n) };
+            return;
+        }
+        crate::gemm::serial_at_b(out, a, b, i0, k, am, n)
+    }
+}
+
+/// `out[m×n] = a[m×k] · b[n×k]ᵀ`.
+pub(crate) fn a_bt(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "aarch64")]
+    {
+        // The packed-panel variant is AVX2-only for now; the blocked
+        // scalar kernel keeps NEON hosts correct (see DESIGN §13).
+        crate::gemm::serial_a_bt(out, a, b, m, k, n)
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability verified at runtime just above.
+            unsafe { avx2::a_bt(out, a, b, m, k, n) };
+            return;
+        }
+        crate::gemm::serial_a_bt(out, a, b, m, k, n)
+    }
+}
+
+/// Elementwise `dst[i] += src[i]`.
+pub(crate) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::add_assign(dst, src)
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability verified at runtime just above.
+            unsafe { avx2::add_assign(dst, src) };
+            return;
+        }
+        for (o, &v) in dst.iter_mut().zip(src) {
+            *o += v;
+        }
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    //! AVX2-specific bitwise checks (the cross-backend equivalence tests
+    //! in `crate::backend` cover the dispatched surface on every arch).
+
+    use crate::gemm;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 2000) as f32 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn avx2_kernels_bitwise_match_blocked_scalar_across_ragged_shapes() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        // Shapes chosen to hit every tile path: full 4×16 tiles, the
+        // 8-wide column step, scalar column tails, ragged row tails and
+        // empty inner dimensions.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 16, 64),
+            (8, 32, 16),
+            (5, 3, 65),
+            (7, 33, 17),
+            (6, 9, 24),
+            (3, 5, 8),
+            (2, 7, 7),
+            (64, 96, 96),
+            (3, 0, 5),
+            (13, 21, 31),
+        ] {
+            let a = fill(m * k, 11);
+            let b = fill(k * n, 23);
+            let mut want = vec![0.0f32; m * n];
+            gemm::serial_ab(&mut want, &a, &b, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            // SAFETY: AVX2 presence checked at the top of the test.
+            unsafe { super::avx2::ab(&mut got, &a, &b, m, k, n) };
+            assert_eq!(bits(&got), bits(&want), "ab {m}x{k}x{n}");
+
+            let at = fill(k * m, 31);
+            let mut want = vec![0.0f32; m * n];
+            gemm::serial_at_b(&mut want, &at, &b, 0, k, m, n);
+            let mut got = vec![f32::NAN; m * n];
+            // SAFETY: AVX2 presence checked at the top of the test.
+            unsafe { super::avx2::at_b(&mut got, &at, &b, 0, m, n) };
+            assert_eq!(bits(&got), bits(&want), "at_b {m}x{k}x{n}");
+
+            let bt = fill(n * k, 37);
+            let mut want = vec![0.0f32; m * n];
+            gemm::serial_a_bt(&mut want, &a, &bt, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            // SAFETY: AVX2 presence checked at the top of the test.
+            unsafe { super::avx2::a_bt(&mut got, &a, &bt, m, k, n) };
+            assert_eq!(bits(&got), bits(&want), "a_bt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn avx2_kernels_propagate_nan() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        let a = vec![0.0f32; 5];
+        let mut b = vec![0.0f32; 5 * 20];
+        b[3] = f32::NAN;
+        let mut out = vec![0.0f32; 20];
+        // SAFETY: AVX2 presence checked at the top of the test.
+        unsafe { super::avx2::ab(&mut out, &a, &b, 1, 5, 20) };
+        assert!(out[3].is_nan(), "0 × NaN must reach the accumulator");
+    }
+}

@@ -1,0 +1,101 @@
+//! NEON f32 microkernels for `aarch64`, where NEON is baseline — so
+//! these are plain safe functions and dispatch needs no runtime check.
+//!
+//! Same contract as the AVX2 kernels: each lane owns one output element,
+//! accumulated in ascending `kk` with an exactly-rounded `mul` then
+//! `add` (`vmulq`/`vaddq`, never `vfmaq` — fused multiply-add rounds
+//! once where the scalar kernels round twice, breaking bitwise
+//! identity), and no cross-lane reductions. The kernel shape is a
+//! deliberately simple 1-row × 8-column stripe (two `float32x4`
+//! accumulators); the packed-panel `a_bt` variant is AVX2-only for now
+//! and `aarch64` uses the blocked scalar kernel instead (dispatched in
+//! the parent module).
+
+use core::arch::aarch64::{vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32};
+
+/// Columns per stripe: two 4-lane vectors.
+const NR: usize = 8;
+
+/// `out[m×n] = a[m×k] · b[k×n]`.
+pub(crate) fn ab(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for r in 0..m {
+        row(&mut out[r * n..(r + 1) * n], a, r * k, 1, b, k);
+    }
+}
+
+/// Rows `i0..i0 + out.len()/n` of `aᵀ · b` (`a: [k×am]`, `b: [k×n]`).
+pub(crate) fn at_b(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    k: usize,
+    am: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * am);
+    debug_assert_eq!(b.len(), k * n);
+    let rows = if n == 0 { 0 } else { out.len() / n };
+    for r in 0..rows {
+        row(&mut out[r * n..(r + 1) * n], a, i0 + r, am, b, k);
+    }
+}
+
+/// One output row: `orow[j] = Σ_kk a[abase + kk·aks] · b[kk·n + j]` with
+/// `n = orow.len()`, vectorized 8 columns at a time plus a scalar tail.
+fn row(orow: &mut [f32], a: &[f32], abase: usize, aks: usize, b: &[f32], k: usize) {
+    let n = orow.len();
+    debug_assert!(k * n <= b.len());
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        for kk in 0..k {
+            let av = vdupq_n_f32(a[abase + kk * aks]);
+            // SAFETY: `kk·n + j0 + 8 ≤ b.len()` by the loop bounds and
+            // the debug-asserted `k·n ≤ b.len()`.
+            let (b0, b1) = unsafe {
+                let p = b.as_ptr().add(kk * n + j0);
+                (vld1q_f32(p), vld1q_f32(p.add(4)))
+            };
+            acc0 = vaddq_f32(acc0, vmulq_f32(av, b0));
+            acc1 = vaddq_f32(acc1, vmulq_f32(av, b1));
+        }
+        // SAFETY: `j0 + 8 ≤ orow.len()` by the loop bound.
+        unsafe {
+            let p = orow.as_mut_ptr().add(j0);
+            vst1q_f32(p, acc0);
+            vst1q_f32(p.add(4), acc1);
+        }
+        j0 += NR;
+    }
+    for j in j0..n {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += a[abase + kk * aks] * b[kk * n + j];
+        }
+        orow[j] = acc;
+    }
+}
+
+/// Elementwise `dst[i] += src[i]`, 4 lanes at a time.
+pub(crate) fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len());
+    let len = dst.len();
+    let mut i = 0;
+    while i + 4 <= len {
+        // SAFETY: `i + 4 ≤ len` for both equal-length slices.
+        unsafe {
+            let dp = dst.as_mut_ptr().add(i);
+            vst1q_f32(dp, vaddq_f32(vld1q_f32(dp), vld1q_f32(src.as_ptr().add(i))));
+        }
+        i += 4;
+    }
+    while i < len {
+        dst[i] += src[i];
+        i += 1;
+    }
+}

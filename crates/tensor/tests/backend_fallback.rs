@@ -1,0 +1,57 @@
+//! End-to-end `SLM_BACKEND` fallback: an unusable value must not fail
+//! the process — the resolver warns and uses the auto-detected backend,
+//! and compute stays bitwise identical to the scalar reference.
+//!
+//! This lives in its own integration-test binary because the global
+//! backend is resolved once per process from the environment: the
+//! variable has to be set before anything touches `global_backend`,
+//! which no in-process `#[test]` ordering inside a shared binary can
+//! guarantee. (`resolve_backend` itself is pure and unit-tested in
+//! `sl-tensor::backend`; this checks the wiring through the env var.)
+
+use sl_tensor::{
+    backend_for, global_backend_kind, matmul_in, matmul_with, resolve_backend, simd_supported,
+    BackendKind, ComputePool, Tensor,
+};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn garbage_backend_value_warns_falls_back_to_auto_and_computes() {
+    // Before the first global_backend use in this process.
+    std::env::set_var("SLM_BACKEND", "definitely-not-a-backend");
+
+    let (want_kind, warning) = resolve_backend(Some("definitely-not-a-backend"), simd_supported());
+    assert!(warning.is_some(), "unusable value must carry a warning");
+    assert_eq!(
+        global_backend_kind(),
+        want_kind,
+        "global selection must match the pure resolver's fallback"
+    );
+    // Auto never picks the scalar reference path.
+    assert_ne!(global_backend_kind(), BackendKind::Scalar);
+
+    // The fallback backend still computes correct (scalar-identical) bits.
+    let one = ComputePool::new(1);
+    let m = 13;
+    let k = 29;
+    let n = 31;
+    let a = Tensor::from_parts(
+        [m, k],
+        (0..m * k)
+            .map(|i| (i as f32 * 0.618_034) % 3.7 - 1.4)
+            .collect(),
+    );
+    let b = Tensor::from_parts(
+        [k, n],
+        (0..k * n)
+            .map(|i| (i as f32 * 0.414_214) % 2.9 - 1.1)
+            .collect(),
+    );
+    assert_eq!(
+        bits(&matmul_in(&one, &a, &b)),
+        bits(&matmul_with(&one, backend_for(BackendKind::Scalar), &a, &b))
+    );
+}

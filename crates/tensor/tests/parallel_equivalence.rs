@@ -1,10 +1,13 @@
-//! Bitwise equivalence of the pooled compute backend against its serial
+//! Bitwise equivalence of the compute backends against their serial
 //! execution: for *any* shape — including ragged tiles that don't fill
 //! the GEMM micro-kernel's MR/NB/JB blocks or the pool's row chunks —
 //! running on 2, 3 or 8 threads must produce exactly the bits the
-//! one-thread pool produces. `scripts/verify.sh` runs this suite under
-//! both `SLM_THREADS=1` and `SLM_THREADS=4` so the process-wide pool is
-//! exercised at both widths (see `global_pool_matches_explicit_serial`).
+//! one-thread pool produces, and the `scalar` / `pooled` / `simd`
+//! backends must all produce exactly the bits of the scalar reference.
+//! `scripts/verify.sh` runs this suite under every
+//! `SLM_BACKEND={scalar,pooled,simd}` × `SLM_THREADS={1,4}` pairing so
+//! the process-wide pool and backend selection are exercised end to end
+//! (see `global_pool_matches_explicit_serial`).
 //!
 //! Operand data is sampled at the maximum size and sliced down to the
 //! sampled shape (the strategy language here has no dependent sizing),
@@ -15,8 +18,9 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 
 use sl_tensor::{
-    conv2d_backward_in, conv2d_in, matmul_a_bt_in, matmul_at_b_in, matmul_in, ComputePool, Padding,
-    Tensor,
+    backend_for, conv2d_backward_in, conv2d_backward_with, conv2d_in, conv2d_with, matmul_a_bt_in,
+    matmul_a_bt_with, matmul_at_b_in, matmul_at_b_with, matmul_in, matmul_with, BackendKind,
+    ComputePool, Padding, Tensor,
 };
 
 /// One pool per tested width, shared across all proptest cases (workers
@@ -134,6 +138,48 @@ proptest! {
     }
 
     #[test]
+    fn matmul_family_bitwise_backend_independent(case in mm_case()) {
+        // Every backend, at every pool width, must reproduce the scalar
+        // reference bit for bit on all three GEMM orientations.
+        let ((m, k, n), data) = case;
+        let a = slice_tensor(vec![m, k], &data);
+        let b = slice_tensor(vec![k, n], &data[A_MAX..]);
+        let at = slice_tensor(vec![k, m], &data);
+        let bt = slice_tensor(vec![n, k], &data[A_MAX..]);
+        let scalar = backend_for(BackendKind::Scalar);
+        let want_ab = bits(&matmul_with(serial(), scalar, &a, &b));
+        let want_atb = bits(&matmul_at_b_with(serial(), scalar, &at, &b));
+        let want_abt = bits(&matmul_a_bt_with(serial(), scalar, &a, &bt));
+        for kind in BackendKind::ALL {
+            let be = backend_for(kind);
+            for pool in pools() {
+                prop_assert_eq!(&bits(&matmul_with(pool, be, &a, &b)), &want_ab);
+                prop_assert_eq!(&bits(&matmul_at_b_with(pool, be, &at, &b)), &want_atb);
+                prop_assert_eq!(&bits(&matmul_a_bt_with(pool, be, &a, &bt)), &want_abt);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_family_bitwise_backend_independent(case in conv_case()) {
+        let (dims, data) = case;
+        let (x, w, bias, pad) = conv_operands(dims, &data);
+        let scalar = backend_for(BackendKind::Scalar);
+        let g = conv2d_with(serial(), scalar, &x, &w, &bias, pad);
+        let want_bwd = conv2d_backward_with(serial(), scalar, &x, &w, &g, pad);
+        for kind in BackendKind::ALL {
+            let be = backend_for(kind);
+            for pool in pools() {
+                prop_assert_eq!(&bits(&conv2d_with(pool, be, &x, &w, &bias, pad)), &bits(&g));
+                let got = conv2d_backward_with(pool, be, &x, &w, &g, pad);
+                prop_assert_eq!(&bits(&got.grad_input), &bits(&want_bwd.grad_input));
+                prop_assert_eq!(&bits(&got.grad_weight), &bits(&want_bwd.grad_weight));
+                prop_assert_eq!(&bits(&got.grad_bias), &bits(&want_bwd.grad_bias));
+            }
+        }
+    }
+
+    #[test]
     fn conv2d_bitwise_thread_count_independent(case in conv_case()) {
         let (dims, data) = case;
         let (x, w, bias, pad) = conv_operands(dims, &data);
@@ -175,6 +221,28 @@ fn deterministic(shape: Vec<usize>, salt: u64) -> Tensor {
 /// bitwise with an explicit one-thread pool. Running the suite under
 /// `SLM_THREADS=1` and `SLM_THREADS=4` turns this into the end-to-end
 /// determinism check that `scripts/verify.sh` relies on.
+/// Whatever backend `SLM_BACKEND` selected for this process, the plain
+/// `_in` entry points must reproduce the scalar reference bit for bit —
+/// this is what makes the per-backend verify.sh runs meaningful.
+#[test]
+fn global_backend_matches_scalar_reference() {
+    let one = ComputePool::new(1);
+    let scalar = backend_for(BackendKind::Scalar);
+    let a = deterministic(vec![23, 11], 7);
+    let b = deterministic(vec![11, 66], 8);
+    assert_eq!(
+        bits(&matmul_in(&one, &a, &b)),
+        bits(&matmul_with(&one, scalar, &a, &b))
+    );
+    let x = deterministic(vec![3, 2, 8, 7], 9);
+    let w = deterministic(vec![4, 2, 3, 3], 10);
+    let bias = deterministic(vec![4], 11);
+    assert_eq!(
+        bits(&conv2d_in(&one, &x, &w, &bias, Padding::Same)),
+        bits(&conv2d_with(&one, scalar, &x, &w, &bias, Padding::Same))
+    );
+}
+
 #[test]
 fn global_pool_matches_explicit_serial() {
     let global = ComputePool::global();

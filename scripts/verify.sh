@@ -5,7 +5,8 @@
 #   slm-report regression gate. Run from anywhere inside the repo.
 #
 #   scripts/verify.sh            # everything
-#   scripts/verify.sh --fast     # lints + tests only (skip build/smoke/report)
+#   scripts/verify.sh --fast     # skip build + smoke/report runs (lints,
+#                                # tests and the kernels bench still run)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -61,14 +62,19 @@ if [[ "$overall" -eq 0 ]]; then
     stage test cargo test -q
 fi
 
-# Compute-backend determinism: the parallel kernels must be bitwise
-# identical to serial at every thread count, so the equivalence suite
-# runs with the process-wide pool at both widths.
+# Compute-backend determinism: every backend must be bitwise identical
+# to the scalar reference at every thread count, so the equivalence
+# suite runs once per SLM_BACKEND × SLM_THREADS pairing — the env pair
+# selects what the process-wide pool and global backend resolve to,
+# and global_backend_matches_scalar_reference closes the loop.
 if [[ "$overall" -eq 0 ]]; then
-    stage kernels-eq-1t env SLM_THREADS=1 \
-        cargo test -q -p sl-tensor --test parallel_equivalence
-    stage kernels-eq-4t env SLM_THREADS=4 \
-        cargo test -q -p sl-tensor --test parallel_equivalence
+    for backend in scalar pooled simd; do
+        for threads in 1 4; do
+            stage "kernels-eq-$backend-${threads}t" \
+                env SLM_BACKEND="$backend" SLM_THREADS="$threads" \
+                cargo test -q -p sl-tensor --test parallel_equivalence
+        done
+    done
 fi
 
 if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
@@ -96,6 +102,17 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
         cargo run --release -q -p sl-bench --bin fig3a
     stage smoke-bitwise cmp results/fig3a/fig3a_1t.csv results/fig3a/fig3a.csv
     stage series-bitwise cmp results/fig3a/series_1t.jsonl results/fig3a/series.jsonl
+    # Backend independence end to end: the same smoke run forced onto
+    # each compute backend must emit the figure CSV byte-for-byte —
+    # training numerics never depend on SLM_BACKEND (DESIGN.md §13).
+    # The runs above used the auto-detected backend; these pin it.
+    for backend in scalar pooled simd; do
+        stage "smoke-$backend" env SLM_BACKEND="$backend" SLM_THREADS=4 \
+            SLM_PROFILE=smoke SLM_TELEMETRY=jsonl \
+            cargo run --release -q -p sl-bench --bin fig3a
+        stage "smoke-$backend-bitwise" \
+            cmp results/fig3a/fig3a_1t.csv results/fig3a/fig3a.csv
+    done
     rm -f results/fig3a/fig3a_1t.csv results/fig3a/series_1t.jsonl
     stage report cargo run --release -q -p sl-bench --bin slm-report -- \
         --check results/fig3a
@@ -175,10 +192,14 @@ if [[ "$fast" -eq 0 && "$overall" -eq 0 ]]; then
     stage net-series-bitwise cmp results/fig3a_net/series_run1.jsonl \
         results/fig3a_net/series.jsonl
     rm -f results/fig3a_net/series_run1.jsonl
+fi
 
-    # Kernel micro-benchmarks: record ref/serial/pooled throughput into
-    # results/BENCH_kernels.json, then gate the determinism contract
-    # (throughput itself is host-dependent and never gated).
+# Kernel micro-benchmarks: record ref/serial/pooled/simd throughput into
+# results/BENCH_kernels.json on every verify run — --fast included — so
+# the GFLOP/s trajectory accumulates; the report stage then gates the
+# determinism contract (throughput itself is host-dependent and never
+# gated).
+if [[ "$overall" -eq 0 ]]; then
     stage kernels-bench env SLM_THREADS=4 \
         cargo run --release -q -p sl-bench --bin kernels
     stage kernels-report cargo run --release -q -p sl-bench --bin slm-report -- \

@@ -8,6 +8,8 @@
 //! slm-report --diff results/a results/b    # side-by-side comparison
 //! slm-report --kernels results             # latest compute-kernel batch
 //! slm-report --kernels --check results     # gate kernel determinism
+//! slm-report --store results               # latest chunked-store codec batch
+//! slm-report --store --check results       # gate store losslessness/compression
 //! ```
 //!
 //! Flags: `--out FILE` (write markdown to a file), `--no-append` (skip
@@ -15,25 +17,30 @@
 //! gate tolerances, defaults 0.30 / 0.25). `--kernels` reads the
 //! `BENCH_kernels.json` trajectory written by the `kernels` bin and,
 //! with `--check`, fails on determinism violations (throughputs are
-//! reported, never gated).
+//! reported, never gated). `--store` does the same for the
+//! `BENCH_store.json` trajectory written by the `store` bin, gating
+//! codec losslessness and the delta+rle compression win on depth
+//! frames.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use sl_bench::report::{
-    append_trajectory, bench_path, check, check_kernels, entry_from_run, kernels_bench_path,
-    latest_kernels_batch, load_kernels_trajectory, load_run, load_trajectory, render_diff,
-    render_kernels, render_markdown, CheckConfig, CheckOutcome,
+    append_trajectory, bench_path, check, check_kernels, check_store, entry_from_run,
+    kernels_bench_path, latest_kernels_batch, latest_store_batch, load_kernels_trajectory,
+    load_run, load_store_trajectory, load_trajectory, render_diff, render_kernels, render_markdown,
+    render_store, store_bench_path, CheckConfig, CheckOutcome,
 };
 
-const USAGE: &str = "usage: slm-report [--check] [--diff A B] [--kernels] [--out FILE] \
+const USAGE: &str = "usage: slm-report [--check] [--diff A B] [--kernels] [--store] [--out FILE] \
                      [--no-append] [--tol-rmse X] [--tol-time X] <results-dir>...";
 
 fn main() -> ExitCode {
     let mut check_mode = false;
     let mut diff_mode = false;
     let mut kernels_mode = false;
+    let mut store_mode = false;
     let mut no_append = false;
     let mut out_path: Option<PathBuf> = None;
     let mut cfg = CheckConfig::default();
@@ -45,6 +52,7 @@ fn main() -> ExitCode {
             "--check" => check_mode = true,
             "--diff" => diff_mode = true,
             "--kernels" => kernels_mode = true,
+            "--store" => store_mode = true,
             "--no-append" => no_append = true,
             "--out" => match args.next() {
                 Some(p) => out_path = Some(PathBuf::from(p)),
@@ -92,6 +100,33 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         } else {
             println!("\nFAIL  kernels");
+            for f in &failures {
+                println!("      - {f}");
+            }
+            ExitCode::from(1)
+        };
+    }
+
+    if store_mode {
+        if dirs.len() != 1 {
+            return usage_error("--store needs exactly one results directory");
+        }
+        let path = store_bench_path(&dirs[0]);
+        let all = match load_store_trajectory(&path) {
+            Ok(t) => t,
+            Err(e) => return load_error(&e),
+        };
+        let batch = latest_store_batch(&all);
+        print!("{}", render_store(batch));
+        if !check_mode {
+            return ExitCode::SUCCESS;
+        }
+        let failures = check_store(batch);
+        return if failures.is_empty() {
+            println!("\nPASS  store  ({} entries in latest batch)", batch.len());
+            ExitCode::SUCCESS
+        } else {
+            println!("\nFAIL  store");
             for f in &failures {
                 println!("      - {f}");
             }

@@ -1250,6 +1250,215 @@ pub fn check_kernels(batch: &[KernelsEntry]) -> Vec<String> {
     failures
 }
 
+// ---------------------------------------------------------------------
+// Chunked-store codec trajectory (`BENCH_store.json`)
+// ---------------------------------------------------------------------
+
+/// One `BENCH_store.json` entry: a single (workload, codec) pairing
+/// measured by the `store` bin — encode/decode throughput, compression
+/// ratio and the lossless round-trip verdict. Written by the `store`
+/// bin, rendered/gated by `slm-report --store`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Unix seconds of the batch this entry belongs to (0 when unknown);
+    /// entries appended together share one timestamp.
+    pub timestamp_s: u64,
+    /// What was encoded (`frames` = smoke-scene depth maps,
+    /// `activations` = quantized cut-layer values, ...).
+    pub workload: String,
+    /// Codec spelling ([`sl_store::Codec::name`]): `raw`, `bitpack<R>`,
+    /// `delta+rle`.
+    pub codec: String,
+    /// Pooled participant count during the measurement.
+    pub threads: u64,
+    /// Raw payload size, MB (1e6 bytes).
+    pub raw_mb: f64,
+    /// Encode throughput over the raw size, MB/s.
+    pub encode_mbps: f64,
+    /// Decode throughput over the raw size, MB/s.
+    pub decode_mbps: f64,
+    /// raw bytes / encoded bytes (> 1 means the codec compressed).
+    pub ratio: f64,
+    /// Whether the decoded values were bitwise identical to the input —
+    /// the codec's determinism/lossless contract, gated by
+    /// [`check_store`].
+    pub lossless: bool,
+}
+
+impl StoreEntry {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("timestamp_s", self.timestamp_s)
+            .str("workload", &self.workload)
+            .str("codec", &self.codec)
+            .u64("threads", self.threads)
+            .f64("raw_mb", self.raw_mb)
+            .f64("encode_mbps", self.encode_mbps)
+            .f64("decode_mbps", self.decode_mbps)
+            .f64("ratio", self.ratio)
+            .bool("lossless", self.lossless)
+            .finish()
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let f = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("store entry missing numeric field {k:?}"))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("store entry missing integer field {k:?}"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("store entry missing string field {k:?}"))
+        };
+        Ok(StoreEntry {
+            timestamp_s: u("timestamp_s")?,
+            workload: s("workload")?,
+            codec: s("codec")?,
+            threads: u("threads")?,
+            raw_mb: f("raw_mb")?,
+            encode_mbps: f("encode_mbps")?,
+            decode_mbps: f("decode_mbps")?,
+            ratio: f("ratio")?,
+            lossless: v
+                .get("lossless")
+                .and_then(JsonValue::as_bool)
+                .ok_or("store entry missing boolean field \"lossless\"")?,
+        })
+    }
+}
+
+/// Where the store trajectory lives: `BENCH_store.json` directly under
+/// `results/`.
+pub fn store_bench_path(results_dir: &Path) -> PathBuf {
+    results_dir.join("BENCH_store.json")
+}
+
+/// Loads the store trajectory; a missing file is an empty trajectory.
+pub fn load_store_trajectory(path: &Path) -> Result<Vec<StoreEntry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries = v
+        .get("entries")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("{}: missing \"entries\" array", path.display()))?;
+    entries
+        .iter()
+        .map(StoreEntry::from_json)
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Appends a batch of entries to the store trajectory (rewriting the
+/// file whole, like [`append_trajectory`]) and returns the new total.
+pub fn append_store_trajectory(path: &Path, batch: &[StoreEntry]) -> Result<usize, String> {
+    let mut entries = load_store_trajectory(path)?;
+    entries.extend(batch.iter().cloned());
+    let mut arr = JsonArray::new();
+    for e in &entries {
+        arr.push_raw(&e.to_json());
+    }
+    let body = JsonObject::new()
+        .str("experiment", "store")
+        .raw("entries", &arr.finish())
+        .finish();
+    fs::write(path, body + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(entries.len())
+}
+
+/// The most recent batch: the suffix of entries sharing the last entry's
+/// timestamp (batches are appended together with one timestamp).
+pub fn latest_store_batch(entries: &[StoreEntry]) -> &[StoreEntry] {
+    let Some(last) = entries.last() else {
+        return entries;
+    };
+    let start = entries
+        .iter()
+        .rposition(|e| e.timestamp_s != last.timestamp_s)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    &entries[start..]
+}
+
+/// Renders a store batch as a markdown table.
+pub fn render_store(batch: &[StoreEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# slm-report: chunked-store codecs");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| workload | codec | threads | raw MB | enc MB/s | dec MB/s | ratio | lossless |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---|");
+    for e in batch {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.1} | {:.1} | {:.2} | {} |",
+            e.workload,
+            e.codec,
+            e.threads,
+            e.raw_mb,
+            e.encode_mbps,
+            e.decode_mbps,
+            e.ratio,
+            if e.lossless { "ok" } else { "LOSSY" }
+        );
+    }
+    out
+}
+
+/// Correctness gate over a store batch. Throughputs are recorded but —
+/// as everywhere else — never gated (machine-dependent). What *is*
+/// gated: every round-trip was bitwise lossless, every measured rate is
+/// finite and positive, and `delta+rle` actually compresses the depth
+/// frames better than `raw` stores them (the codec's reason to exist —
+/// see DESIGN.md §14).
+pub fn check_store(batch: &[StoreEntry]) -> Vec<String> {
+    let mut failures = Vec::new();
+    if batch.is_empty() {
+        failures.push("no store entries recorded".to_string());
+    }
+    for e in batch {
+        let label = format!("{} {}", e.workload, e.codec);
+        if !e.lossless {
+            failures.push(format!("{label}: round-trip was not bitwise lossless"));
+        }
+        for (what, v) in [
+            ("encode", e.encode_mbps),
+            ("decode", e.decode_mbps),
+            ("ratio", e.ratio),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                failures.push(format!("{label}: {what} is {v}"));
+            }
+        }
+    }
+    let frames_ratio = |codec: &str| {
+        batch
+            .iter()
+            .find(|e| e.workload == "frames" && e.codec == codec)
+            .map(|e| e.ratio)
+    };
+    if let (Some(delta), Some(raw)) = (frames_ratio("delta+rle"), frames_ratio("raw")) {
+        if delta <= raw {
+            failures.push(format!(
+                "frames: delta+rle ratio {delta:.3} does not beat raw ratio {raw:.3}"
+            ));
+        }
+    }
+    failures
+}
+
 /// Renders a side-by-side diff of two runs; the `bool` is `true` when
 /// run `b` regresses beyond `cfg` relative to run `a`.
 pub fn render_diff(a: &RunData, b: &RunData, cfg: &CheckConfig) -> (String, bool) {
@@ -1408,6 +1617,83 @@ mod tests {
         assert_eq!(failures.len(), 2);
         assert!(failures[0].contains("bitwise"));
         assert!(failures[1].contains("ref throughput"));
+    }
+
+    fn sentry(workload: &str, codec: &str, ts: u64, ratio: f64) -> StoreEntry {
+        StoreEntry {
+            timestamp_s: ts,
+            workload: workload.to_string(),
+            codec: codec.to_string(),
+            threads: 4,
+            raw_mb: 5.12,
+            encode_mbps: 800.0,
+            decode_mbps: 1200.0,
+            ratio,
+            lossless: true,
+        }
+    }
+
+    #[test]
+    fn store_entry_round_trips_and_batches() {
+        let e = sentry("frames", "delta+rle", 7, 3.5);
+        let back = StoreEntry::from_json(&json::parse(&e.to_json()).unwrap()).unwrap();
+        assert_eq!(back, e);
+
+        let dir = std::env::temp_dir().join(format!("slm-store-traj-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = store_bench_path(&dir);
+        let _ = fs::remove_file(&path);
+        assert!(load_store_trajectory(&path).unwrap().is_empty());
+        append_store_trajectory(&path, &[sentry("frames", "raw", 1, 1.0)]).unwrap();
+        let n = append_store_trajectory(
+            &path,
+            &[
+                sentry("frames", "raw", 2, 1.0),
+                sentry("frames", "delta+rle", 2, 3.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        let all = load_store_trajectory(&path).unwrap();
+        let batch = latest_store_batch(&all);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|e| e.timestamp_s == 2));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn store_check_gates_losslessness_and_compression_win() {
+        assert_eq!(check_store(&[]).len(), 1);
+        // A healthy batch passes; speed is reported, never gated.
+        let good = [
+            sentry("frames", "raw", 1, 1.0),
+            sentry("frames", "delta+rle", 1, 3.0),
+            sentry("activations", "bitpack8", 1, 4.0),
+        ];
+        assert!(check_store(&good).is_empty());
+        // A lossy round-trip fails.
+        let mut lossy = sentry("frames", "raw", 1, 1.0);
+        lossy.lossless = false;
+        let failures = check_store(std::slice::from_ref(&lossy));
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("lossless"));
+        // A dead rate fails.
+        let mut dead = sentry("frames", "raw", 1, 1.0);
+        dead.decode_mbps = 0.0;
+        assert!(check_store(&[dead])[0].contains("decode"));
+        // delta+rle not beating raw on depth frames fails.
+        let tie = [
+            sentry("frames", "raw", 1, 1.0),
+            sentry("frames", "delta+rle", 1, 1.0),
+        ];
+        let failures = check_store(&tie);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("does not beat"), "{failures:?}");
+        // Rendering marks losslessness.
+        let md = render_store(&good);
+        assert!(md.contains("| frames | delta+rle |"));
+        assert!(md.contains(" ok |"));
     }
 
     #[test]

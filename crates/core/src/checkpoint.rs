@@ -1,0 +1,365 @@
+//! Resumable training checkpoints over the chunked `sl-store` layer.
+//!
+//! A checkpoint directory holds the complete trainer state mid-run:
+//!
+//! * `params`, `opt_{ue,bs}_{m,v}` — chunked, checksummed `sl-store`
+//!   arrays (flat `f32`, raw codec: optimizer state is incompressible
+//!   noise and exact bits are non-negotiable);
+//! * `state.json` — everything scalar, written **last** as the commit
+//!   point: config fingerprint (scheme / pooling / seed), epoch and step
+//!   counters, Adam step counts, the [`CountingRng`](crate::CountingRng)
+//!   draw counts, the [`SimClock`](crate::SimClock) components and the
+//!   learning curve so far.
+//!
+//! Every float in `state.json` is stored as its IEEE-754 bit pattern in
+//! hex (the JSON layer parses numbers as `f64`, which cannot round-trip
+//! arbitrary `u64` bits) — resuming restores *bitwise* identical state,
+//! so an interrupted-and-resumed run produces the same learning curve as
+//! an uninterrupted one. That equivalence is the `store-resume` verify
+//! stage.
+
+use std::path::Path;
+
+use sl_store::{
+    read_array, write_array, Codec, DirStorage, StorageWrite, StoreError, StoreMetrics,
+};
+use sl_telemetry::json::{parse, JsonArray, JsonObject, JsonValue};
+use sl_tensor::ComputePool;
+
+use crate::trainer::CurvePoint;
+
+/// Format version of `state.json`.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+const STATE_OBJECT: &str = "state.json";
+
+/// Why a checkpoint could not be saved or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying chunk store failed (IO, checksum, corruption).
+    Store(StoreError),
+    /// `state.json` is missing a field or malformed.
+    Parse(String),
+    /// The checkpoint does not fit this trainer (different config
+    /// fingerprint, parameter count, or an unreplayable RNG position).
+    Mismatch(String),
+    /// The trainer state cannot be serialized (e.g. byte-fill RNG draws,
+    /// whose stream consumption is not replayable from call counts).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Store(e) => write!(f, "checkpoint store: {e}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint state: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Unsupported(m) => write!(f, "checkpoint unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<StoreError> for CheckpointError {
+    fn from(e: StoreError) -> Self {
+        CheckpointError::Store(e)
+    }
+}
+
+/// Exported optimizer state: `(t, first moments, second moments)`,
+/// exactly [`sl_nn::Adam::export_state`].
+pub type AdamState = (u64, Vec<f32>, Vec<f32>);
+
+/// The complete mid-run trainer state (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Config fingerprint: `Scheme` display form.
+    pub scheme: String,
+    /// Config fingerprint: `PoolingDim` display form.
+    pub pooling: String,
+    /// Config fingerprint: the training seed.
+    pub seed: u64,
+    /// Last completed epoch.
+    pub epoch: usize,
+    /// Steps applied so far.
+    pub steps_applied: u64,
+    /// Steps voided by payload timeouts so far.
+    pub steps_voided: u64,
+    /// Current consecutive-void streak (survives epoch boundaries).
+    pub consecutive_voids: usize,
+    /// Total step attempts (the trace/series sequence counter).
+    pub steps_seen: u64,
+    /// `next_u32` draws consumed since seeding.
+    pub rng_n32: u64,
+    /// `next_u64` draws consumed since seeding.
+    pub rng_n64: u64,
+    /// UE-side Adam state.
+    pub opt_ue: AdamState,
+    /// BS-side Adam state.
+    pub opt_bs: AdamState,
+    /// Simulated compute seconds.
+    pub compute_s: f64,
+    /// Simulated airtime seconds.
+    pub airtime_s: f64,
+    /// Learning curve up to and including `epoch`.
+    pub curve: Vec<CurvePoint>,
+    /// All model parameters, flattened UE-first then BS, in
+    /// `params_and_grads` order.
+    pub params: Vec<f32>,
+}
+
+fn hex_u64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn hex_u32(v: u32) -> String {
+    format!("{v:08x}")
+}
+
+fn req<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a JsonValue, CheckpointError> {
+    obj.get(key)
+        .ok_or_else(|| CheckpointError::Parse(format!("missing field {key:?}")))
+}
+
+fn req_u64(obj: &JsonValue, key: &str) -> Result<u64, CheckpointError> {
+    req(obj, key)?
+        .as_u64()
+        .ok_or_else(|| CheckpointError::Parse(format!("field {key:?} is not an integer")))
+}
+
+fn req_str<'a>(obj: &'a JsonValue, key: &str) -> Result<&'a str, CheckpointError> {
+    req(obj, key)?
+        .as_str()
+        .ok_or_else(|| CheckpointError::Parse(format!("field {key:?} is not a string")))
+}
+
+fn req_f64_bits(obj: &JsonValue, key: &str) -> Result<f64, CheckpointError> {
+    let s = req_str(obj, key)?;
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CheckpointError::Parse(format!("field {key:?} is not hex f64 bits")))
+}
+
+fn req_f32_bits(obj: &JsonValue, key: &str) -> Result<f32, CheckpointError> {
+    let s = req_str(obj, key)?;
+    u32::from_str_radix(s, 16)
+        .map(f32::from_bits)
+        .map_err(|_| CheckpointError::Parse(format!("field {key:?} is not hex f32 bits")))
+}
+
+fn state_json(ck: &TrainCheckpoint) -> String {
+    let mut curve = JsonArray::new();
+    for p in &ck.curve {
+        curve.push_raw(
+            &JsonObject::new()
+                .u64("epoch", p.epoch as u64)
+                .str("elapsed_bits", &hex_u64(p.elapsed_s.to_bits()))
+                .str("rmse_bits", &hex_u32(p.val_rmse_db.to_bits()))
+                .finish(),
+        );
+    }
+    JsonObject::new()
+        .u64("version", CHECKPOINT_VERSION)
+        .str("scheme", &ck.scheme)
+        .str("pooling", &ck.pooling)
+        .u64("seed", ck.seed)
+        .u64("epoch", ck.epoch as u64)
+        .u64("steps_applied", ck.steps_applied)
+        .u64("steps_voided", ck.steps_voided)
+        .u64("consecutive_voids", ck.consecutive_voids as u64)
+        .u64("steps_seen", ck.steps_seen)
+        .u64("rng_n32", ck.rng_n32)
+        .u64("rng_n64", ck.rng_n64)
+        .u64("opt_ue_t", ck.opt_ue.0)
+        .u64("opt_bs_t", ck.opt_bs.0)
+        .str("compute_bits", &hex_u64(ck.compute_s.to_bits()))
+        .str("airtime_bits", &hex_u64(ck.airtime_s.to_bits()))
+        .raw("curve", &curve.finish())
+        .finish()
+}
+
+/// Saves `ck` into `dir`, creating it if needed. The chunked arrays are
+/// written first, `state.json` last — a directory without a readable
+/// `state.json` is an aborted save, not a checkpoint.
+pub fn save(
+    dir: &Path,
+    ck: &TrainCheckpoint,
+    metrics: &mut StoreMetrics,
+) -> Result<(), CheckpointError> {
+    let mut storage = DirStorage::create(dir)?;
+    let pool = ComputePool::global();
+    let chunk = sl_store::configured_chunk_items(1);
+    let arrays: [(&str, &[f32]); 5] = [
+        ("params", &ck.params),
+        ("opt_ue_m", &ck.opt_ue.1),
+        ("opt_ue_v", &ck.opt_ue.2),
+        ("opt_bs_m", &ck.opt_bs.1),
+        ("opt_bs_v", &ck.opt_bs.2),
+    ];
+    for (name, values) in arrays {
+        write_array(
+            &mut storage,
+            name,
+            1,
+            values,
+            chunk,
+            Codec::Raw,
+            pool,
+            metrics,
+        )?;
+    }
+    storage.put(STATE_OBJECT, state_json(ck).as_bytes())?;
+    Ok(())
+}
+
+/// Loads a checkpoint previously written by [`save`]. Corruption in any
+/// chunk surfaces as [`CheckpointError::Store`]; a malformed or
+/// version-skewed `state.json` as [`CheckpointError::Parse`].
+pub fn load(dir: &Path, metrics: &mut StoreMetrics) -> Result<TrainCheckpoint, CheckpointError> {
+    let storage = DirStorage::create(dir)?;
+    let bytes = sl_store::StorageRead::get(&storage, STATE_OBJECT)?;
+    let text = String::from_utf8(bytes)
+        .map_err(|_| CheckpointError::Parse("state.json is not UTF-8".into()))?;
+    let state = parse(&text).map_err(|e| CheckpointError::Parse(format!("state.json: {e}")))?;
+
+    let version = req_u64(&state, "version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Parse(format!(
+            "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+
+    let mut curve = Vec::new();
+    let curve_val = req(&state, "curve")?;
+    let points = curve_val
+        .as_arr()
+        .ok_or_else(|| CheckpointError::Parse("field \"curve\" is not an array".into()))?;
+    for p in points {
+        curve.push(CurvePoint {
+            elapsed_s: req_f64_bits(p, "elapsed_bits")?,
+            epoch: req_u64(p, "epoch")? as usize,
+            val_rmse_db: req_f32_bits(p, "rmse_bits")?,
+        });
+    }
+
+    let pool = ComputePool::global();
+    let mut read = |name: &str| -> Result<Vec<f32>, CheckpointError> {
+        Ok(read_array(&storage, name, pool, metrics)?.1)
+    };
+    let params = read("params")?;
+    let opt_ue = (
+        req_u64(&state, "opt_ue_t")?,
+        read("opt_ue_m")?,
+        read("opt_ue_v")?,
+    );
+    let opt_bs = (
+        req_u64(&state, "opt_bs_t")?,
+        read("opt_bs_m")?,
+        read("opt_bs_v")?,
+    );
+
+    Ok(TrainCheckpoint {
+        scheme: req_str(&state, "scheme")?.to_string(),
+        pooling: req_str(&state, "pooling")?.to_string(),
+        seed: req_u64(&state, "seed")?,
+        epoch: req_u64(&state, "epoch")? as usize,
+        steps_applied: req_u64(&state, "steps_applied")?,
+        steps_voided: req_u64(&state, "steps_voided")?,
+        consecutive_voids: req_u64(&state, "consecutive_voids")? as usize,
+        steps_seen: req_u64(&state, "steps_seen")?,
+        rng_n32: req_u64(&state, "rng_n32")?,
+        rng_n64: req_u64(&state, "rng_n64")?,
+        opt_ue,
+        opt_bs,
+        compute_s: req_f64_bits(&state, "compute_bits")?,
+        airtime_s: req_f64_bits(&state, "airtime_bits")?,
+        curve,
+        params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            scheme: "Img+RF".into(),
+            pooling: "4x4".into(),
+            seed: 42,
+            epoch: 3,
+            steps_applied: 31,
+            steps_voided: 2,
+            consecutive_voids: 1,
+            steps_seen: 33,
+            rng_n32: 1234,
+            rng_n64: 567,
+            opt_ue: (31, vec![0.25, -1.5e-7], vec![1e-9, 3.0]),
+            opt_bs: (31, vec![f32::MIN_POSITIVE], vec![0.125]),
+            compute_s: 12.0 + 3.01e-13,
+            airtime_s: 0.24999999999999997,
+            curve: vec![
+                CurvePoint {
+                    elapsed_s: 0.0,
+                    epoch: 0,
+                    val_rmse_db: 9.123456,
+                },
+                CurvePoint {
+                    elapsed_s: 12.25 + 3.01e-13,
+                    epoch: 3,
+                    val_rmse_db: 4.000001,
+                },
+            ],
+            params: (0..300).map(|i| (i as f32).sin()).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise_through_a_directory() {
+        let dir = std::env::temp_dir().join("slm_ckpt_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut metrics = StoreMetrics::default();
+        let ck = sample();
+        save(&dir, &ck, &mut metrics).unwrap();
+        let back = load(&dir, &mut metrics).unwrap();
+        assert_eq!(back, ck);
+        // Exact-bit floats survive (PartialEq on f64/f32 would also pass
+        // for -0.0 vs 0.0; pin the bits explicitly).
+        assert_eq!(back.compute_s.to_bits(), ck.compute_s.to_bits());
+        assert_eq!(
+            back.curve[1].val_rmse_db.to_bits(),
+            ck.curve[1].val_rmse_db.to_bits()
+        );
+        assert!(metrics.arrays_written >= 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_state_is_a_parse_error_not_a_panic() {
+        let dir = std::env::temp_dir().join("slm_ckpt_missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut metrics = StoreMetrics::default();
+        match load(&dir, &mut metrics) {
+            Err(CheckpointError::Store(StoreError::Missing(_))) => {}
+            other => panic!("expected missing-object error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let dir = std::env::temp_dir().join("slm_ckpt_version");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut metrics = StoreMetrics::default();
+        let ck = sample();
+        save(&dir, &ck, &mut metrics).unwrap();
+        std::fs::write(dir.join(STATE_OBJECT), "{\"version\":99}").unwrap();
+        assert!(matches!(
+            load(&dir, &mut metrics),
+            Err(CheckpointError::Parse(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

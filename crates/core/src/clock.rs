@@ -59,6 +59,24 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// Rebuilds a clock from checkpointed components (the exact values
+    /// previously read through [`SimClock::compute_s`] /
+    /// [`SimClock::airtime_s`]).
+    pub fn from_parts(compute_s: f64, airtime_s: f64) -> Self {
+        assert!(
+            compute_s >= 0.0 && compute_s.is_finite(),
+            "SimClock: bad compute time"
+        );
+        assert!(
+            airtime_s >= 0.0 && airtime_s.is_finite(),
+            "SimClock: bad airtime"
+        );
+        SimClock {
+            compute_s,
+            airtime_s,
+        }
+    }
+
     /// Adds compute time.
     pub fn add_compute(&mut self, seconds: f64) {
         assert!(

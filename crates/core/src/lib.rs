@@ -39,6 +39,7 @@
 mod baseline;
 mod batch;
 mod bs;
+mod checkpoint;
 mod clock;
 mod config;
 mod deploy;
@@ -47,6 +48,7 @@ mod model;
 mod persist;
 mod pooling;
 mod quantize;
+mod rng;
 mod scheme;
 mod shapes;
 mod trainer;
@@ -55,6 +57,7 @@ mod ue;
 pub use baseline::LinearRfBaseline;
 pub use batch::Batch;
 pub use bs::{BsNetwork, RnnCell};
+pub use checkpoint::{CheckpointError, TrainCheckpoint, CHECKPOINT_VERSION};
 pub use clock::{ComputeModel, SimClock};
 pub use config::{ExperimentConfig, PAPER_CALIBRATED_UPLINK_SNR_DB};
 pub use deploy::{
@@ -65,6 +68,7 @@ pub use model::SplitModel;
 pub use persist::WeightIoError;
 pub use pooling::PoolingDim;
 pub use quantize::Quantizer;
+pub use rng::CountingRng;
 pub use scheme::Scheme;
 pub use shapes::{WiringError, WiringReport, WiringSpec};
 pub use trainer::{

@@ -2,19 +2,42 @@
 //!
 //! Saves and restores the parameters of a [`SplitModel`] so a model
 //! trained once (minutes) can be deployed many times (milliseconds).
-//! The format (`.slw`) mirrors the trace format of `sl-scene`: a magic
-//! header followed by each parameter tensor (rank, dims, little-endian
-//! `f32` data) in the model's canonical parameter order. Loading
-//! validates every shape against the *current* architecture, so weights
-//! can only be restored into a model built with the same configuration.
+//! Two on-disk layouts share one canonical tensor order (UE half first,
+//! then BS half) and one validation path:
+//!
+//! * the legacy whole-file format (`.slw`): a magic header followed by
+//!   each parameter tensor (rank, dims, little-endian `f32` data);
+//! * the chunked `sl-store` layout ([`SplitModel::save_weights_chunked`]):
+//!   a directory holding a checksummed `weights` array plus a
+//!   `weights.meta.json` shape table — corruption-detecting and
+//!   streamable, the checkpoint-era replacement.
+//!
+//! [`SplitModel::load_weights_auto`] dispatches on the path kind
+//! (directory → chunked, file → legacy), so existing `.slw` files keep
+//! loading. Loading validates every shape against the *current*
+//! architecture, naming the exact half and tensor that failed, so
+//! weights can only be restored into a model built with the same
+//! configuration.
 
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use sl_store::{
+    read_array, write_array, Codec, DirStorage, StorageRead, StorageWrite, StoreError, StoreMetrics,
+};
+use sl_telemetry::json::{parse, JsonArray, JsonObject};
+use sl_telemetry::Telemetry;
+use sl_tensor::ComputePool;
+
 use crate::model::SplitModel;
 
 const MAGIC: &[u8; 8] = b"SLWGHT1\0";
+
+/// Chunked-layout objects inside a weight directory.
+const WEIGHTS_ARRAY: &str = "weights";
+const WEIGHTS_META: &str = "weights.meta.json";
+const WEIGHTS_META_VERSION: u64 = 1;
 
 /// Errors from weight I/O.
 #[derive(Debug)]
@@ -27,6 +50,8 @@ pub enum WeightIoError {
     ArchitectureMismatch(String),
     /// Structurally invalid file.
     Corrupt(&'static str),
+    /// The chunked store failed (IO, checksum mismatch, bad manifest).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for WeightIoError {
@@ -38,6 +63,7 @@ impl std::fmt::Display for WeightIoError {
                 write!(f, "weight file does not match model architecture: {what}")
             }
             WeightIoError::Corrupt(what) => write!(f, "corrupt weight file: {what}"),
+            WeightIoError::Store(e) => write!(f, "weight store error: {e}"),
         }
     }
 }
@@ -47,6 +73,12 @@ impl std::error::Error for WeightIoError {}
 impl From<io::Error> for WeightIoError {
     fn from(e: io::Error) -> Self {
         WeightIoError::Io(e)
+    }
+}
+
+impl From<StoreError> for WeightIoError {
+    fn from(e: StoreError) -> Self {
+        WeightIoError::Store(e)
     }
 }
 
@@ -135,6 +167,13 @@ impl SplitModel {
             return Err(WeightIoError::Corrupt("trailing bytes"));
         }
 
+        self.apply_parsed(parsed)
+    }
+
+    /// Validates `parsed` tensors against the current architecture and
+    /// commits them — the shared tail of every load path. A mismatch
+    /// names the half (UE/BS) and the per-half tensor index that failed.
+    fn apply_parsed(&mut self, parsed: Vec<(Vec<usize>, Vec<f32>)>) -> Result<(), WeightIoError> {
         let mut expected = 0usize;
         {
             let ue = self.ue_params_and_grads().len();
@@ -148,26 +187,28 @@ impl SplitModel {
             )));
         }
 
-        // Validate shapes.
+        // Validate shapes, naming exactly which tensor of which half
+        // disagrees (satisfying "which layer failed?" at 2 a.m.).
         {
             let mut idx = 0usize;
-            let mut check =
-                |params: Vec<(&mut sl_tensor::Tensor, &mut sl_tensor::Tensor)>| -> Result<(), WeightIoError> {
-                    for (p, _) in params {
-                        let (dims, _) = &parsed[idx];
-                        if p.dims() != &dims[..] {
-                            return Err(WeightIoError::ArchitectureMismatch(format!(
-                                "tensor {idx}: file {:?} vs model {:?}",
-                                dims,
-                                p.dims()
-                            )));
-                        }
-                        idx += 1;
+            let mut check = |side: &str,
+                             params: Vec<(&mut sl_tensor::Tensor, &mut sl_tensor::Tensor)>|
+             -> Result<(), WeightIoError> {
+                for (i, (p, _)) in params.into_iter().enumerate() {
+                    let (dims, _) = &parsed[idx];
+                    if p.dims() != &dims[..] {
+                        return Err(WeightIoError::ArchitectureMismatch(format!(
+                            "{side} tensor {i} (file tensor {idx}): file {:?} vs model {:?}",
+                            dims,
+                            p.dims()
+                        )));
                     }
-                    Ok(())
-                };
-            check(self.ue_params_and_grads())?;
-            check(self.bs_params_and_grads())?;
+                    idx += 1;
+                }
+                Ok(())
+            };
+            check("UE", self.ue_params_and_grads())?;
+            check("BS", self.bs_params_and_grads())?;
         }
 
         // Commit.
@@ -181,6 +222,135 @@ impl SplitModel {
             idx += 1;
         }
         Ok(())
+    }
+
+    /// Writes all parameters into `dir` as a chunked, checksummed
+    /// `sl-store` array plus a shape-table sidecar. The array manifest
+    /// is written last as the commit point; an interrupted save never
+    /// looks like a valid weight directory.
+    pub fn save_weights_chunked(&mut self, dir: impl AsRef<Path>) -> Result<(), WeightIoError> {
+        let mut storage = DirStorage::create(dir.as_ref())?;
+        let mut shapes = JsonArray::new();
+        let mut flat = Vec::new();
+        {
+            let mut record = |params: Vec<(&mut sl_tensor::Tensor, &mut sl_tensor::Tensor)>| {
+                for (p, _) in params {
+                    let mut dims = JsonArray::new();
+                    for &d in p.dims() {
+                        dims.push_raw(&d.to_string());
+                    }
+                    shapes.push_raw(&dims.finish());
+                    flat.extend_from_slice(p.data());
+                }
+            };
+            record(self.ue_params_and_grads());
+            record(self.bs_params_and_grads());
+        }
+        let meta = JsonObject::new()
+            .u64("version", WEIGHTS_META_VERSION)
+            .raw("tensors", &shapes.finish())
+            .finish();
+        storage.put(WEIGHTS_META, meta.as_bytes())?;
+        let mut metrics = StoreMetrics::default();
+        write_array(
+            &mut storage,
+            WEIGHTS_ARRAY,
+            1,
+            &flat,
+            sl_store::configured_chunk_items(1),
+            Codec::Raw,
+            ComputePool::global(),
+            &mut metrics,
+        )?;
+        Ok(())
+    }
+
+    /// Restores parameters from a chunked weight directory written by
+    /// [`SplitModel::save_weights_chunked`]. Chunk corruption surfaces
+    /// as [`WeightIoError::Store`] with the failing chunk's checksum
+    /// detail; shape skew as [`WeightIoError::ArchitectureMismatch`].
+    pub fn load_weights_chunked(&mut self, dir: impl AsRef<Path>) -> Result<(), WeightIoError> {
+        let storage = DirStorage::create(dir.as_ref())?;
+        let meta_bytes = storage.get(WEIGHTS_META)?;
+        let meta_text = String::from_utf8(meta_bytes)
+            .map_err(|_| WeightIoError::Corrupt("weight meta is not UTF-8"))?;
+        let meta =
+            parse(&meta_text).map_err(|_| WeightIoError::Corrupt("weight meta is not JSON"))?;
+        let version = meta
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or(WeightIoError::Corrupt("weight meta has no version"))?;
+        if version != WEIGHTS_META_VERSION {
+            return Err(WeightIoError::Corrupt("unsupported weight meta version"));
+        }
+        let shape_list = meta
+            .get("tensors")
+            .and_then(|v| v.as_arr())
+            .ok_or(WeightIoError::Corrupt("weight meta has no tensor table"))?;
+        let mut dims_list: Vec<Vec<usize>> = Vec::with_capacity(shape_list.len());
+        for entry in shape_list {
+            let dims = entry
+                .as_arr()
+                .ok_or(WeightIoError::Corrupt("weight meta shape is not an array"))?
+                .iter()
+                .map(|d| {
+                    d.as_u64()
+                        .map(|v| v as usize)
+                        .ok_or(WeightIoError::Corrupt("weight meta dim is not an integer"))
+                })
+                .collect::<Result<Vec<usize>, WeightIoError>>()?;
+            dims_list.push(dims);
+        }
+
+        let mut metrics = StoreMetrics::default();
+        let (_, flat) = read_array(&storage, WEIGHTS_ARRAY, ComputePool::global(), &mut metrics)?;
+        let total: usize = dims_list.iter().map(|d| d.iter().product::<usize>()).sum();
+        if flat.len() != total {
+            return Err(WeightIoError::ArchitectureMismatch(format!(
+                "weight array holds {} values, shape table declares {total}",
+                flat.len()
+            )));
+        }
+        let mut parsed = Vec::with_capacity(dims_list.len());
+        let mut at = 0usize;
+        for dims in dims_list {
+            let n: usize = dims.iter().product();
+            parsed.push((dims, flat[at..at + n].to_vec()));
+            at += n;
+        }
+        self.apply_parsed(parsed)
+    }
+
+    /// Loads weights from either layout: a directory loads the chunked
+    /// `sl-store` format, anything else the legacy whole-file `.slw` —
+    /// so pre-chunking weight files keep working unchanged.
+    pub fn load_weights_auto(&mut self, path: impl AsRef<Path>) -> Result<(), WeightIoError> {
+        if path.as_ref().is_dir() {
+            self.load_weights_chunked(path)
+        } else {
+            self.load_weights(path)
+        }
+    }
+
+    /// [`SplitModel::load_weights_auto`] with failures routed through
+    /// telemetry like every other runtime warning (the error — including
+    /// which half/tensor mismatched — lands in the journal as a `warn`
+    /// event before being returned).
+    pub fn load_weights_logged(
+        &mut self,
+        path: impl AsRef<Path>,
+        tele: &mut Telemetry,
+    ) -> Result<(), WeightIoError> {
+        match self.load_weights_auto(path.as_ref()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                tele.warn(&format!(
+                    "weight load from {} failed: {e}",
+                    path.as_ref().display()
+                ));
+                Err(e)
+            }
+        }
     }
 }
 
@@ -263,6 +433,103 @@ mod tests {
         ));
         // Failed load must not corrupt the model.
         assert_eq!(predict(&mut other), before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatch_error_names_the_half_and_tensor() {
+        let mut a = model(8);
+        let path = tmp("named_mismatch");
+        a.save_weights(&path).unwrap();
+        // Different pooling -> the BS half's input width changes while
+        // the UE half is untouched; the error must say so.
+        let mut other = SplitModel::new(
+            Scheme::ImgRf,
+            PoolingDim::new(8, 8),
+            8,
+            8,
+            3,
+            2,
+            4,
+            8,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let err = other.load_weights(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("BS tensor"), "unhelpful mismatch: {msg}");
+        assert!(!msg.contains("UE tensor"), "wrong half blamed: {msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chunked_round_trip_restores_predictions() {
+        let mut a = model(10);
+        let mut b = model(11);
+        let before_a = predict(&mut a);
+        assert!((before_a - predict(&mut b)).abs() > 1e-6);
+
+        let dir = std::env::temp_dir().join(format!("slw_chunked_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        a.save_weights_chunked(&dir).unwrap();
+        // The auto loader dispatches on the path kind.
+        b.load_weights_auto(&dir).unwrap();
+        assert!((predict(&mut b) - before_a).abs() < 1e-6);
+
+        // Chunk corruption is a typed store error, not garbage weights.
+        let chunk = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().contains("chunk"))
+            .expect("no chunk files written");
+        let mut bytes = std::fs::read(chunk.path()).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(chunk.path(), &bytes).unwrap();
+        assert!(matches!(
+            model(12).load_weights_auto(&dir),
+            Err(WeightIoError::Store(sl_store::StoreError::Checksum { .. }))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_loader_still_reads_legacy_files() {
+        let mut a = model(13);
+        let path = tmp("legacy_auto");
+        a.save_weights(&path).unwrap();
+        let mut b = model(14);
+        b.load_weights_auto(&path).unwrap();
+        assert!((predict(&mut b) - predict(&mut a)).abs() < 1e-6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn logged_loader_warns_into_the_journal() {
+        use sl_telemetry::{MemorySink, Telemetry, TelemetryMode};
+        let mut a = model(15);
+        let path = tmp("logged_mismatch");
+        a.save_weights(&path).unwrap();
+        let mut other = SplitModel::new(
+            Scheme::ImgRf,
+            PoolingDim::new(8, 8),
+            8,
+            8,
+            3,
+            2,
+            4,
+            8,
+            &mut StdRng::seed_from_u64(16),
+        );
+        let (sink, events) = MemorySink::new();
+        let mut tele = Telemetry::with_sink(TelemetryMode::Jsonl, Box::new(sink));
+        assert!(other.load_weights_logged(&path, &mut tele).is_err());
+        drop(tele);
+        let evs = events.borrow();
+        let warn = evs
+            .iter()
+            .find(|e| e.kind == "warn")
+            .expect("no warn event emitted");
+        let msg = format!("{warn:?}");
+        assert!(msg.contains("BS tensor"), "warn lacks the half: {msg}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -17,20 +17,22 @@
 //! step; enough consecutive timeouts abort training with
 //! [`StopReason::LinkStalled`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 use sl_channel::TransferSimulator;
 use sl_nn::{clip_global_norm, mse_loss, rmse, Adam, Optimizer};
 use sl_scene::SequenceDataset;
+use sl_store::{ActivationLog, DirStorage, StoreMetrics};
 use sl_telemetry::{sim_us, EventBuilder, SimSpan, Stopwatch, Telemetry, Tracer, Value};
 use sl_tensor::Tensor;
 
 use crate::batch::Batch;
+use crate::checkpoint::{self, CheckpointError, TrainCheckpoint};
 use crate::clock::SimClock;
 use crate::config::ExperimentConfig;
 use crate::health::{HealthAction, HealthConfig, HealthMonitor, StepStats};
 use crate::model::SplitModel;
+use crate::rng::CountingRng;
 use crate::scheme::Scheme;
 
 /// One learning-curve sample (taken after each validation pass).
@@ -127,10 +129,24 @@ pub struct SplitTrainer {
     uplink: TransferSimulator,
     downlink: TransferSimulator,
     clock: SimClock,
-    rng: StdRng,
+    rng: CountingRng,
     health: HealthMonitor,
     tracer: Option<Tracer>,
     steps_seen: u64,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<ResumeState>,
+    store_metrics: StoreMetrics,
+    activation_log: Option<ActivationLog<DirStorage>>,
+}
+
+/// Loop state restored by [`SplitTrainer::resume_from_checkpoint`],
+/// consumed by the next [`SplitTrainer::train_with`] call.
+struct ResumeState {
+    epoch: usize,
+    steps_applied: u64,
+    steps_voided: u64,
+    consecutive_voids: usize,
+    curve: Vec<CurvePoint>,
 }
 
 impl SplitTrainer {
@@ -138,7 +154,7 @@ impl SplitTrainer {
     /// it).
     pub fn new(config: ExperimentConfig, dataset: &SequenceDataset) -> Self {
         config.validate();
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = CountingRng::seed_from_u64(config.seed);
         let frame = &dataset.trace().frames[0];
         let (h, w) = (frame.dims()[0], frame.dims()[1]);
         // Static shape-contract check: reject a miswired configuration
@@ -171,6 +187,10 @@ impl SplitTrainer {
             health: HealthMonitor::from_env(),
             tracer: None,
             steps_seen: 0,
+            checkpoint_dir: None,
+            resume: None,
+            store_metrics: StoreMetrics::default(),
+            activation_log: None,
         }
     }
 
@@ -203,6 +223,153 @@ impl SplitTrainer {
     /// The simulated clock.
     pub fn clock(&self) -> SimClock {
         self.clock
+    }
+
+    /// Enables per-epoch checkpointing into `dir` (an `sl-store`
+    /// directory; created on first save). Each completed epoch commits
+    /// the full trainer state — a later
+    /// [`SplitTrainer::resume_from_checkpoint`] continues the run with
+    /// bitwise-identical results.
+    pub fn set_checkpoint_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.checkpoint_dir = Some(dir.into());
+    }
+
+    /// Attaches an append-only activation log: every applied training
+    /// step appends the batch's quantized cut-layer activations (exactly
+    /// the values that cross the air) for offline privacy audits.
+    pub fn set_activation_log(&mut self, log: ActivationLog<DirStorage>) {
+        self.activation_log = Some(log);
+    }
+
+    /// Detaches the activation log (e.g. to audit it after training).
+    pub fn take_activation_log(&mut self) -> Option<ActivationLog<DirStorage>> {
+        self.activation_log.take()
+    }
+
+    /// Store counters accumulated by checkpointing and activation
+    /// logging (drained into `store.*` telemetry at the end of a
+    /// telemetry-enabled run).
+    pub fn store_metrics(&self) -> &StoreMetrics {
+        &self.store_metrics
+    }
+
+    /// Restores the trainer from a checkpoint directory written by a
+    /// previous run of the *same configuration* (scheme, pooling and
+    /// seed are fingerprinted; anything else that diverges shows up as a
+    /// parameter-count mismatch). Call on a freshly-built trainer; the
+    /// next [`SplitTrainer::train_with`] then continues from the
+    /// checkpointed epoch. Returns the last completed epoch.
+    pub fn resume_from_checkpoint(&mut self, dir: &Path) -> Result<usize, CheckpointError> {
+        let ck = checkpoint::load(dir, &mut self.store_metrics)?;
+        let scheme = self.config.scheme.to_string();
+        let pooling = self.config.pooling.to_string();
+        if ck.scheme != scheme || ck.pooling != pooling || ck.seed != self.config.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is {} / {} / seed {}, trainer is {scheme} / {pooling} / seed {}",
+                ck.scheme, ck.pooling, ck.seed, self.config.seed
+            )));
+        }
+        let ue_dims: Vec<Vec<usize>> = self
+            .model
+            .ue_params_and_grads()
+            .iter()
+            .map(|(p, _)| p.dims().to_vec())
+            .collect();
+        let bs_dims: Vec<Vec<usize>> = self
+            .model
+            .bs_params_and_grads()
+            .iter()
+            .map(|(p, _)| p.dims().to_vec())
+            .collect();
+        let total: usize = ue_dims
+            .iter()
+            .chain(&bs_dims)
+            .map(|d| d.iter().product::<usize>())
+            .sum();
+        if ck.params.len() != total {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint holds {} parameter values, model has {total}",
+                ck.params.len()
+            )));
+        }
+        let mut at = 0usize;
+        for (p, _) in self.model.ue_params_and_grads() {
+            let n = p.data().len();
+            p.data_mut().copy_from_slice(&ck.params[at..at + n]);
+            at += n;
+        }
+        for (p, _) in self.model.bs_params_and_grads() {
+            let n = p.data().len();
+            p.data_mut().copy_from_slice(&ck.params[at..at + n]);
+            at += n;
+        }
+        self.opt_ue
+            .restore_state(ck.opt_ue.0, &ck.opt_ue.1, &ck.opt_ue.2, &ue_dims)
+            .map_err(CheckpointError::Mismatch)?;
+        self.opt_bs
+            .restore_state(ck.opt_bs.0, &ck.opt_bs.1, &ck.opt_bs.2, &bs_dims)
+            .map_err(CheckpointError::Mismatch)?;
+        self.clock = SimClock::from_parts(ck.compute_s, ck.airtime_s);
+        self.steps_seen = ck.steps_seen;
+        // Fast-forward the freshly-seeded generator past the draws the
+        // original run had consumed (model init included — a fresh
+        // trainer has already replayed those).
+        self.rng
+            .advance_to(ck.rng_n32, ck.rng_n64)
+            .map_err(CheckpointError::Mismatch)?;
+        let epoch = ck.epoch;
+        self.resume = Some(ResumeState {
+            epoch,
+            steps_applied: ck.steps_applied,
+            steps_voided: ck.steps_voided,
+            consecutive_voids: ck.consecutive_voids,
+            curve: ck.curve,
+        });
+        Ok(epoch)
+    }
+
+    /// Commits the full trainer state after `epoch` into `dir`.
+    fn write_checkpoint(
+        &mut self,
+        dir: &Path,
+        epoch: usize,
+        steps_applied: u64,
+        steps_voided: u64,
+        consecutive_voids: usize,
+        curve: &[CurvePoint],
+    ) -> Result<(), CheckpointError> {
+        if self.rng.fills() > 0 {
+            return Err(CheckpointError::Unsupported(
+                "byte-fill RNG draws are not replayable from call counts",
+            ));
+        }
+        let (rng_n32, rng_n64) = self.rng.words();
+        let mut params = Vec::new();
+        for (p, _) in self.model.ue_params_and_grads() {
+            params.extend_from_slice(p.data());
+        }
+        for (p, _) in self.model.bs_params_and_grads() {
+            params.extend_from_slice(p.data());
+        }
+        let ck = TrainCheckpoint {
+            scheme: self.config.scheme.to_string(),
+            pooling: self.config.pooling.to_string(),
+            seed: self.config.seed,
+            epoch,
+            steps_applied,
+            steps_voided,
+            consecutive_voids,
+            steps_seen: self.steps_seen,
+            rng_n32,
+            rng_n64,
+            opt_ue: self.opt_ue.export_state(),
+            opt_bs: self.opt_bs.export_state(),
+            compute_s: self.clock.compute_s(),
+            airtime_s: self.clock.airtime_s(),
+            curve: curve.to_vec(),
+            params,
+        };
+        checkpoint::save(dir, &ck, &mut self.store_metrics)
     }
 
     /// Runs the full training loop (validating after every epoch, like
@@ -241,6 +408,17 @@ impl SplitTrainer {
         let mut steps_applied = 0u64;
         let mut steps_voided = 0u64;
         let mut consecutive_voids = 0usize;
+        let mut start_epoch = 1usize;
+        if let Some(r) = self.resume.take() {
+            // Checkpoint restore: the curve already holds every completed
+            // epoch's point, and the counters (including the live void
+            // streak) continue where the interrupted run stopped.
+            curve = r.curve;
+            steps_applied = r.steps_applied;
+            steps_voided = r.steps_voided;
+            consecutive_voids = r.consecutive_voids;
+            start_epoch = r.epoch + 1;
+        }
         if tele.is_enabled() {
             // Per-layer profiling rides along with telemetry: every layer
             // forward/backward below lands in `nn.{ue,bs}.layer.*`.
@@ -258,17 +436,31 @@ impl SplitTrainer {
             ));
         }
 
-        // Epoch-0 point: the untrained model.
-        let mut val = self.validate_with(dataset, tele);
-        curve.push(CurvePoint {
-            elapsed_s: self.clock.elapsed_s(),
-            epoch: 0,
-            val_rmse_db: val,
-        });
+        // Epoch-0 point: the untrained model (skipped on resume — the
+        // restored curve already has it).
+        let mut val = if start_epoch == 1 {
+            let v = self.validate_with(dataset, tele);
+            curve.push(CurvePoint {
+                elapsed_s: self.clock.elapsed_s(),
+                epoch: 0,
+                val_rmse_db: v,
+            });
+            v
+        } else {
+            curve.last().map(|p| p.val_rmse_db).unwrap_or(f32::INFINITY)
+        };
 
         let mut stop = StopReason::EpochLimit;
-        let mut epochs = 0usize;
-        'outer: for epoch in 1..=self.config.max_epochs {
+        let mut epochs = start_epoch - 1;
+        // Resuming a run that had already reached its target trains no
+        // further (the empty range below).
+        let last_epoch = if start_epoch > 1 && val <= self.config.target_rmse_db {
+            stop = StopReason::TargetReached;
+            epochs
+        } else {
+            self.config.max_epochs
+        };
+        'outer: for epoch in start_epoch..=last_epoch {
             for _ in 0..steps_per_epoch {
                 match self.step(dataset, b, tele) {
                     StepResult::Applied => {
@@ -325,6 +517,23 @@ impl SplitTrainer {
                     tr.drain_into(tele);
                 }
             }
+            // Commit the epoch's full state before the stop decision so
+            // even a target-reaching final epoch leaves a checkpoint. A
+            // failed save warns and trains on: checkpointing must never
+            // kill the run it protects.
+            if let Some(dir) = self.checkpoint_dir.take() {
+                if let Err(e) = self.write_checkpoint(
+                    &dir,
+                    epoch,
+                    steps_applied,
+                    steps_voided,
+                    consecutive_voids,
+                    &curve,
+                ) {
+                    tele.warn(&format!("checkpoint save to {} failed: {e}", dir.display()));
+                }
+                self.checkpoint_dir = Some(dir);
+            }
             if val <= self.config.target_rmse_db {
                 stop = StopReason::TargetReached;
                 break;
@@ -345,6 +554,9 @@ impl SplitTrainer {
             tele.gauge_add("sim.airtime_s", self.clock.airtime_s());
             self.uplink.publish_metrics(tele, "train.uplink");
             self.downlink.publish_metrics(tele, "train.downlink");
+            // Store-layer counters (checkpoint saves, activation-log
+            // appends) drain into `store.*`.
+            self.store_metrics.publish(tele);
             tele.emit(
                 EventBuilder::new("train_end")
                     .str("scheme", &self.config.scheme.to_string())
@@ -562,7 +774,21 @@ impl SplitTrainer {
         let idx = dataset.sample_train_batch(b, &mut self.rng);
         let batch = Batch::assemble(dataset, dataset.normalizer(), &idx, uses_images);
         let fwd = instrument.then(Stopwatch::start);
-        let pred = self.model.forward(&batch);
+        let pred = if self.activation_log.is_some() {
+            // Same composition as `SplitModel::forward`, intercepting the
+            // quantized cut-layer activations — exactly the values that
+            // cross the air — for the append-only audit log.
+            let cut = self.model.forward_ue(&batch);
+            if let (Some(log), Some(cut)) = (self.activation_log.as_mut(), cut.as_ref()) {
+                if let Err(e) = log.append(cut.data(), &mut self.store_metrics) {
+                    tele.warn(&format!("activation log append failed: {e}"));
+                }
+            }
+            self.model
+                .forward_bs(cut.as_ref(), &batch.powers_norm, b, batch.seq_len)
+        } else {
+            self.model.forward(&batch)
+        };
         if let Some(w) = fwd {
             w.observe(tele, "train.model");
         }
@@ -821,6 +1047,8 @@ mod tests {
     use super::*;
     use crate::pooling::PoolingDim;
     use crate::scheme::Scheme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sl_scene::{Scene, SceneConfig};
 
     fn dataset(seed: u64) -> SequenceDataset {
@@ -913,6 +1141,96 @@ mod tests {
         let out2 = SplitTrainer::new(cfg, &ds).train(&ds);
         assert_eq!(out1.curve, out2.curve);
         assert_eq!(out1.steps_applied, out2.steps_applied);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run_bitwise() {
+        let ds = dataset(79);
+        let mut cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        cfg.max_epochs = 4;
+        let dir = std::env::temp_dir().join("slm_trainer_resume_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted reference run.
+        let full = SplitTrainer::new(cfg.clone(), &ds).train(&ds);
+        assert!(full.steps_applied > 0);
+
+        // Interrupted run: checkpoint every epoch, stop after 2.
+        let mut short_cfg = cfg.clone();
+        short_cfg.max_epochs = 2;
+        let mut first = SplitTrainer::new(short_cfg, &ds);
+        first.set_checkpoint_dir(&dir);
+        let partial = first.train(&ds);
+        assert_eq!(partial.epochs, 2);
+
+        // Fresh trainer resumes from the saved state and finishes.
+        let mut resumed = SplitTrainer::new(cfg.clone(), &ds);
+        let at = resumed.resume_from_checkpoint(&dir).unwrap();
+        assert_eq!(at, 2);
+        let out = resumed.train(&ds);
+
+        assert_eq!(out.curve, full.curve, "resumed curve diverged");
+        assert_eq!(out.steps_applied, full.steps_applied);
+        assert_eq!(out.steps_voided, full.steps_voided);
+        assert_eq!(out.compute_s.to_bits(), full.compute_s.to_bits());
+        assert_eq!(out.airtime_s.to_bits(), full.airtime_s.to_bits());
+        assert_eq!(out.stop, full.stop);
+
+        // A mismatched config is a typed error, not silent divergence.
+        let mut other = SplitTrainer::new(
+            ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(4, 4)),
+            &ds,
+        );
+        assert!(matches!(
+            other.resume_from_checkpoint(&dir),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn activation_log_captures_cut_activations_without_perturbing_training() {
+        let ds = dataset(80);
+        let cfg = ExperimentConfig::quick(Scheme::ImgRf, PoolingDim::new(16, 16));
+        let plain = SplitTrainer::new(cfg.clone(), &ds).train(&ds);
+
+        let dir = std::env::temp_dir().join("slm_trainer_actlog_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = SplitTrainer::new(cfg.clone(), &ds);
+        let storage = sl_store::DirStorage::create(&dir).unwrap();
+        let frame = &ds.trace().frames[0];
+        let item_len = cfg.batch_size
+            * ds.seq_len()
+            * cfg.pooling.output_pixels(frame.dims()[0], frame.dims()[1]);
+        let log = ActivationLog::create(
+            storage,
+            "activations",
+            item_len,
+            sl_store::Codec::Bitpack {
+                bit_depth: cfg.bit_depth,
+            },
+        )
+        .unwrap();
+        t.set_activation_log(log);
+        let logged = t.train(&ds);
+
+        // The forward split must be numerically invisible.
+        assert_eq!(plain.curve, logged.curve);
+        assert_eq!(plain.steps_applied, logged.steps_applied);
+
+        // One appended item per applied step. Every append survived the
+        // bitpack codec, so the values are certified on the R-bit grid —
+        // read them back losslessly.
+        let log = t.take_activation_log().unwrap();
+        assert_eq!(log.items() as u64, logged.steps_applied);
+        assert_eq!(t.store_metrics().log_appends, logged.steps_applied);
+        let mut metrics = StoreMetrics::default();
+        let values = log
+            .read_all(sl_tensor::ComputePool::global(), &mut metrics)
+            .unwrap();
+        assert_eq!(values.len(), item_len * log.items());
+        assert!(values.iter().all(|v| (0.0..=1.0).contains(v)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

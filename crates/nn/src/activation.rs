@@ -62,14 +62,18 @@ pub fn sigmoid(x: f32) -> f32 {
 /// A stateless activation layer (any shape; applied elementwise).
 pub struct Activation {
     kind: ActivationKind,
-    /// Forward output, cached for the output-space derivative.
-    cache: Option<Tensor>,
+    /// Forward output, cached for the output-space derivative; a
+    /// zero-element tensor between passes.
+    cache: Tensor,
 }
 
 impl Activation {
     /// Creates an activation layer of the given kind.
     pub fn new(kind: ActivationKind) -> Self {
-        Activation { kind, cache: None }
+        Activation {
+            kind,
+            cache: Tensor::from_slice(&[]),
+        }
     }
 
     /// Shorthand for `Activation::new(ActivationKind::Relu)`.
@@ -96,15 +100,16 @@ impl Activation {
 impl Layer for Activation {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = input.map(|x| self.kind.apply(x));
-        self.cache = Some(out.clone());
+        self.cache = out.clone();
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let out = self
-            .cache
-            .take()
-            .expect("Activation::backward called without a preceding forward");
+        assert!(
+            self.cache.numel() > 0,
+            "Activation::backward called without a preceding forward"
+        );
+        let out = std::mem::replace(&mut self.cache, Tensor::from_slice(&[]));
         assert_eq!(
             grad_out.shape(),
             out.shape(),

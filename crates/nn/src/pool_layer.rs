@@ -10,7 +10,8 @@ use crate::Layer;
 pub struct AvgPool2d {
     wh: usize,
     ww: usize,
-    input_dims: Option<Vec<usize>>,
+    /// Input dims of the pending forward; empty between passes.
+    input_dims: Vec<usize>,
 }
 
 impl AvgPool2d {
@@ -20,7 +21,7 @@ impl AvgPool2d {
         AvgPool2d {
             wh,
             ww,
-            input_dims: None,
+            input_dims: Vec::new(),
         }
     }
 
@@ -33,15 +34,16 @@ impl AvgPool2d {
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = avg_pool2d(input, self.wh, self.ww);
-        self.input_dims = Some(input.dims().to_vec());
+        self.input_dims = input.dims().to_vec();
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .take()
-            .expect("AvgPool2d::backward called without a preceding forward");
+        assert!(
+            !self.input_dims.is_empty(),
+            "AvgPool2d::backward called without a preceding forward"
+        );
+        let dims = std::mem::take(&mut self.input_dims);
         avg_pool2d_backward(&dims, grad_out, self.wh, self.ww)
     }
 
@@ -70,7 +72,9 @@ impl Layer for AvgPool2d {
 pub struct MaxPool2d {
     wh: usize,
     ww: usize,
-    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+    /// `(input dims, argmax)` of the pending forward; dims empty
+    /// between passes.
+    cache: (Vec<usize>, Vec<usize>),
 }
 
 impl MaxPool2d {
@@ -80,7 +84,7 @@ impl MaxPool2d {
         MaxPool2d {
             wh,
             ww,
-            cache: None,
+            cache: (Vec::new(), Vec::new()),
         }
     }
 
@@ -93,15 +97,16 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let (out, argmax) = max_pool2d(input, self.wh, self.ww);
-        self.cache = Some((input.dims().to_vec(), argmax));
+        self.cache = (input.dims().to_vec(), argmax);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (dims, argmax) = self
-            .cache
-            .take()
-            .expect("MaxPool2d::backward called without a preceding forward");
+        assert!(
+            !self.cache.0.is_empty(),
+            "MaxPool2d::backward called without a preceding forward"
+        );
+        let (dims, argmax) = std::mem::take(&mut self.cache);
         max_pool2d_backward(&dims, grad_out, &argmax)
     }
 
@@ -126,13 +131,16 @@ impl Layer for MaxPool2d {
 /// Flattens `[N, C, H, W]` to `[N, C·H·W]` (and restores the shape on the
 /// way back). Bridges the convolutional stack to dense/recurrent layers.
 pub struct Flatten {
-    input_dims: Option<Vec<usize>>,
+    /// Input dims of the pending forward; empty between passes.
+    input_dims: Vec<usize>,
 }
 
 impl Flatten {
     /// Creates a flattening layer.
     pub fn new() -> Self {
-        Flatten { input_dims: None }
+        Flatten {
+            input_dims: Vec::new(),
+        }
     }
 }
 
@@ -151,16 +159,16 @@ impl Layer for Flatten {
         );
         let n = input.dims()[0];
         let rest = input.numel() / n;
-        self.input_dims = Some(input.dims().to_vec());
+        self.input_dims = input.dims().to_vec();
         input.reshape([n, rest])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .input_dims
-            .take()
-            .expect("Flatten::backward called without a preceding forward");
-        grad_out.reshape(dims)
+        assert!(
+            !self.input_dims.is_empty(),
+            "Flatten::backward called without a preceding forward"
+        );
+        grad_out.reshape(std::mem::take(&mut self.input_dims))
     }
 
     fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {

@@ -32,6 +32,9 @@ pub enum TraceIoError {
     BadMagic,
     /// Structurally invalid contents.
     Corrupt(&'static str),
+    /// The chunked store failed (IO, checksum mismatch, bad range) —
+    /// see [`MeasurementTrace::load_chunked`].
+    Store(sl_store::StoreError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -40,6 +43,7 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceIoError::BadMagic => write!(f, "not a SLTRACE1 file"),
             TraceIoError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+            TraceIoError::Store(e) => write!(f, "trace store error: {e}"),
         }
     }
 }
@@ -49,6 +53,12 @@ impl std::error::Error for TraceIoError {}
 impl From<io::Error> for TraceIoError {
     fn from(e: io::Error) -> Self {
         TraceIoError::Io(e)
+    }
+}
+
+impl From<sl_store::StoreError> for TraceIoError {
+    fn from(e: sl_store::StoreError) -> Self {
+        TraceIoError::Store(e)
     }
 }
 

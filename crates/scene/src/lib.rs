@@ -27,6 +27,7 @@
 //! warning — exactly the signal the multimodal split network exploits.
 
 mod camera;
+mod chunked;
 mod config;
 mod dataset;
 mod io;

@@ -1,0 +1,173 @@
+//! Property-based tests of the `sl-store` codec chains and the
+//! checksummed array paths: every codec must round-trip bitwise for the
+//! inputs it accepts, over ragged shapes and adversarial bit patterns,
+//! and any corruption of stored bytes must surface as a *typed* error —
+//! never a panic, never silently-wrong values.
+
+use proptest::prelude::*;
+
+use sl_store::{read_array, write_array, Codec, MemStorage, StoreError, StoreMetrics};
+use sl_tensor::ComputePool;
+
+/// Arbitrary `f32` bit patterns: NaN payloads, infinities, subnormals,
+/// negative zero — everything the raw and delta+rle codecs must carry.
+fn any_bits() -> impl Strategy<Value = f32> {
+    (0u32..=u32::MAX).prop_map(f32::from_bits)
+}
+
+fn bits_eq(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raw_round_trips_any_bits(vals in proptest::collection::vec(any_bits(), 0..96), item_len in 1usize..9) {
+        let enc = Codec::Raw.encode(&vals, item_len).unwrap();
+        prop_assert_eq!(enc.len(), vals.len() * 4);
+        let dec = Codec::Raw.decode(&enc, vals.len(), item_len).unwrap();
+        prop_assert!(bits_eq(&vals, &dec));
+    }
+
+    #[test]
+    fn delta_rle_round_trips_any_bits(
+        vals in proptest::collection::vec(any_bits(), 0..96),
+        item_len in 1usize..9,
+    ) {
+        let enc = Codec::DeltaRle.encode(&vals, item_len).unwrap();
+        let dec = Codec::DeltaRle.decode(&enc, vals.len(), item_len).unwrap();
+        prop_assert!(bits_eq(&vals, &dec));
+    }
+
+    #[test]
+    fn delta_rle_collapses_all_constant_arrays(
+        bits in 0u32..=u32::MAX,
+        item_len in 1usize..9,
+        items in 4usize..40,
+    ) {
+        let vals = vec![f32::from_bits(bits); item_len * items];
+        let enc = Codec::DeltaRle.encode(&vals, item_len).unwrap();
+        // Every item past the first deltas to zeros; the encoding must
+        // beat raw on anything bigger than a couple of items.
+        prop_assert!(enc.len() < vals.len() * 4, "{} >= {}", enc.len(), vals.len() * 4);
+        let dec = Codec::DeltaRle.decode(&enc, vals.len(), item_len).unwrap();
+        prop_assert!(bits_eq(&vals, &dec));
+    }
+
+    #[test]
+    fn bitpack_round_trips_grid_values(
+        bit_depth in 1usize..13,
+        levels in proptest::collection::vec(0u32..65_536, 0..96),
+    ) {
+        let max = (1u32 << bit_depth) - 1;
+        let vals: Vec<f32> = levels.iter().map(|&k| (k % (max + 1)) as f32 / max as f32).collect();
+        let codec = Codec::Bitpack { bit_depth };
+        let enc = codec.encode(&vals, 1).unwrap();
+        prop_assert_eq!(enc.len(), (vals.len() * bit_depth).div_ceil(8));
+        let dec = codec.decode(&enc, vals.len(), 1).unwrap();
+        prop_assert!(bits_eq(&vals, &dec));
+    }
+
+    #[test]
+    fn bitpack_rejects_non_finite_and_off_grid(bit_depth in 1usize..13, bits in 0u32..=u32::MAX) {
+        let q = f32::from_bits(bits);
+        let codec = Codec::Bitpack { bit_depth };
+        match codec.encode(&[q], 1) {
+            // Accepted values must be exactly representable levels.
+            Ok(enc) => {
+                let dec = codec.decode(&enc, 1, 1).unwrap();
+                prop_assert_eq!(dec[0].to_bits(), q.to_bits());
+            }
+            Err(StoreError::OffGrid { value, .. }) => prop_assert_eq!(value.to_bits(), bits),
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_chunk_bytes_are_a_typed_error(
+        vals in proptest::collection::vec(any_bits(), 1..64),
+        item_len in 1usize..5,
+        cut in 0usize..256,
+    ) {
+        for codec in [Codec::Raw, Codec::DeltaRle] {
+            let enc = codec.encode(&vals, item_len).unwrap();
+            prop_assume!(!enc.is_empty());
+            let cut = cut % enc.len(); // strict prefix
+            match codec.decode(&enc[..cut], vals.len(), item_len) {
+                Err(StoreError::Corrupt(_)) => {}
+                Err(other) => prop_assert!(false, "unexpected error {}", other),
+                Ok(_) => prop_assert!(false, "truncated chunk decoded"),
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        junk in proptest::collection::vec(0u8..=255, 0..96),
+        count in 0usize..64,
+        item_len in 1usize..5,
+    ) {
+        // Any outcome is fine except a panic or a silently-wrong length.
+        for codec in [Codec::Raw, Codec::Bitpack { bit_depth: 7 }, Codec::DeltaRle] {
+            if let Ok(dec) = codec.decode(&junk, count, item_len) {
+                prop_assert_eq!(dec.len(), count);
+            }
+        }
+    }
+
+    #[test]
+    fn flipped_stored_byte_is_a_checksum_error(
+        vals in proptest::collection::vec(any_bits(), 1..64),
+        item_len in 1usize..5,
+        chunk_items in 1usize..7,
+        which in 0usize..1024,
+        flip in 1u8..=255,
+    ) {
+        // Whole-array path: write to memory storage, corrupt one chunk
+        // byte, and the read must fail with the chunk's checksum error.
+        let items = vals.len() / item_len;
+        prop_assume!(items > 0);
+        let vals = &vals[..items * item_len];
+        let mut storage = MemStorage::new();
+        let mut metrics = StoreMetrics::default();
+        let pool = ComputePool::global();
+        write_array(&mut storage, "a", item_len, vals, chunk_items, Codec::DeltaRle, pool, &mut metrics)
+            .unwrap();
+        let chunks: Vec<String> = storage
+            .names()
+            .into_iter()
+            .filter(|n| n.contains("chunk"))
+            .collect();
+        let victim = &chunks[which % chunks.len()];
+        let object = storage.object_mut(victim).unwrap();
+        prop_assume!(!object.is_empty());
+        let at = which % object.len();
+        object[at] ^= flip;
+        match read_array(&storage, "a", pool, &mut metrics) {
+            Err(StoreError::Checksum { chunk, .. }) => prop_assert!(chunk < chunks.len()),
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+            Ok(_) => prop_assert!(false, "corrupted array read back"),
+        }
+    }
+
+    #[test]
+    fn full_array_round_trips_through_memory_storage(
+        vals in proptest::collection::vec(any_bits(), 0..128),
+        item_len in 1usize..5,
+        chunk_items in 1usize..9,
+    ) {
+        let items = vals.len() / item_len;
+        let vals = &vals[..items * item_len];
+        let pool = ComputePool::global();
+        for codec in [Codec::Raw, Codec::DeltaRle] {
+            let mut storage = MemStorage::new();
+            let mut metrics = StoreMetrics::default();
+            write_array(&mut storage, "a", item_len, vals, chunk_items, codec, pool, &mut metrics)
+                .unwrap();
+            let (manifest, back) = read_array(&storage, "a", pool, &mut metrics).unwrap();
+            prop_assert_eq!(manifest.items, items);
+            prop_assert!(bits_eq(vals, &back));
+        }
+    }
+}

@@ -232,6 +232,18 @@ pub const KEYS: &[KeyDecl] = &[
         "UE stack per-layer profile (fwd/bwd host_s, flops, params)",
     ),
     key("nn.bs.layer.*", &[], "BS stack per-layer profile"),
+    // -- chunked array store (sl-store) ---------------------------------
+    key("store.arrays.written", &[], "chunked arrays committed"),
+    key("store.arrays.read", &[], "chunked arrays (or ranges) read"),
+    key("store.chunks.written", &[], "chunks encoded and stored"),
+    key(
+        "store.chunks.read",
+        &[],
+        "chunks checksum-verified and decoded",
+    ),
+    key("store.bytes.raw", &[], "raw f32 bytes represented"),
+    key("store.bytes.encoded", &[], "encoded bytes on storage"),
+    key("store.log.appends", &[], "activation-log append batches"),
 ];
 
 /// The declared `SLM_*` environment-knob table.
@@ -282,6 +294,18 @@ pub const KNOBS: &[KnobDecl] = &[
         name: "SLM_BACKEND",
         default: "auto (SIMD when the host supports it, else pooled)",
         parse: "auto | scalar | pooled | simd",
+        doc: "README.md § Environment knobs",
+    },
+    KnobDecl {
+        name: "SLM_STORE_CHUNK",
+        default: "65536",
+        parse: "usize ≥ 1 (target f32 values per chunk)",
+        doc: "README.md § Environment knobs",
+    },
+    KnobDecl {
+        name: "SLM_STORE_CODEC",
+        default: "per-array (delta+rle frames, raw weights)",
+        parse: "raw | bitpack[1..=16] | delta+rle",
         doc: "README.md § Environment knobs",
     },
 ];

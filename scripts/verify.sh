@@ -6,7 +6,8 @@
 #
 #   scripts/verify.sh            # everything
 #   scripts/verify.sh --fast     # skip build + smoke/report runs (lints,
-#                                # tests and the kernels bench still run)
+#                                # tests, the kernels bench and the store
+#                                # gates still run)
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
@@ -204,6 +205,37 @@ if [[ "$overall" -eq 0 ]]; then
         cargo run --release -q -p sl-bench --bin kernels
     stage kernels-report cargo run --release -q -p sl-bench --bin slm-report -- \
         --kernels --check results
+fi
+
+# Chunked array store (sl-store): codec throughput/ratio trajectory into
+# results/BENCH_store.json, gated like the kernels (losslessness and the
+# delta+rle compression win, never throughput); then the determinism
+# contract end to end — the fig3a smoke scene chunk-encoded at 1 and 4
+# threads must be byte-identical file by file — and the checkpoint
+# resume gate: an interrupted + resumed smoke training must reproduce
+# the uninterrupted learning curve bitwise.
+if [[ "$overall" -eq 0 ]]; then
+    stage store-bench env SLM_THREADS=4 \
+        cargo run --release -q -p sl-bench --bin store
+    stage store-report cargo run --release -q -p sl-bench --bin slm-report -- \
+        --store --check results
+    rm -rf results/store_scene_1t results/store_scene_4t
+    stage store-encode-1t env SLM_THREADS=1 \
+        cargo run --release -q -p sl-bench --bin store -- \
+        --encode-scene results/store_scene_1t
+    stage store-encode-4t env SLM_THREADS=4 \
+        cargo run --release -q -p sl-bench --bin store -- \
+        --encode-scene results/store_scene_4t
+    store_bitwise() {
+        local f
+        for f in results/store_scene_1t/*; do
+            cmp "$f" "results/store_scene_4t/$(basename "$f")" || return 1
+        done
+    }
+    stage store-bitwise store_bitwise
+    rm -rf results/store_scene_1t results/store_scene_4t
+    stage store-resume env SLM_THREADS=4 \
+        cargo run --release -q -p sl-bench --bin store -- --resume-check
 fi
 
 echo
